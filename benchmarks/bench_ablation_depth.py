@@ -1,0 +1,59 @@
+"""Ablation D — network depth (Section 3.1).
+
+The paper starts from ResNet-18, constrains the design to fewer than 20
+layers, and settles on 12 as the speed/accuracy balance.  We train the
+8-, 12- and 18-layer variants and report accuracy, parameters and
+training time.  The expected shape: the 12-layer network is competitive
+with the deeper variant at a fraction of the cost — the paper's reason
+for shrinking the architecture.
+"""
+
+import numpy as np
+
+from repro.bench import format_table
+from repro.detect import BNNDetector
+from repro.models import count_network_layers
+
+from conftest import publish, subsample
+
+#: (label, channels, blocks_per_stage) reproducing 8/12/18-layer layouts
+VARIANTS = [
+    ("8-layer", (8, 16, 32), (1, 1, 1)),
+    ("12-layer (paper)", (8, 16, 32, 64, 128), (1, 1, 1, 1, 1)),
+    ("18-layer", (8, 16, 32, 64), (2, 2, 2, 2)),
+]
+
+
+def test_ablation_depth(benchmark, iccad_benchmark):
+    base = subsample(iccad_benchmark, n_train=500, n_test=400, seed=11)
+
+    def sweep():
+        rows = []
+        for label, channels, blocks in VARIANTS:
+            detector = BNNDetector(channels=channels, blocks_per_stage=blocks,
+                                   epochs=10, finetune_epochs=3, seed=0,
+                                   stem_stride=1)
+            metrics = detector.fit_evaluate(
+                base.train, base.test, np.random.default_rng(0)
+            )
+            model = detector.model
+            rows.append({
+                "Network": label,
+                "Layers": count_network_layers(model),
+                "Params": model.num_parameters(),
+                "Accu (%)": round(100 * metrics.accuracy, 1),
+                "FA#": metrics.false_alarm,
+                "Train (s)": round(metrics.train_time_s, 1),
+            })
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    publish("ablation_depth", format_table(
+        rows, title="Ablation D — network depth (Section 3.1)"
+    ))
+
+    layer_counts = [row["Layers"] for row in rows]
+    assert layer_counts == [8, 12, 18]
+    assert all(count < 20 for count in layer_counts)  # the design constraint
+    # every depth must train to a working detector
+    assert all(row["Accu (%)"] > 30.0 for row in rows)

@@ -1,0 +1,68 @@
+"""Ablation A — input down-sampling size ``l_s`` (Section 3.4.1).
+
+The paper tuned ``l_s`` to 128 as the accuracy/speed balance point.  We
+sweep ``l_s`` over {16, 32, 64} by further down-sampling the benchmark
+images, and report detection accuracy plus packed-inference runtime.
+The expected shape: runtime grows steeply with ``l_s`` while accuracy
+grows and then saturates — the trade-off the paper tuned.
+"""
+
+import numpy as np
+
+from repro.bench import format_table
+from repro.detect import BNNDetector
+from repro.features import downsample_binary
+from repro.litho import HotspotBenchmark
+from repro.nn import ArrayDataset
+
+from conftest import publish, subsample
+
+
+def resized(benchmark: HotspotBenchmark, size: int) -> HotspotBenchmark:
+    """Down-sample every image of the benchmark to ``size``."""
+    def shrink(dataset: ArrayDataset) -> ArrayDataset:
+        images = downsample_binary(dataset.images[:, 0], size)
+        return ArrayDataset(images[:, None].astype(np.float32), dataset.labels)
+
+    return HotspotBenchmark(
+        train=shrink(benchmark.train),
+        test=shrink(benchmark.test),
+        stats=benchmark.stats,
+        image_size=size,
+    )
+
+
+def test_ablation_image_size(benchmark, iccad_benchmark):
+    """Sweep l_s and report the accuracy/runtime trade-off."""
+    base = subsample(iccad_benchmark, n_train=500, n_test=400, seed=5)
+    sizes = [s for s in (16, 32, 64) if s <= base.image_size]
+
+    def sweep():
+        rows = []
+        for size in sizes:
+            data = resized(base, size)
+            detector = BNNDetector(base_width=8, epochs=10, finetune_epochs=3,
+                                   stem_stride=1, seed=0)
+            metrics = detector.fit_evaluate(
+                data.train, data.test, np.random.default_rng(0)
+            )
+            rows.append({
+                "l_s": size,
+                "Accu (%)": round(100 * metrics.accuracy, 1),
+                "FA#": metrics.false_alarm,
+                "Eval runtime (s)": round(metrics.eval_time_s, 3),
+            })
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    publish("ablation_imagesize", format_table(
+        rows, title="Ablation A — input size l_s (Section 3.4.1)"
+    ))
+
+    runtimes = [row["Eval runtime (s)"] for row in rows]
+    # runtime must grow with resolution (roughly quadratically)
+    assert runtimes == sorted(runtimes)
+    assert runtimes[-1] > 2.0 * runtimes[0]
+    # the largest input must not be the worst detector
+    accs = [row["Accu (%)"] for row in rows]
+    assert accs[-1] >= min(accs)

@@ -1,0 +1,116 @@
+"""Extension ablation — OPC and the hotspot rate of the substrate.
+
+The ICCAD 2012 layouts went through optical proximity correction before
+lithography; our synthetic substrate exposes the drawn geometry
+directly.  This benchmark quantifies the gap: the hotspot rate of a
+pattern sample with raw masks vs rule-based-OPC'd masks, plus the
+nominal-EPE improvement of the model-based corrector on canonical
+patterns.  The correction must reduce both — evidence the simulator
+responds to mask changes the way real lithography does.
+"""
+
+import numpy as np
+
+from repro.bench import format_table
+from repro.litho import (
+    Clip,
+    LithographySimulator,
+    Rect,
+    rule_based_opc,
+    sample_clip,
+)
+from repro.litho.epe import analyze_contours
+from repro.litho.opc import IterativeOPC
+from repro.litho.raster import rasterize
+from repro.litho.resist import nominal_corner
+
+from conftest import publish
+
+
+def _nominal_report(simulator, target_clip, mask_clip):
+    pixel_nm = target_clip.size / simulator.resolution_px
+    printed = simulator.simulate_corner(
+        rasterize(mask_clip, simulator.resolution_px, "area"),
+        pixel_nm, nominal_corner(),
+    )
+    target = rasterize(target_clip, simulator.resolution_px,
+                       "binary").astype(bool)
+    return analyze_contours(target, printed, pixel_nm)
+
+
+def test_opc_reduces_hotspot_rate(benchmark):
+    """Rule-based OPC must cut the sampled hotspot rate."""
+    simulator = LithographySimulator()
+    rng = np.random.default_rng(4)
+    clips = [sample_clip(rng) for _ in range(40)]
+
+    def measure():
+        raw = sum(simulator.is_hotspot(clip) for clip in clips)
+        corrected = 0
+        for clip in clips:
+            mask = rule_based_opc(clip)
+            pixel_nm = clip.size / simulator.resolution_px
+            mask_image = rasterize(mask, simulator.resolution_px, "area")
+            target = rasterize(clip, simulator.resolution_px,
+                               "binary").astype(bool)
+            worst = None
+            for corner in simulator.corners:
+                printed = simulator.simulate_corner(mask_image, pixel_nm,
+                                                    corner)
+                report = analyze_contours(target, printed, pixel_nm)
+                if worst is None or (
+                    LithographySimulator._severity(report)
+                    > LithographySimulator._severity(worst)
+                ):
+                    worst = report
+            corrected += worst.is_hotspot(simulator.epe_tolerance_nm)
+        return raw, corrected
+
+    raw, corrected = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = [
+        {"Mask": "drawn geometry", "Hotspots / 40": raw},
+        {"Mask": "rule-based OPC", "Hotspots / 40": corrected},
+    ]
+    publish("ablation_opc_rate", format_table(
+        rows, title="Extension — OPC vs hotspot rate"
+    ))
+    assert corrected < raw
+
+
+def test_iterative_opc_reduces_epe(benchmark):
+    """Model-based OPC must cut nominal EPE on canonical patterns."""
+    simulator = LithographySimulator()
+    cases = {
+        "isolated wire": Clip(1024, [Rect(460, 100, 560, 900)]),
+        "small via": Clip(1024, [Rect(480, 480, 560, 560)]),
+        "L bend": Clip(1024, [Rect(200, 200, 800, 290),
+                              Rect(200, 200, 290, 800)]),
+    }
+
+    def measure():
+        rows = []
+        opc = IterativeOPC(simulator, iterations=4)
+        for name, clip in cases.items():
+            before = _nominal_report(simulator, clip, clip)
+            corrected = opc.correct(clip)
+            after = _nominal_report(simulator, clip, corrected)
+            rows.append({
+                "Pattern": name,
+                "EPE before (nm)": round(before.max_epe_nm, 1),
+                "broken before": before.broken,
+                "EPE after (nm)": round(after.max_epe_nm, 1),
+                "broken after": after.broken,
+            })
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    publish("ablation_opc_epe", format_table(
+        rows, title="Extension — model-based OPC, nominal EPE"
+    ))
+    for row in rows:
+        if row["broken before"]:
+            # a vanished/severed feature must at least print after OPC
+            assert not row["broken after"]
+        else:
+            assert not row["broken after"]
+            assert row["EPE after (nm)"] <= row["EPE before (nm)"] + 0.1

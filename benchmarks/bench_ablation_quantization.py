@@ -1,0 +1,101 @@
+"""Extension ablation — the quantization ladder of Section 2.2.
+
+The paper's background orders quantization schemes by aggressiveness:
+32-bit float, 8-bit fixed point [21], ternary weights [22], and the
+1-bit binarization it adopts.  This benchmark trains the same residual
+topology at each precision on the hotspot task and reports accuracy,
+false alarms and (for the binary point) packed-inference runtime —
+quantifying what each precision step costs, and that 1-bit remains a
+working detector (the premise of the whole paper).
+"""
+
+import numpy as np
+
+from repro.bench import format_table
+from repro.detect import BNNDetector
+from repro.detect.base import HotspotDetector
+from repro.features.downsample import to_network_input
+from repro.models import build_quantized_resnet, build_resnet
+from repro.nn import ArrayDataset, DataLoader, NAdam, Trainer
+from repro.nn.data import balanced_weights
+from repro.nn.trainer import predict_logits
+
+from conftest import publish, subsample
+
+
+class _LadderDetector(HotspotDetector):
+    """Minimal detector wrapper around a float/int8/ternary network."""
+
+    def __init__(self, precision: str, channels=(8, 16, 32), epochs=10,
+                 seed=0):
+        self.precision = precision
+        self.channels = channels
+        self.epochs = epochs
+        self.seed = seed
+        self.name = precision
+        self.model = None
+
+    def _build(self):
+        if self.precision == "float":
+            return build_resnet(self.channels, seed=self.seed, stem_stride=2)
+        return build_quantized_resnet(self.precision, self.channels,
+                                      seed=self.seed, stem_stride=2)
+
+    def fit(self, train, rng):
+        images = to_network_input(train.images)
+        labels = np.asarray(train.labels, dtype=np.int64)
+        self.model = self._build()
+        trainer = Trainer(self.model, NAdam(self.model.parameters(), lr=0.002))
+        loader = DataLoader(
+            ArrayDataset(images, labels), 32,
+            rng=np.random.default_rng(rng.integers(2**32)),
+            sample_weights=balanced_weights(labels),
+        )
+        trainer.fit(loader, epochs=self.epochs)
+        return self
+
+    def predict(self, images):
+        logits = predict_logits(self.model, to_network_input(images))
+        return logits.argmax(axis=1).astype(np.int64)
+
+
+def test_ablation_quantization_ladder(benchmark, iccad_benchmark):
+    base = subsample(iccad_benchmark, n_train=500, n_test=400, seed=13)
+
+    def sweep():
+        rows = []
+        for precision in ("float", "int8", "ternary"):
+            detector = _LadderDetector(precision, epochs=10)
+            metrics = detector.fit_evaluate(
+                base.train, base.test, np.random.default_rng(0)
+            )
+            rows.append({
+                "Precision": precision,
+                "Accu (%)": round(100 * metrics.accuracy, 1),
+                "FA#": metrics.false_alarm,
+                "Eval (s)": round(metrics.eval_time_s, 3),
+            })
+        binary = BNNDetector(base_width=8, epochs=10, finetune_epochs=3,
+                             seed=0)
+        metrics = binary.fit_evaluate(
+            base.train, base.test, np.random.default_rng(0)
+        )
+        rows.append({
+            "Precision": "binary (ours, packed)",
+            "Accu (%)": round(100 * metrics.accuracy, 1),
+            "FA#": metrics.false_alarm,
+            "Eval (s)": round(metrics.eval_time_s, 3),
+        })
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    publish("ablation_quantization", format_table(
+        rows, title="Extension — quantization ladder (Section 2.2)"
+    ))
+
+    accs = {row["Precision"]: row["Accu (%)"] for row in rows}
+    # every precision level must produce a working detector...
+    assert all(acc > 10.0 for acc in accs.values())
+    # ...and the 1-bit point must stay in the race with the mild
+    # quantizations (the premise that binarization is 'suitable' here)
+    assert accs["binary (ours, packed)"] >= max(accs.values()) - 25.0

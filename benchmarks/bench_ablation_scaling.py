@@ -1,0 +1,85 @@
+"""Ablation C — activation scaling factors (Section 3.2, Eq. 14).
+
+The paper's refinement over XNOR-Net is a *per-input-channel* scaling
+factor for the activations.  Two measurements:
+
+1. **Estimation error** (the paper's stated motivation): how well the
+   scaled binarized convolution approximates the full-precision
+   convolution, per scaling mode.  Channelwise must be the most
+   accurate, "none" the worst.
+2. **End-to-end** detection accuracy and packed-inference runtime per
+   mode, quantifying what the refinement buys and what the per-channel
+   popcount path costs.
+"""
+
+import numpy as np
+
+from repro.bench import format_table
+from repro.binary import SCALING_MODES, BinaryConv2D
+from repro.detect import BNNDetector
+from repro.nn import functional as F
+
+from conftest import publish, subsample
+
+
+def estimation_error(scaling: str, rng) -> float:
+    """Relative L2 error of the binarized conv vs the float conv."""
+    x = rng.normal(size=(4, 16, 16, 16)) * rng.uniform(0.5, 2.0, (1, 16, 1, 1))
+    layer = BinaryConv2D(16, 16, 3, padding=1, scaling=scaling,
+                         rng=np.random.default_rng(0))
+    exact, _ = F.conv2d_forward(x, layer.weight.data, None, 1, 1)
+    approx = layer.forward(x)
+    return float(np.linalg.norm(approx - exact) / np.linalg.norm(exact))
+
+
+def test_ablation_scaling_estimation_error(benchmark):
+    """Eq. 14's motivation: channelwise estimates the conv best."""
+    def sweep():
+        rng = np.random.default_rng(3)
+        return {mode: estimation_error(mode, rng) for mode in SCALING_MODES}
+
+    errors = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [{"Scaling": mode, "Relative conv error": round(err, 4)}
+            for mode, err in errors.items()]
+    publish("ablation_scaling_error", format_table(
+        rows, title="Ablation C.1 — binarization estimation error (Eq. 14)"
+    ))
+    assert errors["channelwise"] <= errors["xnor"] <= errors["none"]
+
+
+def test_ablation_scaling_end_to_end(benchmark, iccad_benchmark):
+    """Accuracy and packed runtime of each scaling mode."""
+    base = subsample(iccad_benchmark, n_train=500, n_test=400, seed=9)
+
+    def sweep():
+        rows = []
+        for mode in SCALING_MODES:
+            detector = BNNDetector(base_width=8, epochs=14, finetune_epochs=4,
+                                   scaling=mode, seed=0)
+            metrics = detector.fit_evaluate(
+                base.train, base.test, np.random.default_rng(0)
+            )
+            rows.append({
+                "Scaling": mode,
+                "Accu (%)": round(100 * metrics.accuracy, 1),
+                "FA#": metrics.false_alarm,
+                "Packed eval (s)": round(metrics.eval_time_s, 3),
+            })
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    publish("ablation_scaling_end_to_end", format_table(
+        rows, title="Ablation C.2 — scaling mode, end to end"
+    ))
+    by_mode = {row["Scaling"]: row for row in rows}
+    # the channel-summed popcount path must be faster than per-channel
+    assert by_mode["xnor"]["Packed eval (s)"] < (
+        by_mode["channelwise"]["Packed eval (s)"]
+    )
+    # the paper's refinement must stay in the race (mode-vs-mode accuracy
+    # at this scale is seed-noisy; the *estimation* advantage is the
+    # assertion-grade claim, covered by C.1 above)
+    best = max(row["Accu (%)"] for row in rows)
+    assert by_mode["channelwise"]["Accu (%)"] >= best - 25.0
+    # every mode must learn something
+    assert all(row["Accu (%)"] > 10.0 for row in rows)

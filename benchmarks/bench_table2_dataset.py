@@ -1,0 +1,68 @@
+"""Table 2 — ICCAD-2012 merged benchmark statistics.
+
+Regenerates the benchmark's statistics table at the configured scale and
+checks the generated dataset preserves the paper's class imbalance.
+The pytest-benchmark measurements time the generation pipeline
+(pattern synthesis + lithography simulation + labelling).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import bench_scale, format_table
+from repro.litho import PAPER_TABLE2, generate_hotspot_dataset
+
+from conftest import publish
+
+
+def test_table2_statistics(benchmark, iccad_benchmark):
+    """Regenerate Table 2: paper counts next to the scaled counts."""
+    stats = iccad_benchmark.stats
+    scale = bench_scale()
+
+    def build_rows():
+        return [
+            {
+                "Benchmark": "ICCAD (paper, Table 2)",
+                "#Train HS": PAPER_TABLE2["train_hs"],
+                "#Train NHS": PAPER_TABLE2["train_nhs"],
+                "#Test HS": PAPER_TABLE2["test_hs"],
+                "#Test NHS": PAPER_TABLE2["test_nhs"],
+            },
+            {
+                "Benchmark": f"Synthetic (scale {scale:g})",
+                "#Train HS": stats.train_hs,
+                "#Train NHS": stats.train_nhs,
+                "#Test HS": stats.test_hs,
+                "#Test NHS": stats.test_nhs,
+            },
+        ]
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    publish("table2_dataset",
+            format_table(rows, title="Table 2 — benchmark statistics"))
+
+    # the defining property: the paper's class imbalance is preserved
+    paper_train_ratio = PAPER_TABLE2["train_hs"] / PAPER_TABLE2["train_nhs"]
+    assert stats.train_hs / stats.train_nhs == pytest.approx(
+        paper_train_ratio, rel=0.15
+    )
+    paper_test_ratio = PAPER_TABLE2["test_hs"] / PAPER_TABLE2["test_nhs"]
+    assert stats.test_hs / stats.test_nhs == pytest.approx(
+        paper_test_ratio, rel=0.15
+    )
+    # counts in the datasets match the declared statistics
+    assert int(iccad_benchmark.train.labels.sum()) == stats.train_hs
+    assert int(iccad_benchmark.test.labels.sum()) == stats.test_hs
+
+
+def test_benchmark_generation_throughput(benchmark):
+    """Time the clip-synthesis + litho-labelling pipeline (8 clips)."""
+    counter = iter(range(10_000))
+
+    def generate():
+        rng = np.random.default_rng(next(counter))
+        return generate_hotspot_dataset(2, 6, rng, image_size=32)
+
+    dataset = benchmark.pedantic(generate, rounds=3, iterations=1)
+    assert len(dataset) == 8

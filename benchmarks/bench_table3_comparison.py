@@ -1,0 +1,79 @@
+"""Table 3 — performance comparison with the state-of-the-art detectors.
+
+Trains and evaluates all four methods on the shared scaled benchmark
+and prints our measured Table 3 next to the paper's.  Absolute numbers
+differ (synthetic data, CPU substrate, scaled counts); the *shape* that
+must hold is the accuracy ordering
+
+    SPIE'15  <  ICCAD'16  <=  DAC'17  <  Ours (BNN)
+
+with ICCAD'16 producing the most false alarms, as in the paper.
+"""
+
+import numpy as np
+
+from repro.bench import format_table, run_detectors
+from repro.detect import (
+    BNNDetector,
+    DAC17Detector,
+    ICCAD16Detector,
+    SPIE15Detector,
+)
+
+from conftest import publish
+
+#: Table 3 of the paper, for side-by-side reporting.
+PAPER_TABLE3 = [
+    {"Method": "SPIE'15 [11]", "FA#": 2919, "Runtime (s)": 2672,
+     "ODST (s)": 53112, "Accu (%)": 84.2},
+    {"Method": "ICCAD'16 [14]", "FA#": 4497, "Runtime (s)": 1052,
+     "ODST (s)": 70628, "Accu (%)": 97.7},
+    {"Method": "DAC'17 [16]", "FA#": 3413, "Runtime (s)": 482,
+     "ODST (s)": 59402, "Accu (%)": 98.2},
+    {"Method": "Ours", "FA#": 2787, "Runtime (s)": 60,
+     "ODST (s)": 52970, "Accu (%)": 99.2},
+]
+
+
+def reference_detectors(epochs: int):
+    """The four Table 3 configurations (each at its published
+    operating point: accuracy-first with tolerated false alarms)."""
+    finetune = max(2, epochs // 3)
+    return [
+        SPIE15Detector(grid=8, n_estimators=60, max_depth=2, threshold=-0.8),
+        ICCAD16Detector(n_selected=96, epochs=epochs, threshold=0.3),
+        DAC17Detector(block=4, coefficients=12, stage_widths=(24, 48),
+                      epochs=epochs, finetune_epochs=finetune, epsilon=0.3),
+        BNNDetector(epochs=epochs, finetune_epochs=finetune, base_width=12,
+                    scaling="xnor", epsilon=0.2, target_fa_rate=0.35),
+    ]
+
+
+def test_table3_comparison(benchmark, iccad_benchmark, epochs):
+    """Regenerate Table 3 (the paper's headline comparison)."""
+    detectors = reference_detectors(max(epochs, 12))
+
+    def run():
+        return run_detectors(detectors, iccad_benchmark, seed=0)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [metrics.row() for metrics in results]
+    text = "\n\n".join([
+        format_table(PAPER_TABLE3, title="Table 3 (paper, ICCAD-2012 full scale)"),
+        format_table(rows, title="Table 3 (ours, synthetic benchmark at scale)"),
+    ])
+    publish("table3_comparison", text)
+
+    accuracy = {metrics.name: metrics.accuracy for metrics in results}
+    false_alarm = {metrics.name: metrics.false_alarm for metrics in results}
+
+    # Shape check 1: accuracy ordering matches the paper.
+    assert accuracy["Ours (BNN)"] > accuracy["DAC'17 (CNN)"]
+    assert accuracy["DAC'17 (CNN)"] > accuracy["SPIE'15 (AdaBoost)"]
+    assert accuracy["ICCAD'16 (Online)"] > accuracy["SPIE'15 (AdaBoost)"]
+
+    # Shape check 2: the online baseline pays with the most false alarms.
+    assert false_alarm["ICCAD'16 (Online)"] == max(false_alarm.values())
+
+    # Shape check 3: every learned method beats chance comfortably.
+    assert min(accuracy.values()) > 0.3

@@ -1,0 +1,52 @@
+"""Extension — the full detector zoo on one benchmark.
+
+Beyond the paper's four Table 3 methods, the library implements the
+rest of the related-work spectrum surveyed in Sections 1-2: pattern
+matching ([1]-[5]'s class) and SVMs ([8][9][12]'s class).  This
+benchmark runs all six detector families on the shared benchmark, the
+complete picture Table 3 samples from.  The asserted shape: the deep
+detectors beat the shallow learners, which beat pattern matching, on
+detection accuracy.
+"""
+
+from repro.bench import format_table, run_detectors
+from repro.detect import (
+    BNNDetector,
+    DAC17Detector,
+    ICCAD16Detector,
+    PatternMatchDetector,
+    SPIE15Detector,
+    SVMDetector,
+)
+
+from conftest import publish
+
+
+def test_table3_extended(benchmark, iccad_benchmark, epochs):
+    epochs = max(epochs, 12)
+    finetune = max(2, epochs // 3)
+    detectors = [
+        PatternMatchDetector(max_distance_fraction=0.05),
+        SVMDetector(kernel="linear", grid=8, epochs=epochs),
+        SPIE15Detector(grid=8, n_estimators=60, max_depth=2, threshold=-0.8),
+        ICCAD16Detector(n_selected=96, epochs=epochs, threshold=0.3),
+        DAC17Detector(block=4, coefficients=12, stage_widths=(24, 48),
+                      epochs=epochs, finetune_epochs=finetune, epsilon=0.3),
+        BNNDetector(epochs=epochs, finetune_epochs=finetune, base_width=12,
+                    scaling="xnor", epsilon=0.2, target_fa_rate=0.35),
+    ]
+
+    def run():
+        return run_detectors(detectors, iccad_benchmark, seed=0)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [metrics.row() for metrics in results]
+    publish("table3_extended", format_table(
+        rows, title="Extension — all six detector families"
+    ))
+
+    accuracy = {metrics.name: metrics.accuracy for metrics in results}
+    # the related-work narrative: deep > shallow-learned > matching
+    assert accuracy["Ours (BNN)"] > accuracy["SVM (density)"]
+    assert accuracy["DAC'17 (CNN)"] > accuracy["Pattern matching"]
+    assert accuracy["Ours (BNN)"] > accuracy["Pattern matching"]

@@ -1,0 +1,66 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark that needs the ICCAD-2012-shaped dataset pulls the same
+cached instance (see ``repro.bench.harness`` for the ``REPRO_BENCH_*``
+environment knobs).  Tables are printed to stdout *and* written under
+``benchmarks/results/`` so a full run leaves reviewable artifacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bench import bench_epochs, load_benchmark
+from repro.litho import HotspotBenchmark
+from repro.nn import ArrayDataset
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def iccad_benchmark() -> HotspotBenchmark:
+    """The shared scaled ICCAD-2012 benchmark (cached on disk)."""
+    return load_benchmark()
+
+
+@pytest.fixture(scope="session")
+def epochs() -> int:
+    """Neural-detector epochs (env ``REPRO_BENCH_EPOCHS``)."""
+    return bench_epochs()
+
+
+def subsample(benchmark: HotspotBenchmark, n_train: int, n_test: int,
+              seed: int = 0) -> HotspotBenchmark:
+    """Stratified subsample for the cheaper ablation benchmarks."""
+    rng = np.random.default_rng(seed)
+
+    def pick(dataset: ArrayDataset, n: int) -> ArrayDataset:
+        if n >= len(dataset):
+            return dataset
+        labels = dataset.labels
+        pos = np.flatnonzero(labels == 1)
+        neg = np.flatnonzero(labels == 0)
+        frac = n / len(dataset)
+        n_pos = max(4, int(round(len(pos) * frac)))
+        idx = np.concatenate([
+            rng.choice(pos, size=min(n_pos, len(pos)), replace=False),
+            rng.choice(neg, size=min(n - n_pos, len(neg)), replace=False),
+        ])
+        return dataset.subset(rng.permutation(idx))
+
+    return HotspotBenchmark(
+        train=pick(benchmark.train, n_train),
+        test=pick(benchmark.test, n_test),
+        stats=benchmark.stats,
+        image_size=benchmark.image_size,
+    )
+
+
+def publish(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

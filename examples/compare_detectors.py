@@ -1,0 +1,51 @@
+"""Compare all four hotspot detectors on one benchmark (mini Table 3).
+
+Trains the SPIE'15 AdaBoost, ICCAD'16 online-learning, DAC'17 CNN and
+this paper's BNN detectors on the same synthetic benchmark and prints a
+Table-3-style comparison.  A scaled-down version of
+``benchmarks/bench_table3_comparison.py`` that finishes in a couple of
+minutes; the full benchmark uses larger data and longer schedules.
+
+Usage::
+
+    python examples/compare_detectors.py
+"""
+
+from repro.bench import bar_chart, format_table, load_benchmark, run_detectors
+from repro.detect import (
+    BNNDetector,
+    DAC17Detector,
+    ICCAD16Detector,
+    SPIE15Detector,
+)
+
+
+def main() -> None:
+    print("Loading (or generating) the benchmark — cached under "
+          "~/.cache/repro-hotspot ...")
+    benchmark = load_benchmark(scale=0.02, image_size=32)
+    print(f"  {benchmark.stats}")
+
+    detectors = [
+        SPIE15Detector(grid=8, n_estimators=40, threshold=-0.8),
+        ICCAD16Detector(n_selected=64, epochs=10, threshold=0.3),
+        DAC17Detector(block=4, coefficients=8, epochs=8, finetune_epochs=3),
+        BNNDetector(base_width=8, epochs=8, finetune_epochs=3, stem_stride=1),
+    ]
+    print("\nTraining and evaluating four detectors "
+          "(AdaBoost, online, CNN, BNN)...")
+    results = run_detectors(detectors, benchmark, seed=0)
+
+    rows = [metrics.row() for metrics in results]
+    print("\n" + format_table(rows, title="Mini Table 3 (synthetic benchmark)"))
+    print("\n" + bar_chart(
+        {metrics.name: round(100 * metrics.accuracy, 1) for metrics in results},
+        unit="%", title="Detection accuracy (hotspot recall)",
+    ))
+    print("\nColumns follow the paper: FA# = false alarms, Runtime = model "
+          "evaluation time,\nODST = (FA+TP) * 10 s of lithography simulation "
+          "+ runtime, Accu = hotspot recall.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""repro — reproduction of "Efficient Layout Hotspot Detection via
+Binarized Residual Neural Network" (Jiang et al., DAC 2019).
+
+Subpackages
+-----------
+``repro.nn``
+    From-scratch NumPy deep-learning framework (layers, optimizers,
+    training loop) used as the execution substrate.
+``repro.binary``
+    Binarization math (Eq. 4-15), binary layers, and the bit-packed
+    XNOR/popcount inference engine.
+``repro.models``
+    The 12-layer binarized residual network (Figure 2) and the float
+    baselines.
+``repro.litho``
+    Lithography substrate: geometry, aerial-image simulation,
+    printability analysis, and ICCAD-2012-shaped benchmark synthesis.
+``repro.features``
+    Down-sampled-image preprocessing (Section 3.4.1) plus the DCT /
+    CCS / density encodings of the baseline detectors.
+``repro.ml``
+    Classical ML (CART, AdaBoost, online logistic) for the baselines.
+``repro.detect``
+    Public hotspot-detection API: the BNN detector, three baselines,
+    and the contest metrics (accuracy, false alarm, ODST).
+``repro.bench``
+    Harness regenerating every table and figure of the paper.
+
+Quickstart
+----------
+>>> from repro.bench import load_benchmark
+>>> from repro.detect import BNNDetector
+>>> import numpy as np
+>>> benchmark = load_benchmark(scale=0.01, image_size=32)
+>>> detector = BNNDetector(epochs=4)
+>>> metrics = detector.fit_evaluate(
+...     benchmark.train, benchmark.test, np.random.default_rng(0))
+>>> print(metrics.row())
+"""
+
+from . import bench, binary, detect, features, litho, ml, models, nn
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "bench",
+    "binary",
+    "detect",
+    "features",
+    "litho",
+    "ml",
+    "models",
+    "nn",
+    "__version__",
+]

@@ -1,0 +1,75 @@
+"""ASCII plotting for terminal reports.
+
+The benchmark harness and CLI run on headless boxes; these renderers
+turn the common result shapes — bar comparisons and ROC curves — into
+plain-text figures that read well in a log file.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["bar_chart", "ascii_roc"]
+
+
+def bar_chart(
+    values: dict[str, float],
+    width: int = 40,
+    unit: str = "",
+    title: str | None = None,
+) -> str:
+    """Horizontal bar chart of labelled non-negative values.
+
+    Bars are scaled to the largest value; each row shows the label, the
+    bar and the numeric value.
+    """
+    if not values:
+        return title or ""
+    if any(v < 0 for v in values.values()):
+        raise ValueError("bar_chart requires non-negative values")
+    peak = max(values.values()) or 1.0
+    label_width = max(len(label) for label in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        bar = "#" * max(1 if value > 0 else 0, round(width * value / peak))
+        lines.append(f"{label.ljust(label_width)} |{bar.ljust(width)}| "
+                     f"{value:g}{unit}")
+    return "\n".join(lines)
+
+
+def ascii_roc(
+    fa_rate: np.ndarray,
+    recall: np.ndarray,
+    width: int = 41,
+    height: int = 17,
+    title: str | None = None,
+) -> str:
+    """Render an ROC curve on a character grid.
+
+    The x axis is the false-alarm rate, the y axis recall, both on
+    [0, 1]; the diagonal (chance) is drawn with dots, the curve with
+    ``*``.
+    """
+    fa_rate = np.asarray(fa_rate, dtype=np.float64)
+    recall = np.asarray(recall, dtype=np.float64)
+    if fa_rate.shape != recall.shape or fa_rate.ndim != 1:
+        raise ValueError("fa_rate and recall must be equal-length vectors")
+    grid = [[" "] * width for _ in range(height)]
+    for i in range(min(width, height)):  # chance diagonal
+        x = round(i * (width - 1) / max(height - 1, 1))
+        grid[i][x] = "."
+    # densify the curve by linear interpolation between points
+    xs = np.linspace(0.0, 1.0, 4 * width)
+    ys = np.interp(xs, fa_rate, recall)
+    for x_value, y_value in zip(xs, ys):
+        col = round(x_value * (width - 1))
+        row = round(np.clip(y_value, 0, 1) * (height - 1))
+        grid[row][col] = "*"
+    lines = [title] if title else []
+    lines.append("recall")
+    for row in range(height - 1, -1, -1):
+        prefix = "1.0 " if row == height - 1 else ("0.0 " if row == 0 else "    ")
+        lines.append(prefix + "".join(grid[row]))
+    lines.append("    0.0" + " " * (width - 10) + "1.0")
+    lines.append("    " + "false-alarm rate".center(width))
+    return "\n".join(lines)

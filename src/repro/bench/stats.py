@@ -1,0 +1,96 @@
+"""Multi-seed statistics for benchmark results.
+
+Single-seed numbers on a scaled benchmark are noisy; these helpers run
+an experiment across seeds and summarise with mean, standard deviation
+and a bootstrap confidence interval — the form results should be quoted
+in when comparing detectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["SeedSummary", "summarize_values", "run_over_seeds",
+           "bootstrap_ci"]
+
+
+@dataclass(frozen=True)
+class SeedSummary:
+    """Aggregate of one metric across seeds."""
+
+    values: tuple[float, ...]
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+
+    def __str__(self) -> str:
+        return (f"{self.mean:.3f} +/- {self.std:.3f} "
+                f"(95% CI [{self.ci_low:.3f}, {self.ci_high:.3f}], "
+                f"n={len(self.values)})")
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile bootstrap confidence interval of the mean."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("bootstrap_ci needs at least one value")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    rng = np.random.default_rng(seed)
+    resamples = rng.choice(values, size=(n_resamples, values.size),
+                           replace=True)
+    means = resamples.mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return (float(np.quantile(means, alpha)),
+            float(np.quantile(means, 1.0 - alpha)))
+
+
+def summarize_values(values: Sequence[float],
+                     confidence: float = 0.95) -> SeedSummary:
+    """Mean / std / bootstrap CI of a metric across seeds."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("summarize_values needs at least one value")
+    low, high = bootstrap_ci(arr, confidence=confidence)
+    return SeedSummary(
+        values=tuple(float(v) for v in arr),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        ci_low=low,
+        ci_high=high,
+    )
+
+
+def run_over_seeds(
+    experiment: Callable[[int], dict[str, float]],
+    seeds: Sequence[int],
+) -> dict[str, SeedSummary]:
+    """Run ``experiment(seed)`` per seed and summarise each metric.
+
+    ``experiment`` returns a flat metric dict; every run must produce
+    the same keys.
+    """
+    if not seeds:
+        raise ValueError("run_over_seeds needs at least one seed")
+    per_metric: dict[str, list[float]] = {}
+    keys: set[str] | None = None
+    for seed in seeds:
+        metrics = experiment(int(seed))
+        if keys is None:
+            keys = set(metrics)
+        elif set(metrics) != keys:
+            raise ValueError(
+                f"seed {seed} produced keys {sorted(metrics)} != {sorted(keys)}"
+            )
+        for key, value in metrics.items():
+            per_metric.setdefault(key, []).append(float(value))
+    return {key: summarize_values(vals) for key, vals in per_metric.items()}

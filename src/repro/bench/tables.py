@@ -1,0 +1,28 @@
+"""Plain-text table formatting in the paper's layout."""
+
+from __future__ import annotations
+
+__all__ = ["format_table"]
+
+
+def format_table(rows: list[dict], title: str | None = None) -> str:
+    """Render dict rows as an aligned text table (insertion-ordered
+    columns from the first row)."""
+    if not rows:
+        return title or ""
+    columns = list(rows[0])
+    cells = [[str(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells))
+        for i, col in enumerate(columns)
+    ]
+    def line(parts: list[str]) -> str:
+        """Format one aligned table row."""
+        return " | ".join(part.ljust(width) for part, width in zip(parts, widths))
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(columns))
+    out.append("-+-".join("-" * width for width in widths))
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)

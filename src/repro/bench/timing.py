@@ -1,0 +1,40 @@
+"""Wall-clock helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["Stopwatch", "stopwatch"]
+
+
+class Stopwatch:
+    """Accumulating wall-clock timer."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start: float | None = None
+
+    def start(self) -> "Stopwatch":
+        """Start (or resume) the timer."""
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop the timer and return the accumulated time."""
+        if self._start is None:
+            raise RuntimeError("stop() called before start()")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+
+@contextmanager
+def stopwatch():
+    """Context manager yielding a :class:`Stopwatch` running inside it."""
+    sw = Stopwatch().start()
+    try:
+        yield sw
+    finally:
+        if sw._start is not None:
+            sw.stop()

@@ -1,0 +1,169 @@
+"""Binary convolution layer (Sections 3.2-3.4 of the paper).
+
+:class:`BinaryConv2D` keeps a real-valued master filter bank ``W``; each
+forward pass binarizes both the filters and the incoming tensor and
+scales the result (Eq. 15)::
+
+    T_out = alpha_B * (sign(T_in) (*) sign(W_B)) . alpha_T
+
+Three activation-scaling modes are supported:
+
+``"channelwise"``
+    The paper's scheme (Eq. 14): one scaling factor per *input channel*
+    per window, computed by averaging ``|T_in|`` locally with the ``K``
+    kernel.  Implemented exactly by scaling the binarized im2col
+    columns, which realises
+    ``out(k, p) = alpha_B(k) * sum_c alpha_T(c, p) * <sign(x_c), sign(w_kc)>``.
+``"xnor"``
+    XNOR-Net's channel-averaged map ``K = A (*) k`` — one factor per
+    window shared across channels.
+``"none"``
+    Pure BinaryNet convolution with only the per-filter weight scale.
+
+Backward follows the paper: the straight-through estimator for both
+sign functions (Eq. 10), the hand-derived weight rule (Eq. 13), and —
+as in the XNOR-Net reference implementation — the scaling maps are
+treated as constants with respect to the input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn import init
+from ..nn.module import Module, Parameter
+from . import quantize
+
+__all__ = ["BinaryConv2D", "SCALING_MODES"]
+
+SCALING_MODES = ("channelwise", "xnor", "none")
+
+
+class BinaryConv2D(Module):
+    """Binarized 2-D convolution with learned real-valued master weights.
+
+    Parameters
+    ----------
+    in_channels, out_channels, kernel_size, stride, padding:
+        Convolution geometry (square kernels, zero padding).
+    scaling:
+        Activation scaling mode, one of :data:`SCALING_MODES`.
+    rng:
+        Generator for Xavier initialisation of the master weights.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        scaling: str = "channelwise",
+        rng: np.random.Generator | None = None,
+    ):
+        if scaling not in SCALING_MODES:
+            raise ValueError(f"scaling must be one of {SCALING_MODES}, got {scaling!r}")
+        rng = rng if rng is not None else np.random.default_rng()
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(init.xavier_uniform(shape, rng))
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.scaling = scaling
+        self._cache: dict | None = None
+
+    # -- scaling helpers ------------------------------------------------
+
+    def _alpha_cols(self, x: np.ndarray) -> np.ndarray | None:
+        """Activation scaling factors, expanded to im2col row layout.
+
+        Returns ``None`` for ``scaling="none"``; otherwise an array
+        broadcastable against the ``(c*k*k, P)`` column matrix.
+        """
+        k = self.kernel_size
+        if self.scaling == "none":
+            return None
+        if self.scaling == "channelwise":
+            alpha = quantize.input_scale_channelwise(
+                x, k, k, self.stride, self.padding
+            )  # (c, P)
+            return np.repeat(alpha, k * k, axis=0)  # (c*k*k, P)
+        alpha = quantize.input_scale_xnor(x, k, k, self.stride, self.padding)  # (1, P)
+        return alpha  # broadcasts over all rows
+
+    # -- forward / backward ---------------------------------------------
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the layer's forward pass (see class docstring)."""
+        n, c_in, h, w = x.shape
+        if c_in != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} channels, got {c_in}")
+        k = self.kernel_size
+        out_h = F.conv_output_size(h, k, self.stride, self.padding)
+        out_w = F.conv_output_size(w, k, self.stride, self.padding)
+
+        # Binary convolutions pad with -1 ("empty" in the +/-1 domain):
+        # the packed inference engine then needs no validity mask and is
+        # bit-exact with this training-time simulation.
+        x_binary = quantize.sign(x)
+        cols = F.im2col(x_binary, k, k, self.stride, self.padding, pad_value=-1.0)
+        alpha_cols = self._alpha_cols(x)
+        cols_scaled = cols if alpha_cols is None else cols * alpha_cols
+
+        w_binary, alpha_w = quantize.binarize_weights(self.weight.data)
+        w_mat = alpha_w[:, None] * w_binary.reshape(self.out_channels, -1)
+
+        out = w_mat @ cols_scaled
+        out = out.reshape(self.out_channels, n, out_h, out_w).transpose(1, 0, 2, 3)
+
+        if training:
+            self._cache = {
+                "x_shape": x.shape,
+                "cols_scaled": cols_scaled,
+                "alpha_cols": alpha_cols,
+                "w_mat": w_mat,
+                "alpha_w": alpha_w,
+                "ste_mask": np.abs(x) < 1.0,
+            }
+        else:
+            self._cache = None
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate through the layer (see class docstring)."""
+        if self._cache is None:
+            raise RuntimeError("backward() requires a prior forward(training=True)")
+        cache = self._cache
+        grad_mat = grad.transpose(1, 0, 2, 3).reshape(self.out_channels, -1)
+
+        # Gradient w.r.t. the estimated weight W~ = alpha_W * sign(W),
+        # then the real-valued master weights via Eq. (13).
+        grad_w_est = (grad_mat @ cache["cols_scaled"].T).reshape(self.weight.shape)
+        self.weight.grad += quantize.weight_ste_grad(
+            self.weight.data, grad_w_est, cache["alpha_w"]
+        )
+
+        # Gradient w.r.t. the input: through the (constant) scaling map,
+        # the im2col scatter, and the straight-through sign (Eq. 10).
+        grad_cols = cache["w_mat"].T @ grad_mat
+        if cache["alpha_cols"] is not None:
+            grad_cols = grad_cols * cache["alpha_cols"]
+        k = self.kernel_size
+        grad_x = F.col2im(
+            grad_cols, cache["x_shape"], k, k, self.stride, self.padding
+        )
+        return grad_x * cache["ste_mask"]
+
+    # -- constraints -----------------------------------------------------
+
+    def clip_weights(self) -> None:
+        """Clamp the master weights to [-1, 1].
+
+        Standard BinaryNet practice: keeps the straight-through window
+        ``|W| < 1`` of Eq. (10) active so weights remain trainable.
+        """
+        np.clip(self.weight.data, -1.0, 1.0, out=self.weight.data)

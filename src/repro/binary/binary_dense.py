@@ -1,0 +1,86 @@
+"""Binarized fully connected layer.
+
+The classification head of the paper's network stays full-precision (as
+in XNOR-Net and BMXNet); :class:`BinaryDense` is provided for the
+fully-binarized ablation and for the packed inference engine's dense
+fast path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import init
+from ..nn.module import Module, Parameter
+from . import quantize
+
+__all__ = ["BinaryDense"]
+
+
+class BinaryDense(Module):
+    """Binarized affine layer ``y = (sign(x) * alpha_x) @ (alpha_w * sign(W))``.
+
+    ``W`` has shape ``(in, out)``; one weight scale per output unit and
+    one activation scale per input row (the dense analogue of Eq. 8).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        scaling: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        rng = rng if rng is not None else np.random.default_rng()
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng))
+        self.scaling = scaling
+        self._cache: dict | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the layer's forward pass (see class docstring)."""
+        x_binary = quantize.sign(x)
+        w = self.weight.data
+        w_binary = quantize.sign(w)
+        n_in = w.shape[0]
+        alpha_w = np.abs(w).mean(axis=0)  # (out,)
+        if self.scaling:
+            alpha_x = np.abs(x).mean(axis=1, keepdims=True)  # (batch, 1)
+            x_est = x_binary * alpha_x
+        else:
+            alpha_x = None
+            x_est = x_binary
+        w_est = w_binary * alpha_w
+        out = x_est @ w_est
+        if training:
+            self._cache = {
+                "x_est": x_est,
+                "w_est": w_est,
+                "alpha_w": alpha_w,
+                "alpha_x": alpha_x,
+                "ste_mask": np.abs(x) < 1.0,
+                "n_in": n_in,
+            }
+        else:
+            self._cache = None
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate through the layer (see class docstring)."""
+        if self._cache is None:
+            raise RuntimeError("backward() requires a prior forward(training=True)")
+        cache = self._cache
+        w = self.weight.data
+        grad_w_est = cache["x_est"].T @ grad
+        ste_w = (np.abs(w) < 1.0).astype(w.dtype)
+        # dense analogue of Eq. (13): per-column scale alpha_w, n = in_features
+        self.weight.grad += grad_w_est * (
+            1.0 / cache["n_in"] + cache["alpha_w"] * ste_w
+        )
+        grad_x_est = grad @ cache["w_est"].T
+        if cache["alpha_x"] is not None:
+            grad_x_est = grad_x_est * cache["alpha_x"]
+        return grad_x_est * cache["ste_mask"]
+
+    def clip_weights(self) -> None:
+        """Clamp the master weights to [-1, 1] (see BinaryConv2D)."""
+        np.clip(self.weight.data, -1.0, 1.0, out=self.weight.data)

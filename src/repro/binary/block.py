@@ -1,0 +1,69 @@
+"""The paper's convolution block (Figure 3): BatchNorm -> Binarize -> BinaryConv.
+
+Batch normalisation is placed *before* binarization, following XNOR-Net,
+to reduce the information lost by quantizing to one bit.  The explicit
+Binarizing layer of Figure 3 is fused into :class:`BinaryConv2D`, which
+binarizes its incoming tensor internally — the activation scaling
+factors of Eq. (14) need the pre-binarization magnitudes ``|T_in|``, so
+fusing keeps a single source of truth for both the sign and the scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.layers.batchnorm import BatchNorm2D
+from ..nn.module import Module
+from .binary_conv import BinaryConv2D
+
+__all__ = ["BNNConvBlock", "clip_binary_weights"]
+
+
+class BNNConvBlock(Module):
+    """One BN -> Binarize -> BinaryConv block of the paper's network."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int | None = None,
+        scaling: str = "channelwise",
+        rng: np.random.Generator | None = None,
+    ):
+        if padding is None:
+            padding = kernel_size // 2  # "same" padding for odd kernels
+        self.bn = BatchNorm2D(in_channels)
+        self.conv = BinaryConv2D(
+            in_channels,
+            out_channels,
+            kernel_size,
+            stride=stride,
+            padding=padding,
+            scaling=scaling,
+            rng=rng,
+        )
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the layer's forward pass (see class docstring)."""
+        return self.conv.forward(self.bn.forward(x, training), training)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate through the layer (see class docstring)."""
+        return self.bn.backward(self.conv.backward(grad))
+
+
+def clip_binary_weights(model: Module) -> None:
+    """Clamp the master weights of every binarized layer in ``model``.
+
+    Call after each optimizer step (BinaryNet practice) to keep the
+    straight-through window of Eq. (10) active.
+    """
+    stack = [model]
+    while stack:
+        module = stack.pop()
+        clip = getattr(module, "clip_weights", None)
+        if callable(clip):
+            clip()
+        stack.extend(module.children())

@@ -1,0 +1,117 @@
+"""Ternary-weight convolution (the {+1, 0, -1} point of Section 2.2).
+
+The paper's background positions binarization among other quantization
+schemes — notably ternary weights (Hwang & Sung's +1/0/-1 nets).  This
+layer implements Ternary Weight Networks-style quantization so the
+quantization ladder (float -> int8 -> ternary -> binary) can be
+measured end to end on the hotspot task:
+
+* threshold ``delta = 0.7 * mean|W|`` per filter;
+* weights inside ``[-delta, delta]`` quantize to 0, the rest to sign;
+* one scaling factor per filter: the mean magnitude of the surviving
+  (non-zero) weights — the L2-optimal choice given the pattern.
+
+Activations stay full precision (the usual TWN setting), so the layer
+slots into otherwise-float networks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn import init
+from ..nn.module import Module, Parameter
+
+__all__ = ["ternarize_weights", "TernaryConv2D"]
+
+
+def ternarize_weights(
+    weight: np.ndarray, threshold_factor: float = 0.7
+) -> tuple[np.ndarray, np.ndarray]:
+    """Quantize a filter bank to {+1, 0, -1} with per-filter scales.
+
+    Returns ``(w_ternary, alpha)`` with ``alpha`` shaped ``(c_out,)``.
+    Filters whose weights all fall below threshold keep a zero pattern
+    and zero scale (they contribute nothing until they regrow).
+    """
+    if weight.ndim != 4:
+        raise ValueError(f"expected 4-D filter bank, got shape {weight.shape}")
+    magnitude = np.abs(weight)
+    delta = threshold_factor * magnitude.mean(axis=(1, 2, 3), keepdims=True)
+    pattern = np.where(magnitude > delta, np.sign(weight), 0.0)
+    survivors = np.abs(pattern).sum(axis=(1, 2, 3))
+    kept_mass = (magnitude * np.abs(pattern)).sum(axis=(1, 2, 3))
+    alpha = np.divide(kept_mass, survivors,
+                      out=np.zeros_like(kept_mass), where=survivors > 0)
+    return pattern, alpha
+
+
+class TernaryConv2D(Module):
+    """Convolution with ternarized weights and full-precision activations.
+
+    Training uses the straight-through estimator through the
+    quantization, mirroring :class:`~repro.binary.binary_conv.BinaryConv2D`:
+    the real-valued master weights receive the gradient of the estimated
+    (ternary, scaled) weights.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        threshold_factor: float = 0.7,
+        rng: np.random.Generator | None = None,
+    ):
+        rng = rng if rng is not None else np.random.default_rng()
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(init.xavier_uniform(shape, rng))
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.threshold_factor = threshold_factor
+        self._cache: dict | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the layer's forward pass (see class docstring)."""
+        pattern, alpha = ternarize_weights(self.weight.data,
+                                           self.threshold_factor)
+        w_est = alpha.reshape(-1, 1, 1, 1) * pattern
+        out, cols = F.conv2d_forward(x, w_est, None, self.stride, self.padding)
+        if training:
+            self._cache = {
+                "cols": cols,
+                "x_shape": x.shape,
+                "w_est": w_est,
+            }
+        else:
+            self._cache = None
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate through the layer (see class docstring)."""
+        if self._cache is None:
+            raise RuntimeError("backward() requires a prior forward(training=True)")
+        cache = self._cache
+        grad_x, grad_w_est, _ = F.conv2d_backward(
+            grad, cache["cols"], cache["x_shape"], cache["w_est"],
+            self.stride, self.padding, with_bias=False,
+        )
+        # straight-through: pass the estimated-weight gradient to the
+        # master weights unchanged (the TWN training rule)
+        self.weight.grad += grad_w_est
+        return grad_x
+
+    def clip_weights(self) -> None:
+        """Clamp master weights to [-1, 1] (keeps quantization centred)."""
+        np.clip(self.weight.data, -1.0, 1.0, out=self.weight.data)
+
+    def sparsity(self) -> float:
+        """Fraction of weights currently quantized to zero."""
+        pattern, _ = ternarize_weights(self.weight.data, self.threshold_factor)
+        return float((pattern == 0).mean())

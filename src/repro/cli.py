@@ -1,0 +1,224 @@
+"""Command-line interface.
+
+Exposes the main entry points of the library without writing a script::
+
+    python -m repro table2                 # benchmark statistics
+    python -m repro table3 --scale 0.02    # the headline comparison
+    python -m repro train --epochs 8       # train + evaluate the BNN
+    python -m repro litho --pattern grating --seed 3
+    python -m repro roc --scale 0.02       # detector trade-off curve
+
+All subcommands print paper-style tables to stdout and accept the same
+scale/image-size knobs as the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser for the CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Efficient Layout Hotspot Detection via "
+            "Binarized Residual Neural Network' (DAC 2019)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_data_args(p):
+        """Attach the shared dataset options to a subparser."""
+        p.add_argument("--scale", type=float, default=0.02,
+                       help="Table 2 scale factor (default 0.02)")
+        p.add_argument("--image-size", type=int, default=32,
+                       help="clip image side in pixels (default 32)")
+        p.add_argument("--seed", type=int, default=2012)
+        p.add_argument("--no-cache", action="store_true",
+                       help="regenerate instead of using the dataset cache")
+
+    p_table2 = sub.add_parser("table2", help="benchmark statistics (Table 2)")
+    add_data_args(p_table2)
+
+    p_table3 = sub.add_parser(
+        "table3", help="four-detector comparison (Table 3)"
+    )
+    add_data_args(p_table3)
+    p_table3.add_argument("--epochs", type=int, default=8)
+
+    p_train = sub.add_parser("train", help="train + evaluate the BNN detector")
+    add_data_args(p_train)
+    p_train.add_argument("--epochs", type=int, default=8)
+    p_train.add_argument("--finetune-epochs", type=int, default=3)
+    p_train.add_argument("--epsilon", type=float, default=0.2)
+    p_train.add_argument("--base-width", type=int, default=8)
+    p_train.add_argument("--scaling", default="xnor",
+                         choices=["xnor", "channelwise", "none"])
+    p_train.add_argument("--save", metavar="PATH",
+                         help="write the trained weights to a .npz checkpoint")
+
+    p_litho = sub.add_parser("litho", help="simulate one synthetic pattern")
+    p_litho.add_argument("--pattern", default="grating",
+                         help="pattern family (see repro.litho.PATTERN_FAMILIES)")
+    p_litho.add_argument("--seed", type=int, default=0)
+    p_litho.add_argument("--opc", action="store_true",
+                         help="also report the rule-based-OPC'd mask")
+
+    p_roc = sub.add_parser("roc", help="BNN detector ROC summary")
+    add_data_args(p_roc)
+    p_roc.add_argument("--epochs", type=int, default=8)
+
+    return parser
+
+
+def _load(args):
+    from .bench import load_benchmark
+
+    return load_benchmark(
+        scale=args.scale, image_size=args.image_size, seed=args.seed,
+        cache=not args.no_cache,
+    )
+
+
+def _cmd_table2(args) -> int:
+    from .bench import format_table
+    from .litho import PAPER_TABLE2
+
+    benchmark = _load(args)
+    stats = benchmark.stats
+    rows = [
+        {"Benchmark": "ICCAD (paper)", **{
+            "#Train HS": PAPER_TABLE2["train_hs"],
+            "#Train NHS": PAPER_TABLE2["train_nhs"],
+            "#Test HS": PAPER_TABLE2["test_hs"],
+            "#Test NHS": PAPER_TABLE2["test_nhs"],
+        }},
+        {"Benchmark": f"Synthetic (scale {args.scale:g})", **{
+            "#Train HS": stats.train_hs,
+            "#Train NHS": stats.train_nhs,
+            "#Test HS": stats.test_hs,
+            "#Test NHS": stats.test_nhs,
+        }},
+    ]
+    print(format_table(rows, title="Table 2 - benchmark statistics"))
+    return 0
+
+
+def _cmd_table3(args) -> int:
+    from .bench import format_table, run_detectors
+    from .detect import (
+        BNNDetector,
+        DAC17Detector,
+        ICCAD16Detector,
+        SPIE15Detector,
+    )
+
+    benchmark = _load(args)
+    detectors = [
+        SPIE15Detector(grid=8, n_estimators=40, threshold=-0.8),
+        ICCAD16Detector(n_selected=64, epochs=args.epochs, threshold=0.3),
+        DAC17Detector(block=max(2, args.image_size // 16), coefficients=8,
+                      epochs=args.epochs, finetune_epochs=2),
+        BNNDetector(base_width=8, epochs=args.epochs, finetune_epochs=2),
+    ]
+    results = run_detectors(detectors, benchmark, seed=0)
+    print(format_table([m.row() for m in results],
+                       title="Table 3 - detector comparison"))
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from .bench import format_table
+    from .detect import BNNDetector
+
+    benchmark = _load(args)
+    detector = BNNDetector(
+        base_width=args.base_width, scaling=args.scaling,
+        epochs=args.epochs, finetune_epochs=args.finetune_epochs,
+        epsilon=args.epsilon, seed=0,
+    )
+    metrics = detector.fit_evaluate(
+        benchmark.train, benchmark.test, np.random.default_rng(0)
+    )
+    print(format_table([metrics.row()], title="BNN detector"))
+    if args.save:
+        from .nn import save_model
+
+        save_model(detector.model, args.save)
+        print(f"checkpoint written to {args.save}")
+    return 0
+
+
+def _cmd_litho(args) -> int:
+    from .litho import PATTERN_FAMILIES, LithographySimulator
+    from .litho.opc import rule_based_opc
+    from .litho.raster import rasterize
+    from .litho.epe import analyze_contours
+    from .litho.resist import nominal_corner
+
+    if args.pattern not in PATTERN_FAMILIES:
+        print(f"unknown pattern {args.pattern!r}; choose from "
+              f"{sorted(PATTERN_FAMILIES)}")
+        return 2
+    rng = np.random.default_rng(args.seed)
+    clip = PATTERN_FAMILIES[args.pattern](rng)
+    simulator = LithographySimulator()
+    report = simulator.analyze(clip)
+    verdict = ("HOTSPOT" if report.is_hotspot(simulator.epe_tolerance_nm)
+               else "clean")
+    print(f"pattern={args.pattern} rects={len(clip)} "
+          f"density={clip.density():.2f}")
+    print(f"worst-corner: EPE={report.max_epe_nm:.0f}nm "
+          f"bridged={report.bridged} broken={report.broken} -> {verdict}")
+    if args.opc:
+        corrected = rule_based_opc(clip)
+        pixel_nm = clip.size / simulator.resolution_px
+        printed = simulator.simulate_corner(
+            rasterize(corrected, simulator.resolution_px, "area"),
+            pixel_nm, nominal_corner(),
+        )
+        target = rasterize(clip, simulator.resolution_px, "binary").astype(bool)
+        after = analyze_contours(target, printed, pixel_nm)
+        print(f"after rule-based OPC (nominal): EPE={after.max_epe_nm:.0f}nm "
+              f"bridged={after.bridged} broken={after.broken}")
+    return 0
+
+
+def _cmd_roc(args) -> int:
+    from .detect import BNNDetector, auc, roc_curve
+    from .features.downsample import to_network_input
+
+    benchmark = _load(args)
+    detector = BNNDetector(base_width=8, epochs=args.epochs,
+                           finetune_epochs=2, seed=0)
+    detector.fit(benchmark.train, np.random.default_rng(0))
+    scores = detector._scores(to_network_input(benchmark.test.images))
+    curve = roc_curve(scores, benchmark.test.labels)
+    from .bench.plots import ascii_roc
+
+    print(ascii_roc(curve.fa_rate, curve.recall,
+                    title=f"BNN detector ROC (AUC = {auc(curve):.3f})"))
+    for bound in (0.05, 0.1, 0.2, 0.3):
+        print(f"recall at FA rate <= {bound:.0%}: "
+              f"{curve.recall_at_fa_rate(bound):.1%}")
+    return 0
+
+
+_COMMANDS = {
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+    "train": _cmd_train,
+    "litho": _cmd_litho,
+    "roc": _cmd_roc,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)

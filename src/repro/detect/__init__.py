@@ -1,0 +1,31 @@
+"""Public hotspot-detection API: the paper's BNN detector, the three
+Table 3 baselines, and the contest metrics."""
+
+from .adaboost_detector import SPIE15Detector
+from .base import HotspotDetector
+from .biased import biased_targets
+from .bnn_detector import BNNDetector, stages_for_image_size
+from .cnn_detector import DAC17Detector
+from .metrics import DEFAULT_LITHO_SECONDS, ConfusionMatrix, DetectionMetrics
+from .online_detector import ICCAD16Detector
+from .pattern_matcher import PatternMatchDetector
+from .roc import RocCurve, auc, roc_curve
+from .svm_detector import SVMDetector
+
+__all__ = [
+    "SPIE15Detector",
+    "HotspotDetector",
+    "biased_targets",
+    "BNNDetector",
+    "stages_for_image_size",
+    "DAC17Detector",
+    "DEFAULT_LITHO_SECONDS",
+    "ConfusionMatrix",
+    "DetectionMetrics",
+    "ICCAD16Detector",
+    "PatternMatchDetector",
+    "SVMDetector",
+    "RocCurve",
+    "auc",
+    "roc_curve",
+]

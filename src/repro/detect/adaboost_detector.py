@@ -1,0 +1,64 @@
+"""The SPIE'15 baseline detector: AdaBoost over simplified density
+features (Matsunawa et al.).
+
+Fast to train and evaluate, but — as Table 3 of the paper shows — well
+behind the learned-representation methods on detection accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..features.density import density_features
+from ..ml.adaboost import AdaBoost
+from ..nn.data import ArrayDataset
+from .base import HotspotDetector
+
+__all__ = ["SPIE15Detector"]
+
+
+class SPIE15Detector(HotspotDetector):
+    """AdaBoost + decision trees on a pattern-density grid.
+
+    Parameters
+    ----------
+    grid:
+        Density-grid side (features = grid**2).
+    n_estimators / max_depth:
+        Boosting rounds and weak-tree depth.
+    threshold:
+        Decision threshold on the signed vote score; negative values
+        trade false alarms for recall.
+    """
+
+    name = "SPIE'15 (AdaBoost)"
+
+    def __init__(
+        self,
+        grid: int = 8,
+        n_estimators: int = 40,
+        max_depth: int = 2,
+        threshold: float = 0.0,
+    ):
+        self.grid = grid
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.threshold = threshold
+        self.model: AdaBoost | None = None
+
+    def fit(self, train: ArrayDataset, rng: np.random.Generator) -> "SPIE15Detector":
+        """Train the detector on the dataset (see class docstring)."""
+        features = density_features(train.images, self.grid)
+        self.model = AdaBoost(
+            n_estimators=self.n_estimators, max_depth=self.max_depth,
+            class_weight="balanced",
+        )
+        self.model.fit(features, np.asarray(train.labels))
+        return self
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        """Predicted 0/1 labels (1 = hotspot)."""
+        if self.model is None:
+            raise RuntimeError("predict() called before fit()")
+        features = density_features(images, self.grid)
+        return self.model.predict(features, threshold=self.threshold)

@@ -1,0 +1,69 @@
+"""The hotspot-detector interface.
+
+Every detector consumes the benchmark's raw clip images — a
+``(n, 1, size, size)`` batch of 0/1 layout rasters — and handles its
+own feature extraction internally, so all four Table 3 methods plug
+into one evaluation harness.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..nn.data import ArrayDataset
+from .metrics import ConfusionMatrix, DetectionMetrics
+
+__all__ = ["HotspotDetector"]
+
+
+class HotspotDetector:
+    """Abstract detector: ``fit`` on a training set, ``predict`` labels.
+
+    Subclasses set ``name`` (the Table 3 row label) and implement
+    :meth:`fit` and :meth:`predict`.
+    """
+
+    name: str = "detector"
+
+    def fit(self, train: ArrayDataset, rng: np.random.Generator) -> "HotspotDetector":
+        """Train the detector on the dataset (see class docstring)."""
+        raise NotImplementedError
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        """Predicted 0/1 labels for a raw image batch."""
+        raise NotImplementedError
+
+    def evaluate(
+        self,
+        test: ArrayDataset,
+        train_time_s: float = 0.0,
+        litho_seconds: float = 10.0,
+    ) -> DetectionMetrics:
+        """Time a full prediction pass and score it against the labels."""
+        start = time.perf_counter()
+        predicted = self.predict(test.images)
+        eval_time = time.perf_counter() - start
+        confusion = ConfusionMatrix.from_predictions(predicted, test.labels)
+        return DetectionMetrics(
+            name=self.name,
+            confusion=confusion,
+            train_time_s=train_time_s,
+            eval_time_s=eval_time,
+            litho_seconds=litho_seconds,
+        )
+
+    def fit_evaluate(
+        self,
+        train: ArrayDataset,
+        test: ArrayDataset,
+        rng: np.random.Generator,
+        litho_seconds: float = 10.0,
+    ) -> DetectionMetrics:
+        """Convenience: train, then evaluate, recording both times."""
+        start = time.perf_counter()
+        self.fit(train, rng)
+        train_time = time.perf_counter() - start
+        return self.evaluate(test, train_time_s=train_time,
+                             litho_seconds=litho_seconds)

@@ -1,0 +1,118 @@
+"""The DAC'17 baseline detector: DCT feature tensor + float CNN +
+biased learning (Yang et al.).
+
+The comparison point the paper calls "the best deep learning-based
+solution": a full-precision CNN over truncated block-DCT coefficients,
+trained with the biased-learning scheme this paper also adopts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..features.dct import dct_feature_tensor
+from ..models.dac17_cnn import dac17_cnn
+from ..nn.data import ArrayDataset, DataLoader, balanced_weights
+from ..nn.optim import Adam
+from ..nn.schedulers import ReduceLROnPlateau
+from ..nn.trainer import Trainer, predict_logits
+from .base import HotspotDetector
+from .biased import biased_targets
+
+__all__ = ["DAC17Detector"]
+
+
+class DAC17Detector(HotspotDetector):
+    """Float CNN on DCT feature tensors with biased learning.
+
+    Parameters
+    ----------
+    block:
+        DCT block side in pixels; ``None`` picks ``image_size // 8`` so
+        the feature-tensor grid is 8x8 (two 2x2 poolings fit).
+    coefficients:
+        Zig-zag DCT coefficients kept per block (the tensor's channels).
+    epochs / finetune_epochs / epsilon:
+        Training schedule; biased fine-tuning mirrors the reference.
+    """
+
+    name = "DAC'17 (CNN)"
+
+    def __init__(
+        self,
+        block: int | None = None,
+        coefficients: int = 8,
+        stage_widths: tuple[int, int] = (16, 32),
+        epochs: int = 12,
+        finetune_epochs: int = 4,
+        epsilon: float = 0.2,
+        lr: float = 1e-3,
+        batch_size: int = 32,
+        balance: bool = True,
+        seed: int = 0,
+    ):
+        self.block = block
+        self.coefficients = coefficients
+        self.stage_widths = stage_widths
+        self.epochs = epochs
+        self.finetune_epochs = finetune_epochs
+        self.epsilon = epsilon
+        self.lr = lr
+        self.batch_size = batch_size
+        self.balance = balance
+        self.seed = seed
+        self.model = None
+        self._block_used: int | None = None
+        self._coefficients_used: int | None = None
+
+    def _features(self, images: np.ndarray) -> np.ndarray:
+        return dct_feature_tensor(
+            images, block=self._block_used,
+            coefficients=self._coefficients_used,
+        )
+
+    def _train_on(self, dataset: ArrayDataset, epochs: int, lr: float,
+                  rng: np.random.Generator, hard_labels: np.ndarray) -> None:
+        if epochs <= 0:
+            return
+        optimizer = Adam(self.model.parameters(), lr=lr)
+        scheduler = ReduceLROnPlateau(optimizer, factor=0.5, patience=1)
+        trainer = Trainer(self.model, optimizer, scheduler=scheduler)
+        weights = balanced_weights(hard_labels) if self.balance else None
+        loader = DataLoader(
+            dataset, self.batch_size,
+            rng=np.random.default_rng(rng.integers(2**32)),
+            sample_weights=weights,
+        )
+        trainer.fit(loader, epochs=epochs)
+
+    def fit(self, train: ArrayDataset, rng: np.random.Generator) -> "DAC17Detector":
+        """Train the detector on the dataset (see class docstring)."""
+        image_size = train.images.shape[-1]
+        self._block_used = self.block if self.block is not None else image_size // 8
+        if self._block_used < 1 or image_size % self._block_used != 0:
+            raise ValueError(
+                f"block {self._block_used} incompatible with image size {image_size}"
+            )
+        self._coefficients_used = min(self.coefficients, self._block_used**2)
+        features = self._features(train.images)
+        grid = features.shape[-1]
+        self.model = dac17_cnn(
+            self._coefficients_used, grid, stage_widths=self.stage_widths,
+            seed=self.seed,
+        )
+        labels = np.asarray(train.labels, dtype=np.int64)
+        self._train_on(ArrayDataset(features, labels), self.epochs, self.lr, rng,
+                       hard_labels=labels)
+        if self.finetune_epochs > 0 and self.epsilon > 0:
+            soft = ArrayDataset(features, biased_targets(labels, self.epsilon))
+            self._train_on(soft, self.finetune_epochs, self.lr * 0.1, rng,
+                           hard_labels=labels)
+        return self
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        """Predicted 0/1 labels (1 = hotspot)."""
+        if self.model is None:
+            raise RuntimeError("predict() called before fit()")
+        logits = predict_logits(self.model, self._features(images))
+        return logits.argmax(axis=1).astype(np.int64)

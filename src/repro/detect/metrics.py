@@ -1,0 +1,122 @@
+"""Evaluation metrics (Table 1 and Eq. 1-3 of the paper).
+
+* **accuracy** — recall on the hotspot class, ``TP / (TP + FN)``
+  (Definition 2.1; the contest's metric, *not* overall accuracy);
+* **false alarm** — the raw count of non-hotspots flagged hotspot,
+  ``FP`` (Definition 2.2);
+* **ODST** — overall detection and simulation time (Definition 2.3):
+  every flagged instance must be lithography-simulated downstream, so
+  ``ODST = (FP + TP) * t_ls + N * t_ev``.  Following the paper (and
+  ICCAD 2013), ``t_ls = 10 s`` per instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DEFAULT_LITHO_SECONDS", "ConfusionMatrix", "DetectionMetrics"]
+
+#: Lithography simulation time per instance used in the paper's ODST.
+DEFAULT_LITHO_SECONDS = 10.0
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """Binary confusion counts; "positive" is the hotspot class."""
+
+    tp: int
+    fp: int
+    tn: int
+    fn: int
+
+    @classmethod
+    def from_predictions(
+        cls, predicted: np.ndarray, actual: np.ndarray
+    ) -> "ConfusionMatrix":
+        """Tally counts from 0/1 prediction and label vectors."""
+        predicted = np.asarray(predicted).astype(bool)
+        actual = np.asarray(actual).astype(bool)
+        if predicted.shape != actual.shape:
+            raise ValueError(
+                f"shape mismatch: {predicted.shape} vs {actual.shape}"
+            )
+        return cls(
+            tp=int((predicted & actual).sum()),
+            fp=int((predicted & ~actual).sum()),
+            tn=int((~predicted & ~actual).sum()),
+            fn=int((~predicted & actual).sum()),
+        )
+
+    @property
+    def total(self) -> int:
+        """Total number of classified instances."""
+        return self.tp + self.fp + self.tn + self.fn
+
+    @property
+    def accuracy(self) -> float:
+        """Hotspot recall ``TP / (TP + FN)`` (Definition 2.1)."""
+        positives = self.tp + self.fn
+        if positives == 0:
+            return 0.0
+        return self.tp / positives
+
+    @property
+    def false_alarm(self) -> int:
+        """``FP`` (Definition 2.2)."""
+        return self.fp
+
+    @property
+    def precision(self) -> float:
+        """Fraction of flagged instances that are real hotspots."""
+        flagged = self.tp + self.fp
+        if flagged == 0:
+            return 0.0
+        return self.tp / flagged
+
+    def odst(
+        self, runtime_s: float, litho_seconds: float = DEFAULT_LITHO_SECONDS
+    ) -> float:
+        """Overall detection and simulation time (Eq. 3).
+
+        ``runtime_s`` is the total model evaluation time over all
+        ``total`` instances (``N * t_ev``).
+        """
+        return (self.tp + self.fp) * litho_seconds + runtime_s
+
+
+@dataclass(frozen=True)
+class DetectionMetrics:
+    """One detector's full evaluation record (a Table 3 row)."""
+
+    name: str
+    confusion: ConfusionMatrix
+    train_time_s: float
+    eval_time_s: float
+    litho_seconds: float = DEFAULT_LITHO_SECONDS
+
+    @property
+    def accuracy(self) -> float:
+        """Hotspot recall (Definition 2.1)."""
+        return self.confusion.accuracy
+
+    @property
+    def false_alarm(self) -> int:
+        """False-positive count (Definition 2.2)."""
+        return self.confusion.false_alarm
+
+    @property
+    def odst(self) -> float:
+        """Overall detection and simulation time (Eq. 3)."""
+        return self.confusion.odst(self.eval_time_s, self.litho_seconds)
+
+    def row(self) -> dict:
+        """Dictionary in the paper's Table 3 column order."""
+        return {
+            "Method": self.name,
+            "FA#": self.false_alarm,
+            "Runtime (s)": round(self.eval_time_s, 3),
+            "ODST (s)": round(self.odst, 1),
+            "Accu (%)": round(100.0 * self.accuracy, 1),
+        }

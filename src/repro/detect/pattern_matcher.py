@@ -1,0 +1,117 @@
+"""A pattern-matching hotspot detector (the Section 1 strawman).
+
+The paper's introduction contrasts two detector classes: pattern
+matchers, which are "relatively fast, but impossible to detect the
+unseen patterns", and learning-based methods.  This detector implements
+the matching class so the contrast can be measured: training hotspot
+clips (plus their flips, the same symmetry group the learned detectors
+use) are stored as bit-packed signatures; a test clip is flagged when
+its signature sits within a Hamming-distance ball of any stored
+hotspot.
+
+By construction it has perfect recall on exact repeats of training
+hotspots and zero recall on genuinely novel pattern types — exactly the
+behaviour `benchmarks/bench_generalization.py` quantifies against the
+BNN.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..binary.bitpack import pack_signs, popcount
+from ..features.downsample import downsample_binary
+from ..nn.data import ArrayDataset
+from .base import HotspotDetector
+
+__all__ = ["PatternMatchDetector"]
+
+
+class PatternMatchDetector(HotspotDetector):
+    """Nearest-pattern matching over bit-packed clip signatures.
+
+    Parameters
+    ----------
+    signature_size:
+        Clips are down-sampled to ``signature_size**2`` bits.
+    max_distance_fraction:
+        A clip is flagged when its Hamming distance to some stored
+        hotspot signature is at most this fraction of the signature
+        bits.  0 is exact matching; the default tolerates small
+        perturbations (the "fuzzy" matching of the ICCAD 2012 contest's
+        title).
+    include_flips:
+        Also store the horizontal/vertical flips of each hotspot.
+    """
+
+    name = "Pattern matching"
+
+    def __init__(
+        self,
+        signature_size: int = 16,
+        max_distance_fraction: float = 0.05,
+        include_flips: bool = True,
+    ):
+        if not 0.0 <= max_distance_fraction < 1.0:
+            raise ValueError(
+                f"max_distance_fraction must be in [0, 1), got "
+                f"{max_distance_fraction}"
+            )
+        self.signature_size = signature_size
+        self.max_distance_fraction = max_distance_fraction
+        self.include_flips = include_flips
+        self._library: np.ndarray | None = None  # (n_patterns, words)
+
+    # -- signatures -------------------------------------------------------
+
+    def _signatures(self, images: np.ndarray) -> np.ndarray:
+        """Bit-pack down-sampled binary clip images: ``(n, words)``."""
+        arr = np.asarray(images)
+        if arr.ndim == 4:
+            arr = arr[:, 0]
+        small = downsample_binary(arr, self.signature_size)
+        return pack_signs(small.reshape(small.shape[0], -1) * 2.0 - 1.0)
+
+    def _variants(self, images: np.ndarray) -> np.ndarray:
+        arr = np.asarray(images)
+        if arr.ndim == 4:
+            arr = arr[:, 0]
+        versions = [arr]
+        if self.include_flips:
+            versions += [arr[:, :, ::-1], arr[:, ::-1, :], arr[:, ::-1, ::-1]]
+        return np.concatenate(versions, axis=0)
+
+    # -- HotspotDetector interface -----------------------------------------
+
+    def fit(self, train: ArrayDataset,
+            rng: np.random.Generator) -> "PatternMatchDetector":
+        """Store signatures of every training hotspot (and flips)."""
+        labels = np.asarray(train.labels)
+        hotspots = np.asarray(train.images)[labels == 1]
+        if hotspots.shape[0] == 0:
+            raise ValueError("training set contains no hotspot patterns")
+        library = self._signatures(self._variants(hotspots))
+        self._library = np.unique(library, axis=0)
+        return self
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        """Predicted 0/1 labels (1 = hotspot)."""
+        if self._library is None:
+            raise RuntimeError("predict() called before fit()")
+        signatures = self._signatures(images)
+        n_bits = self.signature_size**2
+        budget = int(self.max_distance_fraction * n_bits)
+        flags = np.zeros(signatures.shape[0], dtype=np.int64)
+        for i, signature in enumerate(signatures):
+            distances = popcount(
+                np.bitwise_xor(self._library, signature)
+            ).sum(axis=1)
+            flags[i] = int(distances.min() <= budget)
+        return flags
+
+    @property
+    def library_size(self) -> int:
+        """Stored (deduplicated) hotspot signatures."""
+        if self._library is None:
+            raise RuntimeError("library_size read before fit()")
+        return int(self._library.shape[0])

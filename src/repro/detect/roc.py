@@ -1,0 +1,76 @@
+"""ROC analysis for hotspot detectors.
+
+The contest metrics (accuracy at one operating point, false-alarm
+count) hide the detector's full trade-off curve; these utilities expose
+it.  Used by the operating-point benchmarks and by
+:class:`~repro.detect.bnn_detector.BNNDetector`'s calibration analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RocCurve", "roc_curve", "auc"]
+
+
+@dataclass
+class RocCurve:
+    """An ROC curve: parallel arrays sorted by threshold (descending).
+
+    ``thresholds[i]`` flags samples with ``score > thresholds[i]``;
+    ``fa_rate`` is FP / #negatives, ``recall`` is TP / #positives (the
+    contest's "accuracy").
+    """
+
+    thresholds: np.ndarray
+    fa_rate: np.ndarray
+    recall: np.ndarray
+
+    def recall_at_fa_rate(self, max_fa_rate: float) -> float:
+        """Best achievable recall with FA rate at or below the bound."""
+        feasible = self.fa_rate <= max_fa_rate
+        if not feasible.any():
+            return 0.0
+        return float(self.recall[feasible].max())
+
+    def threshold_for_fa_rate(self, max_fa_rate: float) -> float:
+        """Lowest threshold whose FA rate stays within the bound."""
+        feasible = np.flatnonzero(self.fa_rate <= max_fa_rate)
+        if feasible.size == 0:
+            return float(self.thresholds[0])
+        return float(self.thresholds[feasible[-1]])
+
+
+def roc_curve(scores: np.ndarray, labels: np.ndarray) -> RocCurve:
+    """Compute the ROC curve of decision scores against 0/1 labels.
+
+    Thresholds are the distinct score values (descending), prepended
+    with +inf so the curve starts at (0, 0).
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels).astype(int)
+    if scores.shape != labels.shape:
+        raise ValueError(f"shape mismatch: {scores.shape} vs {labels.shape}")
+    n_pos = int((labels == 1).sum())
+    n_neg = int((labels == 0).sum())
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("roc_curve needs both classes present")
+    order = np.argsort(-scores, kind="stable")
+    sorted_labels = labels[order]
+    tp = np.concatenate([[0], np.cumsum(sorted_labels == 1)])
+    fp = np.concatenate([[0], np.cumsum(sorted_labels == 0)])
+    thresholds = np.concatenate([[np.inf], scores[order]])
+    # collapse ties: keep the last point of each distinct threshold
+    keep = np.concatenate([np.diff(thresholds) != 0, [True]])
+    return RocCurve(
+        thresholds=thresholds[keep],
+        fa_rate=fp[keep] / n_neg,
+        recall=tp[keep] / n_pos,
+    )
+
+
+def auc(curve: RocCurve) -> float:
+    """Area under the ROC curve (trapezoidal)."""
+    return float(np.trapezoid(curve.recall, curve.fa_rate))

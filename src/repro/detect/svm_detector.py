@@ -1,0 +1,85 @@
+"""An SVM-based hotspot detector (the related-work detector class).
+
+The pre-deep-learning state of the art the paper surveys ([8], [9],
+[12]) classifies hand-crafted features with support vector machines.
+This detector pairs the density-grid encoding with either the linear
+(Pegasos) or kernel (RBF) SVM from :mod:`repro.ml.svm`, giving the
+benchmark suite a representative of the SVM family alongside the
+boosted-tree, online-linear and deep detectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..features.density import density_features
+from ..ml.svm import KernelSVM, LinearSVM
+from ..nn.data import ArrayDataset
+from .base import HotspotDetector
+
+__all__ = ["SVMDetector"]
+
+
+class SVMDetector(HotspotDetector):
+    """Density features + (linear | RBF) support vector machine.
+
+    Parameters
+    ----------
+    kernel:
+        ``"linear"`` (Pegasos primal) or ``"rbf"`` (kernel dual).
+    grid:
+        Density-grid side.
+    positive_weight:
+        Hinge-loss weight of hotspot samples; ``None`` balances by the
+        class ratio.
+    threshold:
+        Decision threshold on the signed margin.
+    """
+
+    name = "SVM (density)"
+
+    def __init__(
+        self,
+        kernel: str = "linear",
+        grid: int = 8,
+        positive_weight: float | None = None,
+        threshold: float = 0.0,
+        epochs: int = 20,
+        c: float = 2.0,
+        gamma: float = 2.0,
+    ):
+        if kernel not in ("linear", "rbf"):
+            raise ValueError(f"kernel must be 'linear' or 'rbf', got {kernel!r}")
+        self.kernel = kernel
+        self.grid = grid
+        self.positive_weight = positive_weight
+        self.threshold = threshold
+        self.epochs = epochs
+        self.c = c
+        self.gamma = gamma
+        self.model: LinearSVM | KernelSVM | None = None
+
+    def fit(self, train: ArrayDataset, rng: np.random.Generator) -> "SVMDetector":
+        """Train the detector on the dataset (see class docstring)."""
+        features = density_features(train.images, self.grid)
+        labels = np.asarray(train.labels)
+        weight = self.positive_weight
+        if weight is None:
+            n_pos = max(int((labels == 1).sum()), 1)
+            weight = (labels == 0).sum() / n_pos
+        if self.kernel == "linear":
+            self.model = LinearSVM(epochs=self.epochs, positive_weight=weight)
+            self.model.fit(features, labels,
+                           rng=np.random.default_rng(rng.integers(2**32)))
+        else:
+            self.model = KernelSVM(c=self.c, gamma=self.gamma,
+                                   positive_weight=weight)
+            self.model.fit(features, labels)
+        return self
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        """Predicted 0/1 labels (1 = hotspot)."""
+        if self.model is None:
+            raise RuntimeError("predict() called before fit()")
+        features = density_features(images, self.grid)
+        return self.model.predict(features, threshold=self.threshold)

@@ -1,0 +1,30 @@
+"""Feature extraction: the paper's down-sampled-image preprocessing and
+the hand-crafted encodings used by the baseline detectors."""
+
+from .ccs import ccs_features, circle_samples, default_radii
+from .dct import dct_feature_tensor, zigzag_indices
+from .density import density_features, density_grid
+from .downsample import (
+    block_reduce_mean,
+    downsample_area,
+    downsample_binary,
+    to_network_input,
+)
+from .selection import FeatureSelector, mutual_information, select_features
+
+__all__ = [
+    "ccs_features",
+    "circle_samples",
+    "default_radii",
+    "dct_feature_tensor",
+    "zigzag_indices",
+    "density_features",
+    "density_grid",
+    "block_reduce_mean",
+    "downsample_area",
+    "downsample_binary",
+    "to_network_input",
+    "FeatureSelector",
+    "mutual_information",
+    "select_features",
+]

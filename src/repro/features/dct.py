@@ -1,0 +1,80 @@
+"""DCT feature-tensor extraction (the DAC'17 baseline's encoding).
+
+Yang et al. split each layout clip into a grid of blocks, apply a 2-D
+discrete cosine transform per block and keep the lowest-frequency
+coefficients in zig-zag order.  The clip becomes a
+``(coefficients, blocks, blocks)`` tensor: spectrally compressed, but —
+as the paper under reproduction argues — discarding fine spatial
+information, which motivates its direct down-sampled-image input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.fft import dctn
+
+__all__ = ["zigzag_indices", "dct_feature_tensor"]
+
+
+def zigzag_indices(size: int) -> list[tuple[int, int]]:
+    """Zig-zag scan order of a ``size x size`` block (JPEG convention).
+
+    Lowest spatial frequencies come first, so truncating the scan keeps
+    the most energetic coefficients of typical layout blocks.
+    """
+    order = []
+    for s in range(2 * size - 1):
+        rng = range(min(s, size - 1), max(0, s - size + 1) - 1, -1)
+        diagonal = [(i, s - i) for i in rng]  # i decreasing along the diagonal
+        if s % 2 == 1:
+            diagonal.reverse()  # odd diagonals run top-right to bottom-left
+        order.extend(diagonal)
+    return order
+
+
+def dct_feature_tensor(
+    images: np.ndarray, block: int = 8, coefficients: int = 8
+) -> np.ndarray:
+    """Encode image batches as truncated block-DCT feature tensors.
+
+    Parameters
+    ----------
+    images:
+        ``(n, h, w)`` or ``(n, 1, h, w)`` batch; ``h == w`` and
+        divisible by ``block``.
+    block:
+        Block side in pixels.
+    coefficients:
+        Number of zig-zag-ordered DCT coefficients kept per block
+        (at most ``block * block``).
+
+    Returns
+    -------
+    np.ndarray
+        Feature tensor of shape ``(n, coefficients, h/block, w/block)``
+        — coefficients become channels, blocks keep their grid
+        positions, matching the DAC'17 network input.
+    """
+    arr = np.asarray(images, dtype=np.float64)
+    if arr.ndim == 4:
+        if arr.shape[1] != 1:
+            raise ValueError(f"expected single-channel images, got {arr.shape}")
+        arr = arr[:, 0]
+    if arr.ndim != 3 or arr.shape[1] != arr.shape[2]:
+        raise ValueError(f"expected square image batch, got {arr.shape}")
+    if coefficients > block * block:
+        raise ValueError(
+            f"cannot keep {coefficients} coefficients from a {block}x{block} block"
+        )
+    n, side, _ = arr.shape
+    if side % block != 0:
+        raise ValueError(f"image side {side} not divisible by block {block}")
+    grid = side // block
+    blocks = arr.reshape(n, grid, block, grid, block).transpose(0, 1, 3, 2, 4)
+    spectra = dctn(blocks, axes=(-2, -1), norm="ortho")
+    scan = zigzag_indices(block)[:coefficients]
+    rows = np.array([i for i, _ in scan])
+    cols = np.array([j for _, j in scan])
+    # (n, grid, grid, coefficients) -> (n, coefficients, grid, grid)
+    selected = spectra[..., rows, cols]
+    return selected.transpose(0, 3, 1, 2)

@@ -1,0 +1,60 @@
+"""Image down-sampling — the paper's preprocessing (Section 3.4.1).
+
+The paper feeds the network the layout clip images "simply
+down-sampled" to ``l_s x l_s`` (``l_s = 128``), keeping the full spatial
+information rather than a transform-domain encoding.  Two variants:
+
+* :func:`downsample_area` — block-mean pooling; each output pixel is
+  the covered-area fraction of its block (values in [0, 1]);
+* :func:`downsample_binary` — block-mean then threshold at 0.5,
+  preserving the binary character of the layout image.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["block_reduce_mean", "downsample_area", "downsample_binary",
+           "to_network_input"]
+
+
+def block_reduce_mean(image: np.ndarray, target: int) -> np.ndarray:
+    """Mean-pool a square image down to ``target x target``.
+
+    The input side must be a multiple of ``target``.
+    """
+    side = image.shape[-1]
+    if image.shape[-2] != side:
+        raise ValueError(f"expected square image, got {image.shape}")
+    if side % target != 0:
+        raise ValueError(f"image side {side} not divisible by target {target}")
+    factor = side // target
+    new_shape = image.shape[:-2] + (target, factor, target, factor)
+    return image.reshape(new_shape).mean(axis=(-3, -1))
+
+
+def downsample_area(image: np.ndarray, target: int) -> np.ndarray:
+    """Down-sample keeping fractional pixel coverage in [0, 1]."""
+    if image.shape[-1] == target and image.shape[-2] == target:
+        return image.astype(np.float64)
+    return block_reduce_mean(image, target)
+
+
+def downsample_binary(image: np.ndarray, target: int) -> np.ndarray:
+    """Down-sample and re-threshold to a 0/1 image (majority vote)."""
+    return (downsample_area(image, target) > 0.5).astype(np.float64)
+
+
+def to_network_input(images: np.ndarray) -> np.ndarray:
+    """Map 0/1 layout images to the {-1, +1} domain of the BNN.
+
+    Empty layout becomes -1 and drawn geometry +1, matching the -1
+    padding convention of the binary convolutions.  Accepts ``(n, h,
+    w)`` or ``(n, c, h, w)``; returns ``(n, 1, h, w)`` float64.
+    """
+    arr = np.asarray(images, dtype=np.float64)
+    if arr.ndim == 3:
+        arr = arr[:, None, :, :]
+    if arr.ndim != 4:
+        raise ValueError(f"expected 3-D or 4-D image batch, got {arr.shape}")
+    return 2.0 * arr - 1.0

@@ -1,0 +1,53 @@
+"""Lithography substrate: geometry, rasterisation, aerial-image
+simulation, printability analysis and ICCAD-2012-shaped benchmark
+synthesis (the stand-in for the contest GDS data)."""
+
+from .benchmark import (
+    PAPER_TABLE2,
+    BenchmarkStats,
+    HotspotBenchmark,
+    generate_hotspot_dataset,
+    generate_iccad2012_like,
+)
+from .epe import LithographySimulator, PrintabilityReport, analyze_contours
+from .geometry import Clip, Rect
+from .opc import IterativeOPC, rule_based_opc
+from .optics import OpticalModel, gaussian_kernel
+from .patterns import EXTENDED_FAMILIES, PATTERN_FAMILIES, Technology, sample_clip
+from .process_window import dose_latitude, passes_at, process_window_area
+from .raster import rasterize
+from .resist import (
+    ProcessCorner,
+    default_process_window,
+    nominal_corner,
+    print_contour,
+)
+
+__all__ = [
+    "PAPER_TABLE2",
+    "BenchmarkStats",
+    "HotspotBenchmark",
+    "generate_hotspot_dataset",
+    "generate_iccad2012_like",
+    "LithographySimulator",
+    "PrintabilityReport",
+    "analyze_contours",
+    "Clip",
+    "Rect",
+    "IterativeOPC",
+    "rule_based_opc",
+    "OpticalModel",
+    "gaussian_kernel",
+    "PATTERN_FAMILIES",
+    "EXTENDED_FAMILIES",
+    "Technology",
+    "sample_clip",
+    "dose_latitude",
+    "passes_at",
+    "process_window_area",
+    "rasterize",
+    "ProcessCorner",
+    "default_process_window",
+    "nominal_corner",
+    "print_contour",
+]

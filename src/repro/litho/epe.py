@@ -1,0 +1,187 @@
+"""Printability analysis: edge placement error, bridges and breaks.
+
+Compares the printed resist contour against the drawn target geometry
+and decides whether the pattern is a lithographic *hotspot*:
+
+* **bridge** — one printed blob touches two or more distinct target
+  shapes (a short between nets);
+* **break** — a target shape prints in two or more fragments, or not at
+  all (an open);
+* **EPE** — the worst distance between the target edge and the printed
+  edge; excessive EPE means the feature is out of tolerance even if
+  topology survived.
+
+These are exactly the failure modes lithography simulation flags on
+real layouts; the ICCAD 2012 benchmark's labels come from such a
+simulation, so labelling synthetic clips the same way preserves the
+learning task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+from .geometry import Clip
+from .optics import OpticalModel
+from .raster import rasterize
+from .resist import ProcessCorner, default_process_window, print_contour
+
+__all__ = ["PrintabilityReport", "analyze_contours", "LithographySimulator"]
+
+_STRUCTURE = np.ones((3, 3), dtype=bool)  # 8-connectivity
+
+
+@dataclass
+class PrintabilityReport:
+    """Outcome of comparing one printed contour against its target."""
+
+    max_epe_nm: float
+    bridged: bool
+    broken: bool
+
+    def is_hotspot(self, epe_tolerance_nm: float) -> bool:
+        """A pattern fails if topology breaks or EPE exceeds tolerance."""
+        return self.bridged or self.broken or self.max_epe_nm > epe_tolerance_nm
+
+
+def _boundary(mask: np.ndarray) -> np.ndarray:
+    """Inner boundary pixels of a boolean mask."""
+    if not mask.any():
+        return np.zeros_like(mask)
+    eroded = ndimage.binary_erosion(mask, structure=_STRUCTURE, border_value=0)
+    return mask & ~eroded
+
+
+def _max_edge_distance(
+    from_mask: np.ndarray, to_mask: np.ndarray, pixel_nm: float
+) -> float:
+    """Largest distance from ``from_mask`` boundary to ``to_mask`` boundary."""
+    from_edge = _boundary(from_mask)
+    if not from_edge.any():
+        return 0.0
+    to_edge = _boundary(to_mask)
+    if not to_edge.any():
+        return float("inf")
+    distance = ndimage.distance_transform_edt(~to_edge)
+    return float(distance[from_edge].max() * pixel_nm)
+
+
+def analyze_contours(
+    target: np.ndarray, printed: np.ndarray, pixel_nm: float
+) -> PrintabilityReport:
+    """Compare a printed contour with the drawn target.
+
+    ``target`` and ``printed`` are boolean images on the same grid;
+    ``pixel_nm`` converts pixel distances to nanometres.
+    """
+    target = target.astype(bool)
+    printed = printed.astype(bool)
+
+    target_labels, n_target = ndimage.label(target, structure=_STRUCTURE)
+    printed_labels, n_printed = ndimage.label(printed, structure=_STRUCTURE)
+
+    # Bridge: a printed component overlapping >= 2 target components.
+    bridged = False
+    for printed_id in range(1, n_printed + 1):
+        touched = np.unique(target_labels[printed_labels == printed_id])
+        if (touched > 0).sum() >= 2:
+            bridged = True
+            break
+
+    # Break: a target component covered by 0 printed pixels (vanished)
+    # or printing in >= 2 fragments within its own footprint.
+    broken = False
+    for target_id in range(1, n_target + 1):
+        footprint = target_labels == target_id
+        inside = printed & footprint
+        if not inside.any():
+            broken = True
+            break
+        _, n_fragments = ndimage.label(inside, structure=_STRUCTURE)
+        if n_fragments >= 2:
+            broken = True
+            break
+
+    # EPE: symmetric worst edge displacement (pull-back and blooming).
+    epe = max(
+        _max_edge_distance(target, printed, pixel_nm),
+        _max_edge_distance(printed, target, pixel_nm),
+    )
+    if not np.isfinite(epe):
+        # one of the images is empty: total failure, fold into "broken"
+        epe = 0.0
+        broken = broken or target.any() != printed.any()
+    return PrintabilityReport(max_epe_nm=epe, bridged=bridged, broken=broken)
+
+
+class LithographySimulator:
+    """End-to-end printability check: clip -> aerial -> contour -> report.
+
+    Parameters
+    ----------
+    optics:
+        Nominal optical model.
+    resolution_px:
+        Simulation raster resolution (pixels per clip side).
+    threshold:
+        Resist threshold as a fraction of clear-field intensity.
+    corners:
+        Process-window corners; the worst report over all corners
+        decides the hotspot label ("sensitive to process variations").
+    epe_tolerance_nm:
+        EPE beyond which a pattern counts as failing.
+    """
+
+    def __init__(
+        self,
+        optics: OpticalModel | None = None,
+        resolution_px: int = 128,
+        threshold: float = 0.35,
+        corners: list[ProcessCorner] | None = None,
+        epe_tolerance_nm: float = 55.0,
+    ):
+        self.optics = optics if optics is not None else OpticalModel()
+        self.resolution_px = resolution_px
+        self.threshold = threshold
+        self.corners = corners if corners is not None else default_process_window()
+        self.epe_tolerance_nm = epe_tolerance_nm
+        self._models: dict[float, OpticalModel] = {}
+
+    def _model_at(self, broadening: float) -> OpticalModel:
+        if broadening not in self._models:
+            self._models[broadening] = self.optics.defocused(broadening)
+        return self._models[broadening]
+
+    def simulate_corner(
+        self, mask: np.ndarray, pixel_nm: float, corner: ProcessCorner
+    ) -> np.ndarray:
+        """Printed contour of a mask image at one process corner."""
+        model = self._model_at(corner.defocus_broadening)
+        aerial = model.aerial_image(mask, pixel_nm)
+        return print_contour(aerial, self.threshold, dose=corner.dose)
+
+    def analyze(self, clip: Clip) -> PrintabilityReport:
+        """Worst printability report of ``clip`` over the process window."""
+        pixel_nm = clip.size / self.resolution_px
+        mask = rasterize(clip, self.resolution_px, mode="area")
+        target = rasterize(clip, self.resolution_px, mode="binary").astype(bool)
+        worst: PrintabilityReport | None = None
+        for corner in self.corners:
+            printed = self.simulate_corner(mask, pixel_nm, corner)
+            report = analyze_contours(target, printed, pixel_nm)
+            if worst is None or self._severity(report) > self._severity(worst):
+                worst = report
+        assert worst is not None
+        return worst
+
+    def is_hotspot(self, clip: Clip) -> bool:
+        """Hotspot label of a clip under this simulator's criteria."""
+        return self.analyze(clip).is_hotspot(self.epe_tolerance_nm)
+
+    @staticmethod
+    def _severity(report: PrintabilityReport) -> tuple[int, float]:
+        """Ordering key: topology failures dominate, then EPE."""
+        return (int(report.bridged or report.broken), report.max_epe_nm)

@@ -1,0 +1,106 @@
+"""Layout clip persistence.
+
+Two interchange formats:
+
+* **JSON** — one document per clip set, round-trips exactly; the format
+  benchmark datasets and example scripts use;
+* **KLayout-style text** (a minimal GDS-adjacent format) — one polygon
+  per line as ``BOX x0 y0 x1 y1``, with ``CLIP <size>`` headers, so
+  clips can be eyeballed and diffed, or imported into external tooling
+  with a trivial parser.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from .geometry import Clip, Rect
+
+__all__ = [
+    "clips_to_json",
+    "clips_from_json",
+    "save_clips_json",
+    "load_clips_json",
+    "save_clips_text",
+    "load_clips_text",
+]
+
+_FORMAT_VERSION = 1
+
+
+def clips_to_json(clips: list[Clip]) -> dict:
+    """Serialise clips to a JSON-compatible document."""
+    return {
+        "format": "repro-clips",
+        "version": _FORMAT_VERSION,
+        "clips": [
+            {
+                "size": clip.size,
+                "rects": [[r.x0, r.y0, r.x1, r.y1] for r in clip.rects],
+            }
+            for clip in clips
+        ],
+    }
+
+
+def clips_from_json(document: dict) -> list[Clip]:
+    """Inverse of :func:`clips_to_json`, with format validation."""
+    if document.get("format") != "repro-clips":
+        raise ValueError("not a repro-clips document")
+    if document.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported version {document.get('version')!r}")
+    clips = []
+    for entry in document["clips"]:
+        clip = Clip(int(entry["size"]))
+        for x0, y0, x1, y1 in entry["rects"]:
+            clip.add(Rect(int(x0), int(y0), int(x1), int(y1)))
+        clips.append(clip)
+    return clips
+
+
+def save_clips_json(clips: list[Clip], path: str | os.PathLike) -> None:
+    """Write clips to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(clips_to_json(clips), handle, indent=1)
+
+
+def load_clips_json(path: str | os.PathLike) -> list[Clip]:
+    """Read clips written by :func:`save_clips_json`."""
+    with open(path) as handle:
+        return clips_from_json(json.load(handle))
+
+
+def save_clips_text(clips: list[Clip], path: str | os.PathLike) -> None:
+    """Write clips in the line-oriented text format."""
+    with open(path, "w") as handle:
+        handle.write("# repro-clips text format v1\n")
+        for clip in clips:
+            handle.write(f"CLIP {clip.size}\n")
+            for rect in clip.rects:
+                handle.write(f"BOX {rect.x0} {rect.y0} {rect.x1} {rect.y1}\n")
+
+
+def load_clips_text(path: str | os.PathLike) -> list[Clip]:
+    """Read clips written by :func:`save_clips_text`.
+
+    Unknown lines raise ``ValueError`` with the offending line number;
+    comments (``#``) and blank lines are skipped.
+    """
+    clips: list[Clip] = []
+    with open(path) as handle:
+        for number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if parts[0] == "CLIP" and len(parts) == 2:
+                clips.append(Clip(int(parts[1])))
+            elif parts[0] == "BOX" and len(parts) == 5:
+                if not clips:
+                    raise ValueError(f"line {number}: BOX before any CLIP")
+                x0, y0, x1, y1 = (int(p) for p in parts[1:])
+                clips[-1].add(Rect(x0, y0, x1, y1))
+            else:
+                raise ValueError(f"line {number}: cannot parse {line!r}")
+    return clips

@@ -1,0 +1,210 @@
+"""Optical proximity correction (OPC).
+
+The ICCAD 2012 layouts were drawn for a production flow that applies
+OPC before exposure; our synthetic substrate exposes the drawn
+geometry directly, which makes marginal patterns fail more often.  This
+module provides the two standard correction levels so that experiments
+can quantify the gap:
+
+* :func:`rule_based_opc` — a constant mask bias plus line-end
+  extension, the classic "rule-based" recipe;
+* :class:`IterativeOPC` — model-based correction: simulate, measure
+  each rectangle edge's placement error at the nominal condition, move
+  the edge a damped fraction of the error, repeat.
+
+Both operate on rectangle geometry (the natural granularity of this
+substrate) rather than fractured edge segments; that is the appropriate
+fidelity for clips made of a handful of rectangles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .epe import LithographySimulator
+from .geometry import Clip, Rect
+from .raster import rasterize
+from .resist import nominal_corner
+
+__all__ = ["rule_based_opc", "IterativeOPC"]
+
+
+def _biased_rect(rect: Rect, bias: int, window: int) -> Rect | None:
+    """Grow a rectangle by ``bias`` on each side, clipped to the window."""
+    grown = Rect(
+        rect.x0 - bias, rect.y0 - bias, rect.x1 + bias, rect.y1 + bias
+    )
+    return grown.clipped(Rect(0, 0, window, window))
+
+
+def rule_based_opc(
+    clip: Clip, bias: int = 8, line_end_extension: int = 16
+) -> Clip:
+    """Rule-based correction: global bias + line-end extension.
+
+    Every rectangle grows by ``bias`` nm per side (compensating the
+    undersizing of a positive-tone process near threshold), and the
+    short ends of high-aspect rectangles (wires) are additionally
+    extended by ``line_end_extension`` nm to counter pull-back.
+    """
+    if bias < 0 or line_end_extension < 0:
+        raise ValueError("bias and line_end_extension must be non-negative")
+    corrected = Clip(clip.size)
+    for rect in clip.rects:
+        x0, y0, x1, y1 = rect.x0, rect.y0, rect.x1, rect.y1
+        if rect.height >= 2 * rect.width:      # vertical wire: extend ends
+            y0 -= line_end_extension
+            y1 += line_end_extension
+        elif rect.width >= 2 * rect.height:    # horizontal wire
+            x0 -= line_end_extension
+            x1 += line_end_extension
+        grown = _biased_rect(Rect(x0, y0, x1, y1), bias, clip.size)
+        if grown is not None:
+            corrected.add(grown)
+    return corrected
+
+
+@dataclass
+class _EdgeMeasurement:
+    """Printed-edge placement for one rectangle, nm per side
+    (positive = printed inside the drawn edge, i.e. pull-in)."""
+
+    left: float
+    right: float
+    bottom: float
+    top: float
+
+
+class IterativeOPC:
+    """Model-based OPC: move each rectangle edge against its EPE.
+
+    Parameters
+    ----------
+    simulator:
+        The lithography model to correct against (nominal corner only,
+        as real OPC does; the process window is verification's job).
+    iterations:
+        Correction rounds.
+    damping:
+        Fraction of the measured error applied per round (< 1 for
+        stability).
+    max_move:
+        Per-round clamp on edge movement in nm.
+    """
+
+    def __init__(
+        self,
+        simulator: LithographySimulator | None = None,
+        iterations: int = 4,
+        damping: float = 0.6,
+        max_move: int = 24,
+    ):
+        if not 0.0 < damping <= 1.0:
+            raise ValueError(f"damping must be in (0, 1], got {damping}")
+        if iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {iterations}")
+        self.simulator = (
+            simulator if simulator is not None else LithographySimulator()
+        )
+        self.iterations = iterations
+        self.damping = damping
+        self.max_move = max_move
+
+    # -- measurement ------------------------------------------------------
+
+    def _printed(self, mask_clip: Clip) -> np.ndarray:
+        sim = self.simulator
+        pixel_nm = mask_clip.size / sim.resolution_px
+        mask = rasterize(mask_clip, sim.resolution_px, mode="area")
+        return sim.simulate_corner(mask, pixel_nm, nominal_corner())
+
+    def _measure_edges(
+        self, target_rect: Rect, printed: np.ndarray, pixel_nm: float
+    ) -> _EdgeMeasurement:
+        """Edge placement of the printed contour along each drawn edge.
+
+        Scans the printed image along the row/column through the
+        rectangle's centre; returns pull-in distances (positive when the
+        printed edge sits inside the drawn edge).
+        """
+        cy = int((target_rect.y0 + target_rect.y1) / 2 / pixel_nm)
+        cx = int((target_rect.x0 + target_rect.x1) / 2 / pixel_nm)
+        size = printed.shape[0]
+        cy = np.clip(cy, 0, size - 1)
+        cx = np.clip(cx, 0, size - 1)
+
+        def printed_span(line: np.ndarray, lo_nm: float, hi_nm: float):
+            """Printed extent of a scan line within a window (nm)."""
+            lo_px = int(np.clip(lo_nm / pixel_nm, 0, size - 1))
+            hi_px = int(np.clip(hi_nm / pixel_nm, 1, size))
+            inside = np.flatnonzero(line[lo_px:hi_px])
+            if inside.size == 0:
+                return None
+            return (lo_px + inside[0]) * pixel_nm, (lo_px + inside[-1] + 1) * pixel_nm
+
+        margin = 2 * self.max_move * self.iterations
+        row = printed[cy, :]
+        col = printed[:, cx]
+        h_span = printed_span(row, target_rect.x0 - margin,
+                              target_rect.x1 + margin)
+        v_span = printed_span(col, target_rect.y0 - margin,
+                              target_rect.y1 + margin)
+        if h_span is None or v_span is None:
+            # feature vanished: report full pull-in so edges push outward
+            half_w = target_rect.width / 2
+            half_h = target_rect.height / 2
+            return _EdgeMeasurement(half_w, half_w, half_h, half_h)
+        return _EdgeMeasurement(
+            left=h_span[0] - target_rect.x0,
+            right=target_rect.x1 - h_span[1],
+            bottom=v_span[0] - target_rect.y0,
+            top=target_rect.y1 - v_span[1],
+        )
+
+    # -- correction -------------------------------------------------------
+
+    def correct(self, clip: Clip) -> Clip:
+        """Return an OPC'd mask clip for the drawn target ``clip``."""
+        sim = self.simulator
+        pixel_nm = clip.size / sim.resolution_px
+        window = Rect(0, 0, clip.size, clip.size)
+        # mask starts as the drawn geometry; edges move independently
+        mask_rects = [
+            [float(r.x0), float(r.y0), float(r.x1), float(r.y1)]
+            for r in clip.rects
+        ]
+        for _ in range(self.iterations):
+            mask_clip = self._to_clip(mask_rects, clip.size)
+            printed = self._printed(mask_clip)
+            for target, mask in zip(clip.rects, mask_rects):
+                measured = self._measure_edges(target, printed, pixel_nm)
+                step = self.damping
+                clamp = self.max_move
+                mask[0] -= np.clip(step * measured.left, -clamp, clamp)
+                mask[2] += np.clip(step * measured.right, -clamp, clamp)
+                mask[1] -= np.clip(step * measured.bottom, -clamp, clamp)
+                mask[3] += np.clip(step * measured.top, -clamp, clamp)
+        return self._to_clip(mask_rects, clip.size)
+
+    @staticmethod
+    def _to_clip(mask_rects: list[list[float]], size: int) -> Clip:
+        out = Clip(size)
+        for x0, y0, x1, y1 in mask_rects:
+            xi0, yi0 = int(round(x0)), int(round(y0))
+            xi1, yi1 = int(round(x1)), int(round(y1))
+            if xi1 > xi0 and yi1 > yi0:
+                out.add(Rect(xi0, yi0, xi1, yi1))
+        return out
+
+    def residual_epe(self, clip: Clip) -> float:
+        """Worst nominal-condition EPE after correction (nm)."""
+        from .epe import analyze_contours
+
+        corrected = self.correct(clip)
+        sim = self.simulator
+        pixel_nm = clip.size / sim.resolution_px
+        printed = self._printed(corrected)
+        target = rasterize(clip, sim.resolution_px, mode="binary").astype(bool)
+        return analyze_contours(target, printed, pixel_nm).max_epe_nm

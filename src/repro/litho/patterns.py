@@ -1,0 +1,295 @@
+"""Synthetic layout-pattern generators.
+
+Each generator emits a :class:`~repro.litho.geometry.Clip` drawn from a
+family of metal-layer motifs whose printability ranges from comfortably
+safe to marginal, so that the lithography simulator produces a
+non-trivial mix of hotspot and non-hotspot labels.  The families mirror
+the pattern classes the hotspot literature discusses:
+
+* ``grating`` — parallel wires at varying pitch/width (dense pitches
+  bridge, narrow wires neck);
+* ``line_end_pair`` — facing wire tips across a gap (tip-to-tip
+  bridging and line-end pull-back);
+* ``elbows`` — L/T bends (inner-corner rounding EPE);
+* ``via_array`` — small square contacts (small vias vanish);
+* ``random_manhattan`` — mixed random routing.
+
+All coordinates are integer nanometres inside a square clip window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .geometry import Clip, Rect
+
+__all__ = [
+    "Technology",
+    "grating",
+    "line_end_pair",
+    "elbows",
+    "via_array",
+    "random_manhattan",
+    "comb_fingers",
+    "contacted_cell",
+    "PATTERN_FAMILIES",
+    "EXTENDED_FAMILIES",
+    "sample_clip",
+]
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Feature-size envelope of the pattern generators (nanometres).
+
+    The defaults target a 193i metal layer: drawn widths straddle the
+    printability edge of the default optical model so that a meaningful
+    fraction of generated clips fails somewhere in the process window.
+    """
+
+    clip_size: int = 1024
+    width_min: int = 56
+    width_max: int = 150
+    space_min: int = 56
+    space_max: int = 260
+    via_min: int = 60
+    via_max: int = 130
+
+    def random_width(self, rng: np.random.Generator) -> int:
+        """Draw a legal feature width."""
+        return int(rng.integers(self.width_min, self.width_max + 1))
+
+    def random_space(self, rng: np.random.Generator) -> int:
+        """Draw a legal feature spacing."""
+        return int(rng.integers(self.space_min, self.space_max + 1))
+
+
+def _maybe_transpose(clip: Clip, rng: np.random.Generator) -> Clip:
+    """Randomise orientation: half the clips are transposed."""
+    return clip.transposed() if rng.random() < 0.5 else clip
+
+
+def grating(rng: np.random.Generator, tech: Technology = Technology()) -> Clip:
+    """Parallel vertical wires; one wire may carry a width jog.
+
+    Tight pitches risk bridging between neighbours; narrow wires risk
+    necking under negative dose.
+    """
+    clip = Clip(tech.clip_size)
+    width = tech.random_width(rng)
+    space = tech.random_space(rng)
+    pitch = width + space
+    offset = int(rng.integers(0, pitch))
+    x = offset
+    jog_column = int(rng.integers(0, max(1, tech.clip_size // pitch)))
+    column = 0
+    while x + width <= tech.clip_size:
+        y0 = int(rng.integers(0, tech.clip_size // 8))
+        y1 = tech.clip_size - int(rng.integers(0, tech.clip_size // 8))
+        if column == jog_column and rng.random() < 0.5:
+            # split the wire at a jog: the lower half is narrowed
+            y_mid = int(rng.integers(tech.clip_size // 3, 2 * tech.clip_size // 3))
+            narrow = max(tech.width_min // 2, width - int(rng.integers(8, 40)))
+            clip.add(Rect(x, y0, x + narrow, y_mid))
+            clip.add(Rect(x, y_mid, x + width, y1))
+        else:
+            clip.add(Rect(x, y0, x + width, y1))
+        x += pitch
+        column += 1
+    return _maybe_transpose(clip, rng)
+
+
+def line_end_pair(
+    rng: np.random.Generator, tech: Technology = Technology()
+) -> Clip:
+    """Two collinear wires whose tips face across a gap, with neighbours.
+
+    The tip-to-tip gap is the classic hotspot: pull-back opens the gap
+    (EPE failure) while over-exposure bridges it.
+    """
+    clip = Clip(tech.clip_size)
+    width = tech.random_width(rng)
+    gap = int(rng.integers(tech.space_min - 12, tech.space_max))
+    center = tech.clip_size // 2
+    x = center - width // 2
+    y_break = int(rng.integers(tech.clip_size // 3, 2 * tech.clip_size // 3))
+    clip.add(Rect(x, 0, x + width, max(1, y_break - gap // 2)))
+    clip.add(Rect(x, min(tech.clip_size - 1, y_break + (gap + 1) // 2),
+                  x + width, tech.clip_size))
+    # flanking wires to create a realistic dense context
+    pitch = width + tech.random_space(rng)
+    for side in (-1, 1):
+        n_neighbors = int(rng.integers(0, 3))
+        for i in range(1, n_neighbors + 1):
+            nx = x + side * i * pitch
+            if 0 <= nx and nx + width <= tech.clip_size:
+                clip.add(Rect(nx, 0, nx + width, tech.clip_size))
+    return _maybe_transpose(clip, rng)
+
+
+def elbows(rng: np.random.Generator, tech: Technology = Technology()) -> Clip:
+    """Nested L-shaped bends; inner corners round and can pinch.
+
+    Two facing elbows with a small diagonal clearance also create a
+    corner-to-corner bridging risk.
+    """
+    clip = Clip(tech.clip_size)
+    width = tech.random_width(rng)
+    space = tech.random_space(rng)
+    n_nested = int(rng.integers(1, 4))
+    margin = int(rng.integers(60, 200))
+    for i in range(n_nested):
+        inset = margin + i * (width + space)
+        arm = tech.clip_size - 2 * inset
+        if arm < 3 * width:
+            break
+        # horizontal arm then vertical arm of an L
+        clip.add(Rect(inset, inset, inset + arm, inset + width))
+        clip.add(Rect(inset, inset, inset + width, inset + arm))
+    if rng.random() < 0.5:
+        # opposing corner block to create corner-to-corner spacing
+        blk = int(rng.integers(width, 3 * width))
+        gap = tech.random_space(rng)
+        x0 = margin + width + gap
+        if x0 + blk < tech.clip_size:
+            clip.add(Rect(x0, x0, min(x0 + blk, tech.clip_size),
+                          min(x0 + blk, tech.clip_size)))
+    return _maybe_transpose(clip, rng)
+
+
+def via_array(rng: np.random.Generator, tech: Technology = Technology()) -> Clip:
+    """A grid of small square contacts; small isolated vias vanish."""
+    clip = Clip(tech.clip_size)
+    via = int(rng.integers(tech.via_min, tech.via_max + 1))
+    pitch = via + tech.random_space(rng) + int(rng.integers(0, 120))
+    n = max(1, (tech.clip_size - via) // pitch)
+    offset = int(rng.integers(0, max(1, tech.clip_size - n * pitch)))
+    keep = rng.random((n, n)) < rng.uniform(0.4, 1.0)
+    for i in range(n):
+        for j in range(n):
+            if not keep[i, j]:
+                continue
+            x = offset + i * pitch
+            y = offset + j * pitch
+            if x + via <= tech.clip_size and y + via <= tech.clip_size:
+                clip.add(Rect(x, y, x + via, y + via))
+    return clip
+
+
+def random_manhattan(
+    rng: np.random.Generator, tech: Technology = Technology()
+) -> Clip:
+    """Random mixed routing: horizontal and vertical wire segments."""
+    clip = Clip(tech.clip_size)
+    n_wires = int(rng.integers(3, 9))
+    for _ in range(n_wires):
+        width = tech.random_width(rng)
+        start = int(rng.integers(0, tech.clip_size - width))
+        lo = int(rng.integers(0, tech.clip_size // 2))
+        hi = int(rng.integers(lo + tech.clip_size // 4, tech.clip_size + 1))
+        if rng.random() < 0.5:
+            clip.add(Rect(start, lo, start + width, hi))
+        else:
+            clip.add(Rect(lo, start, hi, start + width))
+    return clip
+
+
+def comb_fingers(
+    rng: np.random.Generator, tech: Technology = Technology()
+) -> Clip:
+    """Interdigitated comb: fingers from two opposite buses.
+
+    The gap between a finger tip and the opposing bus is the critical
+    dimension — a frequent hotspot motif in power-grid and capacitor
+    layouts.
+    """
+    clip = Clip(tech.clip_size)
+    width = tech.random_width(rng)
+    space = tech.random_space(rng)
+    pitch = width + space
+    bus = int(rng.integers(80, 160))
+    tip_gap = int(rng.integers(tech.space_min - 8, tech.space_max))
+    clip.add(Rect(0, 0, tech.clip_size, bus))                       # bottom bus
+    clip.add(Rect(0, tech.clip_size - bus, tech.clip_size, tech.clip_size))
+    x = int(rng.integers(0, pitch))
+    finger = 0
+    while x + width <= tech.clip_size:
+        if finger % 2 == 0:   # grows from the bottom bus
+            clip.add(Rect(x, bus, x + width,
+                          tech.clip_size - bus - tip_gap))
+        else:                 # grows from the top bus
+            clip.add(Rect(x, bus + tip_gap, x + width,
+                          tech.clip_size - bus))
+        x += pitch
+        finger += 1
+    return _maybe_transpose(clip, rng)
+
+
+def contacted_cell(
+    rng: np.random.Generator, tech: Technology = Technology()
+) -> Clip:
+    """A standard-cell-like motif: parallel gates with landing pads.
+
+    Wide pads attached to narrow lines create the line-width transition
+    hotspots (necking at the junction) typical of contacted poly.
+    """
+    clip = Clip(tech.clip_size)
+    width = tech.random_width(rng)
+    space = tech.random_space(rng)
+    pitch = width + space
+    pad = width + int(rng.integers(30, 90))
+    x = int(rng.integers(0, pitch))
+    while x + width <= tech.clip_size:
+        clip.add(Rect(x, 0, x + width, tech.clip_size))
+        pad_y = int(rng.integers(100, tech.clip_size - 100 - pad))
+        pad_x0 = max(0, x - (pad - width) // 2)
+        clip.add(Rect(pad_x0, pad_y,
+                      min(tech.clip_size, pad_x0 + pad), pad_y + pad))
+        x += pitch
+    return _maybe_transpose(clip, rng)
+
+
+#: The core families the ICCAD-2012-shaped benchmark samples from.
+#: Fixed: changing this set changes every generated dataset.
+PATTERN_FAMILIES = {
+    "grating": grating,
+    "line_end_pair": line_end_pair,
+    "elbows": elbows,
+    "via_array": via_array,
+    "random_manhattan": random_manhattan,
+}
+
+#: Core plus the additional motifs (comb fingers, contacted cells) for
+#: custom datasets and out-of-distribution generalisation experiments.
+EXTENDED_FAMILIES = {
+    **PATTERN_FAMILIES,
+    "comb_fingers": comb_fingers,
+    "contacted_cell": contacted_cell,
+}
+
+
+def sample_clip(
+    rng: np.random.Generator,
+    tech: Technology = Technology(),
+    weights: dict[str, float] | None = None,
+) -> Clip:
+    """Draw one clip from a randomly chosen pattern family.
+
+    Without ``weights``, samples uniformly over the core
+    :data:`PATTERN_FAMILIES`.  With ``weights``, any family of
+    :data:`EXTENDED_FAMILIES` can participate, proportionally to its
+    weight.
+    """
+    if weights is None:
+        names = list(PATTERN_FAMILIES)
+        probs = np.full(len(names), 1.0 / len(names))
+    else:
+        names = list(EXTENDED_FAMILIES)
+        raw = np.array([weights.get(name, 0.0) for name in names], dtype=float)
+        if raw.sum() <= 0:
+            raise ValueError("weights must include at least one known family")
+        probs = raw / raw.sum()
+    family = names[int(rng.choice(len(names), p=probs))]
+    return EXTENDED_FAMILIES[family](rng, tech)

@@ -1,0 +1,98 @@
+"""Process-window analysis.
+
+A pattern's *process window* is the region of exposure conditions
+(dose, focus) over which it prints within specification — the
+quantitative form of "sensitive to process variations" that defines a
+hotspot.  This module measures per-pattern windows:
+
+* :func:`dose_latitude` — the symmetric dose range around nominal where
+  the pattern passes, at a fixed focus;
+* :func:`process_window_area` — the fraction of a (dose x defocus)
+  grid where the pattern passes.
+
+Hotspots are precisely the patterns with small windows, so these
+measurements give the benchmark's binary labels a continuous
+underlying score.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .epe import LithographySimulator, analyze_contours
+from .geometry import Clip
+from .raster import rasterize
+from .resist import ProcessCorner
+
+__all__ = ["passes_at", "dose_latitude", "process_window_area"]
+
+
+def passes_at(
+    simulator: LithographySimulator,
+    clip: Clip,
+    corner: ProcessCorner,
+    epe_tolerance_nm: float | None = None,
+) -> bool:
+    """Does ``clip`` print within spec at one exposure condition?"""
+    tolerance = (epe_tolerance_nm if epe_tolerance_nm is not None
+                 else simulator.epe_tolerance_nm)
+    pixel_nm = clip.size / simulator.resolution_px
+    mask = rasterize(clip, simulator.resolution_px, mode="area")
+    target = rasterize(clip, simulator.resolution_px, mode="binary").astype(bool)
+    printed = simulator.simulate_corner(mask, pixel_nm, corner)
+    report = analyze_contours(target, printed, pixel_nm)
+    return not report.is_hotspot(tolerance)
+
+
+def dose_latitude(
+    simulator: LithographySimulator,
+    clip: Clip,
+    defocus_broadening: float = 1.0,
+    max_latitude: float = 0.25,
+    resolution: float = 0.02,
+) -> float:
+    """Largest symmetric dose deviation the pattern tolerates.
+
+    Scans outward from the nominal dose in ``resolution`` steps (up to
+    ``max_latitude``); returns the last deviation at which the pattern
+    still passed at *both* the over- and under-dose points.  A pattern
+    that already fails at nominal has zero latitude.
+    """
+    if not passes_at(simulator, clip,
+                     ProcessCorner(1.0, defocus_broadening)):
+        return 0.0
+    latitude = 0.0
+    steps = int(round(max_latitude / resolution))
+    for i in range(1, steps + 1):
+        deviation = i * resolution
+        over = ProcessCorner(1.0 + deviation, defocus_broadening)
+        under = ProcessCorner(1.0 - deviation, defocus_broadening)
+        if not (passes_at(simulator, clip, over)
+                and passes_at(simulator, clip, under)):
+            break
+        latitude = deviation
+    return latitude
+
+
+def process_window_area(
+    simulator: LithographySimulator,
+    clip: Clip,
+    dose_range: tuple[float, float] = (0.88, 1.12),
+    defocus_range: tuple[float, float] = (1.0, 1.3),
+    grid: int = 5,
+) -> float:
+    """Fraction of a (dose x defocus) grid where the pattern passes.
+
+    A coarse but monotone window metric: robust patterns approach 1.0,
+    marginal ones fall toward 0.  ``grid`` points per axis.
+    """
+    if grid < 2:
+        raise ValueError(f"grid must be >= 2, got {grid}")
+    doses = np.linspace(*dose_range, grid)
+    defoci = np.linspace(*defocus_range, grid)
+    passed = 0
+    for dose in doses:
+        for defocus in defoci:
+            corner = ProcessCorner(float(dose), float(defocus))
+            passed += passes_at(simulator, clip, corner)
+    return passed / (grid * grid)

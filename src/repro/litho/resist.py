@@ -1,0 +1,71 @@
+"""Resist model and process corners.
+
+A constant-threshold resist (CTR): material prints wherever the aerial
+intensity exceeds a dose-scaled threshold.  Process variation — the
+physical origin of hotspots — is modelled as a set of (dose, defocus)
+corners around the nominal condition; a pattern that fails at any
+corner of the process window is a candidate hotspot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ProcessCorner", "nominal_corner", "default_process_window",
+           "print_contour"]
+
+
+@dataclass(frozen=True)
+class ProcessCorner:
+    """One exposure condition.
+
+    ``dose`` scales the delivered intensity (1.0 = nominal);
+    ``defocus_broadening`` widens the optical kernels (1.0 = best
+    focus).
+    """
+
+    dose: float = 1.0
+    defocus_broadening: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.dose <= 0 or self.defocus_broadening <= 0:
+            raise ValueError(f"invalid process corner {self}")
+
+
+def nominal_corner() -> ProcessCorner:
+    """The nominal exposure condition."""
+    return ProcessCorner(1.0, 1.0)
+
+
+def default_process_window(
+    dose_latitude: float = 0.06, defocus: float = 1.18
+) -> list[ProcessCorner]:
+    """The standard corner set: nominal plus the two worst-case pairings.
+
+    ``dose_latitude`` is the fractional over/under exposure; ``defocus``
+    the kernel broadening at the focus corner.  Over-exposure at best
+    focus grows features (bridging); under-exposure at defocus shrinks
+    them (necking, pull-back, vanishing vias) — the two extremes of the
+    process window.
+    """
+    return [
+        nominal_corner(),
+        ProcessCorner(1.0 + dose_latitude, 1.0),
+        ProcessCorner(1.0 - dose_latitude, defocus),
+    ]
+
+
+def print_contour(
+    aerial: np.ndarray, threshold: float = 0.35, dose: float = 1.0
+) -> np.ndarray:
+    """Constant-threshold resist: boolean printed image.
+
+    ``threshold`` is a fraction of the clear-field intensity; ``dose``
+    scales the aerial image (over-exposure grows printed features,
+    under-exposure shrinks them).
+    """
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    return (aerial * dose) >= threshold

@@ -1,0 +1,16 @@
+"""Classical machine-learning substrate for the baseline detectors."""
+
+from .adaboost import AdaBoost
+from .decision_tree import DecisionTree
+from .online import OnlineLogisticClassifier
+from .svm import KernelSVM, LinearSVM, polynomial_kernel, rbf_kernel
+
+__all__ = [
+    "AdaBoost",
+    "DecisionTree",
+    "OnlineLogisticClassifier",
+    "KernelSVM",
+    "LinearSVM",
+    "polynomial_kernel",
+    "rbf_kernel",
+]

@@ -1,0 +1,104 @@
+"""Discrete AdaBoost over decision trees (the SPIE'15 baseline core).
+
+Matsunawa et al. detect hotspots with an AdaBoost classifier over
+simplified (density) features.  This is the classic discrete AdaBoost:
+each round fits a weighted weak tree, and misclassified samples are
+up-weighted for the next round.  Decision scores are the usual signed
+weighted vote, which also provides a tunable decision threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .decision_tree import DecisionTree
+
+__all__ = ["AdaBoost"]
+
+
+class AdaBoost:
+    """Binary AdaBoost ensemble of depth-limited CART trees.
+
+    Parameters
+    ----------
+    n_estimators:
+        Boosting rounds.
+    max_depth:
+        Depth of each weak tree (1 = stumps).
+    learning_rate:
+        Shrinkage on the per-round vote weights.
+    class_weight:
+        ``"balanced"`` starts boosting from weights that equalise the
+        total class mass — the standard imbalance handle for boosted
+        hotspot detectors; ``None`` starts uniform.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 30,
+        max_depth: int = 2,
+        learning_rate: float = 1.0,
+        class_weight: str | None = None,
+    ):
+        if n_estimators < 1:
+            raise ValueError(f"n_estimators must be >= 1, got {n_estimators}")
+        if class_weight not in (None, "balanced"):
+            raise ValueError(f"class_weight must be None or 'balanced'")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.learning_rate = learning_rate
+        self.class_weight = class_weight
+        self.trees_: list[DecisionTree] = []
+        self.alphas_: list[float] = []
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "AdaBoost":
+        """Boost on binary (0/1) labels."""
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels).astype(int)
+        n = labels.shape[0]
+        signs = 2.0 * labels - 1.0  # {0,1} -> {-1,+1}
+        if self.class_weight == "balanced":
+            n_pos = max(int((labels == 1).sum()), 1)
+            n_neg = max(int((labels == 0).sum()), 1)
+            weights = np.where(labels == 1, 0.5 / n_pos, 0.5 / n_neg)
+        else:
+            weights = np.full(n, 1.0 / n)
+        self.trees_, self.alphas_ = [], []
+        for _ in range(self.n_estimators):
+            tree = DecisionTree(max_depth=self.max_depth, min_samples_leaf=1)
+            tree.fit(features, labels, sample_weight=weights)
+            pred_signs = 2.0 * tree.predict(features) - 1.0
+            miss = pred_signs != signs
+            error = float(weights[miss].sum())
+            if error >= 0.5:
+                # weak learner no better than chance: stop boosting
+                break
+            error = max(error, 1e-12)
+            alpha = self.learning_rate * 0.5 * np.log((1.0 - error) / error)
+            self.trees_.append(tree)
+            self.alphas_.append(alpha)
+            weights = weights * np.exp(-alpha * signs * pred_signs)
+            weights /= weights.sum()
+            if error == 1e-12:
+                break  # perfect weak learner; further rounds are redundant
+        if not self.trees_:
+            # degenerate data: keep one unweighted tree as fallback
+            tree = DecisionTree(max_depth=self.max_depth)
+            tree.fit(features, labels)
+            self.trees_ = [tree]
+            self.alphas_ = [1.0]
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        """Signed vote score; positive means hotspot."""
+        if not self.trees_:
+            raise RuntimeError("decision_function() called before fit()")
+        features = np.asarray(features, dtype=np.float64)
+        score = np.zeros(features.shape[0])
+        for tree, alpha in zip(self.trees_, self.alphas_):
+            score += alpha * (2.0 * tree.predict(features) - 1.0)
+        return score
+
+    def predict(self, features: np.ndarray, threshold: float = 0.0) -> np.ndarray:
+        """Class prediction (1 = hotspot) at the given score threshold."""
+        return (self.decision_function(features) > threshold).astype(np.int64)

@@ -1,0 +1,158 @@
+"""CART decision trees (gini impurity, axis-aligned splits).
+
+The weak learner of the SPIE'15 AdaBoost baseline.  Supports
+per-sample weights (required by boosting) and depth limiting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DecisionTree"]
+
+
+@dataclass
+class _Node:
+    """Internal tree node; leaves have ``feature == -1``."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    prediction: int = 0
+    confidence: float = 0.0  # weighted majority fraction at the leaf
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+
+def _weighted_gini(weights_pos: float, weights_neg: float) -> float:
+    """Gini impurity of a weighted binary node."""
+    total = weights_pos + weights_neg
+    if total <= 0:
+        return 0.0
+    p = weights_pos / total
+    return 2.0 * p * (1.0 - p)
+
+
+class DecisionTree:
+    """Binary CART classifier.
+
+    Parameters
+    ----------
+    max_depth:
+        Depth limit; ``max_depth=1`` is a decision stump.
+    min_samples_leaf:
+        Minimum (unweighted) samples allowed in a leaf.
+    n_thresholds:
+        Candidate thresholds per feature: midpoints of that many
+        quantile cuts (keeps fitting fast on large feature matrices).
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 3,
+        min_samples_leaf: int = 1,
+        n_thresholds: int = 16,
+    ):
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.n_thresholds = n_thresholds
+        self._root: _Node | None = None
+
+    # -- fitting ---------------------------------------------------------
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+    ) -> "DecisionTree":
+        """Grow the tree on ``(features, labels)`` with optional weights."""
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels).astype(int)
+        if sample_weight is None:
+            sample_weight = np.full(labels.shape[0], 1.0 / labels.shape[0])
+        else:
+            sample_weight = np.asarray(sample_weight, dtype=np.float64)
+            sample_weight = sample_weight / sample_weight.sum()
+        self._root = self._grow(features, labels, sample_weight, depth=0)
+        return self
+
+    def _leaf(self, labels: np.ndarray, weights: np.ndarray) -> _Node:
+        w_pos = weights[labels == 1].sum()
+        w_neg = weights[labels == 0].sum()
+        total = w_pos + w_neg
+        prediction = int(w_pos >= w_neg)
+        confidence = (max(w_pos, w_neg) / total) if total > 0 else 0.5
+        return _Node(prediction=prediction, confidence=confidence)
+
+    def _candidate_thresholds(self, column: np.ndarray) -> np.ndarray:
+        unique = np.unique(column)
+        if unique.size <= 1:
+            return np.empty(0)
+        if unique.size <= self.n_thresholds:
+            return (unique[:-1] + unique[1:]) / 2.0
+        quantiles = np.linspace(0.0, 1.0, self.n_thresholds + 2)[1:-1]
+        return np.unique(np.quantile(column, quantiles))
+
+    def _grow(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        weights: np.ndarray,
+        depth: int,
+    ) -> _Node:
+        if (
+            depth >= self.max_depth
+            or labels.size < 2 * self.min_samples_leaf
+            or np.unique(labels).size == 1
+        ):
+            return self._leaf(labels, weights)
+        best = None  # (impurity, feature, threshold, mask)
+        for j in range(features.shape[1]):
+            column = features[:, j]
+            for threshold in self._candidate_thresholds(column):
+                mask = column <= threshold
+                n_left = int(mask.sum())
+                if (
+                    n_left < self.min_samples_leaf
+                    or labels.size - n_left < self.min_samples_leaf
+                ):
+                    continue
+                w_left = weights[mask]
+                w_right = weights[~mask]
+                lab_left = labels[mask]
+                lab_right = labels[~mask]
+                impurity = w_left.sum() * _weighted_gini(
+                    w_left[lab_left == 1].sum(), w_left[lab_left == 0].sum()
+                ) + w_right.sum() * _weighted_gini(
+                    w_right[lab_right == 1].sum(), w_right[lab_right == 0].sum()
+                )
+                if best is None or impurity < best[0]:
+                    best = (impurity, j, threshold, mask)
+        if best is None:
+            return self._leaf(labels, weights)
+        _, feature, threshold, mask = best
+        node = _Node(feature=feature, threshold=threshold)
+        node.left = self._grow(features[mask], labels[mask], weights[mask], depth + 1)
+        node.right = self._grow(
+            features[~mask], labels[~mask], weights[~mask], depth + 1
+        )
+        return node
+
+    # -- prediction --------------------------------------------------------
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predicted class (0/1) per row."""
+        if self._root is None:
+            raise RuntimeError("predict() called before fit()")
+        features = np.asarray(features, dtype=np.float64)
+        out = np.empty(features.shape[0], dtype=np.int64)
+        for i, row in enumerate(features):
+            node = self._root
+            while node.feature != -1:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.prediction
+        return out

@@ -1,0 +1,182 @@
+"""Support vector machines.
+
+The hotspot literature the paper builds on is SVM-heavy: [8][9] use
+SVMs over critical features, [12] (EPIC) combines multiple kernels,
+[13] applies unsupervised SVMs.  Two from-scratch trainers:
+
+* :class:`LinearSVM` — Pegasos (primal stochastic sub-gradient) with
+  hinge loss and optional class weighting; fast and the right tool for
+  the high-dimensional density/CCS features;
+* :class:`KernelSVM` — kernelised dual ascent (a simplified SMO that
+  optimises one coordinate at a time against its box constraint) with
+  RBF or polynomial kernels, for the small-data regimes of the early
+  papers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LinearSVM", "KernelSVM", "rbf_kernel", "polynomial_kernel"]
+
+
+def rbf_kernel(a: np.ndarray, b: np.ndarray, gamma: float = 1.0) -> np.ndarray:
+    """Gaussian kernel matrix ``exp(-gamma * ||a_i - b_j||^2)``."""
+    a2 = (a**2).sum(axis=1)[:, None]
+    b2 = (b**2).sum(axis=1)[None, :]
+    sq = np.maximum(a2 + b2 - 2.0 * (a @ b.T), 0.0)
+    return np.exp(-gamma * sq)
+
+
+def polynomial_kernel(a: np.ndarray, b: np.ndarray, degree: int = 3,
+                      coef0: float = 1.0) -> np.ndarray:
+    """Polynomial kernel ``(a . b + coef0) ** degree``."""
+    return (a @ b.T + coef0) ** degree
+
+
+class LinearSVM:
+    """Pegasos-trained linear SVM.
+
+    Parameters
+    ----------
+    lam:
+        Regularisation strength (Pegasos' lambda).
+    epochs:
+        Passes over the data.
+    positive_weight:
+        Multiplier on the hinge loss of positive samples (class
+        imbalance handle).
+    """
+
+    def __init__(self, lam: float = 1e-3, epochs: int = 10,
+                 positive_weight: float = 1.0):
+        if lam <= 0:
+            raise ValueError(f"lam must be positive, got {lam}")
+        self.lam = lam
+        self.epochs = epochs
+        self.positive_weight = positive_weight
+        self.weights: np.ndarray | None = None
+        self.bias = 0.0
+
+    def fit(self, features: np.ndarray, labels: np.ndarray,
+            rng: np.random.Generator | None = None) -> "LinearSVM":
+        """Train on 0/1 labels (mapped internally to -1/+1)."""
+        rng = rng if rng is not None else np.random.default_rng()
+        features = np.asarray(features, dtype=np.float64)
+        signs = 2.0 * np.asarray(labels).astype(np.float64) - 1.0
+        n, d = features.shape
+        self.weights = np.zeros(d)
+        self.bias = 0.0
+        step_count = 0
+        for _ in range(self.epochs):
+            for i in rng.permutation(n):
+                step_count += 1
+                eta = 1.0 / (self.lam * step_count)
+                margin = signs[i] * (features[i] @ self.weights + self.bias)
+                # the bias is treated as the weight of an appended
+                # constant feature, so it shrinks with the rest — an
+                # unregularised bias drifts without bound under Pegasos
+                shrink = 1.0 - eta * self.lam
+                self.weights *= shrink
+                self.bias *= shrink
+                if margin < 1.0:
+                    weight = (self.positive_weight if signs[i] > 0 else 1.0)
+                    self.weights += eta * weight * signs[i] * features[i]
+                    self.bias += eta * weight * signs[i]
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        """Signed margin; positive means hotspot."""
+        if self.weights is None:
+            raise RuntimeError("decision_function() called before fit()")
+        return np.asarray(features, dtype=np.float64) @ self.weights + self.bias
+
+    def predict(self, features: np.ndarray, threshold: float = 0.0) -> np.ndarray:
+        """Predicted 0/1 labels (1 = hotspot)."""
+        return (self.decision_function(features) > threshold).astype(np.int64)
+
+
+class KernelSVM:
+    """Kernel SVM trained by cyclic coordinate ascent on the dual.
+
+    A simplified SMO: each pass optimises every dual coefficient
+    ``alpha_i`` in closed form against its box constraint ``[0, C_i]``
+    while the others are fixed (no pairwise working-set selection —
+    adequate for the few-hundred-sample fits of the baselines).
+    """
+
+    def __init__(self, c: float = 1.0, kernel: str = "rbf",
+                 gamma: float = 1.0, degree: int = 3, passes: int = 10,
+                 positive_weight: float = 1.0):
+        if c <= 0:
+            raise ValueError(f"c must be positive, got {c}")
+        if kernel not in ("rbf", "poly"):
+            raise ValueError(f"kernel must be 'rbf' or 'poly', got {kernel!r}")
+        self.c = c
+        self.kernel = kernel
+        self.gamma = gamma
+        self.degree = degree
+        self.passes = passes
+        self.positive_weight = positive_weight
+        self._support: np.ndarray | None = None
+        self._alpha_signs: np.ndarray | None = None
+        self.bias = 0.0
+
+    def _gram(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        if self.kernel == "rbf":
+            return rbf_kernel(a, b, self.gamma)
+        return polynomial_kernel(a, b, self.degree)
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "KernelSVM":
+        """Train the detector on the dataset (see class docstring)."""
+        features = np.asarray(features, dtype=np.float64)
+        signs = 2.0 * np.asarray(labels).astype(np.float64) - 1.0
+        n = features.shape[0]
+        gram = self._gram(features, features)
+        box = np.where(signs > 0, self.c * self.positive_weight, self.c)
+        alpha = np.zeros(n)
+        # decision (without bias) at every training point
+        decision = np.zeros(n)
+        for _ in range(self.passes):
+            for i in range(n):
+                k_ii = gram[i, i]
+                if k_ii <= 1e-12:
+                    continue
+                # closed-form unconstrained optimum for alpha_i
+                gradient = 1.0 - signs[i] * decision[i] + alpha[i] * k_ii
+                new_alpha = np.clip(gradient / k_ii, 0.0, box[i])
+                delta = new_alpha - alpha[i]
+                if delta != 0.0:
+                    decision += delta * signs[i] * gram[i]
+                    alpha[i] = new_alpha
+        support = alpha > 1e-10
+        self._support = features[support]
+        self._alpha_signs = alpha[support] * signs[support]
+        # bias from on-margin vectors (0 < alpha < box)
+        margin = support & (alpha < box - 1e-10)
+        if margin.any():
+            self.bias = float(np.mean(signs[margin] - decision[margin]))
+        else:
+            self.bias = float(np.mean(signs - decision)) if n else 0.0
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        """Signed decision score; positive means hotspot."""
+        if self._support is None:
+            raise RuntimeError("decision_function() called before fit()")
+        if self._support.shape[0] == 0:
+            return np.full(np.asarray(features).shape[0], self.bias)
+        gram = self._gram(np.asarray(features, dtype=np.float64),
+                          self._support)
+        return gram @ self._alpha_signs + self.bias
+
+    def predict(self, features: np.ndarray, threshold: float = 0.0) -> np.ndarray:
+        """Predicted 0/1 labels (1 = hotspot)."""
+        return (self.decision_function(features) > threshold).astype(np.int64)
+
+    @property
+    def n_support(self) -> int:
+        """Number of support vectors retained after fitting."""
+        if self._support is None:
+            raise RuntimeError("n_support read before fit()")
+        return int(self._support.shape[0])

@@ -1,0 +1,25 @@
+"""Model zoo: the paper's binarized residual network and the float
+baselines it is compared against."""
+
+from .bnn_resnet import bnn_resnet8, bnn_resnet12, bnn_resnet18, build_bnn_resnet
+from .dac17_cnn import dac17_cnn
+from .quantized import QuantConvBlock, build_quantized_resnet
+from .resnet import FloatConvBlock, build_resnet, resnet12, resnet18
+from .summary import LayerInfo, count_network_layers, summarize
+
+__all__ = [
+    "bnn_resnet8",
+    "bnn_resnet12",
+    "bnn_resnet18",
+    "build_bnn_resnet",
+    "dac17_cnn",
+    "QuantConvBlock",
+    "build_quantized_resnet",
+    "FloatConvBlock",
+    "build_resnet",
+    "resnet12",
+    "resnet18",
+    "LayerInfo",
+    "count_network_layers",
+    "summarize",
+]

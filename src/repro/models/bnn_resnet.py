@@ -1,0 +1,164 @@
+"""The paper's binarized residual network (Figure 2).
+
+The architecture starts from ResNet-18, replaces every convolution with
+a binary convolution block (Figure 3), reduces the depth to 12 layers
+and re-balances the filter counts following the rule "the deeper a
+layer, the more filters; keep as few filters as possible" (Section 3.1).
+
+Layer accounting follows ResNet convention: the stem convolution, the
+two 3x3 convolutions of each residual block's main path, and the final
+fully connected layer.  The 1x1 projection convolutions in shortcut
+connections (present wherever a block changes the tensor shape) are not
+counted, exactly as in the ResNet paper.
+
+* ``bnn_resnet12`` — the paper's network: stem + 5 residual blocks + FC
+  = 1 + 10 + 1 = 12 layers.
+* ``bnn_resnet8`` / ``bnn_resnet18`` — shallower/deeper variants for the
+  depth ablation ("the network is preliminarily set to be with fewer
+  than 20 layers").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..binary.block import BNNConvBlock
+from ..nn.layers.batchnorm import BatchNorm2D
+from ..nn.layers.container import Sequential
+from ..nn.layers.dense import Dense
+from ..nn.layers.pooling import GlobalAvgPool2D
+from ..nn.layers.residual import ResidualBlock
+
+__all__ = [
+    "build_bnn_resnet",
+    "bnn_resnet8",
+    "bnn_resnet12",
+    "bnn_resnet18",
+]
+
+
+def _residual_stage(
+    in_channels: int,
+    out_channels: int,
+    stride: int,
+    scaling: str,
+    rng: np.random.Generator,
+) -> ResidualBlock:
+    """One residual block of two 3x3 binary convolution blocks.
+
+    When the block changes shape (stride > 1 or a channel increase) the
+    shortcut is a 1x1 binary convolution block projecting the input to
+    the output shape, as in Figure 2.
+    """
+    main = Sequential(
+        BNNConvBlock(in_channels, out_channels, 3, stride=stride,
+                     scaling=scaling, rng=rng),
+        BNNConvBlock(out_channels, out_channels, 3, stride=1,
+                     scaling=scaling, rng=rng),
+    )
+    if stride == 1 and in_channels == out_channels:
+        return ResidualBlock(main)
+    shortcut = BNNConvBlock(
+        in_channels, out_channels, 1, stride=stride, padding=0,
+        scaling=scaling, rng=rng,
+    )
+    return ResidualBlock(main, shortcut)
+
+
+def build_bnn_resnet(
+    channels: tuple[int, ...],
+    blocks_per_stage: tuple[int, ...] | None = None,
+    in_channels: int = 1,
+    num_classes: int = 2,
+    scaling: str = "channelwise",
+    seed: int | None = None,
+    stem_stride: int = 1,
+) -> Sequential:
+    """Build a binarized residual network.
+
+    Parameters
+    ----------
+    channels:
+        Filter count of each stage; every stage after the first starts
+        with a stride-2 down-sampling block.  Filter counts should be
+        non-decreasing (the paper's rule).
+    blocks_per_stage:
+        Residual blocks per stage (default: one each, the paper's
+        12-layer layout when 5 stages are given).
+    in_channels:
+        Input channels (1 for layout clips).
+    num_classes:
+        Output classes (2: hotspot / non-hotspot).
+    scaling:
+        Activation scaling mode of every binary convolution.
+    seed:
+        Seed for weight initialisation.
+    stem_stride:
+        Stride of the stem convolution; 2 reproduces the ResNet-18-style
+        early down-sampling for large inputs.
+    """
+    if not channels:
+        raise ValueError("channels must be non-empty")
+    if blocks_per_stage is None:
+        blocks_per_stage = (1,) * len(channels)
+    if len(blocks_per_stage) != len(channels):
+        raise ValueError("blocks_per_stage must match channels in length")
+    rng = np.random.default_rng(seed)
+    net = Sequential()
+    net.append(BNNConvBlock(in_channels, channels[0], 3, stride=stem_stride,
+                            scaling=scaling, rng=rng))
+    current = channels[0]
+    for stage, (width, n_blocks) in enumerate(zip(channels, blocks_per_stage)):
+        for block in range(n_blocks):
+            stride = 2 if block == 0 else 1
+            net.append(_residual_stage(current, width, stride, scaling, rng))
+            current = width
+    net.append(BatchNorm2D(current))
+    net.append(GlobalAvgPool2D())
+    net.append(Dense(current, num_classes, rng=rng))
+    return net
+
+
+def bnn_resnet12(
+    scaling: str = "channelwise",
+    seed: int | None = None,
+    base_width: int = 8,
+    num_classes: int = 2,
+) -> Sequential:
+    """The paper's 12-layer network: stem + 5 residual blocks + FC.
+
+    Filter counts double stage by stage from ``base_width``, realising
+    "the deeper a layer is, the more filters it contains" with as few
+    filters as possible.  With 128x128 inputs the five stride-2 stages
+    reduce the map to 4x4 before global average pooling.
+    """
+    channels = tuple(base_width * (2**i) for i in range(5))
+    return build_bnn_resnet(channels, scaling=scaling, seed=seed,
+                            num_classes=num_classes)
+
+
+def bnn_resnet8(
+    scaling: str = "channelwise",
+    seed: int | None = None,
+    base_width: int = 16,
+    num_classes: int = 2,
+) -> Sequential:
+    """8-layer variant (stem + 3 residual blocks + FC) for the depth ablation."""
+    channels = tuple(base_width * (2**i) for i in range(3))
+    return build_bnn_resnet(channels, scaling=scaling, seed=seed,
+                            num_classes=num_classes)
+
+
+def bnn_resnet18(
+    scaling: str = "channelwise",
+    seed: int | None = None,
+    base_width: int = 8,
+    num_classes: int = 2,
+) -> Sequential:
+    """18-layer variant (stem + 4 stages x 2 blocks + FC), the binarized
+    form of the ResNet-18 starting point of Section 3.1."""
+    channels = tuple(base_width * (2**i) for i in range(4))
+    return build_bnn_resnet(
+        channels, blocks_per_stage=(2, 2, 2, 2), scaling=scaling, seed=seed,
+        num_classes=num_classes,
+    )

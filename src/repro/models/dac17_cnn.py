@@ -1,0 +1,70 @@
+"""The DAC'17 baseline CNN (Yang et al., "Layout Hotspot Detection with
+Feature Tensor Generation and Deep Biased Learning").
+
+A full-precision convolutional network operating on the DCT *feature
+tensor* (see :mod:`repro.features.dct`): each layout clip becomes a
+``(coeffs, blocks, blocks)`` tensor of truncated block-DCT
+coefficients.  The reference architecture uses two convolution stages
+(each two 3x3 conv+ReLU layers followed by 2x2 max-pooling) and two
+fully connected layers; filter counts here are parameterised so the
+model scales to the synthetic benchmark sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.layers.activations import ReLU
+from ..nn.layers.container import Sequential
+from ..nn.layers.conv import Conv2D
+from ..nn.layers.dense import Dense
+from ..nn.layers.pooling import MaxPool2D
+from ..nn.layers.shape import Flatten
+
+__all__ = ["dac17_cnn"]
+
+
+def dac17_cnn(
+    in_channels: int,
+    spatial_size: int,
+    stage_widths: tuple[int, int] = (16, 32),
+    hidden: int = 64,
+    num_classes: int = 2,
+    seed: int | None = None,
+) -> Sequential:
+    """Build the DAC'17-style CNN.
+
+    Parameters
+    ----------
+    in_channels:
+        Number of retained DCT coefficients per block.
+    spatial_size:
+        Side of the block grid (the feature tensor is
+        ``in_channels x spatial_size x spatial_size``); must be
+        divisible by 4 (two 2x2 poolings).
+    stage_widths:
+        Filter counts of the two convolution stages.
+    hidden:
+        Width of the penultimate fully connected layer.
+    """
+    if spatial_size % 4 != 0:
+        raise ValueError(f"spatial_size must be divisible by 4, got {spatial_size}")
+    rng = np.random.default_rng(seed)
+    w1, w2 = stage_widths
+    final_side = spatial_size // 4
+    return Sequential(
+        Conv2D(in_channels, w1, 3, padding=1, rng=rng),
+        ReLU(),
+        Conv2D(w1, w1, 3, padding=1, rng=rng),
+        ReLU(),
+        MaxPool2D(2),
+        Conv2D(w1, w2, 3, padding=1, rng=rng),
+        ReLU(),
+        Conv2D(w2, w2, 3, padding=1, rng=rng),
+        ReLU(),
+        MaxPool2D(2),
+        Flatten(),
+        Dense(w2 * final_side * final_side, hidden, rng=rng),
+        ReLU(),
+        Dense(hidden, num_classes, rng=rng),
+    )

@@ -1,0 +1,111 @@
+"""Quantized residual networks for the precision-ladder experiments.
+
+The paper's background (Section 2.2) situates binarization on a
+spectrum of quantization schemes — 8-bit fixed point, ternary weights,
+1-bit.  These builders instantiate the same topology as
+:func:`repro.models.resnet.build_resnet` with quantized convolutions so
+the ladder can be measured end to end on the hotspot task.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..binary.fixed_point import Int8Conv2D
+from ..binary.ternary import TernaryConv2D
+from ..nn.layers.activations import ReLU
+from ..nn.layers.batchnorm import BatchNorm2D
+from ..nn.layers.container import Sequential
+from ..nn.layers.dense import Dense
+from ..nn.layers.pooling import GlobalAvgPool2D
+from ..nn.layers.residual import ResidualBlock
+from ..nn.module import Module
+
+__all__ = ["QuantConvBlock", "build_quantized_resnet"]
+
+_CONV_CLASSES = {"int8": Int8Conv2D, "ternary": TernaryConv2D}
+
+
+class QuantConvBlock(Module):
+    """Pre-activation block with a quantized convolution:
+    BN -> ReLU -> QuantConv (the float twin's structure, lower precision)."""
+
+    def __init__(
+        self,
+        conv_cls,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        if padding is None:
+            padding = kernel_size // 2
+        self.bn = BatchNorm2D(in_channels)
+        self.act = ReLU()
+        self.conv = conv_cls(
+            in_channels, out_channels, kernel_size,
+            stride=stride, padding=padding, rng=rng,
+        )
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the layer's forward pass (see class docstring)."""
+        out = self.bn.forward(x, training)
+        out = self.act.forward(out, training)
+        return self.conv.forward(out, training)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate through the layer (see class docstring)."""
+        return self.bn.backward(self.act.backward(self.conv.backward(grad)))
+
+
+def _stage(conv_cls, in_channels: int, out_channels: int, stride: int,
+           rng: np.random.Generator) -> ResidualBlock:
+    main = Sequential(
+        QuantConvBlock(conv_cls, in_channels, out_channels, 3,
+                       stride=stride, rng=rng),
+        QuantConvBlock(conv_cls, out_channels, out_channels, 3,
+                       stride=1, rng=rng),
+    )
+    if stride == 1 and in_channels == out_channels:
+        return ResidualBlock(main)
+    shortcut = QuantConvBlock(conv_cls, in_channels, out_channels, 1,
+                              stride=stride, padding=0, rng=rng)
+    return ResidualBlock(main, shortcut)
+
+
+def build_quantized_resnet(
+    precision: str,
+    channels: tuple[int, ...],
+    in_channels: int = 1,
+    num_classes: int = 2,
+    seed: int | None = None,
+    stem_stride: int = 1,
+) -> Sequential:
+    """Residual network with ``"int8"`` or ``"ternary"`` convolutions.
+
+    Same topology rules as the float and binary builders: one residual
+    block per stage, stride-2 at each stage entry, 1x1 projection
+    shortcuts at shape changes, global average pooling and a float
+    dense head.
+    """
+    if precision not in _CONV_CLASSES:
+        raise ValueError(
+            f"precision must be one of {sorted(_CONV_CLASSES)}, got {precision!r}"
+        )
+    if not channels:
+        raise ValueError("channels must be non-empty")
+    conv_cls = _CONV_CLASSES[precision]
+    rng = np.random.default_rng(seed)
+    net = Sequential()
+    net.append(QuantConvBlock(conv_cls, in_channels, channels[0], 3,
+                              stride=stem_stride, rng=rng))
+    current = channels[0]
+    for width in channels:
+        net.append(_stage(conv_cls, current, width, 2, rng))
+        current = width
+    net.append(BatchNorm2D(current))
+    net.append(GlobalAvgPool2D())
+    net.append(Dense(current, num_classes, rng=rng))
+    return net

@@ -1,0 +1,121 @@
+"""Full-precision residual networks.
+
+The float twin of :mod:`repro.models.bnn_resnet`: identical topology
+with pre-activation float blocks (BN -> ReLU -> Conv) in place of the
+binarized blocks (BN -> Binarize -> BinaryConv).  Used as the
+"real-valued neural network" side of Figure 1 and as the ResNet-18
+starting point of Section 3.1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.layers.activations import ReLU
+from ..nn.layers.batchnorm import BatchNorm2D
+from ..nn.layers.container import Sequential
+from ..nn.layers.conv import Conv2D
+from ..nn.layers.dense import Dense
+from ..nn.layers.pooling import GlobalAvgPool2D
+from ..nn.layers.residual import ResidualBlock
+from ..nn.module import Module
+
+__all__ = ["FloatConvBlock", "build_resnet", "resnet12", "resnet18"]
+
+
+class FloatConvBlock(Module):
+    """Pre-activation float block: BN -> ReLU -> Conv (no conv bias)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        if padding is None:
+            padding = kernel_size // 2
+        self.bn = BatchNorm2D(in_channels)
+        self.act = ReLU()
+        self.conv = Conv2D(
+            in_channels, out_channels, kernel_size,
+            stride=stride, padding=padding, bias=False, rng=rng,
+        )
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the layer's forward pass (see class docstring)."""
+        out = self.bn.forward(x, training)
+        out = self.act.forward(out, training)
+        return self.conv.forward(out, training)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate through the layer (see class docstring)."""
+        return self.bn.backward(self.act.backward(self.conv.backward(grad)))
+
+
+def _residual_stage(
+    in_channels: int,
+    out_channels: int,
+    stride: int,
+    rng: np.random.Generator,
+) -> ResidualBlock:
+    """Pre-activation float residual block mirroring the BNN layout."""
+    main = Sequential(
+        FloatConvBlock(in_channels, out_channels, 3, stride=stride, rng=rng),
+        FloatConvBlock(out_channels, out_channels, 3, stride=1, rng=rng),
+    )
+    if stride == 1 and in_channels == out_channels:
+        return ResidualBlock(main)
+    shortcut = FloatConvBlock(
+        in_channels, out_channels, 1, stride=stride, padding=0, rng=rng
+    )
+    return ResidualBlock(main, shortcut)
+
+
+def build_resnet(
+    channels: tuple[int, ...],
+    blocks_per_stage: tuple[int, ...] | None = None,
+    in_channels: int = 1,
+    num_classes: int = 2,
+    seed: int | None = None,
+    stem_stride: int = 1,
+) -> Sequential:
+    """Build a float residual network with the same topology rules as
+    :func:`repro.models.bnn_resnet.build_bnn_resnet`."""
+    if not channels:
+        raise ValueError("channels must be non-empty")
+    if blocks_per_stage is None:
+        blocks_per_stage = (1,) * len(channels)
+    if len(blocks_per_stage) != len(channels):
+        raise ValueError("blocks_per_stage must match channels in length")
+    rng = np.random.default_rng(seed)
+    net = Sequential()
+    net.append(FloatConvBlock(in_channels, channels[0], 3, stride=stem_stride,
+                              rng=rng))
+    current = channels[0]
+    for width, n_blocks in zip(channels, blocks_per_stage):
+        for block in range(n_blocks):
+            stride = 2 if block == 0 else 1
+            net.append(_residual_stage(current, width, stride, rng))
+            current = width
+    net.append(BatchNorm2D(current))
+    net.append(GlobalAvgPool2D())
+    net.append(Dense(current, num_classes, rng=rng))
+    return net
+
+
+def resnet12(seed: int | None = None, base_width: int = 8,
+             num_classes: int = 2) -> Sequential:
+    """Float twin of the paper's 12-layer network."""
+    channels = tuple(base_width * (2**i) for i in range(5))
+    return build_resnet(channels, seed=seed, num_classes=num_classes)
+
+
+def resnet18(seed: int | None = None, base_width: int = 8,
+             num_classes: int = 2) -> Sequential:
+    """Float 18-layer network (stem + 4 stages x 2 blocks + FC)."""
+    channels = tuple(base_width * (2**i) for i in range(4))
+    return build_resnet(channels, blocks_per_stage=(2, 2, 2, 2), seed=seed,
+                        num_classes=num_classes)

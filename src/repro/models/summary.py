@@ -1,0 +1,77 @@
+"""Model introspection: layer counting and architecture summaries.
+
+Used by the Figure 2 benchmark to audit that the constructed network
+matches the paper's description (12 layers, filter counts non-decreasing
+with depth, 1x1 projection shortcuts only at shape changes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..binary.binary_conv import BinaryConv2D
+from ..binary.block import BNNConvBlock
+from ..nn.layers.conv import Conv2D
+from ..nn.layers.dense import Dense
+from ..nn.layers.residual import ResidualBlock
+from ..nn.module import Module
+from .resnet import FloatConvBlock
+
+__all__ = ["LayerInfo", "count_network_layers", "summarize"]
+
+
+@dataclass
+class LayerInfo:
+    """One counted layer of a network summary."""
+
+    kind: str          # "conv", "binary_conv" or "dense"
+    shape: tuple       # weight shape
+    params: int        # parameter count
+    shortcut: bool     # True for 1x1 projection shortcuts
+
+
+def _iter_layers(module: Module, in_shortcut: bool):
+    """Yield ``(layer, in_shortcut)`` for every conv/dense layer."""
+    if isinstance(module, Dense):
+        yield module, in_shortcut
+        return
+    if isinstance(module, BNNConvBlock):
+        yield module.conv, in_shortcut
+        return
+    if isinstance(module, FloatConvBlock):
+        yield module.conv, in_shortcut
+        return
+    if isinstance(module, (BinaryConv2D, Conv2D)):
+        yield module, in_shortcut
+        return
+    if isinstance(module, ResidualBlock):
+        yield from _iter_layers(module.main, in_shortcut)
+        if module.shortcut is not None:
+            yield from _iter_layers(module.shortcut, True)
+        return
+    for child in module.children():
+        yield from _iter_layers(child, in_shortcut)
+
+
+def summarize(model: Module) -> list[LayerInfo]:
+    """List every convolution / dense layer with its role and size."""
+    infos = []
+    for layer, in_shortcut in _iter_layers(model, False):
+        if isinstance(layer, BinaryConv2D):
+            kind = "binary_conv"
+        elif isinstance(layer, Conv2D):
+            kind = "conv"
+        else:
+            kind = "dense"
+        params = sum(p.size for p in layer.parameters())
+        infos.append(
+            LayerInfo(kind=kind, shape=tuple(layer.weight.shape),
+                      params=params, shortcut=in_shortcut)
+        )
+    return infos
+
+
+def count_network_layers(model: Module) -> int:
+    """Count layers by ResNet convention: main-path convolutions plus
+    fully connected layers; 1x1 shortcut projections are excluded."""
+    return sum(1 for info in summarize(model) if not info.shortcut)

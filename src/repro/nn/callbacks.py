@@ -1,0 +1,67 @@
+"""Training callbacks: early stopping and checkpointing.
+
+The paper trains for a fixed schedule; these callbacks support the
+longer exploratory runs of the ablation experiments (stop when the
+validation loss stagnates, keep the best weights seen).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["EarlyStopping", "BestWeightsKeeper"]
+
+
+class EarlyStopping:
+    """Stop training when the validation loss stops improving.
+
+    Parameters
+    ----------
+    patience:
+        Non-improving epochs tolerated before requesting a stop.
+    min_delta:
+        Absolute improvement required to reset the counter.
+    """
+
+    def __init__(self, patience: int = 5, min_delta: float = 0.0):
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best = float("inf")
+        self.num_bad_epochs = 0
+
+    def step(self, val_loss: float) -> bool:
+        """Record an epoch's validation loss; return True to stop."""
+        if val_loss < self.best - self.min_delta:
+            self.best = val_loss
+            self.num_bad_epochs = 0
+            return False
+        self.num_bad_epochs += 1
+        return self.num_bad_epochs >= self.patience
+
+
+class BestWeightsKeeper:
+    """Snapshot the model whenever validation loss improves; restore on
+    demand (poor man's checkpointing, in memory)."""
+
+    def __init__(self, model: Module):
+        self.model = model
+        self.best = float("inf")
+        self._state: dict[str, np.ndarray] | None = None
+
+    def step(self, val_loss: float) -> bool:
+        """Record an epoch; snapshot and return True when improved."""
+        if val_loss < self.best:
+            self.best = val_loss
+            self._state = self.model.state_dict()
+            return True
+        return False
+
+    def restore(self) -> None:
+        """Load the best snapshot back into the model."""
+        if self._state is None:
+            raise RuntimeError("restore() called before any snapshot")
+        self.model.load_state_dict(self._state)

@@ -1,0 +1,172 @@
+"""Datasets, mini-batch loading and augmentation.
+
+The paper trains with mini-batch gradient descent (batch size 128) and
+augments with random horizontal and vertical flips only — random
+cropping is deliberately *not* used because a hotspot may sit anywhere
+in the clip (Section 3.4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "ArrayDataset",
+    "DataLoader",
+    "RandomFlip",
+    "balanced_weights",
+    "train_val_split",
+]
+
+
+def balanced_weights(labels: np.ndarray, positive_mass: float = 0.5) -> np.ndarray:
+    """Per-sample weights apportioning class mass for resampling.
+
+    Used for class-rebalanced mini-batch sampling on the heavily
+    imbalanced hotspot benchmark (6.6% hotspots in the training split).
+    ``positive_mass`` is the expected fraction of positive (label 1)
+    samples per epoch; 0.5 equalises the classes.  For multi-class
+    labels only 0.5 (uniform over classes) is supported.
+    """
+    labels = np.asarray(labels)
+    classes, counts = np.unique(labels, return_counts=True)
+    if len(classes) == 2 and set(classes) == {0, 1}:
+        if not 0.0 < positive_mass < 1.0:
+            raise ValueError(f"positive_mass must be in (0, 1), got {positive_mass}")
+        n_neg, n_pos = counts[0], counts[1]
+        weight_of = {0: (1.0 - positive_mass) / n_neg, 1: positive_mass / n_pos}
+    else:
+        if positive_mass != 0.5:
+            raise ValueError("positive_mass is only meaningful for 0/1 labels")
+        weight_of = {c: 1.0 / (len(classes) * n) for c, n in zip(classes, counts)}
+    return np.array([weight_of[label] for label in labels])
+
+
+class ArrayDataset:
+    """In-memory dataset of ``(images, labels)`` arrays.
+
+    ``images`` has shape ``(n, c, h, w)``; ``labels`` is either integer
+    class ids of shape ``(n,)`` or soft targets of shape ``(n, k)``.
+    """
+
+    def __init__(self, images: np.ndarray, labels: np.ndarray):
+        images = np.asarray(images)
+        labels = np.asarray(labels)
+        if images.shape[0] != labels.shape[0]:
+            raise ValueError(
+                f"images ({images.shape[0]}) and labels ({labels.shape[0]}) "
+                "must have the same length"
+            )
+        self.images = images
+        self.labels = labels
+
+    def __len__(self) -> int:
+        return self.images.shape[0]
+
+    def subset(self, indices: np.ndarray) -> "ArrayDataset":
+        """Return a new dataset restricted to ``indices``."""
+        return ArrayDataset(self.images[indices], self.labels[indices])
+
+    def with_labels(self, labels: np.ndarray) -> "ArrayDataset":
+        """Return a dataset with the same images but replaced labels
+        (used by biased fine-tuning to soften non-hotspot targets)."""
+        return ArrayDataset(self.images, labels)
+
+
+class RandomFlip:
+    """Random horizontal/vertical flip augmentation.
+
+    Each sample is independently flipped along each spatial axis with
+    probability 1/2.  Layout clips are flip-invariant in their hotspot
+    label (lithography is symmetric under mirroring at this abstraction
+    level), so labels are untouched.
+    """
+
+    def __init__(self, rng: np.random.Generator, horizontal: bool = True,
+                 vertical: bool = True):
+        self.rng = rng
+        self.horizontal = horizontal
+        self.vertical = vertical
+
+    def __call__(self, batch: np.ndarray) -> np.ndarray:
+        out = batch.copy()
+        n = batch.shape[0]
+        if self.horizontal:
+            flip_h = self.rng.random(n) < 0.5
+            out[flip_h] = out[flip_h, :, :, ::-1]
+        if self.vertical:
+            flip_v = self.rng.random(n) < 0.5
+            out[flip_v] = out[flip_v, :, ::-1, :]
+        return out
+
+
+class DataLoader:
+    """Shuffled mini-batch iterator over an :class:`ArrayDataset`.
+
+    Mirrors the MGD scheme of the paper: a group of instances is
+    randomly picked from the training set for each iteration.  With
+    ``sample_weights`` given, each epoch draws ``len(dataset)`` samples
+    *with replacement* proportionally to the weights (see
+    :func:`balanced_weights` for class rebalancing).
+    """
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int,
+        shuffle: bool = True,
+        augment: RandomFlip | None = None,
+        rng: np.random.Generator | None = None,
+        drop_last: bool = False,
+        sample_weights: np.ndarray | None = None,
+    ):
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if sample_weights is not None:
+            sample_weights = np.asarray(sample_weights, dtype=np.float64)
+            if sample_weights.shape[0] != len(dataset):
+                raise ValueError("sample_weights must match the dataset length")
+            sample_weights = sample_weights / sample_weights.sum()
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.augment = augment
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.drop_last = drop_last
+        self.sample_weights = sample_weights
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        if self.sample_weights is not None:
+            order = self.rng.choice(n, size=n, replace=True, p=self.sample_weights)
+        elif self.shuffle:
+            order = self.rng.permutation(n)
+        else:
+            order = np.arange(n)
+        stop = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, stop, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            images = self.dataset.images[idx]
+            if self.augment is not None:
+                images = self.augment(images)
+            yield images, self.dataset.labels[idx]
+
+
+def train_val_split(
+    dataset: ArrayDataset, val_fraction: float, rng: np.random.Generator
+) -> tuple[ArrayDataset, ArrayDataset]:
+    """Randomly split a dataset into (train, validation) parts."""
+    if not 0.0 < val_fraction < 1.0:
+        raise ValueError(f"val_fraction must be in (0, 1), got {val_fraction}")
+    n = len(dataset)
+    order = rng.permutation(n)
+    n_val = max(1, int(round(n * val_fraction)))
+    return dataset.subset(order[n_val:]), dataset.subset(order[:n_val])

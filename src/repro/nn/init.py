@@ -1,0 +1,52 @@
+"""Weight initialisers.
+
+The paper initialises all real-valued kernels with the Xavier scheme
+(Glorot & Bengio, 2010) — see Section 3.4.2.  He initialisation is also
+provided for the float baselines that use ReLU activations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["fan_in_out", "xavier_uniform", "xavier_normal", "he_normal", "zeros"]
+
+
+def fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    """Compute (fan_in, fan_out) for dense or convolutional weights.
+
+    Dense weights are ``(in, out)``; convolution weights are
+    ``(c_out, c_in, kh, kw)``.
+    """
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    if len(shape) == 4:
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    raise ValueError(f"unsupported weight shape {shape}")
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = fan_in_out(shape)
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot normal: N(0, 2 / (fan_in + fan_out))."""
+    fan_in, fan_out = fan_in_out(shape)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def he_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He normal: N(0, 2 / fan_in), suited to ReLU networks."""
+    fan_in, _ = fan_in_out(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zero initialiser (biases)."""
+    return np.zeros(shape)

@@ -1,0 +1,29 @@
+"""Layer library for the NumPy neural-network framework."""
+
+from .activations import HardTanh, ReLU, SignSTE, sign
+from .batchnorm import BatchNorm1D, BatchNorm2D
+from .container import Sequential
+from .conv import Conv2D
+from .dense import Dense
+from .dropout import Dropout
+from .pooling import AvgPool2D, GlobalAvgPool2D, MaxPool2D
+from .residual import ResidualBlock
+from .shape import Flatten
+
+__all__ = [
+    "AvgPool2D",
+    "BatchNorm1D",
+    "BatchNorm2D",
+    "Conv2D",
+    "Dense",
+    "Dropout",
+    "Flatten",
+    "GlobalAvgPool2D",
+    "HardTanh",
+    "MaxPool2D",
+    "ReLU",
+    "ResidualBlock",
+    "Sequential",
+    "SignSTE",
+    "sign",
+]

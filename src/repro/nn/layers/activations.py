@@ -1,0 +1,83 @@
+"""Activation layers, including the straight-through-estimated sign.
+
+The binarizing layer of the paper (Figure 3) is :class:`SignSTE`:
+forward is ``sign(x)`` and backward applies the straight-through
+estimator of Eq. (10)-(11)::
+
+    d sign(x) / dx  =  1  if |x| < 1  else  0
+
+which is exactly the derivative of hard-tanh, hence the companion
+:class:`HardTanh`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..module import Module
+
+__all__ = ["ReLU", "HardTanh", "SignSTE", "sign"]
+
+
+def sign(x: np.ndarray) -> np.ndarray:
+    """Binarize to {-1, +1}; zeros map to +1 so outputs are never 0."""
+    return np.where(x >= 0, 1.0, -1.0)
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the layer's forward pass (see class docstring)."""
+        mask = x > 0
+        self._mask = mask if training else None
+        return x * mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate through the layer (see class docstring)."""
+        if self._mask is None:
+            raise RuntimeError("backward() requires a prior forward(training=True)")
+        return grad * self._mask
+
+
+class HardTanh(Module):
+    """Clamp to [-1, 1]; the real-valued relaxation of :class:`SignSTE`."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the layer's forward pass (see class docstring)."""
+        self._mask = (np.abs(x) < 1.0) if training else None
+        return np.clip(x, -1.0, 1.0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate through the layer (see class docstring)."""
+        if self._mask is None:
+            raise RuntimeError("backward() requires a prior forward(training=True)")
+        return grad * self._mask
+
+
+class SignSTE(Module):
+    """Binarizing layer: forward ``sign``, backward straight-through.
+
+    Gradients are passed through unchanged where ``|x| < 1`` and zeroed
+    elsewhere (the saturation effect of Eq. 10).
+    """
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the layer's forward pass (see class docstring)."""
+        self._mask = (np.abs(x) < 1.0) if training else None
+        return sign(x)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate through the layer (see class docstring)."""
+        if self._mask is None:
+            raise RuntimeError("backward() requires a prior forward(training=True)")
+        return grad * self._mask

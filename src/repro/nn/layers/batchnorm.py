@@ -1,0 +1,89 @@
+"""Batch normalisation (Ioffe & Szegedy, 2015).
+
+In the paper's BNN block (Figure 3) batch normalisation is placed
+*before* the binarizing layer, following XNOR-Net, to reduce the
+information lost by binarization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..module import Module, Parameter
+
+__all__ = ["BatchNorm2D", "BatchNorm1D"]
+
+
+class _BatchNormBase(Module):
+    """Shared implementation; subclasses define the reduction axes."""
+
+    #: axes reduced to compute per-channel statistics
+    _axes: tuple[int, ...] = ()
+
+    def __init__(self, num_features: int, momentum: float = 0.9, eps: float = 1e-5):
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(num_features))
+        self.beta = Parameter(np.zeros(num_features))
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._cache: tuple | None = None
+
+    def _reshape(self, v: np.ndarray, ndim: int) -> np.ndarray:
+        """Broadcast a per-channel vector against an input of rank ndim."""
+        shape = [1] * ndim
+        shape[1] = self.num_features
+        return v.reshape(shape)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the layer's forward pass (see class docstring)."""
+        if training:
+            mean = x.mean(axis=self._axes)
+            var = x.var(axis=self._axes)
+            m = self.momentum
+            self.running_mean[...] = m * self.running_mean + (1.0 - m) * mean
+            self.running_var[...] = m * self.running_var + (1.0 - m) * var
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - self._reshape(mean, x.ndim)) * self._reshape(inv_std, x.ndim)
+        out = self._reshape(self.gamma.data, x.ndim) * x_hat + self._reshape(
+            self.beta.data, x.ndim
+        )
+        if training:
+            self._cache = (x_hat, inv_std)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate through the layer (see class docstring)."""
+        if self._cache is None:
+            raise RuntimeError("backward() requires a prior forward(training=True)")
+        x_hat, inv_std = self._cache
+        axes = self._axes
+        # number of elements reduced per channel
+        m = grad.size // self.num_features
+        self.gamma.grad += (grad * x_hat).sum(axis=axes)
+        self.beta.grad += grad.sum(axis=axes)
+        g = self._reshape(self.gamma.data, grad.ndim)
+        inv = self._reshape(inv_std, grad.ndim)
+        dxhat = grad * g
+        sum_dxhat = self._reshape(dxhat.sum(axis=axes), grad.ndim)
+        sum_dxhat_xhat = self._reshape((dxhat * x_hat).sum(axis=axes), grad.ndim)
+        return (inv / m) * (m * dxhat - sum_dxhat - x_hat * sum_dxhat_xhat)
+
+    def extra_state(self) -> dict[str, np.ndarray]:
+        """Non-parameter arrays persisted with the model."""
+        return {"running_mean": self.running_mean, "running_var": self.running_var}
+
+
+class BatchNorm2D(_BatchNormBase):
+    """Per-channel normalisation over ``(n, c, h, w)`` inputs."""
+
+    _axes = (0, 2, 3)
+
+
+class BatchNorm1D(_BatchNormBase):
+    """Per-feature normalisation over ``(n, c)`` inputs."""
+
+    _axes = (0,)

@@ -1,0 +1,38 @@
+"""Layer containers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..module import Module
+
+__all__ = ["Sequential"]
+
+
+class Sequential(Module):
+    """Run child modules in order; backpropagate in reverse order."""
+
+    def __init__(self, *layers: Module):
+        self.layers = list(layers)
+
+    def append(self, layer: Module) -> None:
+        """Append a layer to the container."""
+        self.layers.append(layer)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the layer's forward pass (see class docstring)."""
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate through the layer (see class docstring)."""
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad

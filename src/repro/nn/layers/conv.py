@@ -1,0 +1,81 @@
+"""Full-precision 2-D convolution layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import functional as F
+from .. import init
+from ..module import Module, Parameter
+
+__all__ = ["Conv2D"]
+
+
+class Conv2D(Module):
+    """Standard float convolution, ``(n, c_in, h, w) -> (n, c_out, oh, ow)``.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts.
+    kernel_size:
+        Square kernel side.
+    stride, padding:
+        Convolution geometry.
+    bias:
+        Whether to learn a per-filter bias.  Layers followed by batch
+        normalisation typically disable it.
+    rng:
+        Generator for Xavier initialisation (Section 3.4.2 of the paper).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        rng = rng if rng is not None else np.random.default_rng()
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(init.xavier_uniform(shape, rng))
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+        self.stride = stride
+        self.padding = padding
+        self.kernel_size = kernel_size
+        self._x_shape: tuple[int, int, int, int] | None = None
+        self._cols: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the layer's forward pass (see class docstring)."""
+        self._x_shape = x.shape
+        out, cols = F.conv2d_forward(
+            x,
+            self.weight.data,
+            self.bias.data if self.bias is not None else None,
+            self.stride,
+            self.padding,
+        )
+        self._cols = cols if training else None
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate through the layer (see class docstring)."""
+        if self._cols is None or self._x_shape is None:
+            raise RuntimeError("backward() requires a prior forward(training=True)")
+        grad_x, grad_w, grad_b = F.conv2d_backward(
+            grad,
+            self._cols,
+            self._x_shape,
+            self.weight.data,
+            self.stride,
+            self.padding,
+            with_bias=self.bias is not None,
+        )
+        self.weight.grad += grad_w
+        if self.bias is not None and grad_b is not None:
+            self.bias.grad += grad_b
+        return grad_x

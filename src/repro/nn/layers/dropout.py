@@ -1,0 +1,40 @@
+"""Inverted dropout.
+
+The paper does *not* use dropout (Section 3.4.2, following the ResNet
+practice); the layer is provided for baseline models and ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..module import Module
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Module):
+    """Inverted dropout: activations are scaled by ``1/keep`` at train
+    time so inference is a plain identity."""
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None):
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the layer's forward pass (see class docstring)."""
+        if not training or self.p == 0.0:
+            self._mask = None if not training else np.ones_like(x)
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self.rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate through the layer (see class docstring)."""
+        if self._mask is None:
+            raise RuntimeError("backward() requires a prior forward(training=True)")
+        return grad * self._mask

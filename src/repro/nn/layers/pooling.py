@@ -1,0 +1,78 @@
+"""Pooling layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import functional as F
+from ..module import Module
+
+__all__ = ["MaxPool2D", "AvgPool2D", "GlobalAvgPool2D"]
+
+
+class MaxPool2D(Module):
+    """Max pooling with square windows."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None):
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self._x_shape: tuple[int, int, int, int] | None = None
+        self._argmax: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the layer's forward pass (see class docstring)."""
+        out, argmax = F.maxpool2d_forward(x, self.kernel_size, self.stride)
+        self._x_shape = x.shape if training else None
+        self._argmax = argmax if training else None
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate through the layer (see class docstring)."""
+        if self._argmax is None or self._x_shape is None:
+            raise RuntimeError("backward() requires a prior forward(training=True)")
+        return F.maxpool2d_backward(
+            grad, self._argmax, self._x_shape, self.kernel_size, self.stride
+        )
+
+
+class AvgPool2D(Module):
+    """Average pooling with square windows."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None):
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self._x_shape: tuple[int, int, int, int] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the layer's forward pass (see class docstring)."""
+        self._x_shape = x.shape if training else None
+        return F.avgpool2d_forward(x, self.kernel_size, self.stride)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate through the layer (see class docstring)."""
+        if self._x_shape is None:
+            raise RuntimeError("backward() requires a prior forward(training=True)")
+        return F.avgpool2d_backward(grad, self._x_shape, self.kernel_size, self.stride)
+
+
+class GlobalAvgPool2D(Module):
+    """Collapse each channel to its spatial mean: ``(n, c, h, w) -> (n, c)``.
+
+    Used as the head of the residual networks (Figure 2) in place of a
+    large dense layer.
+    """
+
+    def __init__(self) -> None:
+        self._x_shape: tuple[int, int, int, int] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the layer's forward pass (see class docstring)."""
+        self._x_shape = x.shape if training else None
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate through the layer (see class docstring)."""
+        if self._x_shape is None:
+            raise RuntimeError("backward() requires a prior forward(training=True)")
+        n, c, h, w = self._x_shape
+        return np.broadcast_to(grad[:, :, None, None], self._x_shape) / (h * w)

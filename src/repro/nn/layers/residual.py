@@ -1,0 +1,47 @@
+"""Residual block with optional projection shortcut (He et al., 2016).
+
+The paper's network (Figure 2) is built from residual blocks of two
+3x3 convolution blocks.  Where the block changes the tensor shape
+(stride-2 down-sampling or a channel increase) the identity shortcut is
+replaced by a 1x1 convolution block that projects the input to the
+output shape so the two paths can be summed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..module import Module
+
+__all__ = ["ResidualBlock"]
+
+
+class ResidualBlock(Module):
+    """``out = main(x) + shortcut(x)`` with ``shortcut = identity`` by default.
+
+    Both branches receive the same input; the backward pass sums the two
+    branch gradients, mirroring the forward sum.
+    """
+
+    def __init__(self, main: Module, shortcut: Module | None = None):
+        self.main = main
+        self.shortcut = shortcut
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the layer's forward pass (see class docstring)."""
+        main_out = self.main.forward(x, training=training)
+        if self.shortcut is None:
+            if main_out.shape != x.shape:
+                raise ValueError(
+                    f"identity shortcut requires matching shapes, got "
+                    f"{x.shape} -> {main_out.shape}; supply a projection shortcut"
+                )
+            return main_out + x
+        return main_out + self.shortcut.forward(x, training=training)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate through the layer (see class docstring)."""
+        grad_main = self.main.backward(grad)
+        if self.shortcut is None:
+            return grad_main + grad
+        return grad_main + self.shortcut.backward(grad)

@@ -1,0 +1,27 @@
+"""Shape-manipulation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..module import Module
+
+__all__ = ["Flatten"]
+
+
+class Flatten(Module):
+    """Flatten all axes after the batch axis: ``(n, ...) -> (n, k)``."""
+
+    def __init__(self) -> None:
+        self._x_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the layer's forward pass (see class docstring)."""
+        self._x_shape = x.shape if training else None
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate through the layer (see class docstring)."""
+        if self._x_shape is None:
+            raise RuntimeError("backward() requires a prior forward(training=True)")
+        return grad.reshape(self._x_shape)

@@ -1,0 +1,112 @@
+"""Loss functions.
+
+The paper trains with softmax cross-entropy (Section 3.4.3) and
+fine-tunes with *biased* soft targets: the non-hotspot label is changed
+from ``[1, 0]`` to ``[1 - eps, eps]`` while the hotspot label stays
+``[0, 1]``.  :class:`SoftmaxCrossEntropy` therefore accepts either
+integer class labels or full soft-target distributions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["softmax", "log_softmax", "SoftmaxCrossEntropy",
+           "WeightedCrossEntropy"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable row-wise softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable row-wise log-softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+
+
+class SoftmaxCrossEntropy:
+    """Softmax cross-entropy with hard or soft targets.
+
+    ``forward`` returns the mean loss over the batch; ``backward``
+    returns the gradient with respect to the logits.
+    """
+
+    def __init__(self) -> None:
+        self._probs: np.ndarray | None = None
+        self._targets: np.ndarray | None = None
+
+    @staticmethod
+    def _as_distribution(targets: np.ndarray, num_classes: int) -> np.ndarray:
+        """Promote integer labels to one-hot rows; pass soft targets through."""
+        targets = np.asarray(targets)
+        if targets.ndim == 1:
+            onehot = np.zeros((targets.shape[0], num_classes))
+            onehot[np.arange(targets.shape[0]), targets.astype(int)] = 1.0
+            return onehot
+        if targets.ndim == 2 and targets.shape[1] == num_classes:
+            return targets.astype(np.float64)
+        raise ValueError(
+            f"targets shape {targets.shape} incompatible with {num_classes} classes"
+        )
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        """Mean cross-entropy ``-sum(t * log_softmax(z)) / batch``."""
+        dist = self._as_distribution(targets, logits.shape[-1])
+        logp = log_softmax(logits)
+        self._probs = np.exp(logp)
+        self._targets = dist
+        return float(-(dist * logp).sum(axis=-1).mean())
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the mean loss w.r.t. the logits: ``(p - t) / n``."""
+        if self._probs is None or self._targets is None:
+            raise RuntimeError("backward() called before forward()")
+        n = self._probs.shape[0]
+        return (self._probs - self._targets) / n
+
+    def __call__(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(logits, targets)
+
+
+class WeightedCrossEntropy(SoftmaxCrossEntropy):
+    """Cross-entropy with per-class loss weights.
+
+    An alternative imbalance handle to resampling and biased targets:
+    each sample's loss is scaled by the weight of its (hard) class, or
+    by the target-weighted average for soft targets.
+    """
+
+    def __init__(self, class_weights: np.ndarray):
+        super().__init__()
+        class_weights = np.asarray(class_weights, dtype=np.float64)
+        if class_weights.ndim != 1 or (class_weights <= 0).any():
+            raise ValueError("class_weights must be a 1-D positive vector")
+        self.class_weights = class_weights
+        self._sample_weights: np.ndarray | None = None
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        """Mean class-weighted cross-entropy over the batch."""
+        if logits.shape[-1] != self.class_weights.shape[0]:
+            raise ValueError(
+                f"{self.class_weights.shape[0]} class weights but "
+                f"{logits.shape[-1]} classes"
+            )
+        dist = self._as_distribution(targets, logits.shape[-1])
+        logp = log_softmax(logits)
+        self._probs = np.exp(logp)
+        self._targets = dist
+        weights = dist @ self.class_weights
+        self._sample_weights = weights
+        per_sample = -(dist * logp).sum(axis=-1)
+        return float((weights * per_sample).mean())
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the weighted mean loss w.r.t. the logits."""
+        grad = super().backward()
+        if self._sample_weights is None:
+            raise RuntimeError("backward() called before forward()")
+        return grad * self._sample_weights[:, None]

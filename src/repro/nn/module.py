@@ -1,0 +1,169 @@
+"""Module and Parameter abstractions.
+
+The framework uses explicit layer-wise backpropagation rather than a
+taped autograd: every :class:`Module` caches what it needs during
+``forward`` and implements ``backward`` to (a) accumulate parameter
+gradients and (b) return the gradient with respect to its input.  This
+keeps the dataflow explicit — appropriate for a reproduction whose whole
+point is a hand-derived backward rule (Eq. 13 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter:
+    """A trainable tensor with an accumulated gradient.
+
+    Attributes
+    ----------
+    data:
+        The parameter value (updated in place by optimizers).
+    grad:
+        Accumulated gradient, same shape as ``data``.
+    name:
+        Dotted path assigned during :meth:`Module.named_parameters`
+        traversal; useful for debugging and serialization.
+    trainable:
+        Optimizers skip parameters with ``trainable`` set to ``False``
+        (used e.g. to freeze layers during biased fine-tuning ablations).
+    """
+
+    def __init__(self, data: np.ndarray, name: str = "", trainable: bool = True):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+        self.trainable = trainable
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the underlying array."""
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        """Number of scalar elements."""
+        return self.data.size
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zero."""
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Parameter(name={self.name!r}, shape={self.data.shape})"
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Subclasses implement ``forward(x, training)`` and ``backward(grad)``.
+    Child modules and :class:`Parameter` attributes are discovered by
+    attribute inspection, so plain assignment (``self.conv = Conv2D(...)``)
+    is all that is needed to register them.
+    """
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the layer's forward pass (see class docstring)."""
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate through the layer (see class docstring)."""
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+    # -- traversal -----------------------------------------------------
+
+    def children(self) -> Iterator["Module"]:
+        """Yield direct child modules (attribute order)."""
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                yield value
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield item
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs, depth-first.
+
+        Also stamps each parameter's ``name`` attribute with its path.
+        """
+        for attr, value in self.__dict__.items():
+            path = f"{prefix}{attr}"
+            if isinstance(value, Parameter):
+                value.name = path
+                yield path, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{path}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{path}.{i}.")
+
+    def parameters(self) -> list[Parameter]:
+        """Return all parameters as a list (stable traversal order)."""
+        return [p for _, p in self.named_parameters()]
+
+    def zero_grad(self) -> None:
+        """Reset the gradients of every parameter in the subtree."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self, trainable_only: bool = False) -> int:
+        """Total number of scalar parameters in the subtree."""
+        return sum(
+            p.size for p in self.parameters() if p.trainable or not trainable_only
+        )
+
+    # -- state dict ----------------------------------------------------
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Return a flat mapping of parameter paths to copied arrays.
+
+        Layers with non-parameter state (e.g. batch-norm running
+        statistics) extend this by overriding ``extra_state``.
+        """
+        state = {name: p.data.copy() for name, p in self.named_parameters()}
+        for name, arr in self._named_extra_state():
+            state[name] = arr.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameters (and extra state) saved by :meth:`state_dict`."""
+        for name, p in self.named_parameters():
+            if name not in state:
+                raise KeyError(f"missing parameter {name!r} in state dict")
+            if state[name].shape != p.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: "
+                    f"{state[name].shape} vs {p.data.shape}"
+                )
+            p.data[...] = state[name]
+        for name, arr in self._named_extra_state():
+            if name not in state:
+                raise KeyError(f"missing extra state {name!r} in state dict")
+            arr[...] = state[name]
+
+    def extra_state(self) -> dict[str, np.ndarray]:
+        """Non-parameter arrays to persist (override in subclasses)."""
+        return {}
+
+    def _named_extra_state(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        for name, arr in self.extra_state().items():
+            yield f"{prefix}{name}", arr
+        for attr, value in self.__dict__.items():
+            if isinstance(value, Module):
+                yield from value._named_extra_state(prefix=f"{prefix}{attr}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item._named_extra_state(
+                            prefix=f"{prefix}{attr}.{i}."
+                        )

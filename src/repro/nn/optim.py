@@ -1,0 +1,168 @@
+"""Optimizers.
+
+The paper trains with mini-batch gradient descent using the **NAdam**
+optimizer (Dozat, 2016), which combines Adam's adaptive moments with
+Nesterov momentum (Section 3.4.2).  SGD, classical momentum, NAG and
+Adam are provided for the baselines and ablations.
+
+All optimizers share one interface::
+
+    opt = NAdam(model.parameters(), lr=0.15)
+    ...
+    opt.step()        # apply accumulated gradients
+    model.zero_grad()
+
+The learning rate is exposed as a mutable ``lr`` attribute so that
+schedulers (see :mod:`repro.nn.schedulers`) can adjust it between
+epochs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = ["Optimizer", "SGD", "Momentum", "NAG", "Adam", "NAdam"]
+
+
+class Optimizer:
+    """Base optimizer: holds the parameter list and the learning rate."""
+
+    def __init__(self, params: list[Parameter], lr: float):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.params = list(params)
+        self.lr = float(lr)
+
+    def step(self) -> None:
+        """Apply one update step (see class docstring)."""
+        raise NotImplementedError
+
+    def _trainable(self) -> list[Parameter]:
+        return [p for p in self.params if p.trainable]
+
+
+class SGD(Optimizer):
+    """Vanilla (mini-batch) gradient descent."""
+
+    def step(self) -> None:
+        """Apply one update step (see class docstring)."""
+        for p in self._trainable():
+            p.data -= self.lr * p.grad
+
+
+class Momentum(Optimizer):
+    """Classical (heavy-ball) momentum."""
+
+    def __init__(self, params: list[Parameter], lr: float, momentum: float = 0.9):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        """Apply one update step (see class docstring)."""
+        for p, v in zip(self.params, self._velocity):
+            if not p.trainable:
+                continue
+            v *= self.momentum
+            v -= self.lr * p.grad
+            p.data += v
+
+
+class NAG(Optimizer):
+    """Nesterov accelerated gradient (Nesterov, 1983), in the common
+    "lookahead rewritten at the current point" form."""
+
+    def __init__(self, params: list[Parameter], lr: float, momentum: float = 0.9):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        """Apply one update step (see class docstring)."""
+        mu = self.momentum
+        for p, v in zip(self.params, self._velocity):
+            if not p.trainable:
+                continue
+            v_prev = v.copy()
+            v *= mu
+            v -= self.lr * p.grad
+            p.data += -mu * v_prev + (1.0 + mu) * v
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2014) with bias-corrected moment estimates."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        super().__init__(params, lr)
+        self.beta1, self.beta2, self.eps = beta1, beta2, eps
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        """Apply one update step (see class docstring)."""
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1**self._t
+        bias2 = 1.0 - b2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if not p.trainable:
+                continue
+            m *= b1
+            m += (1.0 - b1) * p.grad
+            v *= b2
+            v += (1.0 - b2) * p.grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class NAdam(Optimizer):
+    """NAdam (Dozat, 2016): Adam with Nesterov momentum.
+
+    Uses the widely adopted simplification in which the Nesterov
+    lookahead is expressed as a convex combination of the bias-corrected
+    first moment and the current gradient::
+
+        m_hat = beta1 * m_t / (1 - beta1^(t+1)) + (1 - beta1) * g / (1 - beta1^t)
+    """
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 2e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        super().__init__(params, lr)
+        self.beta1, self.beta2, self.eps = beta1, beta2, eps
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        """Apply one update step (see class docstring)."""
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        t = self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if not p.trainable:
+                continue
+            g = p.grad
+            m *= b1
+            m += (1.0 - b1) * g
+            v *= b2
+            v += (1.0 - b2) * g**2
+            m_hat = b1 * m / (1.0 - b1 ** (t + 1)) + (1.0 - b1) * g / (1.0 - b1**t)
+            v_hat = v / (1.0 - b2**t)
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

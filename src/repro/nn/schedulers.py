@@ -1,0 +1,124 @@
+"""Learning-rate schedulers.
+
+The paper's scheme (Section 3.4.2, following Szegedy et al. 2016) is to
+*exponentially decay the learning rate each time the validation loss
+plateaus after an epoch* — implemented here as
+:class:`ReduceLROnPlateau`.  :class:`StepDecay` is included for
+ablations.
+"""
+
+from __future__ import annotations
+
+from .optim import Optimizer
+
+__all__ = ["LinearWarmup", "ReduceLROnPlateau", "StepDecay"]
+
+
+class ReduceLROnPlateau:
+    """Multiply the learning rate by ``factor`` when the monitored
+    validation loss has not improved for ``patience`` epochs.
+
+    Parameters
+    ----------
+    optimizer:
+        The optimizer whose ``lr`` attribute is adjusted.
+    factor:
+        Exponential decay multiplier (0 < factor < 1).
+    patience:
+        Number of non-improving epochs tolerated before decaying.
+    min_lr:
+        Floor below which the learning rate is never reduced.
+    threshold:
+        Relative improvement required to count as "better".
+    """
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        factor: float = 0.5,
+        patience: int = 1,
+        min_lr: float = 1e-5,
+        threshold: float = 1e-4,
+    ):
+        if not 0.0 < factor < 1.0:
+            raise ValueError(f"factor must be in (0, 1), got {factor}")
+        self.optimizer = optimizer
+        self.factor = factor
+        self.patience = patience
+        self.min_lr = min_lr
+        self.threshold = threshold
+        self.best = float("inf")
+        self.num_bad_epochs = 0
+
+    def step(self, val_loss: float | None) -> bool:
+        """Record an epoch's validation loss; return True if lr decayed.
+
+        ``None`` (no validation signal this epoch) is a no-op."""
+        if val_loss is None:
+            return False
+        if val_loss < self.best * (1.0 - self.threshold):
+            self.best = val_loss
+            self.num_bad_epochs = 0
+            return False
+        self.num_bad_epochs += 1
+        if self.num_bad_epochs <= self.patience:
+            return False
+        self.num_bad_epochs = 0
+        new_lr = max(self.optimizer.lr * self.factor, self.min_lr)
+        decayed = new_lr < self.optimizer.lr
+        self.optimizer.lr = new_lr
+        return decayed
+
+
+class LinearWarmup:
+    """Ramp the learning rate linearly from ``start_factor * lr`` to the
+    target over ``warmup_epochs``, then hand over to an optional inner
+    scheduler.  Useful for the larger binarized networks whose early
+    straight-through gradients are noisy."""
+
+    def __init__(self, optimizer: Optimizer, warmup_epochs: int,
+                 start_factor: float = 0.1, after=None):
+        if warmup_epochs < 1:
+            raise ValueError(f"warmup_epochs must be >= 1, got {warmup_epochs}")
+        if not 0.0 < start_factor <= 1.0:
+            raise ValueError(f"start_factor must be in (0, 1], got {start_factor}")
+        self.optimizer = optimizer
+        self.warmup_epochs = warmup_epochs
+        self.target_lr = optimizer.lr
+        self.after = after
+        self._epoch = 0
+        optimizer.lr = start_factor * self.target_lr
+        self._start_lr = optimizer.lr
+
+    def step(self, val_loss: float | None = None) -> bool:
+        """Advance one epoch; returns True whenever the lr changed."""
+        self._epoch += 1
+        if self._epoch <= self.warmup_epochs:
+            fraction = self._epoch / self.warmup_epochs
+            self.optimizer.lr = (
+                self._start_lr + fraction * (self.target_lr - self._start_lr)
+            )
+            return True
+        if self.after is not None and val_loss is not None:
+            return self.after.step(val_loss)
+        return False
+
+
+class StepDecay:
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._epoch = 0
+
+    def step(self, val_loss: float | None = None) -> bool:
+        """Advance one epoch; return True if the lr was decayed."""
+        self._epoch += 1
+        if self._epoch % self.step_size == 0:
+            self.optimizer.lr *= self.gamma
+            return True
+        return False

@@ -1,0 +1,30 @@
+"""Model weight persistence (.npz checkpoints)."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_model", "load_model"]
+
+
+def save_model(model: Module, path: str | os.PathLike) -> None:
+    """Serialize every parameter and extra state array to a ``.npz`` file."""
+    state = model.state_dict()
+    # npz keys cannot contain '/', but dots are fine.
+    np.savez(path, **state)
+
+
+def load_model(model: Module, path: str | os.PathLike) -> Module:
+    """Load a checkpoint written by :func:`save_model` into ``model``.
+
+    The model must already have the matching architecture; shapes are
+    validated by :meth:`Module.load_state_dict`.
+    """
+    with np.load(path) as archive:
+        state = {key: archive[key] for key in archive.files}
+    model.load_state_dict(state)
+    return model

@@ -1,0 +1,143 @@
+"""Training loop implementing Algorithm 1 of the paper.
+
+The loop is the standard mini-batch gradient descent procedure: for
+each batch, run the forward pass (binarized layers binarize their
+weights and inputs internally), evaluate the loss, backpropagate
+(binarized layers apply Eq. 13 internally), and let the optimizer
+update the *real-valued* master weights.  Between epochs a validation
+pass feeds the plateau-based learning-rate decay (Section 3.4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .data import DataLoader
+from .losses import SoftmaxCrossEntropy
+from .module import Module
+from .optim import Optimizer
+from .schedulers import ReduceLROnPlateau
+
+__all__ = ["History", "Trainer", "evaluate_loss", "predict_logits"]
+
+
+@dataclass
+class History:
+    """Per-epoch training telemetry."""
+
+    train_loss: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+    lr: list[float] = field(default_factory=list)
+
+    @property
+    def epochs(self) -> int:
+        """Number of recorded epochs."""
+        return len(self.train_loss)
+
+
+def predict_logits(
+    model: Module, images: np.ndarray, batch_size: int = 256
+) -> np.ndarray:
+    """Run inference in batches and return stacked logits."""
+    outputs = []
+    for start in range(0, images.shape[0], batch_size):
+        outputs.append(model.forward(images[start : start + batch_size]))
+    return np.concatenate(outputs, axis=0)
+
+
+def evaluate_loss(
+    model: Module,
+    loader: DataLoader,
+    loss_fn: SoftmaxCrossEntropy | None = None,
+) -> float:
+    """Mean loss of ``model`` over every batch of ``loader`` (no grad)."""
+    loss_fn = loss_fn if loss_fn is not None else SoftmaxCrossEntropy()
+    total, count = 0.0, 0
+    for images, labels in loader:
+        logits = model.forward(images)
+        total += loss_fn.forward(logits, labels) * images.shape[0]
+        count += images.shape[0]
+    if count == 0:
+        raise ValueError("loader produced no batches")
+    return total / count
+
+
+class Trainer:
+    """Mini-batch gradient-descent trainer (Algorithm 1).
+
+    Parameters
+    ----------
+    model:
+        Any :class:`~repro.nn.module.Module` with a 2-class logit head.
+    optimizer:
+        Typically :class:`~repro.nn.optim.NAdam` per the paper.
+    scheduler:
+        Optional plateau scheduler stepped with the validation loss.
+    loss_fn:
+        Defaults to softmax cross-entropy (Section 3.4.3).
+    post_step:
+        Optional callable invoked after every optimizer step — used by
+        the BNN detector to clamp master weights to [-1, 1] so the
+        straight-through window of Eq. (10) stays active.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        optimizer: Optimizer,
+        scheduler: ReduceLROnPlateau | None = None,
+        loss_fn: SoftmaxCrossEntropy | None = None,
+        post_step=None,
+    ):
+        self.model = model
+        self.optimizer = optimizer
+        self.scheduler = scheduler
+        self.loss_fn = loss_fn if loss_fn is not None else SoftmaxCrossEntropy()
+        self.post_step = post_step
+
+    def train_batch(self, images: np.ndarray, labels: np.ndarray) -> float:
+        """One forward/backward/update step; returns the batch loss."""
+        self.model.zero_grad()
+        logits = self.model.forward(images, training=True)
+        loss = self.loss_fn.forward(logits, labels)
+        if not np.isfinite(loss):
+            raise FloatingPointError(f"non-finite training loss: {loss}")
+        self.model.backward(self.loss_fn.backward())
+        self.optimizer.step()
+        if self.post_step is not None:
+            self.post_step()
+        return loss
+
+    def fit(
+        self,
+        train_loader: DataLoader,
+        epochs: int,
+        val_loader: DataLoader | None = None,
+        verbose: bool = False,
+    ) -> History:
+        """Train for ``epochs`` epochs; returns the :class:`History`."""
+        history = History()
+        for epoch in range(epochs):
+            epoch_loss, seen = 0.0, 0
+            for images, labels in train_loader:
+                loss = self.train_batch(images, labels)
+                epoch_loss += loss * images.shape[0]
+                seen += images.shape[0]
+            train_loss = epoch_loss / max(seen, 1)
+            history.train_loss.append(train_loss)
+            history.lr.append(self.optimizer.lr)
+            val_loss = None
+            if val_loader is not None:
+                val_loss = evaluate_loss(self.model, val_loader, self.loss_fn)
+                history.val_loss.append(val_loss)
+            if self.scheduler is not None:
+                self.scheduler.step(val_loss)
+            if verbose:
+                msg = f"epoch {epoch + 1}/{epochs} train_loss={train_loss:.4f}"
+                if val_loader is not None:
+                    msg += f" val_loss={history.val_loss[-1]:.4f}"
+                msg += f" lr={self.optimizer.lr:.4g}"
+                print(msg)
+        return history

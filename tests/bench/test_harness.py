@@ -1,0 +1,95 @@
+"""Tests for the benchmark harness (caching, table formatting, timing)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    Stopwatch,
+    format_table,
+    load_benchmark,
+    run_detectors,
+    stopwatch,
+)
+from repro.detect import SPIE15Detector
+
+
+class TestFormatTable:
+    def test_columns_and_rows(self):
+        rows = [
+            {"Method": "A", "FA#": 1, "Accu (%)": 99.0},
+            {"Method": "Blong", "FA#": 23, "Accu (%)": 7.5},
+        ]
+        text = format_table(rows, title="Table 3")
+        lines = text.splitlines()
+        assert lines[0] == "Table 3"
+        assert "Method" in lines[1] and "FA#" in lines[1]
+        assert "Blong" in lines[4]
+        # aligned columns: every separator position consistent
+        assert lines[1].index("|") == lines[3].index("|")
+
+    def test_empty_rows(self):
+        assert format_table([], title="t") == "t"
+        assert format_table([]) == ""
+
+
+class TestTiming:
+    def test_stopwatch_accumulates(self):
+        sw = Stopwatch().start()
+        time.sleep(0.01)
+        first = sw.stop()
+        assert first > 0.0
+        sw.start()
+        sw.stop()
+        assert sw.elapsed >= first
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_context_manager(self):
+        with stopwatch() as sw:
+            time.sleep(0.005)
+        assert sw.elapsed >= 0.004
+
+
+class TestLoadBenchmark:
+    def test_generate_and_cache_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        fresh = load_benchmark(scale=0.0005, image_size=16, seed=3)
+        assert (tmp_path / (
+            "iccad2012_s0.0005_i16_r3_binary.npz"
+        )).exists()
+        cached = load_benchmark(scale=0.0005, image_size=16, seed=3)
+        np.testing.assert_array_equal(fresh.train.images, cached.train.images)
+        np.testing.assert_array_equal(fresh.test.labels, cached.test.labels)
+        assert cached.stats == fresh.stats
+
+    def test_cache_disabled(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        load_benchmark(scale=0.0005, image_size=16, seed=4, cache=False)
+        assert not list(tmp_path.glob("*.npz"))
+
+    def test_env_overrides(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.125")
+        monkeypatch.setenv("REPRO_BENCH_IMAGE", "48")
+        monkeypatch.setenv("REPRO_BENCH_EPOCHS", "3")
+        from repro.bench import bench_epochs, bench_image_size, bench_scale
+
+        assert bench_scale() == 0.125
+        assert bench_image_size() == 48
+        assert bench_epochs() == 3
+
+
+class TestRunDetectors:
+    def test_produces_table_rows(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        benchmark = load_benchmark(scale=0.001, image_size=16, seed=9)
+        results = run_detectors(
+            [SPIE15Detector(grid=4, n_estimators=5)], benchmark, seed=1
+        )
+        assert len(results) == 1
+        row = results[0].row()
+        assert set(row) == {"Method", "FA#", "Runtime (s)", "ODST (s)",
+                            "Accu (%)"}

@@ -1,0 +1,144 @@
+"""Tests for the binary convolution layer (Eq. 14-15 and Eq. 13)."""
+
+import numpy as np
+import pytest
+
+from repro.binary import BinaryConv2D, quantize
+from repro.nn import functional as F
+
+
+def reference_forward(layer, x):
+    """Independent re-derivation of Eq. 15 with nested loops over the
+    im2col decomposition (slow but obviously correct)."""
+    k = layer.kernel_size
+    c_out = layer.out_channels
+    n, c_in, h, w = x.shape
+    oh = F.conv_output_size(h, k, layer.stride, layer.padding)
+    ow = F.conv_output_size(w, k, layer.stride, layer.padding)
+    cols = F.im2col(quantize.sign(x), k, k, layer.stride, layer.padding,
+                    pad_value=-1.0)
+    w_b, alpha_w = quantize.binarize_weights(layer.weight.data)
+    w_mat = w_b.reshape(c_out, -1)
+    out = np.zeros((c_out, cols.shape[1]))
+    if layer.scaling == "channelwise":
+        alpha = quantize.input_scale_channelwise(x, k, k, layer.stride,
+                                                 layer.padding)
+        for f in range(c_out):
+            for p in range(cols.shape[1]):
+                acc = 0.0
+                for c in range(c_in):
+                    sl = slice(c * k * k, (c + 1) * k * k)
+                    acc += alpha[c, p] * float(w_mat[f, sl] @ cols[sl, p])
+                out[f, p] = alpha_w[f] * acc
+    elif layer.scaling == "xnor":
+        alpha = quantize.input_scale_xnor(x, k, k, layer.stride, layer.padding)
+        for f in range(c_out):
+            out[f] = alpha_w[f] * (w_mat[f] @ cols) * alpha[0]
+    else:
+        for f in range(c_out):
+            out[f] = alpha_w[f] * (w_mat[f] @ cols)
+    return out.reshape(c_out, n, oh, ow).transpose(1, 0, 2, 3)
+
+
+class TestForward:
+    @pytest.mark.parametrize("scaling", ["channelwise", "xnor", "none"])
+    def test_matches_reference(self, rng, scaling):
+        layer = BinaryConv2D(3, 4, 3, stride=1, padding=1, scaling=scaling,
+                             rng=rng)
+        x = rng.normal(size=(2, 3, 5, 5))
+        np.testing.assert_allclose(
+            layer.forward(x), reference_forward(layer, x), atol=1e-10
+        )
+
+    def test_strided(self, rng):
+        layer = BinaryConv2D(2, 3, 3, stride=2, padding=1, scaling="xnor",
+                             rng=rng)
+        x = rng.normal(size=(1, 2, 8, 8))
+        out = layer.forward(x)
+        assert out.shape == (1, 3, 4, 4)
+        np.testing.assert_allclose(out, reference_forward(layer, x), atol=1e-10)
+
+    def test_1x1_shortcut_conv(self, rng):
+        layer = BinaryConv2D(4, 8, 1, stride=2, padding=0, scaling="channelwise",
+                             rng=rng)
+        x = rng.normal(size=(2, 4, 6, 6))
+        out = layer.forward(x)
+        assert out.shape == (2, 8, 3, 3)
+        np.testing.assert_allclose(out, reference_forward(layer, x), atol=1e-10)
+
+    def test_invalid_scaling_raises(self):
+        with pytest.raises(ValueError):
+            BinaryConv2D(1, 1, 3, scaling="bogus")
+
+    def test_channel_mismatch_raises(self, rng):
+        layer = BinaryConv2D(3, 4, 3, rng=rng)
+        with pytest.raises(ValueError):
+            layer.forward(rng.normal(size=(1, 2, 5, 5)))
+
+    def test_output_insensitive_to_weight_magnitude_pattern(self, rng):
+        """Scaling the weights scales the output linearly via alpha_W:
+        the binary pattern itself is magnitude-invariant."""
+        layer = BinaryConv2D(2, 2, 3, padding=1, scaling="none", rng=rng)
+        x = rng.normal(size=(1, 2, 4, 4))
+        out1 = layer.forward(x)
+        layer.weight.data *= 2.0
+        np.testing.assert_allclose(layer.forward(x), 2.0 * out1, atol=1e-10)
+
+
+class TestBackward:
+    def test_weight_gradient_is_eq13_of_estimated_grad(self, rng):
+        """The accumulated weight gradient must equal Eq. 13 applied to
+        the gradient w.r.t. the estimated weight, which we recompute
+        independently from the cached scaled columns."""
+        layer = BinaryConv2D(2, 3, 3, padding=1, scaling="channelwise", rng=rng)
+        x = rng.normal(size=(2, 2, 5, 5))
+        out = layer.forward(x, training=True)
+        g = rng.normal(size=out.shape)
+        cols_scaled = layer._cache["cols_scaled"].copy()
+        alpha_w = layer._cache["alpha_w"].copy()
+        layer.backward(g)
+        grad_mat = g.transpose(1, 0, 2, 3).reshape(3, -1)
+        grad_est = (grad_mat @ cols_scaled.T).reshape(layer.weight.shape)
+        expected = quantize.weight_ste_grad(layer.weight.data, grad_est, alpha_w)
+        np.testing.assert_allclose(layer.weight.grad, expected, atol=1e-10)
+
+    def test_input_gradient_respects_ste_window(self, rng):
+        """Input entries with |x| >= 1 must receive zero gradient (Eq. 10)."""
+        layer = BinaryConv2D(1, 2, 3, padding=1, scaling="xnor", rng=rng)
+        x = rng.normal(size=(1, 1, 4, 4))
+        x[0, 0, 0, 0] = 5.0   # saturated
+        x[0, 0, 1, 1] = 0.5   # in-window
+        out = layer.forward(x, training=True)
+        gx = layer.backward(np.ones_like(out))
+        assert gx[0, 0, 0, 0] == 0.0
+        assert gx[0, 0, 1, 1] != 0.0
+
+    def test_backward_before_forward_raises(self, rng):
+        layer = BinaryConv2D(1, 1, 3, rng=rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 1, 3, 3)))
+
+    def test_gradients_accumulate(self, rng):
+        layer = BinaryConv2D(1, 2, 3, padding=1, scaling="none", rng=rng)
+        x = rng.normal(size=(1, 1, 4, 4))
+        out = layer.forward(x, training=True)
+        g = rng.normal(size=out.shape)
+        layer.backward(g)
+        first = layer.weight.grad.copy()
+        layer.forward(x, training=True)
+        layer.backward(g)
+        np.testing.assert_allclose(layer.weight.grad, 2 * first, atol=1e-12)
+
+
+class TestClip:
+    def test_clip_weights(self, rng):
+        layer = BinaryConv2D(1, 1, 3, rng=rng)
+        layer.weight.data[...] = 5.0
+        layer.clip_weights()
+        np.testing.assert_allclose(layer.weight.data, 1.0)
+
+    def test_clip_preserves_in_range(self, rng):
+        layer = BinaryConv2D(1, 1, 3, rng=rng)
+        before = layer.weight.data.copy()  # Xavier init is within [-1, 1]
+        layer.clip_weights()
+        np.testing.assert_array_equal(layer.weight.data, before)

@@ -1,0 +1,59 @@
+"""Tests for the binarized dense layer."""
+
+import numpy as np
+import pytest
+
+from repro.binary import BinaryDense, quantize
+
+
+class TestForward:
+    def test_matches_manual_formula(self, rng):
+        layer = BinaryDense(6, 3, rng=rng)
+        x = rng.normal(size=(4, 6))
+        out = layer.forward(x)
+        w = layer.weight.data
+        expected = (
+            quantize.sign(x) * np.abs(x).mean(axis=1, keepdims=True)
+        ) @ (quantize.sign(w) * np.abs(w).mean(axis=0))
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_unscaled_variant(self, rng):
+        layer = BinaryDense(5, 2, scaling=False, rng=rng)
+        x = rng.normal(size=(3, 5))
+        w = layer.weight.data
+        expected = quantize.sign(x) @ (quantize.sign(w) * np.abs(w).mean(axis=0))
+        np.testing.assert_allclose(layer.forward(x), expected, atol=1e-12)
+
+
+class TestBackward:
+    def test_weight_gradient_dense_eq13(self, rng):
+        layer = BinaryDense(4, 2, rng=rng)
+        x = rng.normal(size=(3, 4))
+        out = layer.forward(x, training=True)
+        g = rng.normal(size=out.shape)
+        x_est = layer._cache["x_est"].copy()
+        alpha_w = layer._cache["alpha_w"].copy()
+        layer.backward(g)
+        w = layer.weight.data
+        grad_est = x_est.T @ g
+        expected = grad_est * (1.0 / 4 + alpha_w * (np.abs(w) < 1))
+        np.testing.assert_allclose(layer.weight.grad, expected, atol=1e-12)
+
+    def test_input_ste_window(self, rng):
+        layer = BinaryDense(3, 2, rng=rng)
+        x = np.array([[0.5, 2.0, -0.3]])
+        out = layer.forward(x, training=True)
+        gx = layer.backward(np.ones_like(out))
+        assert gx[0, 1] == 0.0      # saturated input
+        assert gx[0, 0] != 0.0
+
+    def test_backward_before_forward_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            BinaryDense(2, 2, rng=rng).backward(np.zeros((1, 2)))
+
+
+def test_clip_weights(rng):
+    layer = BinaryDense(3, 3, rng=rng)
+    layer.weight.data[...] = -4.0
+    layer.clip_weights()
+    np.testing.assert_allclose(layer.weight.data, -1.0)

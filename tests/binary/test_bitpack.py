@@ -1,0 +1,160 @@
+"""Tests for bit-packed {-1,+1} arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.binary import BinaryConv2D, bitpack, quantize
+from repro.nn import functional as F
+
+
+class TestPackSigns:
+    def test_word_count(self, rng):
+        x = quantize.sign(rng.normal(size=(3, 70)))
+        packed = bitpack.pack_signs(x)
+        assert packed.shape == (3, 2)
+        assert packed.dtype == np.uint64
+
+    def test_exact_word_boundary(self, rng):
+        x = quantize.sign(rng.normal(size=(2, 128)))
+        assert bitpack.pack_signs(x).shape == (2, 2)
+
+    def test_bit_semantics(self):
+        x = np.array([[1.0, -1.0, 1.0, 1.0]])
+        packed = bitpack.pack_signs(x)
+        assert packed[0, 0] == 0b1101
+
+    def test_all_negative_is_zero(self):
+        packed = bitpack.pack_signs(-np.ones((1, 100)))
+        assert not packed.any()
+
+
+class TestPackedDot:
+    def test_matches_dense_dot(self, rng):
+        a = quantize.sign(rng.normal(size=90))
+        b = quantize.sign(rng.normal(size=90))
+        packed = bitpack.packed_dot(
+            bitpack.pack_signs(a), bitpack.pack_signs(b), 90
+        )
+        assert packed == int(a @ b)
+
+    def test_self_dot_is_n(self, rng):
+        a = quantize.sign(rng.normal(size=130))
+        pa = bitpack.pack_signs(a)
+        assert bitpack.packed_dot(pa, pa, 130) == 130
+
+    def test_opposite_dot_is_minus_n(self, rng):
+        a = quantize.sign(rng.normal(size=65))
+        assert bitpack.packed_dot(
+            bitpack.pack_signs(a), bitpack.pack_signs(-a), 65
+        ) == -65
+
+    def test_broadcast(self, rng):
+        a = quantize.sign(rng.normal(size=(5, 40)))
+        b = quantize.sign(rng.normal(size=40))
+        dots = bitpack.packed_dot(
+            bitpack.pack_signs(a), bitpack.pack_signs(b), 40
+        )
+        np.testing.assert_array_equal(dots, (a @ b).astype(np.int64))
+
+
+class TestPackedMatmul:
+    def test_matches_dense(self, rng):
+        a = quantize.sign(rng.normal(size=(6, 100)))
+        b = quantize.sign(rng.normal(size=(4, 100)))
+        out = bitpack.packed_matmul(
+            bitpack.pack_signs(a), bitpack.pack_signs(b), 100
+        )
+        np.testing.assert_array_equal(out, (a @ b.T).astype(np.int64))
+
+    def test_tall_operand_path(self, rng):
+        """rows > cols exercises the column-major loop branch."""
+        a = quantize.sign(rng.normal(size=(9, 33)))
+        b = quantize.sign(rng.normal(size=(2, 33)))
+        out = bitpack.packed_matmul(
+            bitpack.pack_signs(a), bitpack.pack_signs(b), 33
+        )
+        np.testing.assert_array_equal(out, (a @ b.T).astype(np.int64))
+
+
+class TestPackedConv:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1)])
+    def test_matches_float_sign_conv(self, rng, stride, padding):
+        """Packed popcount conv == float conv of the +/-1 tensors with
+        -1 border padding (the library's padding convention)."""
+        x = quantize.sign(rng.normal(size=(2, 3, 6, 6)))
+        w = quantize.sign(rng.normal(size=(4, 3, 3, 3)))
+        w_packed = bitpack.pack_filters(w)
+        out = bitpack.binary_conv2d_packed(x, w_packed, 4, 3, stride, padding)
+        cols = F.im2col(x, 3, 3, stride, padding, pad_value=-1.0)
+        oh = F.conv_output_size(6, 3, stride, padding)
+        expected = (w.reshape(4, -1) @ cols).reshape(4, 2, oh, oh)
+        expected = expected.transpose(1, 0, 2, 3)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_channelwise_path_matches_layer(self, rng):
+        layer = BinaryConv2D(3, 4, 3, stride=1, padding=1,
+                             scaling="channelwise", rng=rng)
+        x = rng.normal(size=(1, 3, 6, 6))
+        w_b, alpha_w = quantize.binarize_weights(layer.weight.data)
+        w_packed = bitpack.pack_signs(w_b.reshape(4, 3, 9))
+        alpha = quantize.input_scale_channelwise(x, 3, 3, 1, 1)
+        out = bitpack.binary_conv2d_packed_channelwise(
+            quantize.sign(x), w_packed, alpha, 4, 3, 1, 1
+        ) * alpha_w[None, :, None, None]
+        np.testing.assert_allclose(out, layer.forward(x), atol=1e-10)
+
+
+class TestChannelPacking:
+    def test_pack_channels_shape_and_bits(self, rng):
+        x = quantize.sign(rng.normal(size=(2, 70, 3, 3)))
+        packed = bitpack.pack_channels(x)
+        assert packed.shape == (2, 2, 3, 3)
+        # channel 0's sign lands in bit 0 of word 0
+        assert ((packed[:, 0, :, :] & 1) == (x[:, 0] > 0)).all()
+        # channel 64's sign lands in bit 0 of word 1
+        assert ((packed[:, 1, :, :] & 1) == (x[:, 64] > 0)).all()
+
+    def test_pack_filters_matches_im2col_order(self, rng):
+        """pack_filters rows must line up with im2col of pack_channels:
+        a filter dotted against its own pattern gives the full n."""
+        w = quantize.sign(rng.normal(size=(1, 5, 3, 3)))
+        w_packed = bitpack.pack_filters(w)
+        # build an input equal to the filter pattern at the only position
+        out = bitpack.binary_conv2d_packed(w[:1], w_packed, 1, 3, 1, 0,
+                                           in_channels=5)
+        assert out[0, 0, 0, 0] == 5 * 9
+
+    def test_many_filters_vectorised_branch(self, rng):
+        """out_channels > words exercises the tap-accumulation path."""
+        x = quantize.sign(rng.normal(size=(1, 4, 5, 5)))
+        w = quantize.sign(rng.normal(size=(16, 4, 3, 3)))
+        out = bitpack.binary_conv2d_packed(x, bitpack.pack_filters(w),
+                                           16, 3, 1, 1)
+        cols = F.im2col(x, 3, 3, 1, 1, pad_value=-1.0)
+        expected = (w.reshape(16, -1) @ cols).reshape(16, 1, 5, 5)
+        np.testing.assert_array_equal(out, expected.transpose(1, 0, 2, 3))
+
+
+class TestPopcount:
+    def test_known_values(self):
+        x = np.array([0, 1, 3, 255, 2**64 - 1], dtype=np.uint64)
+        np.testing.assert_array_equal(
+            bitpack.popcount(x).astype(int), [0, 1, 2, 8, 64]
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(1, 200),
+    seed=st.integers(0, 10_000),
+)
+def test_packed_dot_equals_dense_property(n, seed):
+    """Property: n - 2*hamming == dense +/-1 dot for any length,
+    including non-multiples of 64."""
+    rng = np.random.default_rng(seed)
+    a = quantize.sign(rng.normal(size=n))
+    b = quantize.sign(rng.normal(size=n))
+    packed = bitpack.packed_dot(bitpack.pack_signs(a), bitpack.pack_signs(b), n)
+    assert packed == int(a @ b)

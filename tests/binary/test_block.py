@@ -1,0 +1,62 @@
+"""Tests for the BNN convolution block (Figure 3) and weight clipping."""
+
+import numpy as np
+
+from repro.binary import BinaryConv2D, BNNConvBlock, clip_binary_weights
+from repro.models import bnn_resnet8
+from repro.nn import Sequential
+
+
+class TestBNNConvBlock:
+    def test_composes_bn_then_conv(self, rng):
+        block = BNNConvBlock(2, 4, 3, rng=rng)
+        x = rng.normal(size=(3, 2, 6, 6))
+        out = block.forward(x, training=True)
+        manual = block.conv.forward(block.bn.forward(x, training=True),
+                                    training=True)
+        np.testing.assert_allclose(out, manual, atol=1e-12)
+
+    def test_same_padding_default(self, rng):
+        block = BNNConvBlock(1, 2, 3, rng=rng)
+        out = block.forward(rng.normal(size=(1, 1, 8, 8)))
+        assert out.shape == (1, 2, 8, 8)
+
+    def test_stride_and_explicit_padding(self, rng):
+        block = BNNConvBlock(1, 2, 1, stride=2, padding=0, rng=rng)
+        out = block.forward(rng.normal(size=(1, 1, 8, 8)))
+        assert out.shape == (1, 2, 4, 4)
+
+    def test_backward_chains(self, rng):
+        block = BNNConvBlock(2, 2, 3, rng=rng)
+        x = rng.normal(size=(2, 2, 5, 5))
+        out = block.forward(x, training=True)
+        gx = block.backward(np.ones_like(out))
+        assert gx.shape == x.shape
+        assert np.abs(block.conv.weight.grad).sum() > 0
+        assert np.abs(block.bn.gamma.grad).sum() > 0
+
+
+class TestClipBinaryWeights:
+    def test_clips_every_binary_layer_in_tree(self, rng):
+        model = bnn_resnet8(seed=0)
+        for _, p in model.named_parameters():
+            if "conv.weight" in p.name:
+                p.data[...] = 7.0
+        clip_binary_weights(model)
+        for _, p in model.named_parameters():
+            if "conv.weight" in p.name:
+                assert np.abs(p.data).max() <= 1.0
+
+    def test_leaves_non_binary_layers_alone(self, rng):
+        model = bnn_resnet8(seed=0)
+        # the dense head is full precision and must not be clamped
+        head = model.layers[-1]
+        head.weight.data[...] = 3.0
+        clip_binary_weights(model)
+        np.testing.assert_allclose(head.weight.data, 3.0)
+
+    def test_handles_plain_sequential(self, rng):
+        net = Sequential(BinaryConv2D(1, 1, 3, rng=rng))
+        net.layers[0].weight.data[...] = -9.0
+        clip_binary_weights(net)
+        np.testing.assert_allclose(net.layers[0].weight.data, -1.0)

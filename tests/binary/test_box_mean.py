@@ -1,0 +1,63 @@
+"""Property tests for the integral-image box filter behind Eq. 14."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.binary.quantize import box_mean
+from repro.nn import functional as F
+
+
+def naive_box_mean(x, k, stride, padding):
+    """Window means via im2col — the obviously correct reference."""
+    n, c = x.shape[:2]
+    cols = F.im2col(x, k, k, stride, padding)
+    means = cols.reshape(c, k * k, -1).mean(axis=1)  # (c, n*oh*ow)
+    oh = F.conv_output_size(x.shape[2], k, stride, padding)
+    ow = F.conv_output_size(x.shape[3], k, stride, padding)
+    return means.reshape(c, n, oh, ow).transpose(1, 0, 2, 3)
+
+
+class TestBoxMean:
+    @pytest.mark.parametrize("k,stride,padding",
+                             [(3, 1, 1), (3, 2, 1), (1, 1, 0), (5, 1, 2),
+                              (2, 2, 0)])
+    def test_matches_im2col_reference(self, rng, k, stride, padding):
+        x = rng.normal(size=(2, 3, 8, 8))
+        np.testing.assert_allclose(
+            box_mean(x, k, k, stride, padding),
+            naive_box_mean(x, k, stride, padding),
+            atol=1e-10,
+        )
+
+    def test_constant_interior(self):
+        x = np.full((1, 1, 6, 6), 3.0)
+        means = box_mean(x, 3, 3, 1, 0)
+        np.testing.assert_allclose(means, 3.0)
+
+    def test_zero_padding_attenuates_borders(self):
+        x = np.ones((1, 1, 4, 4))
+        means = box_mean(x, 3, 3, 1, 1)
+        assert means[0, 0, 0, 0] == pytest.approx(4.0 / 9.0)
+        assert means[0, 0, 1, 1] == pytest.approx(1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 3000),
+    k=st.integers(1, 4),
+    stride=st.integers(1, 2),
+    size=st.integers(4, 10),
+)
+def test_box_mean_property(seed, k, stride, size):
+    """Property: integral-image window means equal the im2col means for
+    arbitrary geometry."""
+    rng = np.random.default_rng(seed)
+    padding = k // 2
+    x = rng.normal(size=(1, 2, size, size))
+    np.testing.assert_allclose(
+        box_mean(x, k, k, stride, padding),
+        naive_box_mean(x, k, stride, padding),
+        atol=1e-9,
+    )

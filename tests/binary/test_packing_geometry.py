@@ -1,0 +1,74 @@
+"""Edge-case tests for the dense tap-packing geometry."""
+
+import numpy as np
+import pytest
+
+from repro.binary import bitpack, quantize
+from repro.nn import functional as F
+
+
+class TestTapPackingArithmetic:
+    def test_taps_per_word(self):
+        assert bitpack._taps_per_word(1) == 64
+        assert bitpack._taps_per_word(16) == 4
+        assert bitpack._taps_per_word(33) == 1
+        assert bitpack._taps_per_word(64) == 1
+        assert bitpack._taps_per_word(65) == 1
+        assert bitpack._taps_per_word(128) == 1
+
+    def test_conv_words(self):
+        assert bitpack._conv_words(1, 3) == 1      # 9 taps x 1 bit
+        assert bitpack._conv_words(16, 3) == 3     # 9 taps / 4 per word
+        assert bitpack._conv_words(64, 3) == 9     # 1 tap per word
+        assert bitpack._conv_words(65, 3) == 18    # 2 channel words per tap
+        assert bitpack._conv_words(128, 1) == 2
+
+    @pytest.mark.parametrize("c", [1, 2, 7, 16, 24, 33, 63, 64, 65, 96, 130])
+    def test_packed_conv_exact_across_channel_counts(self, rng, c):
+        """The n - 2*hamming identity must hold at every packing regime:
+        dense multi-tap words, one-tap words, multi-word channels."""
+        x = quantize.sign(rng.normal(size=(1, c, 5, 5)))
+        w = quantize.sign(rng.normal(size=(3, c, 3, 3)))
+        out = bitpack.binary_conv2d_packed(
+            x, bitpack.pack_filters(w), 3, 3, 1, 1, in_channels=c
+        )
+        cols = F.im2col(x, 3, 3, 1, 1, pad_value=-1.0)
+        expected = (w.reshape(3, -1) @ cols).reshape(3, 1, 5, 5)
+        np.testing.assert_array_equal(out, expected.transpose(1, 0, 2, 3))
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 5])
+    def test_packed_conv_exact_across_kernels(self, rng, k):
+        c = 4
+        size = 7
+        x = quantize.sign(rng.normal(size=(2, c, size, size)))
+        w = quantize.sign(rng.normal(size=(2, c, k, k)))
+        padding = k // 2
+        out = bitpack.binary_conv2d_packed(
+            x, bitpack.pack_filters(w), 2, k, 1, padding, in_channels=c
+        )
+        cols = F.im2col(x, k, k, 1, padding, pad_value=-1.0)
+        oh = F.conv_output_size(size, k, 1, padding)
+        expected = (w.reshape(2, -1) @ cols).reshape(2, 2, oh, oh)
+        np.testing.assert_array_equal(out, expected.transpose(1, 0, 2, 3))
+
+    def test_raw_input_binarized_by_sign_bit(self, rng):
+        """Zero activations map to +1 (the quantize.sign convention)."""
+        x = np.zeros((1, 1, 4, 4))
+        w = quantize.sign(rng.normal(size=(1, 1, 3, 3)))
+        out = bitpack.binary_conv2d_packed(
+            x, bitpack.pack_filters(w), 1, 3, 1, 0, in_channels=1
+        )
+        # sign(0) = +1 everywhere: dot = sum of filter signs
+        assert out[0, 0, 0, 0] == w.sum()
+
+    def test_narrow_word_path_uint16(self, rng):
+        """c*k*k <= 16 goes through the uint16 fast path; results must
+        be identical to the general path's semantics."""
+        x = quantize.sign(rng.normal(size=(2, 1, 6, 6)))
+        w = quantize.sign(rng.normal(size=(4, 1, 3, 3)))
+        out = bitpack.binary_conv2d_packed(
+            x, bitpack.pack_filters(w), 4, 3, 2, 1, in_channels=1
+        )
+        cols = F.im2col(x, 3, 3, 2, 1, pad_value=-1.0)
+        expected = (w.reshape(4, -1) @ cols).reshape(4, 2, 3, 3)
+        np.testing.assert_array_equal(out, expected.transpose(1, 0, 2, 3))

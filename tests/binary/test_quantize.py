@@ -1,0 +1,155 @@
+"""Tests for the binarization math of Section 3.2 (Eq. 4-9, 13, 14)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.binary import quantize
+from repro.nn import functional as F
+
+
+class TestOptimalScale:
+    def test_matches_l1_over_n(self, rng):
+        c = rng.normal(size=17)
+        assert quantize.optimal_scale(c) == pytest.approx(
+            np.abs(c).sum() / c.size
+        )
+
+    def test_axis_reduction(self, rng):
+        c = rng.normal(size=(3, 4, 5))
+        per_slice = quantize.optimal_scale(c, axis=(1, 2))
+        assert per_slice.shape == (3,)
+        np.testing.assert_allclose(per_slice, np.abs(c).mean(axis=(1, 2)))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    c=arrays(np.float64, st.integers(2, 24),
+             elements=st.floats(-10, 10, allow_nan=False)),
+    alpha=st.floats(0.001, 20.0),
+)
+def test_eq7_alpha_star_is_optimal_property(c, alpha):
+    """Property (Eq. 7): alpha* = mean|C| minimises ||C - a*sign(C)||^2
+    over all positive a, for the optimal sign pattern."""
+    c_b = quantize.sign(c)
+    alpha_star = quantize.optimal_scale(c)
+    best = np.linalg.norm(c - alpha_star * c_b) ** 2
+    other = np.linalg.norm(c - alpha * c_b) ** 2
+    assert best <= other + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    c=arrays(np.float64, st.integers(1, 12),
+             elements=st.floats(-5, 5, allow_nan=False)),
+    flip_mask=st.integers(0, 2**12 - 1),
+)
+def test_eq7_sign_pattern_is_optimal_property(c, flip_mask):
+    """Property (Eq. 7): sign(C) beats any other +/-1 pattern at the
+    respective optimal scale."""
+    n = c.size
+    c_b = quantize.sign(c)
+    other = c_b.copy()
+    for i in range(n):
+        if flip_mask & (1 << i):
+            other[i] = -other[i]
+    def loss(pattern):
+        a = max(float((c * pattern).sum()) / n, 0.0)  # optimal a for pattern
+        return np.linalg.norm(c - a * pattern) ** 2
+    assert loss(c_b) <= loss(other) + 1e-9
+
+
+class TestBinarizeWeights:
+    def test_shapes_and_values(self, rng):
+        w = rng.normal(size=(4, 3, 3, 3))
+        w_b, alpha = quantize.binarize_weights(w)
+        assert w_b.shape == w.shape
+        assert alpha.shape == (4,)
+        assert set(np.unique(w_b)) <= {-1.0, 1.0}
+        np.testing.assert_allclose(alpha, np.abs(w).mean(axis=(1, 2, 3)))
+
+    def test_estimated_weight_formula(self, rng):
+        """Eq. 9: W~ = (1/n) * sign(W) * ||W||_1 per filter."""
+        w = rng.normal(size=(2, 2, 3, 3))
+        w_b, alpha = quantize.binarize_weights(w)
+        estimated = alpha.reshape(-1, 1, 1, 1) * w_b
+        n = 2 * 3 * 3
+        for k in range(2):
+            manual = np.sign(w[k]) * np.abs(w[k]).sum() / n
+            # quantize.sign maps 0 -> +1 but Gaussian draws are never 0
+            np.testing.assert_allclose(estimated[k], manual)
+
+    def test_non_4d_raises(self, rng):
+        with pytest.raises(ValueError):
+            quantize.binarize_weights(rng.normal(size=(3, 3)))
+
+
+class TestWeightSTEGrad:
+    def test_eq13_formula(self, rng):
+        """Eq. 13: dl/dW = dl/dW~ * (1/n + alpha * 1_{|W|<1})."""
+        w = rng.uniform(-2, 2, size=(3, 2, 3, 3))
+        g = rng.normal(size=w.shape)
+        _, alpha = quantize.binarize_weights(w)
+        grad = quantize.weight_ste_grad(w, g, alpha)
+        n = 2 * 3 * 3
+        expected = g * (1.0 / n + alpha.reshape(-1, 1, 1, 1) * (np.abs(w) < 1))
+        np.testing.assert_allclose(grad, expected)
+
+    def test_saturated_weights_keep_scale_path(self, rng):
+        """|W| >= 1 weights still receive the 1/n gradient (alpha path)."""
+        w = np.full((1, 1, 2, 2), 3.0)
+        g = np.ones_like(w)
+        grad = quantize.weight_ste_grad(w, g, np.array([3.0]))
+        np.testing.assert_allclose(grad, 0.25)
+
+
+class TestInputScales:
+    def test_channelwise_matches_naive(self, rng):
+        """Eq. 14: alpha_T(c) = |T(c)| convolved with the averaging K."""
+        x = rng.normal(size=(2, 3, 6, 6))
+        k, stride, padding = 3, 1, 1
+        alpha = quantize.input_scale_channelwise(x, k, k, stride, padding)
+        cols = F.im2col(np.abs(x), k, k, stride, padding)
+        naive = cols.reshape(3, k * k, -1).mean(axis=1)
+        np.testing.assert_allclose(alpha, naive)
+
+    def test_channelwise_constant_input(self):
+        """Interior windows of a constant |x| average to that constant."""
+        x = np.full((1, 2, 5, 5), -2.0)
+        alpha = quantize.input_scale_channelwise(x, 3, 3, 1, 0)
+        np.testing.assert_allclose(alpha, 2.0)
+
+    def test_xnor_is_channel_mean(self, rng):
+        x = rng.normal(size=(1, 4, 5, 5))
+        xnor = quantize.input_scale_xnor(x, 3, 3, 1, 1)
+        chan = quantize.input_scale_channelwise(x, 3, 3, 1, 1)
+        assert xnor.shape[0] == 1
+        np.testing.assert_allclose(xnor[0], chan.mean(axis=0), atol=1e-12)
+
+    def test_scales_are_nonnegative(self, rng):
+        x = rng.normal(size=(2, 2, 6, 6))
+        assert (quantize.input_scale_channelwise(x, 3, 3, 2, 1) >= 0).all()
+        assert (quantize.input_scale_xnor(x, 3, 3, 2, 1) >= 0).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    values=arrays(np.float64, (1, 2, 4, 4),
+                  elements=st.floats(-8, 8, allow_nan=False)),
+)
+def test_channelwise_scaling_estimates_better_property(values):
+    """The per-channel scaling map (Eq. 14) never estimates the true
+    input tensor worse than XNOR-Net's channel-shared map — the paper's
+    stated motivation for the refinement."""
+    k = 3
+    cols = F.im2col(values, k, k, 1, 1)            # true patches
+    sign_cols = F.im2col(quantize.sign(values), k, k, 1, 1)
+    chan = np.repeat(
+        quantize.input_scale_channelwise(values, k, k, 1, 1), k * k, axis=0
+    )
+    xnor = quantize.input_scale_xnor(values, k, k, 1, 1)
+    err_chan = np.linalg.norm(cols - sign_cols * chan)
+    err_xnor = np.linalg.norm(cols - sign_cols * xnor)
+    assert err_chan <= err_xnor + 1e-9

@@ -1,0 +1,34 @@
+"""Tests for biased-learning targets (Section 3.4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.detect import biased_targets
+
+
+class TestBiasedTargets:
+    def test_paper_values(self):
+        """eps = 0.2: NHS -> [0.8, 0.2], HS stays [0, 1]."""
+        targets = biased_targets(np.array([0, 1]), epsilon=0.2)
+        np.testing.assert_allclose(targets, [[0.8, 0.2], [0.0, 1.0]])
+
+    def test_zero_epsilon_is_one_hot(self):
+        targets = biased_targets(np.array([0, 1, 0]), epsilon=0.0)
+        np.testing.assert_allclose(targets, [[1, 0], [0, 1], [1, 0]])
+
+    def test_rows_are_distributions(self, rng):
+        labels = rng.integers(0, 2, size=50)
+        targets = biased_targets(labels, epsilon=0.3)
+        np.testing.assert_allclose(targets.sum(axis=1), 1.0)
+        assert (targets >= 0).all()
+
+    def test_hotspot_targets_never_softened(self, rng):
+        labels = np.ones(5, dtype=int)
+        targets = biased_targets(labels, epsilon=0.4)
+        np.testing.assert_allclose(targets, [[0.0, 1.0]] * 5)
+
+    def test_invalid_epsilon_raises(self):
+        with pytest.raises(ValueError):
+            biased_targets(np.array([0]), epsilon=1.0)
+        with pytest.raises(ValueError):
+            biased_targets(np.array([0]), epsilon=-0.1)

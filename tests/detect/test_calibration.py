@@ -1,0 +1,70 @@
+"""Tests for the BNN detector's operating-point calibration."""
+
+import numpy as np
+import pytest
+
+from repro.detect import BNNDetector
+from repro.nn import ArrayDataset
+
+from ..conftest import make_separable_images
+
+
+@pytest.fixture(scope="module")
+def trained_pair():
+    rng = np.random.default_rng(0)
+    train_images, train_labels = make_separable_images(40, size=16, rng=rng)
+    test_images, test_labels = make_separable_images(20, size=16, rng=rng)
+    return (
+        ArrayDataset(train_images, train_labels),
+        ArrayDataset(test_images, test_labels),
+    )
+
+
+class TestTargetFARate:
+    def test_calibration_sets_decision_bias(self, trained_pair):
+        train, _ = trained_pair
+        detector = BNNDetector(channels=(4, 8), epochs=3, finetune_epochs=0,
+                               batch_size=16, seed=0, stem_stride=1,
+                               target_fa_rate=0.2)
+        detector.fit(train, np.random.default_rng(1))
+        assert detector.decision_bias != 0.0
+
+    def test_no_calibration_keeps_argmax(self, trained_pair):
+        train, _ = trained_pair
+        detector = BNNDetector(channels=(4, 8), epochs=3, finetune_epochs=0,
+                               batch_size=16, seed=0, stem_stride=1)
+        detector.fit(train, np.random.default_rng(1))
+        assert detector.decision_bias == 0.0
+
+    def test_stricter_target_flags_fewer(self, trained_pair):
+        train, test = trained_pair
+        flags = {}
+        for rate in (0.05, 0.5):
+            detector = BNNDetector(channels=(4, 8), epochs=3,
+                                   finetune_epochs=0, batch_size=16, seed=0,
+                                   stem_stride=1, target_fa_rate=rate)
+            detector.fit(train, np.random.default_rng(1))
+            flags[rate] = int(detector.predict(test.images).sum())
+        assert flags[0.05] <= flags[0.5]
+
+    def test_decision_bias_shifts_predictions(self, trained_pair):
+        train, test = trained_pair
+        detector = BNNDetector(channels=(4, 8), epochs=3, finetune_epochs=0,
+                               batch_size=16, seed=0, stem_stride=1)
+        detector.fit(train, np.random.default_rng(1))
+        argmax_flags = int(detector.predict(test.images).sum())
+        detector.decision_bias = 1e9
+        assert detector.predict(test.images).sum() == 0
+        detector.decision_bias = -1e9
+        assert detector.predict(test.images).sum() == len(test)
+        detector.decision_bias = 0.0
+        assert int(detector.predict(test.images).sum()) == argmax_flags
+
+    def test_refit_resets_bias(self, trained_pair):
+        train, _ = trained_pair
+        detector = BNNDetector(channels=(4,), epochs=1, finetune_epochs=0,
+                               batch_size=16, seed=0, stem_stride=1)
+        detector.fit(train, np.random.default_rng(1))
+        detector.decision_bias = 5.0
+        detector.fit(train, np.random.default_rng(1))
+        assert detector.decision_bias == 0.0

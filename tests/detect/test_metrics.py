@@ -1,0 +1,82 @@
+"""Tests for the contest metrics (Table 1, Eq. 1-3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detect import ConfusionMatrix, DetectionMetrics
+
+
+class TestConfusionMatrix:
+    def test_from_predictions(self):
+        predicted = np.array([1, 1, 0, 0, 1])
+        actual = np.array([1, 0, 0, 1, 1])
+        cm = ConfusionMatrix.from_predictions(predicted, actual)
+        assert (cm.tp, cm.fp, cm.tn, cm.fn) == (2, 1, 1, 1)
+
+    def test_accuracy_is_hotspot_recall(self):
+        """Definition 2.1: accuracy = TP / (TP + FN), not overall accuracy."""
+        cm = ConfusionMatrix(tp=8, fp=100, tn=0, fn=2)
+        assert cm.accuracy == pytest.approx(0.8)
+
+    def test_false_alarm_is_fp_count(self):
+        cm = ConfusionMatrix(tp=0, fp=37, tn=5, fn=0)
+        assert cm.false_alarm == 37
+
+    def test_no_positives_zero_accuracy(self):
+        cm = ConfusionMatrix(tp=0, fp=3, tn=5, fn=0)
+        assert cm.accuracy == 0.0
+
+    def test_precision(self):
+        cm = ConfusionMatrix(tp=3, fp=1, tn=0, fn=0)
+        assert cm.precision == pytest.approx(0.75)
+        assert ConfusionMatrix(0, 0, 4, 4).precision == 0.0
+
+    def test_odst_eq3(self):
+        """Eq. 3 with t_ls = 10: every flagged clip is re-simulated."""
+        cm = ConfusionMatrix(tp=5, fp=3, tn=10, fn=2)
+        assert cm.odst(runtime_s=7.0) == pytest.approx((5 + 3) * 10.0 + 7.0)
+
+    def test_odst_custom_litho_time(self):
+        cm = ConfusionMatrix(tp=1, fp=1, tn=0, fn=0)
+        assert cm.odst(0.0, litho_seconds=2.5) == pytest.approx(5.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ConfusionMatrix.from_predictions(np.zeros(3), np.zeros(4))
+
+
+class TestDetectionMetrics:
+    def test_row_format(self):
+        cm = ConfusionMatrix(tp=9, fp=4, tn=80, fn=1)
+        metrics = DetectionMetrics("demo", cm, train_time_s=1.0, eval_time_s=0.5)
+        row = metrics.row()
+        assert row["Method"] == "demo"
+        assert row["FA#"] == 4
+        assert row["Accu (%)"] == 90.0
+        assert row["ODST (s)"] == pytest.approx((9 + 4) * 10 + 0.5, abs=0.1)
+
+    def test_properties_delegate(self):
+        cm = ConfusionMatrix(tp=1, fp=2, tn=3, fn=4)
+        metrics = DetectionMetrics("d", cm, 0.0, 1.0)
+        assert metrics.false_alarm == 2
+        assert metrics.accuracy == pytest.approx(0.2)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(1, 200),
+    seed=st.integers(0, 9999),
+)
+def test_confusion_identities_property(n, seed):
+    """Property: TP+FN = #hotspots, FP+TN = #non-hotspots, and the four
+    cells partition the dataset (Table 1)."""
+    rng = np.random.default_rng(seed)
+    predicted = rng.integers(0, 2, size=n)
+    actual = rng.integers(0, 2, size=n)
+    cm = ConfusionMatrix.from_predictions(predicted, actual)
+    assert cm.tp + cm.fn == int(actual.sum())
+    assert cm.fp + cm.tn == int(n - actual.sum())
+    assert cm.total == n
+    assert cm.odst(0.0) == 10.0 * predicted.sum()

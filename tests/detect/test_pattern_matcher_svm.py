@@ -1,0 +1,96 @@
+"""Tests for the pattern matcher and SVM detectors."""
+
+import numpy as np
+import pytest
+
+from repro.detect import PatternMatchDetector, SVMDetector
+from repro.nn import ArrayDataset
+
+from ..conftest import make_separable_images
+
+
+@pytest.fixture(scope="module")
+def planted():
+    rng = np.random.default_rng(0)
+    train_images, train_labels = make_separable_images(25, size=16, rng=rng)
+    test_images, test_labels = make_separable_images(12, size=16, rng=rng)
+    return (
+        ArrayDataset(train_images, train_labels),
+        ArrayDataset(test_images, test_labels),
+    )
+
+
+class TestPatternMatcher:
+    def test_exact_repeats_always_flagged(self, planted):
+        train, _ = planted
+        detector = PatternMatchDetector(max_distance_fraction=0.0)
+        detector.fit(train, np.random.default_rng(0))
+        hotspots = train.images[train.labels == 1]
+        np.testing.assert_array_equal(
+            detector.predict(hotspots), np.ones(len(hotspots), dtype=np.int64)
+        )
+
+    def test_flipped_repeats_flagged(self, planted):
+        train, _ = planted
+        detector = PatternMatchDetector(max_distance_fraction=0.0,
+                                        include_flips=True)
+        detector.fit(train, np.random.default_rng(0))
+        flipped = train.images[train.labels == 1][:, :, :, ::-1]
+        assert detector.predict(flipped).all()
+
+    def test_novel_pattern_type_missed(self, planted):
+        """The Section 1 limitation: unseen pattern families score zero."""
+        train, _ = planted
+        detector = PatternMatchDetector(max_distance_fraction=0.02)
+        detector.fit(train, np.random.default_rng(0))
+        # a pattern type absent from training: thin full-width stripes
+        novel = np.zeros((6, 1, 16, 16), dtype=np.float32)
+        novel[:, :, ::4, :] = 1.0
+        assert detector.predict(novel).sum() == 0
+
+    def test_library_deduplicated(self, planted):
+        train, _ = planted
+        detector = PatternMatchDetector()
+        detector.fit(train, np.random.default_rng(0))
+        assert 0 < detector.library_size <= 4 * int(train.labels.sum())
+
+    def test_no_hotspots_raises(self):
+        images = np.zeros((4, 1, 16, 16), dtype=np.float32)
+        dataset = ArrayDataset(images, np.zeros(4, dtype=np.int64))
+        with pytest.raises(ValueError):
+            PatternMatchDetector().fit(dataset, np.random.default_rng(0))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            PatternMatchDetector().predict(np.zeros((1, 1, 16, 16)))
+
+    def test_invalid_fraction_raises(self):
+        with pytest.raises(ValueError):
+            PatternMatchDetector(max_distance_fraction=1.0)
+
+    def test_tolerance_widens_matching(self, planted):
+        train, test = planted
+        strict = PatternMatchDetector(max_distance_fraction=0.0)
+        loose = PatternMatchDetector(max_distance_fraction=0.3)
+        strict.fit(train, np.random.default_rng(0))
+        loose.fit(train, np.random.default_rng(0))
+        assert loose.predict(test.images).sum() >= (
+            strict.predict(test.images).sum()
+        )
+
+
+class TestSVMDetector:
+    @pytest.mark.parametrize("kernel", ["linear", "rbf"])
+    def test_learns_planted_signal(self, planted, kernel):
+        train, test = planted
+        detector = SVMDetector(kernel=kernel, grid=4)
+        metrics = detector.fit_evaluate(train, test, np.random.default_rng(1))
+        assert metrics.accuracy > 0.6
+
+    def test_invalid_kernel_raises(self):
+        with pytest.raises(ValueError):
+            SVMDetector(kernel="laplace")
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            SVMDetector().predict(np.zeros((1, 1, 16, 16)))

@@ -1,0 +1,84 @@
+"""Tests for ROC analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detect import RocCurve, auc, roc_curve
+
+
+class TestRocCurve:
+    def test_perfect_separation(self):
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        labels = np.array([1, 1, 0, 0])
+        curve = roc_curve(scores, labels)
+        assert auc(curve) == pytest.approx(1.0)
+        assert curve.recall_at_fa_rate(0.0) == 1.0
+
+    def test_inverted_scores(self):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        labels = np.array([1, 1, 0, 0])
+        assert auc(roc_curve(scores, labels)) == pytest.approx(0.0)
+
+    def test_random_scores_auc_half(self, rng):
+        scores = rng.normal(size=4000)
+        labels = rng.integers(0, 2, size=4000)
+        assert auc(roc_curve(scores, labels)) == pytest.approx(0.5, abs=0.05)
+
+    def test_curve_starts_at_origin_ends_at_one(self, rng):
+        scores = rng.normal(size=50)
+        labels = np.array([0, 1] * 25)
+        curve = roc_curve(scores, labels)
+        assert curve.fa_rate[0] == 0.0 and curve.recall[0] == 0.0
+        assert curve.fa_rate[-1] == 1.0 and curve.recall[-1] == 1.0
+
+    def test_monotone(self, rng):
+        scores = rng.normal(size=60)
+        labels = rng.integers(0, 2, size=60)
+        curve = roc_curve(scores, labels)
+        assert (np.diff(curve.fa_rate) >= 0).all()
+        assert (np.diff(curve.recall) >= 0).all()
+
+    def test_threshold_for_fa_rate(self):
+        scores = np.array([3.0, 2.0, 1.0, 0.0])
+        labels = np.array([1, 0, 1, 0])
+        curve = roc_curve(scores, labels)
+        tau = curve.threshold_for_fa_rate(0.0)
+        assert ((scores > tau) & (labels == 0)).sum() == 0
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            roc_curve(np.array([1.0, 2.0]), np.array([1, 1]))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            roc_curve(np.zeros(3), np.zeros(4))
+
+    def test_tied_scores_collapsed(self):
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        labels = np.array([1, 0, 1, 0])
+        curve = roc_curve(scores, labels)
+        # one +inf point and one point for the single distinct score
+        assert curve.thresholds.size == 2
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2000), n=st.integers(4, 80))
+def test_auc_in_unit_interval_property(seed, n):
+    rng = np.random.default_rng(seed)
+    labels = np.concatenate([[0, 1], rng.integers(0, 2, size=n - 2)])
+    scores = rng.normal(size=n)
+    value = auc(roc_curve(scores, labels))
+    assert -1e-9 <= value <= 1.0 + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2000), shift=st.floats(0.5, 4.0))
+def test_auc_improves_with_separation_property(seed, shift):
+    """Property: shifting positives upward can only raise AUC vs chance."""
+    rng = np.random.default_rng(seed)
+    labels = np.array([0] * 40 + [1] * 40)
+    scores = rng.normal(size=80)
+    scores[labels == 1] += shift
+    assert auc(roc_curve(scores, labels)) > 0.5

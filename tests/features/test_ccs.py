@@ -1,0 +1,78 @@
+"""Tests for concentric-circle-sampling features (ICCAD'16 encoding)."""
+
+import numpy as np
+import pytest
+
+from repro.features import ccs_features, circle_samples, default_radii
+
+
+class TestRadii:
+    def test_count_and_range(self):
+        radii = default_radii(64, n_circles=10)
+        assert len(radii) == 10
+        assert radii[0] > 0
+        assert radii[-1] <= 0.95 * 32
+
+    def test_monotone(self):
+        radii = default_radii(128)
+        assert (np.diff(radii) > 0).all()
+
+    def test_invalid_count_raises(self):
+        with pytest.raises(ValueError):
+            default_radii(64, n_circles=0)
+
+
+class TestCircleSamples:
+    def test_proportional_to_circumference(self):
+        assert circle_samples(100.0) > circle_samples(10.0)
+
+    def test_minimum_enforced(self):
+        assert circle_samples(0.5, min_samples=8) == 8
+
+
+class TestCCSFeatures:
+    def test_shape_consistent(self, rng):
+        images = rng.random((5, 32, 32))
+        features = ccs_features(images)
+        assert features.shape[0] == 5
+        # all rows use the same sampling pattern
+        assert features.shape[1] == ccs_features(images[:1]).shape[1]
+
+    def test_accepts_channel_axis(self, rng):
+        a = ccs_features(rng.random((2, 1, 32, 32)))
+        assert a.shape[0] == 2
+
+    def test_constant_image(self):
+        images = np.full((1, 32, 32), 0.7)
+        features = ccs_features(images)
+        np.testing.assert_allclose(features, 0.7, atol=1e-12)
+
+    def test_center_blob_hits_inner_circles_only(self):
+        images = np.zeros((1, 64, 64))
+        images[0, 28:36, 28:36] = 1.0
+        radii = np.array([4.0, 28.0])
+        features = ccs_features(images, radii=radii, min_samples=8)
+        inner = features[0, : circle_samples(4.0)]
+        outer = features[0, circle_samples(4.0) :]
+        assert inner.mean() > 0.7  # bilinear softening at the blob edge
+        assert outer.mean() < 0.1
+
+    def test_rotation_by_90_degrees_permutes_features(self, rng):
+        """CCS is (approximately) rotation-equivariant: rotating the
+        image permutes samples within each circle, so per-circle sums
+        are preserved."""
+        images = (rng.random((1, 33, 33)) > 0.5).astype(float)
+        rotated = np.rot90(images[0]).copy()[None]
+        radii = np.array([8.0])
+        a = ccs_features(images, radii=radii)[0]
+        b = ccs_features(rotated, radii=radii)[0]
+        # bilinear resampling on a speckle image leaves ~10% slack
+        assert a.sum() == pytest.approx(b.sum(), rel=0.15)
+
+    def test_multichannel_raises(self, rng):
+        with pytest.raises(ValueError):
+            ccs_features(rng.random((1, 3, 16, 16)))
+
+    def test_non_square_raises(self, rng):
+        with pytest.raises(ValueError):
+            ccs_features(rng.random((1, 16, 20)))

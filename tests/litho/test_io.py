@@ -1,0 +1,86 @@
+"""Tests for clip persistence."""
+
+import numpy as np
+import pytest
+
+from repro.litho import Clip, Rect, sample_clip
+from repro.litho.io import (
+    clips_from_json,
+    clips_to_json,
+    load_clips_json,
+    load_clips_text,
+    save_clips_json,
+    save_clips_text,
+)
+
+
+def sample_clips(n=5, seed=0):
+    rng = np.random.default_rng(seed)
+    return [sample_clip(rng) for _ in range(n)]
+
+
+def assert_clips_equal(a, b):
+    assert len(a) == len(b)
+    for clip_a, clip_b in zip(a, b):
+        assert clip_a.size == clip_b.size
+        assert clip_a.rects == clip_b.rects
+
+
+class TestJson:
+    def test_roundtrip_in_memory(self):
+        clips = sample_clips()
+        assert_clips_equal(clips, clips_from_json(clips_to_json(clips)))
+
+    def test_roundtrip_file(self, tmp_path):
+        clips = sample_clips(seed=3)
+        path = tmp_path / "clips.json"
+        save_clips_json(clips, path)
+        assert_clips_equal(clips, load_clips_json(path))
+
+    def test_empty_clip_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.json"
+        save_clips_json([Clip(512)], path)
+        loaded = load_clips_json(path)
+        assert loaded[0].size == 512
+        assert len(loaded[0]) == 0
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError):
+            clips_from_json({"format": "something-else"})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ValueError):
+            clips_from_json({"format": "repro-clips", "version": 99})
+
+
+class TestText:
+    def test_roundtrip(self, tmp_path):
+        clips = sample_clips(seed=7)
+        path = tmp_path / "clips.txt"
+        save_clips_text(clips, path)
+        assert_clips_equal(clips, load_clips_text(path))
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text("# comment\n\nCLIP 100\nBOX 0 0 10 10\n\n")
+        clips = load_clips_text(path)
+        assert clips[0].rects == [Rect(0, 0, 10, 10)]
+
+    def test_box_before_clip_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("BOX 0 0 1 1\n")
+        with pytest.raises(ValueError, match="line 1"):
+            load_clips_text(path)
+
+    def test_garbage_line_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("CLIP 100\nPOLYGON 1 2 3\n")
+        with pytest.raises(ValueError, match="line 2"):
+            load_clips_text(path)
+
+    def test_text_is_human_readable(self, tmp_path):
+        path = tmp_path / "c.txt"
+        save_clips_text([Clip(64, [Rect(1, 2, 3, 4)])], path)
+        content = path.read_text()
+        assert "CLIP 64" in content
+        assert "BOX 1 2 3 4" in content

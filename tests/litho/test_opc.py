@@ -1,0 +1,105 @@
+"""Tests for optical proximity correction."""
+
+import numpy as np
+import pytest
+
+from repro.litho import Clip, LithographySimulator, Rect, rule_based_opc
+from repro.litho.epe import analyze_contours
+from repro.litho.opc import IterativeOPC
+from repro.litho.raster import rasterize
+from repro.litho.resist import nominal_corner
+
+
+def nominal_epe(simulator, target_clip, mask_clip):
+    pixel_nm = target_clip.size / simulator.resolution_px
+    printed = simulator.simulate_corner(
+        rasterize(mask_clip, simulator.resolution_px, "area"),
+        pixel_nm, nominal_corner(),
+    )
+    target = rasterize(target_clip, simulator.resolution_px,
+                       "binary").astype(bool)
+    return analyze_contours(target, printed, pixel_nm)
+
+
+class TestRuleBasedOPC:
+    def test_bias_grows_rectangles(self):
+        clip = Clip(1024, [Rect(400, 400, 600, 600)])
+        corrected = rule_based_opc(clip, bias=10, line_end_extension=0)
+        rect = corrected.rects[0]
+        assert rect.width == 220
+        assert rect.height == 220
+
+    def test_line_end_extension_on_wires(self):
+        clip = Clip(1024, [Rect(480, 200, 540, 800)])  # vertical wire
+        corrected = rule_based_opc(clip, bias=0, line_end_extension=20)
+        rect = corrected.rects[0]
+        assert rect.y0 == 180 and rect.y1 == 820
+        assert rect.x0 == 480 and rect.x1 == 540
+
+    def test_horizontal_wire_extended_in_x(self):
+        clip = Clip(1024, [Rect(200, 480, 800, 540)])
+        corrected = rule_based_opc(clip, bias=0, line_end_extension=20)
+        rect = corrected.rects[0]
+        assert rect.x0 == 180 and rect.x1 == 820
+
+    def test_clipped_to_window(self):
+        clip = Clip(1024, [Rect(0, 0, 100, 100)])
+        corrected = rule_based_opc(clip, bias=30)
+        rect = corrected.rects[0]
+        assert rect.x0 == 0 and rect.y0 == 0
+
+    def test_negative_parameters_raise(self):
+        with pytest.raises(ValueError):
+            rule_based_opc(Clip(100), bias=-1)
+
+    def test_reduces_wire_epe(self):
+        """The headline property: corrected masks print closer to target."""
+        simulator = LithographySimulator()
+        clip = Clip(1024, [Rect(460, 100, 560, 900)])
+        before = nominal_epe(simulator, clip, clip).max_epe_nm
+        after = nominal_epe(simulator, clip, rule_based_opc(clip)).max_epe_nm
+        assert after < before
+
+    def test_rescues_vanishing_via(self):
+        """A via that vanishes as drawn prints after a sufficient bias."""
+        simulator = LithographySimulator()
+        clip = Clip(1024, [Rect(490, 490, 550, 550)])
+        assert nominal_epe(simulator, clip, clip).broken
+        corrected = rule_based_opc(clip, bias=14)
+        assert not nominal_epe(simulator, clip, corrected).broken
+
+
+class TestIterativeOPC:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IterativeOPC(damping=0.0)
+        with pytest.raises(ValueError):
+            IterativeOPC(iterations=0)
+
+    def test_reduces_epe_on_wire(self):
+        simulator = LithographySimulator()
+        clip = Clip(1024, [Rect(460, 100, 560, 900)])
+        opc = IterativeOPC(simulator, iterations=3)
+        before = nominal_epe(simulator, clip, clip).max_epe_nm
+        assert opc.residual_epe(clip) < before
+
+    def test_grows_small_via(self):
+        simulator = LithographySimulator()
+        clip = Clip(1024, [Rect(480, 480, 560, 560)])
+        opc = IterativeOPC(simulator, iterations=3)
+        corrected = opc.correct(clip)
+        assert corrected.rects[0].area > clip.rects[0].area
+
+    def test_correct_preserves_rect_count(self):
+        simulator = LithographySimulator()
+        clip = Clip(1024, [Rect(200, 200, 400, 800),
+                           Rect(600, 200, 800, 800)])
+        corrected = IterativeOPC(simulator, iterations=2).correct(clip)
+        assert len(corrected) == len(clip)
+
+    def test_target_clip_unchanged(self):
+        simulator = LithographySimulator()
+        clip = Clip(1024, [Rect(460, 100, 560, 900)])
+        original = list(clip.rects)
+        IterativeOPC(simulator, iterations=2).correct(clip)
+        assert clip.rects == original

@@ -1,0 +1,93 @@
+"""Tests for the SOCS-Gaussian aerial-image model."""
+
+import numpy as np
+import pytest
+
+from repro.litho import Clip, OpticalModel, Rect, gaussian_kernel, rasterize
+
+
+class TestGaussianKernel:
+    def test_normalised(self):
+        assert gaussian_kernel(2.0).sum() == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        k = gaussian_kernel(1.5)
+        np.testing.assert_allclose(k, k[::-1, :])
+        np.testing.assert_allclose(k, k[:, ::-1])
+        np.testing.assert_allclose(k, k.T)
+
+    def test_peak_at_center(self):
+        k = gaussian_kernel(1.0)
+        center = k.shape[0] // 2
+        assert k[center, center] == k.max()
+
+    def test_invalid_sigma_raises(self):
+        with pytest.raises(ValueError):
+            gaussian_kernel(0.0)
+
+    def test_radius_override(self):
+        assert gaussian_kernel(1.0, radius=2).shape == (5, 5)
+
+
+class TestOpticalModel:
+    def test_clear_field_images_to_one(self):
+        model = OpticalModel()
+        mask = np.ones((64, 64))
+        aerial = model.aerial_image(mask, 8.0)
+        # away from boundary effects the intensity is the clear-field 1.0
+        assert aerial[32, 32] == pytest.approx(1.0, abs=1e-6)
+
+    def test_dark_field_is_zero(self):
+        aerial = OpticalModel().aerial_image(np.zeros((32, 32)), 8.0)
+        np.testing.assert_allclose(aerial, 0.0)
+
+    def test_intensity_bounds(self):
+        clip = Clip(1024, [Rect(300, 100, 500, 900), Rect(600, 100, 800, 900)])
+        mask = rasterize(clip, 128, "area")
+        aerial = OpticalModel().aerial_image(mask, 8.0)
+        assert aerial.min() >= 0.0
+        assert aerial.max() <= 1.0 + 1e-9
+
+    def test_blur_rounds_corners(self):
+        """Peak intensity of a small feature is below clear field."""
+        clip = Clip(1024, [Rect(450, 450, 570, 570)])
+        mask = rasterize(clip, 128, "area")
+        aerial = OpticalModel().aerial_image(mask, 8.0)
+        assert aerial.max() < 0.95
+
+    def test_defocus_reduces_contrast(self):
+        clip = Clip(1024, [Rect(480, 100, 560, 900)])  # 80nm line
+        mask = rasterize(clip, 128, "area")
+        focus = OpticalModel().aerial_image(mask, 8.0)
+        blur = OpticalModel(defocus_broadening=1.5).aerial_image(mask, 8.0)
+        assert blur.max() < focus.max()
+
+    def test_defocused_copy_preserves_other_fields(self):
+        model = OpticalModel(wavelength_nm=248.0, na=0.9)
+        blurred = model.defocused(1.3)
+        assert blurred.wavelength_nm == 248.0
+        assert blurred.na == 0.9
+        assert blurred.defocus_broadening == 1.3
+
+    def test_resolution_nm(self):
+        assert OpticalModel(wavelength_nm=193.0, na=1.35).resolution_nm == (
+            pytest.approx(142.96, abs=0.01)
+        )
+
+    def test_mismatched_kernel_spec_raises(self):
+        with pytest.raises(ValueError):
+            OpticalModel(kernel_scales=(0.2,), kernel_weights=(0.5, 0.5))
+
+    def test_invalid_defocus_raises(self):
+        with pytest.raises(ValueError):
+            OpticalModel(defocus_broadening=0.0)
+
+    def test_linearity_of_amplitude_not_intensity(self):
+        """Intensity is quadratic in mask transmission: halving the mask
+        quarters the single-kernel image (checked with one kernel)."""
+        model = OpticalModel(kernel_scales=(0.3,), kernel_weights=(1.0,))
+        mask = np.zeros((64, 64))
+        mask[28:36, 28:36] = 1.0
+        full = model.aerial_image(mask, 8.0)
+        half = model.aerial_image(0.5 * mask, 8.0)
+        np.testing.assert_allclose(half, 0.25 * full, atol=1e-12)

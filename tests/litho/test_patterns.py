@@ -1,0 +1,84 @@
+"""Tests for the synthetic pattern generators."""
+
+import numpy as np
+import pytest
+
+from repro.litho import PATTERN_FAMILIES, Technology, sample_clip
+from repro.litho.patterns import (
+    elbows,
+    grating,
+    line_end_pair,
+    random_manhattan,
+    via_array,
+)
+
+
+@pytest.mark.parametrize("name,generator", sorted(PATTERN_FAMILIES.items()))
+class TestEveryFamily:
+    def test_produces_geometry_in_window(self, rng, name, generator):
+        tech = Technology()
+        for _ in range(10):
+            clip = generator(rng, tech)
+            assert clip.size == tech.clip_size
+            assert len(clip) >= 1
+            for rect in clip.rects:
+                assert 0 <= rect.x0 < rect.x1 <= tech.clip_size
+                assert 0 <= rect.y0 < rect.y1 <= tech.clip_size
+
+    def test_deterministic_given_seed(self, rng, name, generator):
+        a = generator(np.random.default_rng(7), Technology())
+        b = generator(np.random.default_rng(7), Technology())
+        assert a.rects == b.rects
+
+    def test_variety_across_draws(self, rng, name, generator):
+        clips = [generator(rng, Technology()) for _ in range(8)]
+        densities = {round(c.density(), 6) for c in clips}
+        assert len(densities) > 1
+
+
+class TestFamilySpecifics:
+    def test_grating_mostly_parallel(self, rng):
+        clip = grating(np.random.default_rng(3), Technology())
+        # all rects of a grating share an orientation (before transpose):
+        # widths or heights dominate consistently
+        tall = sum(r.height >= r.width for r in clip.rects)
+        assert tall == len(clip) or tall == 0 or len(clip) > 2
+
+    def test_line_end_pair_has_facing_tips(self, rng):
+        tech = Technology()
+        clip = line_end_pair(np.random.default_rng(5), tech)
+        assert len(clip) >= 2
+
+    def test_via_array_squares(self, rng):
+        tech = Technology()
+        clip = via_array(np.random.default_rng(11), tech)
+        for rect in clip.rects:
+            assert rect.width == rect.height
+            assert tech.via_min <= rect.width <= tech.via_max
+
+    def test_elbows_nonempty(self, rng):
+        assert len(elbows(np.random.default_rng(2), Technology())) >= 1
+
+    def test_random_manhattan_wire_count(self, rng):
+        clip = random_manhattan(np.random.default_rng(0), Technology())
+        assert 1 <= len(clip) <= 12
+
+
+class TestSampleClip:
+    def test_uniform_sampling(self, rng):
+        clips = [sample_clip(rng) for _ in range(20)]
+        assert all(len(c) >= 1 for c in clips)
+
+    def test_weighted_sampling(self, rng):
+        clip = sample_clip(rng, weights={"via_array": 1.0})
+        # only vias: all rects square
+        assert all(r.width == r.height for r in clip.rects)
+
+    def test_empty_weights_raise(self, rng):
+        with pytest.raises(ValueError):
+            sample_clip(rng, weights={"unknown": 1.0})
+
+    def test_technology_respected(self, rng):
+        tech = Technology(clip_size=512)
+        clip = sample_clip(rng, tech)
+        assert clip.size == 512

@@ -1,0 +1,85 @@
+"""Tests for process-window analysis."""
+
+import pytest
+
+from repro.litho import Clip, LithographySimulator, Rect
+from repro.litho.process_window import (
+    dose_latitude,
+    passes_at,
+    process_window_area,
+)
+from repro.litho.resist import ProcessCorner, nominal_corner
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return LithographySimulator()
+
+
+@pytest.fixture(scope="module")
+def robust_clip():
+    """Wide isolated wire: prints across the whole window."""
+    return Clip(1024, [Rect(380, 100, 640, 900)])
+
+
+@pytest.fixture(scope="module")
+def marginal_clip():
+    """Narrow wire near the printability edge."""
+    return Clip(1024, [Rect(480, 100, 552, 900)])
+
+
+class TestPassesAt:
+    def test_robust_passes_nominal(self, simulator, robust_clip):
+        assert passes_at(simulator, robust_clip, nominal_corner())
+
+    def test_tiny_via_fails(self, simulator):
+        clip = Clip(1024, [Rect(490, 490, 540, 540)])
+        assert not passes_at(
+            simulator, clip, ProcessCorner(0.94, 1.18)
+        )
+
+    def test_tolerance_override(self, simulator, robust_clip):
+        # an absurdly tight tolerance fails even the robust pattern
+        assert not passes_at(simulator, robust_clip, nominal_corner(),
+                             epe_tolerance_nm=1.0)
+
+
+class TestDoseLatitude:
+    def test_robust_has_wider_latitude(self, simulator, robust_clip,
+                                       marginal_clip):
+        robust = dose_latitude(simulator, robust_clip, resolution=0.04)
+        marginal = dose_latitude(simulator, marginal_clip, resolution=0.04)
+        assert robust >= marginal
+
+    def test_failing_pattern_zero_latitude(self, simulator):
+        clip = Clip(1024, [Rect(490, 490, 538, 538)])  # vanishing via
+        assert dose_latitude(simulator, clip) == 0.0
+
+    def test_bounded_by_max(self, simulator, robust_clip):
+        latitude = dose_latitude(simulator, robust_clip,
+                                 max_latitude=0.08, resolution=0.04)
+        assert latitude <= 0.08
+
+
+class TestWindowArea:
+    def test_monotone_with_robustness(self, simulator, robust_clip,
+                                      marginal_clip):
+        robust = process_window_area(simulator, robust_clip, grid=3)
+        marginal = process_window_area(simulator, marginal_clip, grid=3)
+        assert robust >= marginal
+
+    def test_in_unit_interval(self, simulator, robust_clip):
+        area = process_window_area(simulator, robust_clip, grid=2)
+        assert 0.0 <= area <= 1.0
+
+    def test_invalid_grid_raises(self, simulator, robust_clip):
+        with pytest.raises(ValueError):
+            process_window_area(simulator, robust_clip, grid=1)
+
+    def test_hotspot_label_consistent_with_window(self, simulator):
+        """A pattern failing inside the default corner set has a window
+        area below 1."""
+        clip = Clip(1024, [Rect(400, 100, 520, 900),
+                           Rect(550, 100, 670, 900)])  # bridging pair
+        assert simulator.is_hotspot(clip)
+        assert process_window_area(simulator, clip, grid=3) < 1.0

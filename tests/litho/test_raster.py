@@ -1,0 +1,81 @@
+"""Tests for clip rasterisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.litho import Clip, Rect, rasterize
+from repro.litho.raster import coverage_1d
+
+
+class TestCoverage1D:
+    def test_full_pixel(self):
+        cov = coverage_1d(0.0, 4.0, 4, 1.0)
+        np.testing.assert_allclose(cov, 1.0)
+
+    def test_half_pixel(self):
+        cov = coverage_1d(0.5, 1.0, 2, 1.0)
+        np.testing.assert_allclose(cov, [0.5, 0.0])
+
+    def test_spanning_fraction(self):
+        cov = coverage_1d(0.25, 1.75, 2, 1.0)
+        np.testing.assert_allclose(cov, [0.75, 0.75])
+
+
+class TestRasterize:
+    def test_aligned_rect_exact(self):
+        clip = Clip(8, [Rect(2, 2, 6, 6)])
+        image = rasterize(clip, 8, mode="area")
+        assert image[2:6, 2:6].min() == 1.0
+        assert image.sum() == pytest.approx(16.0)
+
+    def test_area_preservation(self):
+        """Total covered area survives rasterisation exactly (disjoint)."""
+        clip = Clip(100, [Rect(3, 7, 45, 13), Rect(50, 50, 97, 93)])
+        image = rasterize(clip, 64, mode="area")
+        expected = sum(r.area for r in clip.rects) / 100**2
+        assert image.mean() == pytest.approx(expected, abs=1e-12)
+
+    def test_subpixel_features_keep_fraction(self):
+        clip = Clip(64, [Rect(0, 0, 1, 64)])  # 1nm-wide sliver at 2nm/px
+        image = rasterize(clip, 32, mode="area")
+        np.testing.assert_allclose(image[:, 0], 0.5)
+
+    def test_binary_mode_thresholds(self):
+        clip = Clip(8, [Rect(0, 0, 8, 3)])  # covers 75% of bottom pixel row?
+        image = rasterize(clip, 4, mode="binary")
+        assert set(np.unique(image)) <= {0.0, 1.0}
+        np.testing.assert_allclose(image[0], 1.0)  # fully covered row
+        np.testing.assert_allclose(image[2], 0.0)
+
+    def test_row_zero_is_bottom(self):
+        clip = Clip(10, [Rect(0, 0, 10, 5)])  # lower half
+        image = rasterize(clip, 10, mode="area")
+        assert image[0].sum() == 10.0
+        assert image[9].sum() == 0.0
+
+    def test_invalid_mode_raises(self):
+        with pytest.raises(ValueError):
+            rasterize(Clip(10), 10, mode="grayscale")
+
+    def test_empty_clip_is_blank(self):
+        assert not rasterize(Clip(10), 16).any()
+
+    def test_overlaps_clamped(self):
+        clip = Clip(10, [Rect(0, 0, 10, 10), Rect(2, 2, 8, 8)])
+        image = rasterize(clip, 10, mode="area")
+        assert image.max() == 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    x0=st.integers(0, 50), y0=st.integers(0, 50),
+    w=st.integers(1, 50), h=st.integers(1, 50),
+)
+def test_flip_raster_commutes_property(x0, y0, w, h):
+    """Property: rasterise-then-flip == flip-then-rasterise."""
+    clip = Clip(100, [Rect(x0, y0, x0 + w, y0 + h)])
+    image = rasterize(clip, 50, mode="area")
+    flipped = rasterize(clip.flip_horizontal(), 50, mode="area")
+    np.testing.assert_allclose(flipped, image[:, ::-1], atol=1e-12)

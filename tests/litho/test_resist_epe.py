@@ -1,0 +1,144 @@
+"""Tests for the resist model and printability analysis."""
+
+import numpy as np
+import pytest
+
+from repro.litho import (
+    Clip,
+    LithographySimulator,
+    ProcessCorner,
+    Rect,
+    analyze_contours,
+    default_process_window,
+    nominal_corner,
+    print_contour,
+)
+
+
+class TestResist:
+    def test_threshold_semantics(self):
+        aerial = np.array([[0.1, 0.4], [0.35, 0.3]])
+        printed = print_contour(aerial, threshold=0.35)
+        np.testing.assert_array_equal(printed, [[False, True], [True, False]])
+
+    def test_dose_scales_aerial(self):
+        aerial = np.array([[0.3]])
+        assert not print_contour(aerial, 0.35, dose=1.0)[0, 0]
+        assert print_contour(aerial, 0.35, dose=1.2)[0, 0]
+
+    def test_invalid_threshold_raises(self):
+        with pytest.raises(ValueError):
+            print_contour(np.zeros((2, 2)), threshold=0.0)
+
+    def test_process_window_contains_nominal(self):
+        corners = default_process_window()
+        assert nominal_corner() in corners
+        assert len(corners) == 3
+
+    def test_invalid_corner_raises(self):
+        with pytest.raises(ValueError):
+            ProcessCorner(dose=0.0)
+
+
+class TestAnalyzeContours:
+    def test_perfect_print_is_clean(self):
+        target = np.zeros((32, 32), bool)
+        target[8:24, 8:24] = True
+        report = analyze_contours(target, target.copy(), pixel_nm=8.0)
+        assert report.max_epe_nm == 0.0
+        assert not report.bridged and not report.broken
+
+    def test_bridge_detected(self):
+        """Two target shapes printing as one blob is a bridge."""
+        target = np.zeros((32, 32), bool)
+        target[10:22, 5:14] = True
+        target[10:22, 18:27] = True
+        printed = np.zeros_like(target)
+        printed[10:22, 5:27] = True  # merged
+        report = analyze_contours(target, printed, 8.0)
+        assert report.bridged
+
+    def test_break_detected(self):
+        """One target shape printing in two pieces is a break."""
+        target = np.zeros((32, 32), bool)
+        target[5:27, 14:18] = True
+        printed = target.copy()
+        printed[15:17, :] = False  # severed
+        report = analyze_contours(target, printed, 8.0)
+        assert report.broken
+
+    def test_vanished_feature_is_broken(self):
+        target = np.zeros((16, 16), bool)
+        target[6:10, 6:10] = True
+        report = analyze_contours(target, np.zeros_like(target), 8.0)
+        assert report.broken
+
+    def test_epe_measures_edge_shift(self):
+        target = np.zeros((32, 32), bool)
+        target[8:24, 8:16] = True
+        printed = np.zeros_like(target)
+        printed[8:24, 8:14] = True  # right edge pulled in by 2 px
+        report = analyze_contours(target, printed, pixel_nm=10.0)
+        assert report.max_epe_nm == pytest.approx(20.0)
+        assert not report.bridged and not report.broken
+
+    def test_is_hotspot_thresholds(self):
+        from repro.litho.epe import PrintabilityReport
+
+        clean = PrintabilityReport(max_epe_nm=10.0, bridged=False, broken=False)
+        assert not clean.is_hotspot(epe_tolerance_nm=20.0)
+        assert clean.is_hotspot(epe_tolerance_nm=5.0)
+        topo = PrintabilityReport(max_epe_nm=0.0, bridged=True, broken=False)
+        assert topo.is_hotspot(epe_tolerance_nm=1000.0)
+
+
+class TestLithographySimulator:
+    def test_safe_pattern_not_hotspot(self):
+        """A wide isolated line prints cleanly."""
+        clip = Clip(1024, [Rect(400, 100, 620, 900)])  # 220nm wide
+        sim = LithographySimulator()
+        assert not sim.is_hotspot(clip)
+
+    def test_tiny_via_is_hotspot(self):
+        """A sub-resolution via vanishes somewhere in the process window."""
+        clip = Clip(1024, [Rect(490, 490, 540, 540)])  # 50nm via
+        sim = LithographySimulator()
+        report = sim.analyze(clip)
+        assert report.broken
+        assert sim.is_hotspot(clip)
+
+    def test_tight_space_bridges(self):
+        """Parallel wires at sub-minimum spacing short somewhere in the
+        process window."""
+        clip = Clip(1024, [
+            Rect(400, 100, 520, 900),
+            Rect(550, 100, 670, 900),  # 30nm space
+        ])
+        sim = LithographySimulator()
+        assert sim.analyze(clip).bridged
+
+    def test_relaxed_space_does_not_bridge(self):
+        clip = Clip(1024, [
+            Rect(400, 100, 520, 900),
+            Rect(640, 100, 760, 900),  # 120nm space
+        ])
+        sim = LithographySimulator()
+        assert not sim.analyze(clip).bridged
+
+    def test_severity_ordering_prefers_topology(self):
+        from repro.litho.epe import PrintabilityReport
+
+        epe_only = PrintabilityReport(max_epe_nm=500.0, bridged=False,
+                                      broken=False)
+        topo = PrintabilityReport(max_epe_nm=0.0, bridged=True, broken=False)
+        sim = LithographySimulator
+        assert sim._severity(topo) > sim._severity(epe_only)
+
+    def test_deterministic(self):
+        clip = Clip(1024, [Rect(450, 100, 560, 900)])
+        sim = LithographySimulator()
+        a = sim.analyze(clip)
+        b = sim.analyze(clip)
+        assert (a.max_epe_nm, a.bridged, a.broken) == (
+            b.max_epe_nm, b.bridged, b.broken
+        )

@@ -1,0 +1,69 @@
+"""Tests for the AdaBoost ensemble."""
+
+import numpy as np
+import pytest
+
+from repro.ml import AdaBoost, DecisionTree
+
+
+def ring_problem(rng, n=300):
+    """Inside-ring vs outside-ring: stumps are weak, boosting wins."""
+    x = rng.uniform(-1, 1, size=(n, 2))
+    labels = (np.linalg.norm(x, axis=1) < 0.6).astype(int)
+    return x, labels
+
+
+class TestBoosting:
+    def test_beats_single_stump(self, rng):
+        x, y = ring_problem(rng)
+        stump = DecisionTree(max_depth=1).fit(x, y)
+        boost = AdaBoost(n_estimators=40, max_depth=1).fit(x, y)
+        assert (boost.predict(x) == y).mean() > (stump.predict(x) == y).mean()
+
+    def test_training_accuracy_high(self, rng):
+        x, y = ring_problem(rng)
+        boost = AdaBoost(n_estimators=40, max_depth=2).fit(x, y)
+        assert (boost.predict(x) == y).mean() > 0.93
+
+    def test_decision_scores_sign_match_predictions(self, rng):
+        x, y = ring_problem(rng, n=100)
+        boost = AdaBoost(n_estimators=10, max_depth=2).fit(x, y)
+        scores = boost.decision_function(x)
+        np.testing.assert_array_equal(boost.predict(x), (scores > 0).astype(int))
+
+    def test_threshold_trades_recall(self, rng):
+        x, y = ring_problem(rng)
+        boost = AdaBoost(n_estimators=20, max_depth=1).fit(x, y)
+        recall_strict = (boost.predict(x, threshold=0.5)[y == 1] == 1).mean()
+        recall_loose = (boost.predict(x, threshold=-0.5)[y == 1] == 1).mean()
+        assert recall_loose >= recall_strict
+
+    def test_perfect_weak_learner_short_circuits(self):
+        features = np.array([[0.0], [1.0], [0.1], [0.9]])
+        labels = np.array([0, 1, 0, 1])
+        boost = AdaBoost(n_estimators=25, max_depth=1).fit(features, labels)
+        assert len(boost.trees_) == 1  # first round is already perfect
+        np.testing.assert_array_equal(boost.predict(features), labels)
+
+    def test_balanced_class_weight(self):
+        features = np.vstack([np.zeros((20, 1)), np.ones((2, 1))])
+        labels = np.array([0] * 20 + [1] * 2)
+        boost = AdaBoost(n_estimators=5, max_depth=1,
+                         class_weight="balanced").fit(features, labels)
+        assert boost.predict(np.ones((1, 1)))[0] == 1
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            AdaBoost(n_estimators=0)
+        with pytest.raises(ValueError):
+            AdaBoost(class_weight="nope")
+
+    def test_decision_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            AdaBoost().decision_function(np.zeros((1, 1)))
+
+    def test_degenerate_labels_fallback(self):
+        features = np.random.default_rng(0).random((10, 2))
+        labels = np.zeros(10, dtype=int)
+        boost = AdaBoost(n_estimators=5).fit(features, labels)
+        np.testing.assert_array_equal(boost.predict(features), labels)

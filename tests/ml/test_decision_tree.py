@@ -1,0 +1,71 @@
+"""Tests for the CART decision tree."""
+
+import numpy as np
+import pytest
+
+from repro.ml import DecisionTree
+
+
+class TestFitting:
+    def test_perfect_split_1d(self):
+        features = np.array([[0.0], [0.1], [0.9], [1.0]])
+        labels = np.array([0, 0, 1, 1])
+        tree = DecisionTree(max_depth=1).fit(features, labels)
+        np.testing.assert_array_equal(tree.predict(features), labels)
+
+    def test_xor_needs_depth(self, rng):
+        """A stump cannot express XOR; a depth-3 tree can (depth 2 only
+        suffices when the root split lands exactly on the XOR axis)."""
+        features = rng.random((200, 2))
+        labels = ((features[:, 0] > 0.5) ^ (features[:, 1] > 0.5)).astype(int)
+        stump = DecisionTree(max_depth=1).fit(features, labels)
+        deep = DecisionTree(max_depth=3).fit(features, labels)
+        assert (stump.predict(features) == labels).mean() < 0.75
+        assert (deep.predict(features) == labels).mean() > 0.9
+
+    def test_respects_sample_weights(self):
+        """Up-weighting the minority flips the majority-vote leaf."""
+        features = np.zeros((10, 1))  # indistinguishable features
+        labels = np.array([1] + [0] * 9)
+        unweighted = DecisionTree(max_depth=1).fit(features, labels)
+        assert unweighted.predict(features)[0] == 0
+        weights = np.array([100.0] + [1.0] * 9)
+        weighted = DecisionTree(max_depth=1).fit(features, labels, weights)
+        assert weighted.predict(features)[0] == 1
+
+    def test_pure_node_stops_early(self):
+        features = np.array([[0.0], [1.0]])
+        labels = np.array([1, 1])
+        tree = DecisionTree(max_depth=5).fit(features, labels)
+        np.testing.assert_array_equal(tree.predict(features), [1, 1])
+
+    def test_min_samples_leaf(self, rng):
+        features = rng.random((20, 1))
+        labels = (features[:, 0] > 0.5).astype(int)
+        tree = DecisionTree(max_depth=3, min_samples_leaf=10)
+        tree.fit(features, labels)
+        # leaves of >= 10 samples: at most one split on 20 samples
+        assert (tree.predict(features) == labels).mean() >= 0.5
+
+    def test_invalid_depth_raises(self):
+        with pytest.raises(ValueError):
+            DecisionTree(max_depth=0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTree().predict(np.zeros((1, 1)))
+
+    def test_multifeature_selects_informative_column(self, rng):
+        noise = rng.random((100, 3))
+        signal = rng.random((100, 1))
+        labels = (signal[:, 0] > 0.5).astype(int)
+        features = np.hstack([noise, signal])
+        tree = DecisionTree(max_depth=1).fit(features, labels)
+        assert (tree.predict(features) == labels).mean() > 0.9
+        assert tree._root.feature == 3
+
+    def test_quantile_thresholds_on_many_values(self, rng):
+        features = rng.normal(size=(500, 1))
+        labels = (features[:, 0] > 0.3).astype(int)
+        tree = DecisionTree(max_depth=1, n_thresholds=32).fit(features, labels)
+        assert (tree.predict(features) == labels).mean() > 0.95

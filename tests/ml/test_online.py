@@ -1,0 +1,75 @@
+"""Tests for the online logistic learner."""
+
+import numpy as np
+import pytest
+
+from repro.ml import OnlineLogisticClassifier
+
+
+def blobs(rng, n=200):
+    x0 = rng.normal(loc=-1.0, size=(n // 2, 3))
+    x1 = rng.normal(loc=1.0, size=(n // 2, 3))
+    x = np.vstack([x0, x1])
+    y = np.array([0] * (n // 2) + [1] * (n // 2))
+    order = rng.permutation(n)
+    return x[order], y[order]
+
+
+class TestLearning:
+    def test_learns_separable_blobs(self, rng):
+        x, y = blobs(rng)
+        clf = OnlineLogisticClassifier(3, lr=0.5)
+        clf.fit(x, y, epochs=10, rng=rng)
+        assert (clf.predict(x) == y).mean() > 0.9
+
+    def test_streaming_partial_fit_improves(self, rng):
+        x, y = blobs(rng)
+        clf = OnlineLogisticClassifier(3, lr=0.5)
+        before = (clf.predict(x) == y).mean()
+        for start in range(0, len(y), 20):
+            clf.partial_fit(x[start : start + 20], y[start : start + 20])
+        after = (clf.predict(x) == y).mean()
+        assert after > before
+
+    def test_probabilities_in_unit_interval(self, rng):
+        x, y = blobs(rng)
+        clf = OnlineLogisticClassifier(3).fit(x, y, epochs=3, rng=rng)
+        probs = clf.predict_proba(x)
+        assert (0.0 <= probs).all() and (probs <= 1.0).all()
+
+    def test_positive_weight_raises_recall(self, rng):
+        """Heavier hotspot weighting must not lower recall on an
+        imbalanced stream."""
+        x = rng.normal(size=(400, 2))
+        y = (x[:, 0] + 0.5 * rng.normal(size=400) > 1.2).astype(int)
+        plain = OnlineLogisticClassifier(2, positive_weight=1.0)
+        plain.fit(x, y, epochs=8, rng=np.random.default_rng(0))
+        heavy = OnlineLogisticClassifier(2, positive_weight=10.0)
+        heavy.fit(x, y, epochs=8, rng=np.random.default_rng(0))
+        recall = lambda clf: (clf.predict(x)[y == 1] == 1).mean()
+        assert recall(heavy) >= recall(plain)
+
+    def test_threshold_semantics(self, rng):
+        x, y = blobs(rng)
+        clf = OnlineLogisticClassifier(3).fit(x, y, epochs=5, rng=rng)
+        flagged_low = clf.predict(x, threshold=0.1).sum()
+        flagged_high = clf.predict(x, threshold=0.9).sum()
+        assert flagged_low >= flagged_high
+
+    def test_extreme_logits_stable(self):
+        clf = OnlineLogisticClassifier(1)
+        clf.weights[...] = 1000.0
+        probs = clf.predict_proba(np.array([[1.0], [-1.0]]))
+        assert np.isfinite(probs).all()
+
+    def test_invalid_dim_raises(self):
+        with pytest.raises(ValueError):
+            OnlineLogisticClassifier(0)
+
+    def test_l2_shrinks_weights(self, rng):
+        x, y = blobs(rng)
+        loose = OnlineLogisticClassifier(3, l2=0.0)
+        tight = OnlineLogisticClassifier(3, l2=1.0)
+        loose.fit(x, y, epochs=5, rng=np.random.default_rng(1))
+        tight.fit(x, y, epochs=5, rng=np.random.default_rng(1))
+        assert np.linalg.norm(tight.weights) < np.linalg.norm(loose.weights)

@@ -1,0 +1,108 @@
+"""Tests for the SVM trainers."""
+
+import numpy as np
+import pytest
+
+from repro.ml import KernelSVM, LinearSVM, polynomial_kernel, rbf_kernel
+
+
+def blobs(rng, n=160, gap=4.0):
+    x0 = rng.normal(loc=-gap / 2, size=(n // 2, 2))
+    x1 = rng.normal(loc=+gap / 2, size=(n // 2, 2))
+    x = np.vstack([x0, x1])
+    y = np.array([0] * (n // 2) + [1] * (n // 2))
+    order = rng.permutation(n)
+    return x[order], y[order]
+
+
+def ring(rng, n=200):
+    x = rng.uniform(-1.5, 1.5, size=(n, 2))
+    y = (np.linalg.norm(x, axis=1) < 0.8).astype(int)
+    return x, y
+
+
+class TestKernels:
+    def test_rbf_diagonal_ones(self, rng):
+        a = rng.normal(size=(5, 3))
+        gram = rbf_kernel(a, a, gamma=0.5)
+        np.testing.assert_allclose(np.diag(gram), 1.0)
+
+    def test_rbf_symmetric_psd_range(self, rng):
+        a = rng.normal(size=(6, 2))
+        gram = rbf_kernel(a, a)
+        np.testing.assert_allclose(gram, gram.T, atol=1e-12)
+        assert (gram > 0).all() and (gram <= 1.0 + 1e-12).all()
+
+    def test_polynomial_known_value(self):
+        a = np.array([[1.0, 2.0]])
+        b = np.array([[3.0, 4.0]])
+        gram = polynomial_kernel(a, b, degree=2, coef0=1.0)
+        assert gram[0, 0] == pytest.approx((11 + 1) ** 2)
+
+
+class TestLinearSVM:
+    def test_separable_blobs(self, rng):
+        x, y = blobs(rng)
+        svm = LinearSVM(epochs=15).fit(x, y, rng=rng)
+        assert (svm.predict(x) == y).mean() > 0.95
+
+    def test_margin_sign_convention(self, rng):
+        x, y = blobs(rng)
+        svm = LinearSVM(epochs=15).fit(x, y, rng=rng)
+        scores = svm.decision_function(x)
+        assert scores[y == 1].mean() > scores[y == 0].mean()
+
+    def test_positive_weight_raises_recall(self, rng):
+        x = rng.normal(size=(300, 2))
+        y = (x[:, 0] > 1.0).astype(int)
+        plain = LinearSVM(epochs=10).fit(x, y, rng=np.random.default_rng(0))
+        heavy = LinearSVM(epochs=10, positive_weight=10.0).fit(
+            x, y, rng=np.random.default_rng(0))
+        recall = lambda m: (m.predict(x)[y == 1] == 1).mean()
+        assert recall(heavy) >= recall(plain)
+
+    def test_invalid_lambda_raises(self):
+        with pytest.raises(ValueError):
+            LinearSVM(lam=0.0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LinearSVM().decision_function(np.zeros((1, 2)))
+
+
+class TestKernelSVM:
+    def test_rbf_solves_ring(self, rng):
+        """The nonlinear case a linear SVM cannot solve."""
+        x, y = ring(rng)
+        linear = LinearSVM(epochs=15).fit(x, y, rng=rng)
+        kernel = KernelSVM(kernel="rbf", gamma=2.0, passes=15).fit(x, y)
+        assert (linear.predict(x) == y).mean() < 0.8
+        assert (kernel.predict(x) == y).mean() > 0.9
+
+    def test_poly_kernel_runs(self, rng):
+        x, y = blobs(rng, n=80)
+        svm = KernelSVM(kernel="poly", degree=2, passes=10).fit(x, y)
+        assert (svm.predict(x) == y).mean() > 0.9
+
+    def test_support_vector_count_bounded(self, rng):
+        x, y = blobs(rng, n=100, gap=4.0)  # widely separated
+        svm = KernelSVM(kernel="rbf", gamma=1.0, passes=15).fit(x, y)
+        assert 0 < svm.n_support <= 100
+
+    def test_dual_constraints_hold(self, rng):
+        """Support coefficients stay inside their box."""
+        x, y = ring(rng, n=120)
+        svm = KernelSVM(c=1.5, kernel="rbf", gamma=2.0,
+                        positive_weight=2.0).fit(x, y)
+        magnitudes = np.abs(svm._alpha_signs)
+        assert (magnitudes <= 1.5 * 2.0 + 1e-8).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KernelSVM(c=0.0)
+        with pytest.raises(ValueError):
+            KernelSVM(kernel="sigmoid")
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            KernelSVM().decision_function(np.zeros((1, 2)))

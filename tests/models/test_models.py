@@ -1,0 +1,141 @@
+"""Tests for the model zoo: architecture audits per Figure 2."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    bnn_resnet8,
+    bnn_resnet12,
+    bnn_resnet18,
+    build_bnn_resnet,
+    build_resnet,
+    count_network_layers,
+    dac17_cnn,
+    resnet12,
+    resnet18,
+    summarize,
+)
+
+
+class TestLayerCounts:
+    """The paper's depth accounting: 12 layers, 'fewer than 20'."""
+
+    def test_bnn_resnet12_has_12_layers(self):
+        assert count_network_layers(bnn_resnet12(seed=0)) == 12
+
+    def test_bnn_resnet8_has_8_layers(self):
+        assert count_network_layers(bnn_resnet8(seed=0)) == 8
+
+    def test_bnn_resnet18_has_18_layers(self):
+        assert count_network_layers(bnn_resnet18(seed=0)) == 18
+
+    def test_all_variants_under_20_layers(self):
+        for model in (bnn_resnet8(seed=0), bnn_resnet12(seed=0),
+                      bnn_resnet18(seed=0)):
+            assert count_network_layers(model) < 20
+
+    def test_float_twin_matches(self):
+        assert count_network_layers(resnet12(seed=0)) == 12
+        assert count_network_layers(resnet18(seed=0)) == 18
+
+
+class TestFilterProgression:
+    def test_filters_nondecreasing_with_depth(self):
+        """Section 3.1: 'the deeper a layer is, the more filters'."""
+        infos = [i for i in summarize(bnn_resnet12(seed=0))
+                 if i.kind == "binary_conv" and not i.shortcut]
+        widths = [info.shape[0] for info in infos]
+        assert widths == sorted(widths)
+
+    def test_shortcuts_are_1x1(self):
+        infos = summarize(bnn_resnet12(seed=0))
+        for info in infos:
+            if info.shortcut:
+                assert info.shape[2:] == (1, 1)
+
+    def test_main_path_convs_are_3x3(self):
+        infos = summarize(bnn_resnet12(seed=0))
+        for info in infos:
+            if info.kind == "binary_conv" and not info.shortcut:
+                assert info.shape[2:] == (3, 3)
+
+    def test_param_count_matches_module_sum(self):
+        model = bnn_resnet12(seed=0)
+        assert sum(i.params for i in summarize(model)) == model.num_parameters() - (
+            # batch norms are not conv/dense layers: exclude their params
+            sum(p.size for name, p in model.named_parameters()
+                if "gamma" in name or "beta" in name)
+        )
+
+
+class TestForwardShapes:
+    @pytest.mark.parametrize("size", [32, 64, 128])
+    def test_bnn_resnet12_output(self, rng, size):
+        model = bnn_resnet12(seed=0, base_width=4)
+        out = model.forward(rng.normal(size=(2, 1, size, size)))
+        assert out.shape == (2, 2)
+
+    def test_stem_stride_halves_maps(self, rng):
+        model = build_bnn_resnet((4, 8), seed=0, stem_stride=2)
+        out = model.forward(rng.normal(size=(1, 1, 32, 32)))
+        assert out.shape == (1, 2)
+
+    def test_trainable_end_to_end(self, rng):
+        """One full forward/backward pass touches every parameter."""
+        model = bnn_resnet8(seed=0, base_width=4)
+        x = rng.normal(size=(2, 1, 16, 16))
+        out = model.forward(x, training=True)
+        model.backward(np.ones_like(out))
+        grads = [np.abs(p.grad).sum() for p in model.parameters()]
+        assert sum(g > 0 for g in grads) > len(grads) * 0.9
+
+    def test_float_resnet_forward(self, rng):
+        model = build_resnet((4, 8), seed=0)
+        out = model.forward(rng.normal(size=(2, 1, 16, 16)), training=True)
+        assert out.shape == (2, 2)
+
+
+class TestBuilders:
+    def test_empty_channels_raises(self):
+        with pytest.raises(ValueError):
+            build_bnn_resnet(())
+
+    def test_blocks_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            build_bnn_resnet((4, 8), blocks_per_stage=(1,))
+
+    def test_float_builder_validation(self):
+        with pytest.raises(ValueError):
+            build_resnet((), seed=0)
+        with pytest.raises(ValueError):
+            build_resnet((4,), blocks_per_stage=(1, 1))
+
+    def test_seed_reproducibility(self, rng):
+        a = bnn_resnet12(seed=42)
+        b = bnn_resnet12(seed=42)
+        x = rng.normal(size=(1, 1, 32, 32))
+        np.testing.assert_array_equal(a.forward(x), b.forward(x))
+
+    def test_different_seeds_differ(self, rng):
+        a = bnn_resnet12(seed=1)
+        b = bnn_resnet12(seed=2)
+        x = rng.normal(size=(1, 1, 32, 32))
+        assert not np.allclose(a.forward(x), b.forward(x))
+
+
+class TestDAC17CNN:
+    def test_forward_shape(self, rng):
+        model = dac17_cnn(8, 8, seed=0)
+        out = model.forward(rng.normal(size=(3, 8, 8, 8)))
+        assert out.shape == (3, 2)
+
+    def test_indivisible_size_raises(self):
+        with pytest.raises(ValueError):
+            dac17_cnn(8, 10)
+
+    def test_trains_one_step(self, rng):
+        model = dac17_cnn(4, 8, stage_widths=(4, 8), hidden=16, seed=0)
+        x = rng.normal(size=(4, 4, 8, 8))
+        out = model.forward(x, training=True)
+        model.backward(np.ones_like(out))
+        assert any(np.abs(p.grad).sum() > 0 for p in model.parameters())

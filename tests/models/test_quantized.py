@@ -1,0 +1,53 @@
+"""Tests for the quantized residual-network builders."""
+
+import numpy as np
+import pytest
+
+from repro.models import build_quantized_resnet
+
+
+class TestQuantizedResnets:
+    @pytest.mark.parametrize("precision", ["int8", "ternary"])
+    def test_forward_shape(self, rng, precision):
+        model = build_quantized_resnet(precision, (4, 8), seed=0)
+        out = model.forward(rng.normal(size=(2, 1, 16, 16)))
+        assert out.shape == (2, 2)
+
+    @pytest.mark.parametrize("precision", ["int8", "ternary"])
+    def test_trainable(self, rng, precision):
+        model = build_quantized_resnet(precision, (4, 8), seed=0)
+        x = rng.normal(size=(2, 1, 16, 16))
+        out = model.forward(x, training=True)
+        model.backward(np.ones_like(out))
+        grads = [np.abs(p.grad).sum() for p in model.parameters()]
+        assert sum(g > 0 for g in grads) > len(grads) * 0.8
+
+    def test_learns_toy_signal(self, rng):
+        """A quantized net must separate bright from dark images."""
+        from repro.nn import ArrayDataset, DataLoader, NAdam, Trainer
+
+        x = np.zeros((40, 1, 16, 16))
+        y = np.zeros(40, dtype=np.int64)
+        x[20:, :, 4:12, 4:12] = 1.0
+        y[20:] = 1
+        x = 2 * x - 1 + 0.1 * rng.normal(size=x.shape)
+        model = build_quantized_resnet("ternary", (4, 8), seed=0)
+        trainer = Trainer(model, NAdam(model.parameters(), lr=0.005))
+        loader = DataLoader(ArrayDataset(x, y), 8,
+                            rng=np.random.default_rng(0))
+        trainer.fit(loader, epochs=8)
+        pred = model.forward(x).argmax(1)
+        assert (pred == y).mean() > 0.8
+
+    def test_invalid_precision_raises(self):
+        with pytest.raises(ValueError):
+            build_quantized_resnet("fp4", (4,))
+
+    def test_empty_channels_raises(self):
+        with pytest.raises(ValueError):
+            build_quantized_resnet("int8", ())
+
+    def test_stem_stride(self, rng):
+        model = build_quantized_resnet("int8", (4,), seed=0, stem_stride=2)
+        out = model.forward(rng.normal(size=(1, 1, 16, 16)))
+        assert out.shape == (1, 2)

@@ -1,0 +1,163 @@
+"""Tests for datasets, loaders and augmentation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import ArrayDataset, DataLoader, RandomFlip, train_val_split
+from repro.nn.data import balanced_weights
+
+
+def small_dataset(n=10, rng=None):
+    rng = rng if rng is not None else np.random.default_rng(0)
+    return ArrayDataset(
+        rng.normal(size=(n, 1, 4, 4)), rng.integers(0, 2, size=n)
+    )
+
+
+class TestArrayDataset:
+    def test_length(self):
+        assert len(small_dataset(7)) == 7
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 1, 2, 2)), np.zeros(4))
+
+    def test_subset(self, rng):
+        ds = small_dataset(10, rng)
+        sub = ds.subset(np.array([1, 3]))
+        assert len(sub) == 2
+        np.testing.assert_array_equal(sub.images[0], ds.images[1])
+
+    def test_with_labels_keeps_images(self, rng):
+        ds = small_dataset(4, rng)
+        soft = ds.with_labels(np.zeros((4, 2)))
+        assert soft.images is ds.images
+        assert soft.labels.shape == (4, 2)
+
+
+class TestDataLoader:
+    def test_covers_dataset_once(self, rng):
+        ds = ArrayDataset(np.arange(10).reshape(10, 1, 1, 1).astype(float),
+                          np.arange(10))
+        loader = DataLoader(ds, batch_size=3, rng=rng)
+        seen = np.concatenate([labels for _, labels in loader])
+        assert sorted(seen.tolist()) == list(range(10))
+
+    def test_batch_sizes(self, rng):
+        loader = DataLoader(small_dataset(10), batch_size=4, rng=rng)
+        sizes = [img.shape[0] for img, _ in loader]
+        assert sizes == [4, 4, 2]
+        assert len(loader) == 3
+
+    def test_drop_last(self, rng):
+        loader = DataLoader(small_dataset(10), batch_size=4, rng=rng,
+                            drop_last=True)
+        sizes = [img.shape[0] for img, _ in loader]
+        assert sizes == [4, 4]
+        assert len(loader) == 2
+
+    def test_no_shuffle_preserves_order(self):
+        ds = ArrayDataset(np.zeros((5, 1, 1, 1)), np.arange(5))
+        loader = DataLoader(ds, batch_size=2, shuffle=False)
+        seen = np.concatenate([labels for _, labels in loader])
+        np.testing.assert_array_equal(seen, np.arange(5))
+
+    def test_invalid_batch_size_raises(self):
+        with pytest.raises(ValueError):
+            DataLoader(small_dataset(), batch_size=0)
+
+    def test_weighted_sampling_rebalances(self, rng):
+        labels = np.array([0] * 90 + [1] * 10)
+        ds = ArrayDataset(np.zeros((100, 1, 1, 1)), labels)
+        loader = DataLoader(ds, batch_size=100, rng=rng,
+                            sample_weights=balanced_weights(labels))
+        drawn = []
+        for _ in range(20):
+            for _, batch_labels in loader:
+                drawn.append(batch_labels.mean())
+        assert np.mean(drawn) == pytest.approx(0.5, abs=0.07)
+
+    def test_weight_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            DataLoader(small_dataset(4), batch_size=2,
+                       sample_weights=np.ones(3))
+
+
+class TestBalancedWeights:
+    def test_class_mass_equal(self):
+        labels = np.array([0, 0, 0, 1])
+        w = balanced_weights(labels)
+        assert w[labels == 0].sum() == pytest.approx(w[labels == 1].sum())
+
+    def test_sums_to_one(self):
+        w = balanced_weights(np.array([0, 1, 1, 1, 0]))
+        assert w.sum() == pytest.approx(1.0)
+
+
+class TestRandomFlip:
+    def test_preserves_shape_and_values(self, rng):
+        flip = RandomFlip(rng)
+        batch = rng.random((8, 1, 6, 6))
+        out = flip(batch)
+        assert out.shape == batch.shape
+        # flipping permutes pixels within each image: sums unchanged
+        np.testing.assert_allclose(
+            out.sum(axis=(1, 2, 3)), batch.sum(axis=(1, 2, 3))
+        )
+
+    def test_does_not_mutate_input(self, rng):
+        flip = RandomFlip(rng)
+        batch = rng.random((8, 1, 4, 4))
+        original = batch.copy()
+        flip(batch)
+        np.testing.assert_array_equal(batch, original)
+
+    def test_each_output_is_some_flip_of_input(self, rng):
+        flip = RandomFlip(rng)
+        batch = rng.random((16, 1, 5, 5))
+        out = flip(batch)
+        for i in range(16):
+            candidates = [
+                batch[i],
+                batch[i, :, :, ::-1],
+                batch[i, :, ::-1, :],
+                batch[i, :, ::-1, ::-1],
+            ]
+            assert any(np.array_equal(out[i], c) for c in candidates)
+
+    def test_disabled_axes(self, rng):
+        flip = RandomFlip(rng, horizontal=False, vertical=False)
+        batch = rng.random((4, 1, 3, 3))
+        np.testing.assert_array_equal(flip(batch), batch)
+
+
+class TestSplit:
+    def test_partition_sizes(self, rng):
+        train, val = train_val_split(small_dataset(20), 0.25, rng)
+        assert len(train) == 15
+        assert len(val) == 5
+
+    def test_disjoint_cover(self, rng):
+        ds = ArrayDataset(np.arange(12).reshape(12, 1, 1, 1).astype(float),
+                          np.arange(12))
+        train, val = train_val_split(ds, 0.25, rng)
+        combined = sorted(
+            train.labels.tolist() + val.labels.tolist()
+        )
+        assert combined == list(range(12))
+
+    def test_invalid_fraction_raises(self, rng):
+        with pytest.raises(ValueError):
+            train_val_split(small_dataset(), 0.0, rng)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(2, 40), batch=st.integers(1, 8))
+def test_loader_covers_every_index_property(n, batch):
+    """Property: unweighted shuffled loading is a permutation."""
+    ds = ArrayDataset(np.zeros((n, 1, 1, 1)), np.arange(n))
+    loader = DataLoader(ds, batch_size=batch, rng=np.random.default_rng(n))
+    seen = np.concatenate([labels for _, labels in loader])
+    assert sorted(seen.tolist()) == list(range(n))

@@ -1,0 +1,76 @@
+"""Tests for the public gradient-checking utility."""
+
+import numpy as np
+import pytest
+
+from repro.nn import BatchNorm2D, Conv2D, Dense, ReLU, Sequential
+from repro.nn.gradcheck import (
+    GradCheckReport,
+    check_layer_gradients,
+    numerical_gradient,
+)
+
+
+class TestNumericalGradient:
+    def test_quadratic(self):
+        x = np.array([1.0, -2.0, 3.0])
+        grad = numerical_gradient(lambda v: v**2, x.copy(), np.ones(3))
+        np.testing.assert_allclose(grad, 2 * x, atol=1e-6)
+
+    def test_respects_upstream_gradient(self):
+        x = np.array([2.0])
+        grad = numerical_gradient(lambda v: v, x.copy(), np.array([5.0]))
+        np.testing.assert_allclose(grad, [5.0], atol=1e-6)
+
+    def test_restores_input(self):
+        x = np.array([1.0, 2.0])
+        copy = x.copy()
+        numerical_gradient(lambda v: v, x, np.ones(2))
+        np.testing.assert_array_equal(x, copy)
+
+
+class TestCheckLayer:
+    def test_dense_passes(self, rng):
+        layer = Dense(4, 3, rng=rng)
+        report = check_layer_gradients(layer, rng.normal(size=(3, 4)))
+        assert report.ok(1e-5)
+        assert set(report.parameter_errors) == {"weight", "bias"}
+
+    def test_conv_passes(self, rng):
+        layer = Conv2D(2, 3, 3, padding=1, rng=rng)
+        report = check_layer_gradients(layer, rng.normal(size=(2, 2, 5, 5)))
+        assert report.ok(1e-4)
+
+    def test_batchnorm_passes(self, rng):
+        layer = BatchNorm2D(2)
+        layer.gamma.data[...] = rng.normal(size=2)
+        report = check_layer_gradients(layer, rng.normal(size=(4, 2, 3, 3)))
+        assert report.ok(1e-4)
+
+    def test_sequential_passes(self, rng):
+        net = Sequential(Dense(3, 5, rng=rng), ReLU(), Dense(5, 2, rng=rng))
+        report = check_layer_gradients(net, rng.normal(size=(4, 3)))
+        assert report.ok(1e-5)
+
+    def test_broken_layer_detected(self, rng):
+        """A layer with a wrong backward must fail the check."""
+
+        class BrokenDense(Dense):
+            def backward(self, grad):
+                return 2.0 * super().backward(grad)  # wrong factor
+
+        layer = BrokenDense(3, 3, rng=rng)
+        report = check_layer_gradients(layer, rng.normal(size=(2, 3)))
+        assert not report.ok(1e-5)
+        assert report.max_input_error > 1e-3
+
+    def test_report_with_no_parameters(self, rng):
+        report = check_layer_gradients(ReLU(), rng.normal(size=(3, 3)) + 2.0)
+        assert report.max_parameter_error == 0.0
+        assert report.ok()
+
+    def test_report_dataclass(self):
+        report = GradCheckReport(max_input_error=1e-7,
+                                 parameter_errors={"w": 1e-6})
+        assert report.ok(1e-5)
+        assert not report.ok(1e-8)

@@ -1,0 +1,46 @@
+"""Tests for weight initialisers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestFanInOut:
+    def test_dense(self):
+        assert init.fan_in_out((10, 20)) == (10, 20)
+
+    def test_conv(self):
+        # (c_out, c_in, kh, kw) = (8, 4, 3, 3)
+        assert init.fan_in_out((8, 4, 3, 3)) == (4 * 9, 8 * 9)
+
+    def test_unsupported_raises(self):
+        with pytest.raises(ValueError):
+            init.fan_in_out((5,))
+
+
+class TestXavier:
+    def test_uniform_bound(self, rng):
+        shape = (100, 100)
+        w = init.xavier_uniform(shape, rng)
+        bound = np.sqrt(6.0 / 200)
+        assert np.abs(w).max() <= bound
+        assert w.std() == pytest.approx(bound / np.sqrt(3), rel=0.1)
+
+    def test_normal_variance(self, rng):
+        w = init.xavier_normal((200, 200), rng)
+        assert w.var() == pytest.approx(2.0 / 400, rel=0.15)
+
+    def test_conv_shape(self, rng):
+        w = init.xavier_uniform((4, 2, 3, 3), rng)
+        assert w.shape == (4, 2, 3, 3)
+
+
+class TestHe:
+    def test_variance(self, rng):
+        w = init.he_normal((300, 100), rng)
+        assert w.var() == pytest.approx(2.0 / 300, rel=0.15)
+
+
+def test_zeros():
+    assert not init.zeros((3, 3)).any()

@@ -1,0 +1,284 @@
+"""Gradient and behaviour tests for every layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2D,
+    BatchNorm1D,
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2D,
+    HardTanh,
+    MaxPool2D,
+    ReLU,
+    ResidualBlock,
+    Sequential,
+    SignSTE,
+    sign,
+)
+
+from ..conftest import finite_difference
+
+
+def layer_input_grad(layer, x, training_forward=True):
+    """Analytic input gradient of sum(layer(x) * g) plus (g, out)."""
+    out = layer.forward(x, training=True)
+    rng = np.random.default_rng(0)
+    g = rng.normal(size=out.shape)
+    gx = layer.backward(g)
+    return gx, g, out
+
+
+class TestDense:
+    def test_forward_values(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        layer.weight.data[...] = np.arange(6).reshape(3, 2)
+        layer.bias.data[...] = [1.0, -1.0]
+        out = layer.forward(np.array([[1.0, 0.0, 2.0]]))
+        # [1,0,2] @ [[0,1],[2,3],[4,5]] = [8, 11]; plus bias [1,-1]
+        np.testing.assert_allclose(out, [[9.0, 10.0]])
+
+    def test_input_gradient(self, rng):
+        layer = Dense(4, 3, rng=rng)
+        x = rng.normal(size=(5, 4))
+        gx, g, _ = layer_input_grad(layer, x)
+        num = finite_difference(lambda xv: layer.forward(xv), x.copy(), g)
+        np.testing.assert_allclose(gx, num, atol=1e-6)
+
+    def test_weight_gradient(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        x = rng.normal(size=(4, 3))
+        out = layer.forward(x, training=True)
+        g = rng.normal(size=out.shape)
+        layer.backward(g)
+        def f(w):
+            layer.weight.data[...] = w
+            return layer.forward(x)
+        w0 = layer.weight.data.copy()
+        num = finite_difference(f, w0.copy(), g)
+        layer.weight.data[...] = w0
+        np.testing.assert_allclose(layer.weight.grad, num, atol=1e-6)
+
+    def test_no_bias(self, rng):
+        layer = Dense(3, 2, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_backward_without_forward_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            Dense(2, 2, rng=rng).backward(np.zeros((1, 2)))
+
+
+class TestConv2D:
+    def test_input_gradient(self, rng):
+        layer = Conv2D(2, 3, 3, stride=1, padding=1, rng=rng)
+        x = rng.normal(size=(2, 2, 5, 5))
+        gx, g, _ = layer_input_grad(layer, x)
+        num = finite_difference(lambda xv: layer.forward(xv), x.copy(), g)
+        np.testing.assert_allclose(gx, num, atol=1e-5)
+
+    def test_weight_gradient_accumulates(self, rng):
+        layer = Conv2D(1, 1, 3, rng=rng)
+        x = rng.normal(size=(1, 1, 4, 4))
+        out = layer.forward(x, training=True)
+        g = np.ones_like(out)
+        layer.backward(g)
+        first = layer.weight.grad.copy()
+        layer.forward(x, training=True)
+        layer.backward(g)
+        np.testing.assert_allclose(layer.weight.grad, 2 * first)
+
+    def test_stride_shape(self, rng):
+        layer = Conv2D(1, 4, 3, stride=2, padding=1, rng=rng)
+        out = layer.forward(rng.normal(size=(2, 1, 8, 8)))
+        assert out.shape == (2, 4, 4, 4)
+
+
+class TestBatchNorm:
+    def test_normalises_training_batch(self, rng):
+        bn = BatchNorm2D(3)
+        x = rng.normal(loc=5.0, scale=3.0, size=(8, 3, 6, 6))
+        out = bn.forward(x, training=True)
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-3)
+
+    def test_running_stats_converge(self, rng):
+        bn = BatchNorm2D(2, momentum=0.5)
+        for _ in range(30):
+            bn.forward(rng.normal(loc=2.0, size=(16, 2, 4, 4)), training=True)
+        np.testing.assert_allclose(bn.running_mean, 2.0, atol=0.2)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = BatchNorm2D(2)
+        x = rng.normal(size=(4, 2, 3, 3))
+        out_eval = bn.forward(x, training=False)
+        # fresh BN with unit running stats: output ~= input
+        np.testing.assert_allclose(out_eval, x / np.sqrt(1 + bn.eps), atol=1e-6)
+
+    def test_input_gradient(self, rng):
+        bn = BatchNorm2D(2)
+        bn.gamma.data[...] = rng.normal(size=2)
+        bn.beta.data[...] = rng.normal(size=2)
+        x = rng.normal(size=(3, 2, 4, 4))
+        out = bn.forward(x, training=True)
+        g = rng.normal(size=out.shape)
+        gx = bn.backward(g)
+        num = finite_difference(
+            lambda xv: bn.forward(xv, training=True), x.copy(), g, eps=1e-5
+        )
+        np.testing.assert_allclose(gx, num, atol=1e-4)
+
+    def test_gamma_beta_gradients(self, rng):
+        bn = BatchNorm1D(3)
+        x = rng.normal(size=(6, 3))
+        out = bn.forward(x, training=True)
+        g = rng.normal(size=out.shape)
+        bn.backward(g)
+        x_hat = (x - x.mean(0)) / np.sqrt(x.var(0) + bn.eps)
+        np.testing.assert_allclose(bn.gamma.grad, (g * x_hat).sum(0), atol=1e-8)
+        np.testing.assert_allclose(bn.beta.grad, g.sum(0), atol=1e-10)
+
+    def test_1d_shapes(self, rng):
+        bn = BatchNorm1D(4)
+        out = bn.forward(rng.normal(size=(5, 4)), training=True)
+        assert out.shape == (5, 4)
+
+
+class TestActivations:
+    def test_relu_forward_backward(self, rng):
+        relu = ReLU()
+        x = np.array([[-1.0, 0.5], [2.0, -3.0]])
+        out = relu.forward(x, training=True)
+        np.testing.assert_allclose(out, [[0.0, 0.5], [2.0, 0.0]])
+        gx = relu.backward(np.ones_like(x))
+        np.testing.assert_allclose(gx, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_hardtanh_clamps(self):
+        ht = HardTanh()
+        x = np.array([-2.0, -0.5, 0.5, 2.0])
+        np.testing.assert_allclose(
+            ht.forward(x, training=True), [-1.0, -0.5, 0.5, 1.0]
+        )
+        gx = ht.backward(np.ones(4))
+        np.testing.assert_allclose(gx, [0.0, 1.0, 1.0, 0.0])
+
+    def test_sign_never_zero(self):
+        assert sign(np.array([0.0])) == 1.0
+        np.testing.assert_allclose(sign(np.array([-0.1, 0.1])), [-1.0, 1.0])
+
+    def test_sign_ste_forward_is_sign(self, rng):
+        layer = SignSTE()
+        x = rng.normal(size=(3, 3))
+        np.testing.assert_array_equal(layer.forward(x, training=True), sign(x))
+
+    def test_sign_ste_backward_window(self):
+        """Eq. (10): gradient passes only where |x| < 1."""
+        layer = SignSTE()
+        x = np.array([-1.5, -0.5, 0.0, 0.5, 1.5])
+        layer.forward(x, training=True)
+        gx = layer.backward(np.ones(5))
+        np.testing.assert_allclose(gx, [0.0, 1.0, 1.0, 1.0, 0.0])
+
+
+class TestPoolingLayers:
+    @pytest.mark.parametrize("layer_cls", [MaxPool2D, AvgPool2D])
+    def test_input_gradient(self, rng, layer_cls):
+        layer = layer_cls(2)
+        x = rng.normal(size=(2, 2, 4, 4))
+        gx, g, _ = layer_input_grad(layer, x)
+        num = finite_difference(lambda xv: layer.forward(xv), x.copy(), g)
+        np.testing.assert_allclose(gx, num, atol=1e-5)
+
+    def test_global_avg_pool(self, rng):
+        layer = GlobalAvgPool2D()
+        x = rng.normal(size=(3, 4, 5, 5))
+        out = layer.forward(x, training=True)
+        np.testing.assert_allclose(out, x.mean(axis=(2, 3)))
+        g = rng.normal(size=out.shape)
+        gx = layer.backward(g)
+        num = finite_difference(lambda xv: layer.forward(xv), x.copy(), g)
+        np.testing.assert_allclose(gx, num, atol=1e-6)
+
+
+class TestShapeAndDropout:
+    def test_flatten_roundtrip(self, rng):
+        layer = Flatten()
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = layer.forward(x, training=True)
+        assert out.shape == (2, 48)
+        gx = layer.backward(out)
+        np.testing.assert_array_equal(gx, x)
+
+    def test_dropout_eval_is_identity(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        x = rng.normal(size=(4, 4))
+        np.testing.assert_array_equal(layer.forward(x, training=False), x)
+
+    def test_dropout_preserves_expectation(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        x = np.ones((200, 200))
+        out = layer.forward(x, training=True)
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_dropout_backward_uses_same_mask(self, rng):
+        layer = Dropout(0.3, rng=rng)
+        x = rng.normal(size=(10, 10))
+        out = layer.forward(x, training=True)
+        gx = layer.backward(np.ones_like(x))
+        zero_out = out == 0
+        assert np.array_equal(gx == 0, zero_out)
+
+
+class TestContainers:
+    def test_sequential_composes(self, rng):
+        net = Sequential(Dense(4, 8, rng=rng), ReLU(), Dense(8, 2, rng=rng))
+        x = rng.normal(size=(3, 4))
+        out = net.forward(x, training=True)
+        assert out.shape == (3, 2)
+        g = rng.normal(size=out.shape)
+        gx = net.backward(g)
+        num = finite_difference(lambda xv: net.forward(xv), x.copy(), g)
+        np.testing.assert_allclose(gx, num, atol=1e-6)
+
+    def test_sequential_indexing(self, rng):
+        net = Sequential(Dense(2, 2, rng=rng))
+        assert len(net) == 1
+        assert isinstance(net[0], Dense)
+
+    def test_residual_identity(self, rng):
+        net = ResidualBlock(Sequential(Dense(4, 4, rng=rng)))
+        x = rng.normal(size=(3, 4))
+        inner = net.main.forward(x)
+        out = net.forward(x, training=True)
+        np.testing.assert_allclose(out, inner + x)
+        g = rng.normal(size=out.shape)
+        gx = net.backward(g)
+        num = finite_difference(
+            lambda xv: net.forward(xv, training=True), x.copy(), g
+        )
+        np.testing.assert_allclose(gx, num, atol=1e-6)
+
+    def test_residual_projection(self, rng):
+        net = ResidualBlock(Dense(4, 2, rng=rng), Dense(4, 2, rng=rng))
+        x = rng.normal(size=(3, 4))
+        out = net.forward(x, training=True)
+        assert out.shape == (3, 2)
+        g = rng.normal(size=out.shape)
+        gx = net.backward(g)
+        num = finite_difference(
+            lambda xv: net.forward(xv, training=True), x.copy(), g
+        )
+        np.testing.assert_allclose(gx, num, atol=1e-6)
+
+    def test_residual_shape_mismatch_raises(self, rng):
+        net = ResidualBlock(Dense(4, 2, rng=rng))
+        with pytest.raises(ValueError):
+            net.forward(rng.normal(size=(3, 4)))

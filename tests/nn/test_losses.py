@@ -1,0 +1,96 @@
+"""Tests for softmax cross-entropy with hard and soft targets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import SoftmaxCrossEntropy, log_softmax, softmax
+
+from ..conftest import finite_difference
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        p = softmax(rng.normal(size=(5, 3)))
+        np.testing.assert_allclose(p.sum(axis=-1), 1.0)
+
+    def test_shift_invariance(self, rng):
+        z = rng.normal(size=(4, 3))
+        np.testing.assert_allclose(softmax(z), softmax(z + 100.0), atol=1e-12)
+
+    def test_log_softmax_consistent(self, rng):
+        z = rng.normal(size=(4, 3))
+        np.testing.assert_allclose(np.exp(log_softmax(z)), softmax(z), atol=1e-12)
+
+    def test_extreme_logits_stable(self):
+        z = np.array([[1000.0, -1000.0]])
+        p = softmax(z)
+        assert np.isfinite(p).all()
+        assert p[0, 0] == pytest.approx(1.0)
+
+
+class TestCrossEntropy:
+    def test_hard_labels_match_manual(self, rng):
+        loss_fn = SoftmaxCrossEntropy()
+        logits = rng.normal(size=(6, 2))
+        labels = rng.integers(0, 2, size=6)
+        loss = loss_fn.forward(logits, labels)
+        manual = -log_softmax(logits)[np.arange(6), labels].mean()
+        assert loss == pytest.approx(manual)
+
+    def test_soft_targets_match_manual(self, rng):
+        loss_fn = SoftmaxCrossEntropy()
+        logits = rng.normal(size=(4, 2))
+        targets = np.array([[0.8, 0.2]] * 4)
+        loss = loss_fn.forward(logits, targets)
+        manual = -(targets * log_softmax(logits)).sum(axis=1).mean()
+        assert loss == pytest.approx(manual)
+
+    def test_gradient_matches_finite_difference(self, rng):
+        loss_fn = SoftmaxCrossEntropy()
+        logits = rng.normal(size=(3, 2))
+        labels = np.array([0, 1, 1])
+        loss_fn.forward(logits, labels)
+        grad = loss_fn.backward()
+
+        def f(z):
+            inner = SoftmaxCrossEntropy()
+            return np.array([inner.forward(z, labels)])
+
+        num = finite_difference(f, logits.copy(), np.array([1.0]))
+        np.testing.assert_allclose(grad, num, atol=1e-6)
+
+    def test_gradient_rows_sum_to_zero(self, rng):
+        """Softmax CE gradient rows must sum to 0 (probability simplex)."""
+        loss_fn = SoftmaxCrossEntropy()
+        logits = rng.normal(size=(5, 3))
+        loss_fn.forward(logits, rng.integers(0, 3, size=5))
+        np.testing.assert_allclose(loss_fn.backward().sum(axis=1), 0.0, atol=1e-12)
+
+    def test_perfect_prediction_near_zero_loss(self):
+        loss_fn = SoftmaxCrossEntropy()
+        logits = np.array([[20.0, -20.0], [-20.0, 20.0]])
+        assert loss_fn.forward(logits, np.array([0, 1])) < 1e-8
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            SoftmaxCrossEntropy().backward()
+
+    def test_bad_target_shape_raises(self, rng):
+        loss_fn = SoftmaxCrossEntropy()
+        with pytest.raises(ValueError):
+            loss_fn.forward(rng.normal(size=(3, 2)), np.zeros((3, 5)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    logits=arrays(np.float64, (4, 2),
+                  elements=st.floats(-30, 30, allow_nan=False)),
+)
+def test_loss_nonnegative_property(logits):
+    """Cross-entropy against one-hot targets is always non-negative."""
+    loss_fn = SoftmaxCrossEntropy()
+    labels = np.array([0, 1, 0, 1])
+    assert loss_fn.forward(logits, labels) >= 0.0

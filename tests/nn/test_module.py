@@ -1,0 +1,108 @@
+"""Tests for the Module/Parameter abstractions."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    Module,
+    Parameter,
+    ResidualBlock,
+    Sequential,
+)
+
+
+class TestParameter:
+    def test_grad_initialised_to_zero(self):
+        p = Parameter(np.ones((2, 3)))
+        assert p.grad.shape == (2, 3)
+        assert not p.grad.any()
+
+    def test_zero_grad_resets(self):
+        p = Parameter(np.ones(4))
+        p.grad += 2.0
+        p.zero_grad()
+        assert not p.grad.any()
+
+    def test_shape_and_size(self):
+        p = Parameter(np.zeros((3, 4)))
+        assert p.shape == (3, 4)
+        assert p.size == 12
+
+
+class TestTraversal:
+    def test_named_parameters_paths(self, rng):
+        net = Sequential(Conv2D(1, 2, 3, rng=rng), Dense(8, 2, rng=rng))
+        names = [name for name, _ in net.named_parameters()]
+        assert "layers.0.weight" in names
+        assert "layers.1.bias" in names
+
+    def test_nested_residual_traversal(self, rng):
+        block = ResidualBlock(
+            Sequential(Conv2D(2, 2, 3, padding=1, rng=rng)),
+            Conv2D(2, 2, 1, rng=rng),
+        )
+        names = {name for name, _ in block.named_parameters()}
+        assert any(name.startswith("main.") for name in names)
+        assert any(name.startswith("shortcut.") for name in names)
+
+    def test_num_parameters(self, rng):
+        dense = Dense(4, 3, rng=rng)
+        assert dense.num_parameters() == 4 * 3 + 3
+
+    def test_zero_grad_recurses(self, rng):
+        net = Sequential(Dense(3, 3, rng=rng), Dense(3, 2, rng=rng))
+        for p in net.parameters():
+            p.grad += 1.0
+        net.zero_grad()
+        assert all(not p.grad.any() for p in net.parameters())
+
+    def test_children_yields_direct_modules(self, rng):
+        net = Sequential(Dense(2, 2, rng=rng), Dense(2, 2, rng=rng))
+        assert len(list(net.children())) == 2
+
+
+class TestStateDict:
+    def test_roundtrip(self, rng):
+        net = Sequential(Conv2D(1, 2, 3, rng=rng), Dense(8, 2, rng=rng))
+        state = net.state_dict()
+        fresh = Sequential(Conv2D(1, 2, 3, rng=rng), Dense(8, 2, rng=rng))
+        fresh.load_state_dict(state)
+        for (na, pa), (nb, pb) in zip(
+            net.named_parameters(), fresh.named_parameters()
+        ):
+            assert na == nb
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_state_dict_copies(self, rng):
+        dense = Dense(2, 2, rng=rng)
+        state = dense.state_dict()
+        state["weight"][...] = 99.0
+        assert not (dense.weight.data == 99.0).any()
+
+    def test_batchnorm_running_stats_in_state(self, rng):
+        bn = BatchNorm2D(3)
+        bn.forward(rng.normal(size=(4, 3, 5, 5)), training=True)
+        state = bn.state_dict()
+        assert "running_mean" in state
+        fresh = BatchNorm2D(3)
+        fresh.load_state_dict(state)
+        np.testing.assert_array_equal(fresh.running_mean, bn.running_mean)
+        np.testing.assert_array_equal(fresh.running_var, bn.running_var)
+
+    def test_missing_key_raises(self, rng):
+        dense = Dense(2, 2, rng=rng)
+        with pytest.raises(KeyError):
+            dense.load_state_dict({})
+
+    def test_shape_mismatch_raises(self, rng):
+        dense = Dense(2, 2, rng=rng)
+        bad = {name: np.zeros((5, 5)) for name in ("weight", "bias")}
+        with pytest.raises(ValueError):
+            dense.load_state_dict(bad)
+
+    def test_unimplemented_forward_raises(self):
+        with pytest.raises(NotImplementedError):
+            Module().forward(np.zeros(1))

@@ -1,0 +1,104 @@
+"""Tests for the optimizer family, including NAdam step equations."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, Momentum, NAG, NAdam, Parameter
+
+
+def make_param(value, grad):
+    p = Parameter(np.array(value, dtype=float))
+    p.grad[...] = grad
+    return p
+
+
+class TestSGD:
+    def test_step_equation(self):
+        p = make_param([1.0, 2.0], [0.5, -0.5])
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95, 2.05])
+
+    def test_skips_frozen_parameters(self):
+        p = make_param([1.0], [1.0])
+        p.trainable = False
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_invalid_lr_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.0)
+
+
+class TestMomentum:
+    def test_two_steps_accumulate_velocity(self):
+        p = make_param([0.0], [1.0])
+        opt = Momentum([p], lr=0.1, momentum=0.9)
+        opt.step()  # v = -0.1, x = -0.1
+        np.testing.assert_allclose(p.data, [-0.1])
+        opt.step()  # v = -0.19, x = -0.29
+        np.testing.assert_allclose(p.data, [-0.29])
+
+
+class TestNAG:
+    def test_first_step(self):
+        p = make_param([0.0], [1.0])
+        opt = NAG([p], lr=0.1, momentum=0.9)
+        opt.step()
+        # v_prev=0, v = -0.1, x += -0.9*0 + 1.9*(-0.1)
+        np.testing.assert_allclose(p.data, [-0.19])
+
+
+class TestAdam:
+    def test_first_step_is_lr_sized(self):
+        """With bias correction, the first Adam step is ~lr * sign(g)."""
+        p = make_param([0.0], [3.0])
+        Adam([p], lr=0.01).step()
+        np.testing.assert_allclose(p.data, [-0.01], atol=1e-6)
+
+    def test_adapts_to_gradient_scale(self):
+        big = make_param([0.0], [100.0])
+        small = make_param([0.0], [0.01])
+        Adam([big, small], lr=0.01).step()
+        # both steps ~lr regardless of gradient magnitude
+        assert abs(big.data[0]) == pytest.approx(abs(small.data[0]), rel=0.01)
+
+
+class TestNAdam:
+    def test_first_step_formula(self):
+        p = make_param([0.0], [2.0])
+        opt = NAdam([p], lr=0.1, beta1=0.9, beta2=0.999, eps=1e-8)
+        opt.step()
+        g = 2.0
+        m = 0.1 * g
+        v = 0.001 * g * g
+        m_hat = 0.9 * m / (1 - 0.9**2) + 0.1 * g / (1 - 0.9)
+        v_hat = v / (1 - 0.999)
+        expected = -0.1 * m_hat / (np.sqrt(v_hat) + 1e-8)
+        np.testing.assert_allclose(p.data, [expected], rtol=1e-10)
+
+    def test_lr_mutable_by_scheduler(self):
+        p = make_param([0.0], [1.0])
+        opt = NAdam([p], lr=0.1)
+        opt.lr = 0.05
+        assert opt.lr == 0.05
+
+
+@pytest.mark.parametrize(
+    "opt_cls,kwargs",
+    [
+        (SGD, {"lr": 0.1}),
+        (Momentum, {"lr": 0.05}),
+        (NAG, {"lr": 0.05}),
+        (Adam, {"lr": 0.1}),
+        (NAdam, {"lr": 0.1}),
+    ],
+)
+def test_converges_on_quadratic(opt_cls, kwargs):
+    """Every optimizer must drive a convex quadratic near its minimum."""
+    p = Parameter(np.array([5.0, -3.0]))
+    opt = opt_cls([p], **kwargs)
+    target = np.array([1.0, 2.0])
+    for _ in range(300):
+        p.grad[...] = 2.0 * (p.data - target)
+        opt.step()
+    np.testing.assert_allclose(p.data, target, atol=0.05)

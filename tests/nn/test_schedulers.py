@@ -1,0 +1,74 @@
+"""Tests for learning-rate schedulers."""
+
+import pytest
+
+from repro.nn import Parameter, ReduceLROnPlateau, SGD, StepDecay
+
+import numpy as np
+
+
+def make_opt(lr=1.0):
+    return SGD([Parameter(np.zeros(1))], lr=lr)
+
+
+class TestReduceLROnPlateau:
+    def test_improvement_keeps_lr(self):
+        opt = make_opt()
+        sched = ReduceLROnPlateau(opt, factor=0.5, patience=1)
+        assert not sched.step(1.0)
+        assert not sched.step(0.5)
+        assert opt.lr == 1.0
+
+    def test_plateau_decays_exponentially(self):
+        opt = make_opt()
+        sched = ReduceLROnPlateau(opt, factor=0.5, patience=0)
+        sched.step(1.0)
+        assert sched.step(1.0)   # no improvement -> decay
+        assert opt.lr == 0.5
+        assert sched.step(1.0)
+        assert opt.lr == 0.25
+
+    def test_patience_delays_decay(self):
+        opt = make_opt()
+        sched = ReduceLROnPlateau(opt, factor=0.1, patience=2)
+        sched.step(1.0)
+        assert not sched.step(1.0)
+        assert not sched.step(1.0)
+        assert sched.step(1.0)
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_min_lr_floor(self):
+        opt = make_opt(lr=2e-5)
+        sched = ReduceLROnPlateau(opt, factor=0.5, patience=0, min_lr=1e-5)
+        sched.step(1.0)
+        sched.step(1.0)
+        assert opt.lr == pytest.approx(1e-5)
+        assert not sched.step(1.0)  # already at floor: no further decay
+        assert opt.lr == pytest.approx(1e-5)
+
+    def test_threshold_counts_tiny_improvement_as_plateau(self):
+        opt = make_opt()
+        sched = ReduceLROnPlateau(opt, factor=0.5, patience=0, threshold=0.01)
+        sched.step(1.0)
+        assert sched.step(0.9999)  # <1% better: still a plateau
+        assert opt.lr == 0.5
+
+    def test_invalid_factor_raises(self):
+        with pytest.raises(ValueError):
+            ReduceLROnPlateau(make_opt(), factor=1.5)
+
+
+class TestStepDecay:
+    def test_decays_every_step_size(self):
+        opt = make_opt()
+        sched = StepDecay(opt, step_size=2, gamma=0.1)
+        assert not sched.step()
+        assert sched.step()
+        assert opt.lr == pytest.approx(0.1)
+        assert not sched.step()
+        assert sched.step()
+        assert opt.lr == pytest.approx(0.01)
+
+    def test_invalid_step_size_raises(self):
+        with pytest.raises(ValueError):
+            StepDecay(make_opt(), step_size=0)

@@ -1,0 +1,55 @@
+"""Tests for model checkpointing."""
+
+import numpy as np
+
+from repro.nn import (
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    Flatten,
+    GlobalAvgPool2D,
+    Sequential,
+    load_model,
+    save_model,
+)
+
+
+def build(rng):
+    return Sequential(
+        Conv2D(1, 4, 3, padding=1, rng=rng),
+        BatchNorm2D(4),
+        GlobalAvgPool2D(),
+        Dense(4, 2, rng=rng),
+    )
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_outputs(self, rng, tmp_path):
+        model = build(rng)
+        # exercise BN running stats so extra state is non-trivial
+        x = rng.normal(size=(4, 1, 6, 6))
+        model.forward(x, training=True)
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+
+        fresh = build(np.random.default_rng(999))
+        load_model(fresh, path)
+        np.testing.assert_allclose(model.forward(x), fresh.forward(x), atol=1e-12)
+
+    def test_checkpoint_is_snapshot(self, rng, tmp_path):
+        model = build(rng)
+        path = tmp_path / "ck.npz"
+        save_model(model, path)
+        before = model.layers[0].weight.data.copy()
+        model.layers[0].weight.data += 1.0
+        load_model(model, path)
+        np.testing.assert_array_equal(model.layers[0].weight.data, before)
+
+    def test_flatten_dense_model(self, rng, tmp_path):
+        model = Sequential(Flatten(), Dense(9, 2, rng=rng))
+        path = tmp_path / "m.npz"
+        save_model(model, path)
+        fresh = Sequential(Flatten(), Dense(9, 2, rng=np.random.default_rng(5)))
+        load_model(fresh, path)
+        x = rng.normal(size=(2, 1, 3, 3))
+        np.testing.assert_allclose(model.forward(x), fresh.forward(x))

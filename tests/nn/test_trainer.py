@@ -1,0 +1,121 @@
+"""Tests for the Algorithm-1 training loop."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    ArrayDataset,
+    DataLoader,
+    Dense,
+    NAdam,
+    ReduceLROnPlateau,
+    ReLU,
+    Sequential,
+    SGD,
+    SoftmaxCrossEntropy,
+    Trainer,
+    evaluate_loss,
+    predict_logits,
+)
+
+
+def toy_problem(rng, n=120):
+    """Two Gaussian blobs, linearly separable."""
+    x0 = rng.normal(loc=-1.0, size=(n // 2, 4))
+    x1 = rng.normal(loc=+1.0, size=(n // 2, 4))
+    x = np.concatenate([x0, x1])
+    y = np.concatenate([np.zeros(n // 2, int), np.ones(n // 2, int)])
+    order = rng.permutation(n)
+    return ArrayDataset(x[order], y[order])
+
+
+def make_model(rng):
+    return Sequential(Dense(4, 8, rng=rng), ReLU(), Dense(8, 2, rng=rng))
+
+
+class TestTrainer:
+    def test_loss_decreases(self, rng):
+        ds = toy_problem(rng)
+        model = make_model(rng)
+        trainer = Trainer(model, NAdam(model.parameters(), lr=0.01))
+        history = trainer.fit(
+            DataLoader(ds, 16, rng=np.random.default_rng(0)), epochs=10
+        )
+        assert history.epochs == 10
+        assert history.train_loss[-1] < history.train_loss[0] * 0.5
+
+    def test_learns_to_classify(self, rng):
+        ds = toy_problem(rng)
+        model = make_model(rng)
+        trainer = Trainer(model, NAdam(model.parameters(), lr=0.01))
+        trainer.fit(DataLoader(ds, 16, rng=np.random.default_rng(0)), epochs=15)
+        pred = predict_logits(model, ds.images).argmax(1)
+        assert (pred == ds.labels).mean() > 0.9
+
+    def test_validation_feeds_scheduler(self, rng):
+        ds = toy_problem(rng)
+        model = make_model(rng)
+        opt = SGD(model.parameters(), lr=1e-9)  # too small to improve
+        sched = ReduceLROnPlateau(opt, factor=0.5, patience=0, min_lr=1e-12)
+        trainer = Trainer(model, opt, scheduler=sched)
+        loader = DataLoader(ds, 32, rng=np.random.default_rng(0))
+        val = DataLoader(ds, 32, shuffle=False)
+        history = trainer.fit(loader, epochs=4, val_loader=val)
+        assert len(history.val_loss) == 4
+        assert opt.lr < 1e-9  # plateau triggered decay
+
+    def test_post_step_hook_runs(self, rng):
+        ds = toy_problem(rng, n=32)
+        model = make_model(rng)
+        calls = []
+        trainer = Trainer(
+            model, SGD(model.parameters(), lr=0.01),
+            post_step=lambda: calls.append(1),
+        )
+        loader = DataLoader(ds, 16, rng=np.random.default_rng(0))
+        trainer.fit(loader, epochs=2)
+        assert len(calls) == 2 * 2  # batches per epoch * epochs
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_nonfinite_loss_raises(self, rng):
+        ds = toy_problem(rng, n=16)
+        model = make_model(rng)
+        model.layers[0].weight.data[...] = np.inf
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.1))
+        with pytest.raises(FloatingPointError):
+            trainer.train_batch(ds.images, ds.labels)
+
+    def test_history_records_lr(self, rng):
+        ds = toy_problem(rng, n=32)
+        model = make_model(rng)
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.123))
+        history = trainer.fit(
+            DataLoader(ds, 16, rng=np.random.default_rng(0)), epochs=2
+        )
+        assert history.lr == [0.123, 0.123]
+
+
+class TestEvaluate:
+    def test_evaluate_loss_matches_direct(self, rng):
+        ds = toy_problem(rng, n=48)
+        model = make_model(rng)
+        loader = DataLoader(ds, 16, shuffle=False)
+        loss = evaluate_loss(model, loader)
+        direct = SoftmaxCrossEntropy().forward(
+            model.forward(ds.images), ds.labels
+        )
+        assert loss == pytest.approx(direct, rel=1e-9)
+
+    def test_predict_logits_batches_consistent(self, rng):
+        ds = toy_problem(rng, n=50)
+        model = make_model(rng)
+        full = model.forward(ds.images)
+        batched = predict_logits(model, ds.images, batch_size=7)
+        np.testing.assert_allclose(full, batched, atol=1e-12)
+
+    def test_empty_loader_raises(self, rng):
+        model = make_model(rng)
+        ds = toy_problem(rng, n=4)
+        loader = DataLoader(ds, 8, drop_last=True)  # 4 < 8 -> no batches
+        with pytest.raises(ValueError):
+            evaluate_loss(model, loader)

@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table3_args(self):
+        args = build_parser().parse_args(
+            ["table3", "--scale", "0.01", "--epochs", "3"]
+        )
+        assert args.command == "table3"
+        assert args.scale == 0.01
+        assert args.epochs == 3
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.scaling == "xnor"
+        assert args.epsilon == 0.2
+
+
+class TestCommands:
+    def test_litho_clean_run(self, capsys):
+        assert main(["litho", "--pattern", "grating", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "pattern=grating" in out
+        assert "worst-corner" in out
+
+    def test_litho_with_opc(self, capsys):
+        assert main(["litho", "--pattern", "via_array", "--seed", "2",
+                     "--opc"]) == 0
+        assert "after rule-based OPC" in capsys.readouterr().out
+
+    def test_litho_unknown_pattern(self, capsys):
+        assert main(["litho", "--pattern", "nonsense"]) == 2
+
+    def test_table2(self, capsys):
+        code = main(["table2", "--scale", "0.001", "--image-size", "16",
+                     "--seed", "7"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "ICCAD (paper)" in out
+
+    def test_train_and_save(self, capsys, tmp_path):
+        path = tmp_path / "model.npz"
+        code = main([
+            "train", "--scale", "0.001", "--image-size", "16", "--seed", "7",
+            "--epochs", "1", "--finetune-epochs", "0", "--save", str(path),
+        ])
+        assert code == 0
+        assert path.exists()
+        out = capsys.readouterr().out
+        assert "BNN detector" in out
+
+    def test_roc(self, capsys):
+        code = main(["roc", "--scale", "0.002", "--image-size", "16",
+                     "--seed", "7", "--epochs", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "AUC" in out
+        assert "recall at FA rate" in out
+
+    def test_table3_small(self, capsys):
+        code = main(["table3", "--scale", "0.002", "--image-size", "16",
+                     "--seed", "7", "--epochs", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Ours (BNN)" in out
+        assert "SPIE'15" in out
