@@ -25,6 +25,9 @@ Subpackages
     and the contest metrics (accuracy, false alarm, ODST).
 ``repro.bench``
     Harness regenerating every table and figure of the paper.
+``repro.serve``
+    Batched, multi-worker inference service layer over the packed
+    engine (model registry, micro-batching, scan workers, metrics).
 
 Quickstart
 ----------
@@ -38,7 +41,7 @@ Quickstart
 >>> print(metrics.row())
 """
 
-from . import bench, binary, detect, features, litho, ml, models, nn
+from . import bench, binary, detect, features, litho, ml, models, nn, serve
 
 __version__ = "1.0.0"
 
@@ -51,5 +54,6 @@ __all__ = [
     "ml",
     "models",
     "nn",
+    "serve",
     "__version__",
 ]

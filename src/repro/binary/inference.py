@@ -34,7 +34,7 @@ from .binary_conv import BinaryConv2D
 from .binary_dense import BinaryDense
 from .block import BNNConvBlock
 
-__all__ = ["PackedBNN"]
+__all__ = ["PackedBNN", "FloatEngine"]
 
 _Fn = Callable[[np.ndarray], np.ndarray]
 
@@ -154,9 +154,13 @@ def _compile(module: Module) -> _Fn:
     if isinstance(module, Dense):
         weight = module.weight.data.copy()
         bias = module.bias.data.copy() if module.bias is not None else None
+        # einsum (unoptimized) accumulates each output element in a fixed
+        # per-row loop order, unlike `x @ weight` where BLAS picks
+        # different kernels (gemv vs gemm) by batch size — keeping the
+        # engine's outputs bit-identical however requests are batched.
         if bias is None:
-            return lambda x: x @ weight
-        return lambda x: x @ weight + bias
+            return lambda x: np.einsum("nk,kc->nc", x, weight)
+        return lambda x: np.einsum("nk,kc->nc", x, weight) + bias
     if isinstance(module, MaxPool2D):
         return lambda x: F.maxpool2d_forward(x, module.kernel_size, module.stride)[0]
     if isinstance(module, AvgPool2D):
@@ -201,6 +205,36 @@ class PackedBNN:
         """Batched inference over a full array of images."""
         outputs = [
             self._fn(images[start : start + batch_size])
+            for start in range(0, images.shape[0], batch_size)
+        ]
+        return np.concatenate(outputs, axis=0)
+
+
+class FloatEngine:
+    """Float-simulation inference with the :class:`PackedBNN` interface.
+
+    Wraps ``model.forward(training=False)`` so callers that only need
+    ``forward`` / ``predict_logits`` — the serving layer's model
+    registry in particular — can fall back to the float model when a
+    network contains layers the packed compiler does not support, or
+    when the float path is explicitly requested for comparison runs.
+    Unlike :class:`PackedBNN` this is a live view of ``model``, not a
+    weight snapshot.
+    """
+
+    def __init__(self, model: Module):
+        self._model = model
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the float model on a batch (inference mode)."""
+        return self._model.forward(x, training=False)
+
+    __call__ = forward
+
+    def predict_logits(self, images: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Batched inference over a full array of images."""
+        outputs = [
+            self.forward(images[start : start + batch_size])
             for start in range(0, images.shape[0], batch_size)
         ]
         return np.concatenate(outputs, axis=0)

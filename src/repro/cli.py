@@ -73,6 +73,33 @@ def build_parser() -> argparse.ArgumentParser:
     add_data_args(p_roc)
     p_roc.add_argument("--epochs", type=int, default=8)
 
+    p_predict = sub.add_parser(
+        "predict",
+        help="classify clips with a checkpoint written by train --save",
+    )
+    add_data_args(p_predict)
+    p_predict.add_argument("checkpoint",
+                           help=".npz checkpoint from `repro train --save`")
+    p_predict.add_argument("--limit", type=int, default=None,
+                           help="classify at most this many test clips")
+    p_predict.add_argument("--float", dest="packed", action="store_false",
+                           help="serve the float simulation instead of the "
+                                "packed engine")
+
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="measure single-request vs micro-batched serving throughput",
+    )
+    add_data_args(p_serve)
+    p_serve.add_argument("--epochs", type=int, default=2)
+    p_serve.add_argument("--checkpoint", default=None,
+                         help="serve this checkpoint instead of training a "
+                              "fresh model")
+    p_serve.add_argument("--requests", type=int, default=128,
+                         help="clips in the measured request set")
+    p_serve.add_argument("--max-batch", type=int, default=64)
+    p_serve.add_argument("--max-wait-ms", type=float, default=2.0)
+
     return parser
 
 
@@ -149,8 +176,16 @@ def _cmd_train(args) -> int:
     if args.save:
         from .nn import save_model
 
-        save_model(detector.model, args.save)
-        print(f"checkpoint written to {args.save}")
+        # self-describing checkpoint: the serving layer's registry (and
+        # `repro predict`) rebuilds the architecture from this record
+        written = save_model(detector.model, args.save, meta={
+            "image_size": args.image_size,
+            "base_width": args.base_width,
+            "scaling": args.scaling,
+            "stem_stride": 2 if args.image_size >= 64 else 1,
+            "decision_bias": detector.decision_bias,
+        })
+        print(f"checkpoint written to {written}")
     return 0
 
 
@@ -209,12 +244,99 @@ def _cmd_roc(args) -> int:
     return 0
 
 
+def _cmd_predict(args) -> int:
+    from .bench import format_table
+    from .detect.metrics import ConfusionMatrix
+    from .nn.serialization import checkpoint_path
+    from .serve import HotspotService, ModelRegistry
+
+    if not checkpoint_path(args.checkpoint).exists():
+        print(f"checkpoint not found: {checkpoint_path(args.checkpoint)}")
+        return 2
+    registry = ModelRegistry()
+    entry = registry.load_checkpoint(
+        "checkpoint", args.checkpoint, prefer_packed=args.packed
+    )
+    if entry.image_size != args.image_size:
+        print(f"note: checkpoint was trained at image size "
+              f"{entry.image_size}, overriding --image-size {args.image_size}")
+        args.image_size = entry.image_size
+    benchmark = _load(args)
+    images = benchmark.test.images
+    labels = np.asarray(benchmark.test.labels)
+    if args.limit is not None:
+        images, labels = images[: args.limit], labels[: args.limit]
+    with HotspotService(registry, default_model="checkpoint") as service:
+        predictions = service.classify_many(list(np.squeeze(images, axis=1)
+                                                 if images.ndim == 4 else images))
+        stats = service.stats()
+    predicted = np.array([p.label for p in predictions])
+    confusion = ConfusionMatrix.from_predictions(predicted, labels)
+    row = {
+        "Checkpoint": str(args.checkpoint),
+        "Backend": entry.backend,
+        "Clips": len(predictions),
+        "Hotspots found": int(predicted.sum()),
+        "Accu (%)": round(100.0 * confusion.accuracy, 2),
+        "FA#": confusion.false_alarm,
+        "Mean batch": stats["mean_batch_size"],
+    }
+    print(format_table([row], title="repro predict"))
+    return 0
+
+
+def _cmd_serve_bench(args) -> int:
+    from .bench import format_table
+    from .serve import measure_serving, serving_table_rows
+    from .serve.registry import ModelRegistry
+
+    if args.requests < 1:
+        print(f"--requests must be >= 1 (got {args.requests})")
+        return 2
+    if args.checkpoint:
+        registry = ModelRegistry()
+        entry = registry.load_checkpoint("checkpoint", args.checkpoint)
+        model, image_size = entry.model, entry.image_size
+        args.image_size = image_size
+        benchmark = _load(args)
+    else:
+        from .detect import BNNDetector
+
+        benchmark = _load(args)
+        detector = BNNDetector(base_width=8, epochs=args.epochs,
+                               finetune_epochs=0, packed=False, seed=0)
+        detector.fit(benchmark.train, np.random.default_rng(0))
+        model, image_size = detector.model, args.image_size
+
+    images = benchmark.test.images
+    if images.ndim == 4:
+        images = np.squeeze(images, axis=1)
+    reps = int(np.ceil(args.requests / max(1, len(images))))
+    images = np.concatenate([images] * reps)[: args.requests]
+    results = measure_serving(model, image_size, images,
+                              max_batch=args.max_batch,
+                              max_wait_ms=args.max_wait_ms)
+    print(format_table(
+        serving_table_rows(results),
+        title=f"Serving throughput ({args.requests} clips @{image_size}px)",
+    ))
+    single, batched = results["single-packed"], results["batched-packed"]
+    identical = bool(np.array_equal(single.labels, batched.labels))
+    print(f"batched vs single packed predictions identical: {identical}")
+    speedup = (results["batched-packed"].clips_per_sec
+               / results["single-float"].clips_per_sec)
+    print(f"batched packed vs single-request float: {speedup:.1f}x")
+    return 0 if identical else 1
+
+
 _COMMANDS = {
     "table2": _cmd_table2,
     "table3": _cmd_table3,
     "train": _cmd_train,
     "litho": _cmd_litho,
     "roc": _cmd_roc,
+    "predict": _cmd_predict,
+    "serve-bench": _cmd_serve_bench,
 }
 
 

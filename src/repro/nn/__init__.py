@@ -37,7 +37,7 @@ from .losses import SoftmaxCrossEntropy, WeightedCrossEntropy, log_softmax, soft
 from .module import Module, Parameter
 from .optim import SGD, Adam, Momentum, NAG, NAdam, Optimizer
 from .schedulers import LinearWarmup, ReduceLROnPlateau, StepDecay
-from .serialization import load_model, save_model
+from .serialization import checkpoint_path, load_meta, load_model, save_model
 from .trainer import History, Trainer, evaluate_loss, predict_logits
 
 __all__ = [
@@ -81,6 +81,8 @@ __all__ = [
     "LinearWarmup",
     "ReduceLROnPlateau",
     "StepDecay",
+    "checkpoint_path",
+    "load_meta",
     "load_model",
     "save_model",
     "History",

@@ -1,30 +1,92 @@
-"""Model weight persistence (.npz checkpoints)."""
+"""Model weight persistence (.npz checkpoints).
+
+Checkpoints are flat ``np.savez`` archives mapping dotted parameter
+paths to arrays (see :meth:`Module.state_dict`).  A checkpoint may also
+carry a small metadata record (architecture knobs, decision threshold)
+under ``__meta__.``-prefixed keys so that consumers — notably the
+serving layer's model registry — can rebuild the matching architecture
+without out-of-band information.
+"""
 
 from __future__ import annotations
 
 import os
+from pathlib import Path
 
 import numpy as np
 
 from .module import Module
 
-__all__ = ["save_model", "load_model"]
+__all__ = ["save_model", "load_model", "load_meta", "checkpoint_path"]
+
+#: Archive-key prefix separating metadata entries from model state.
+_META_PREFIX = "__meta__."
 
 
-def save_model(model: Module, path: str | os.PathLike) -> None:
-    """Serialize every parameter and extra state array to a ``.npz`` file."""
+def checkpoint_path(path: str | os.PathLike) -> Path:
+    """Normalize a checkpoint path to carry the ``.npz`` suffix.
+
+    ``np.savez`` silently appends ``.npz`` when the path lacks it, so
+    without normalization ``save_model(m, "ckpt")`` writes ``ckpt.npz``
+    while ``load_model(m, "ckpt")`` looks for ``ckpt`` and fails.  Both
+    directions go through this helper so suffix-less paths round-trip.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
+def save_model(
+    model: Module,
+    path: str | os.PathLike,
+    meta: dict[str, object] | None = None,
+) -> Path:
+    """Serialize every parameter and extra state array to a ``.npz`` file.
+
+    ``meta`` entries (ints, floats, strings, or arrays) are stored under
+    ``__meta__.`` keys and recovered with :func:`load_meta`.  Returns the
+    path actually written (the input with ``.npz`` appended if missing).
+    """
+    path = checkpoint_path(path)
     state = model.state_dict()
     # npz keys cannot contain '/', but dots are fine.
+    if meta:
+        for key, value in meta.items():
+            state[_META_PREFIX + key] = np.asarray(value)
     np.savez(path, **state)
+    return path
 
 
 def load_model(model: Module, path: str | os.PathLike) -> Module:
     """Load a checkpoint written by :func:`save_model` into ``model``.
 
     The model must already have the matching architecture; shapes are
-    validated by :meth:`Module.load_state_dict`.
+    validated by :meth:`Module.load_state_dict`.  Metadata entries are
+    ignored here — use :func:`load_meta` to read them.
     """
-    with np.load(path) as archive:
-        state = {key: archive[key] for key in archive.files}
+    with np.load(checkpoint_path(path)) as archive:
+        state = {
+            key: archive[key]
+            for key in archive.files
+            if not key.startswith(_META_PREFIX)
+        }
     model.load_state_dict(state)
     return model
+
+
+def load_meta(path: str | os.PathLike) -> dict[str, object]:
+    """Read the metadata record of a checkpoint (empty dict if none).
+
+    Scalar entries come back as plain Python values (``int``, ``float``,
+    ``str``); array entries stay arrays.
+    """
+    meta: dict[str, object] = {}
+    with np.load(checkpoint_path(path)) as archive:
+        for key in archive.files:
+            if key.startswith(_META_PREFIX):
+                value = archive[key]
+                meta[key[len(_META_PREFIX):]] = (
+                    value.item() if value.ndim == 0 else value
+                )
+    return meta

@@ -1,0 +1,60 @@
+"""Serving layer: batched, multi-worker hotspot inference as a service.
+
+The paper's pitch is that binarized inference is cheap enough to deploy
+at scale; this subpackage is the deployment story for the reproduction.
+It turns the :class:`~repro.binary.inference.PackedBNN` engine into a
+synchronous-API service with production plumbing:
+
+* :class:`ModelRegistry` — named models, checkpoint loading, packed
+  compilation with graceful float fallback;
+* :class:`MicroBatcher` — coalesces concurrent single-clip requests
+  into engine batches (``max_batch`` / ``max_wait_ms``);
+* :class:`WorkerPool` — shards full-layout sliding-window scans across
+  threads, deterministically;
+* :class:`RasterCache` — LRU geometry-keyed raster reuse;
+* :class:`ServiceMetrics` — counters, latency histograms, batch and
+  cache statistics via ``HotspotService.stats()``;
+* :class:`HotspotService` — the front door tying the above together.
+
+Quickstart::
+
+    from repro.serve import HotspotService
+    service = HotspotService.from_model(trained_model, image_size=32)
+    prediction = service.classify(clip)          # one Clip or raster
+    report = service.scan(ScanRequest(layout, window=1024, stride=512))
+    print(service.stats())
+"""
+
+from .batcher import MicroBatcher
+from .benchmark import ModeResult, measure_serving, serving_table_rows
+from .cache import RasterCache, geometry_key
+from .metrics import LatencyHistogram, ServiceMetrics
+from .pool import WorkerPool, shard_slices
+from .registry import ModelEntry, ModelRegistry, compile_engine, model_from_meta
+from .service import HotspotService, extract_window, window_origins
+from .types import ClipRequest, Prediction, ScanHit, ScanReport, ScanRequest
+
+__all__ = [
+    "MicroBatcher",
+    "ModeResult",
+    "measure_serving",
+    "serving_table_rows",
+    "RasterCache",
+    "geometry_key",
+    "LatencyHistogram",
+    "ServiceMetrics",
+    "WorkerPool",
+    "shard_slices",
+    "ModelEntry",
+    "ModelRegistry",
+    "compile_engine",
+    "model_from_meta",
+    "HotspotService",
+    "extract_window",
+    "window_origins",
+    "ClipRequest",
+    "Prediction",
+    "ScanHit",
+    "ScanReport",
+    "ScanRequest",
+]

@@ -1,0 +1,176 @@
+"""Micro-batching queue: coalesce single-clip requests into batches.
+
+The engines (:class:`~repro.binary.inference.PackedBNN` and the float
+fallback) amortize their per-invocation overhead — im2col setup, bit
+packing, BLAS dispatch — across the batch dimension, so serving one
+clip per call wastes most of the machine.  The batcher runs one
+consumer thread that drains a queue: the first waiting request opens a
+batch, then the thread keeps collecting until either ``max_batch``
+requests are in hand or ``max_wait_ms`` has elapsed since the batch
+opened, stacks the inputs, and runs the engine once.
+
+Every per-sample operation in both engines (convolution, frozen
+batch-norm affine, pooling, dense head) is independent of the other
+samples in the batch, so predictions are **bit-identical regardless of
+how requests happen to coalesce** — the test suite pins this down.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+
+import numpy as np
+
+from .metrics import ServiceMetrics
+
+__all__ = ["MicroBatcher"]
+
+_SHUTDOWN = object()
+
+
+class _Item:
+    """One queued request: a single-sample input plus its future."""
+
+    __slots__ = ("x", "future")
+
+    def __init__(self, x: np.ndarray, future: Future):
+        self.x = x
+        self.future = future
+
+
+class MicroBatcher:
+    """Coalesces single-sample inference calls into engine batches.
+
+    Parameters
+    ----------
+    infer_fn:
+        Callable mapping a stacked input batch ``(n, c, h, w)`` to an
+        output array with leading dimension ``n`` (e.g. an engine's
+        ``forward``).
+    max_batch:
+        Upper bound on clips per engine invocation.
+    max_wait_ms:
+        How long an open batch waits for more requests before running.
+        ``0`` degenerates to per-request invocation (useful as the
+        unbatched baseline in benchmarks).
+    metrics:
+        Optional :class:`ServiceMetrics` receiving batch observations.
+    """
+
+    def __init__(
+        self,
+        infer_fn,
+        max_batch: int = 64,
+        max_wait_ms: float = 2.0,
+        metrics: ServiceMetrics | None = None,
+    ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        self._infer_fn = infer_fn
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self.metrics = metrics
+        self._queue: queue.Queue = queue.Queue()
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-serve-batcher", daemon=True
+        )
+        self._thread.start()
+
+    # -- public API ------------------------------------------------------
+
+    def submit(self, x: np.ndarray) -> Future:
+        """Enqueue one sample ``(c, h, w)`` or ``(1, c, h, w)``.
+
+        Returns a future resolving to that sample's output row (leading
+        batch dimension stripped).
+        """
+        if self._closed:
+            raise RuntimeError("submit() on a closed MicroBatcher")
+        x = np.asarray(x)
+        if x.ndim == 3:
+            x = x[None]
+        if x.ndim != 4 or x.shape[0] != 1:
+            raise ValueError(
+                f"expected one sample (c, h, w) or (1, c, h, w), got {x.shape}"
+            )
+        future: Future = Future()
+        self._queue.put(_Item(x, future))
+        return future
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Synchronous convenience: submit one sample and wait."""
+        return self.submit(x).result()
+
+    def close(self, timeout: float | None = 10.0) -> None:
+        """Stop the consumer thread after draining queued requests."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(_SHUTDOWN)
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- consumer loop ---------------------------------------------------
+
+    def _collect(self, first: _Item) -> tuple[list[_Item], bool]:
+        """Fill a batch starting from ``first``; returns (batch, stop)."""
+        batch = [first]
+        deadline = time.monotonic() + self.max_wait_ms / 1000.0
+        while len(batch) < self.max_batch:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                item = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                break
+            if item is _SHUTDOWN:
+                return batch, True
+            batch.append(item)
+        return batch, False
+
+    def _run_batch(self, batch: list[_Item]) -> None:
+        started = time.perf_counter()
+        try:
+            stacked = np.concatenate([item.x for item in batch], axis=0)
+            outputs = self._infer_fn(stacked)
+        except Exception as exc:  # surface the failure on every future
+            for item in batch:
+                if not item.future.cancelled():
+                    item.future.set_exception(exc)
+            return
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        if self.metrics is not None:
+            self.metrics.record_batch(len(batch), elapsed_ms)
+        for row, item in enumerate(batch):
+            if not item.future.cancelled():
+                item.future.set_result(outputs[row])
+
+    def _loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                break
+            batch, stop = self._collect(item)
+            self._run_batch(batch)
+            if stop:
+                break
+        # resolve anything enqueued after shutdown began
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _SHUTDOWN:
+                self._run_batch([item])

@@ -1,0 +1,87 @@
+"""LRU rasterization cache keyed by clip geometry.
+
+Rasterizing a clip (:func:`repro.litho.raster.rasterize`) walks every
+rectangle and is the dominant per-request cost for geometry requests.
+Real workloads re-submit identical clips constantly — the same library
+cell instantiated thousands of times across a chip — so the service
+keeps a bounded LRU cache keyed by the clip's exact geometry (window
+size, raster resolution, mode, and the multiset of rectangles).  Two
+`Clip` objects with the same rectangles hit the same entry regardless
+of insertion order or object identity.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from threading import Lock
+
+import numpy as np
+
+from ..litho.geometry import Clip
+from ..litho.raster import rasterize
+
+__all__ = ["RasterCache", "geometry_key"]
+
+
+def geometry_key(clip: Clip, pixels: int, mode: str) -> tuple:
+    """Stable hashable key for a clip's raster: geometry + resolution.
+
+    Rectangles are sorted so the key is insertion-order independent.
+    """
+    rects = tuple(sorted((r.x0, r.y0, r.x1, r.y1) for r in clip.rects))
+    return (clip.size, pixels, mode, rects)
+
+
+class RasterCache:
+    """Thread-safe LRU cache of rasterized clip images.
+
+    Cached arrays are returned with ``writeable=False`` — callers share
+    the stored array and must copy before mutating.
+    """
+
+    def __init__(self, capacity: int = 2048):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self._lock = Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, clip: Clip, pixels: int, mode: str = "binary") -> np.ndarray:
+        """Return the raster of ``clip``, computing and caching on miss."""
+        key = geometry_key(clip, pixels, mode)
+        with self._lock:
+            image = self._entries.get(key)
+            if image is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return image
+            self.misses += 1
+        # rasterize outside the lock: misses are the expensive path and
+        # concurrent misses on the same key just do redundant work once
+        image = rasterize(clip, pixels, mode)
+        image.flags.writeable = False
+        with self._lock:
+            self._entries[key] = image
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return image
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when untouched)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0

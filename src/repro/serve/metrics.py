@@ -1,0 +1,168 @@
+"""Service observability: counters, latency histograms, batch stats.
+
+Everything is in-process and lock-protected; :meth:`ServiceMetrics.stats`
+returns a plain-dict snapshot suitable for logging, table formatting, or
+export to an external metrics system.  Histograms use fixed logarithmic
+bucket bounds (Prometheus-style cumulative-free counts) so percentile
+estimates are cheap and allocation-free on the hot path.
+"""
+
+from __future__ import annotations
+
+import math
+from threading import Lock
+
+__all__ = ["LatencyHistogram", "ServiceMetrics", "DEFAULT_BUCKETS_MS"]
+
+#: Upper bounds (milliseconds) of the latency histogram buckets.
+DEFAULT_BUCKETS_MS = (
+    0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    1000.0, 2000.0, 5000.0, math.inf,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with mean and percentile estimates."""
+
+    def __init__(self, bounds_ms: tuple[float, ...] = DEFAULT_BUCKETS_MS):
+        if not bounds_ms or bounds_ms[-1] != math.inf:
+            raise ValueError("bucket bounds must end with +inf")
+        self.bounds_ms = bounds_ms
+        self.counts = [0] * len(bounds_ms)
+        self.total = 0
+        self.sum_ms = 0.0
+        self.max_ms = 0.0
+
+    def observe(self, latency_ms: float) -> None:
+        """Record one latency sample."""
+        for i, bound in enumerate(self.bounds_ms):
+            if latency_ms <= bound:
+                self.counts[i] += 1
+                break
+        self.total += 1
+        self.sum_ms += latency_ms
+        if latency_ms > self.max_ms:
+            self.max_ms = latency_ms
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean observed latency (0.0 when empty)."""
+        return self.sum_ms / self.total if self.total else 0.0
+
+    def quantile_ms(self, q: float) -> float:
+        """Upper bucket bound containing the ``q`` quantile (0.0 empty).
+
+        A conservative estimate: the true quantile is at or below the
+        returned bound (the last finite bound for the +inf bucket).
+        """
+        if self.total == 0:
+            return 0.0
+        rank = q * self.total
+        seen = 0
+        for i, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank and count:
+                bound = self.bounds_ms[i]
+                return bound if math.isfinite(bound) else self.max_ms
+        return self.max_ms
+
+    def snapshot(self) -> dict[str, float]:
+        """Summary dict: count, mean, p50/p95/p99 estimates, max."""
+        return {
+            "count": self.total,
+            "mean_ms": round(self.mean_ms, 3),
+            "p50_ms": self.quantile_ms(0.50),
+            "p95_ms": self.quantile_ms(0.95),
+            "p99_ms": self.quantile_ms(0.99),
+            "max_ms": round(self.max_ms, 3),
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe counters and histograms for one service instance."""
+
+    def __init__(self):
+        self._lock = Lock()
+        self.requests_total = 0
+        self.errors_total = 0
+        self.batches_total = 0
+        self.batched_clips_total = 0
+        self.max_batch_size = 0
+        self.scan_requests_total = 0
+        self.windows_scanned_total = 0
+        self.request_latency = LatencyHistogram()
+        self.batch_latency = LatencyHistogram()
+        self.scan_latency = LatencyHistogram()
+
+    # -- recording hooks -------------------------------------------------
+
+    def record_request(self, latency_ms: float) -> None:
+        """One classify request completed end-to-end."""
+        with self._lock:
+            self.requests_total += 1
+            self.request_latency.observe(latency_ms)
+
+    def record_error(self) -> None:
+        """One request failed (exception surfaced to the caller)."""
+        with self._lock:
+            self.errors_total += 1
+
+    def record_batch(self, size: int, latency_ms: float) -> None:
+        """One coalesced engine invocation of ``size`` clips."""
+        with self._lock:
+            self.batches_total += 1
+            self.batched_clips_total += size
+            if size > self.max_batch_size:
+                self.max_batch_size = size
+            self.batch_latency.observe(latency_ms)
+
+    def record_scan(self, windows: int, latency_ms: float) -> None:
+        """One scan request sweeping ``windows`` windows."""
+        with self._lock:
+            self.scan_requests_total += 1
+            self.windows_scanned_total += windows
+            self.scan_latency.observe(latency_ms)
+
+    def reset(self) -> None:
+        """Zero every counter and histogram (e.g. after a warm-up phase).
+
+        In-place, so holders of a reference — batchers, services — keep
+        recording into the same object.
+        """
+        with self._lock:
+            self.requests_total = 0
+            self.errors_total = 0
+            self.batches_total = 0
+            self.batched_clips_total = 0
+            self.max_batch_size = 0
+            self.scan_requests_total = 0
+            self.windows_scanned_total = 0
+            self.request_latency = LatencyHistogram()
+            self.batch_latency = LatencyHistogram()
+            self.scan_latency = LatencyHistogram()
+
+    # -- reporting -------------------------------------------------------
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average clips per engine invocation (0.0 when no batches)."""
+        if self.batches_total == 0:
+            return 0.0
+        return self.batched_clips_total / self.batches_total
+
+    def stats(self) -> dict[str, object]:
+        """Plain-dict snapshot of every counter and histogram summary."""
+        with self._lock:
+            return {
+                "requests_total": self.requests_total,
+                "errors_total": self.errors_total,
+                "batches_total": self.batches_total,
+                "batched_clips_total": self.batched_clips_total,
+                "mean_batch_size": round(self.mean_batch_size, 2),
+                "max_batch_size": self.max_batch_size,
+                "scan_requests_total": self.scan_requests_total,
+                "windows_scanned_total": self.windows_scanned_total,
+                "request_latency": self.request_latency.snapshot(),
+                "batch_latency": self.batch_latency.snapshot(),
+                "scan_latency": self.scan_latency.snapshot(),
+            }

@@ -1,0 +1,85 @@
+"""Worker pool for scan-mode requests: shard ranges over threads.
+
+A scan request sweeps a full layout with thousands of sliding windows;
+each window is rasterized and classified independently, so the window
+list shards cleanly.  Threads (not processes) are the right pool here:
+the work is NumPy-bound — rasterization and the engine's matmuls drop
+the GIL — and threads share the raster cache and compiled engine
+without pickling model weights per worker.
+
+Results are returned **in shard order** (each shard a contiguous slice
+of the input list), so the pool is deterministic: the same item list
+produces the same flattened result list regardless of worker count or
+scheduling.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+__all__ = ["WorkerPool", "shard_slices"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def shard_slices(n_items: int, n_shards: int) -> list[slice]:
+    """Split ``range(n_items)`` into at most ``n_shards`` near-equal
+    contiguous slices (empty shards are dropped)."""
+    n_shards = max(1, min(n_shards, n_items)) if n_items else 0
+    slices = []
+    base, extra = divmod(n_items, n_shards) if n_shards else (0, 0)
+    start = 0
+    for i in range(n_shards):
+        size = base + (1 if i < extra else 0)
+        slices.append(slice(start, start + size))
+        start += size
+    return slices
+
+
+class WorkerPool:
+    """A small persistent thread pool mapping shard functions over lists."""
+
+    def __init__(self, workers: int | None = None):
+        if workers is None:
+            workers = max(1, min(8, os.cpu_count() or 1))
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve-worker"
+        )
+
+    def map_shards(
+        self,
+        fn: Callable[[Sequence[T]], list[R]],
+        items: Sequence[T],
+        shards: int | None = None,
+    ) -> list[R]:
+        """Apply ``fn`` to contiguous shards of ``items``; flatten in order.
+
+        ``fn`` receives one shard (a subsequence) and returns a list of
+        per-item results.  Defaults to one shard per worker.
+        """
+        if not items:
+            return []
+        slices = shard_slices(len(items), shards or self.workers)
+        if len(slices) == 1:
+            return list(fn(items))
+        futures = [self._executor.submit(fn, items[s]) for s in slices]
+        results: list[R] = []
+        for future in futures:
+            results.extend(future.result())
+        return results
+
+    def close(self) -> None:
+        """Shut the pool down, waiting for in-flight shards."""
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

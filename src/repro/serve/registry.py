@@ -1,0 +1,178 @@
+"""Model registry: checkpoints in, compiled inference engines out.
+
+The registry is the service's model store.  Models arrive either as
+live :class:`~repro.nn.module.Module` trees (``register``) or as
+``.npz`` checkpoints written by ``repro train --save``
+(``load_checkpoint``).  Each entry is compiled to the bit-packed
+XNOR/popcount engine (:class:`~repro.binary.inference.PackedBNN`); when
+compilation fails — e.g. the network contains a layer type the packed
+compiler does not support — the registry falls back to the float
+simulation (:class:`~repro.binary.inference.FloatEngine`) and records
+the backend so callers can see which path served them.
+
+Checkpoints written with metadata (``save_model(..., meta=...)``) are
+self-describing: :func:`model_from_meta` rebuilds the paper's residual
+architecture from the recorded knobs, so ``load_checkpoint`` needs no
+out-of-band architecture information.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from threading import Lock
+
+from ..binary.inference import FloatEngine, PackedBNN
+from ..detect.bnn_detector import stages_for_image_size
+from ..models.bnn_resnet import build_bnn_resnet
+from ..nn.module import Module
+from ..nn.serialization import load_meta, load_model
+
+__all__ = ["ModelEntry", "ModelRegistry", "compile_engine", "model_from_meta"]
+
+
+def compile_engine(
+    model: Module, prefer_packed: bool = True
+) -> tuple[PackedBNN | FloatEngine, str]:
+    """Compile ``model`` to an inference engine, falling back to float.
+
+    Returns ``(engine, backend)`` where backend is ``"packed"`` or
+    ``"float"``.  Compilation errors (unsupported layer types) are
+    swallowed — the float simulation always works — so registration
+    never fails for a forward-capable model.
+    """
+    if prefer_packed:
+        try:
+            return PackedBNN(model), "packed"
+        except (TypeError, ValueError, AttributeError):
+            pass
+    return FloatEngine(model), "float"
+
+
+def model_from_meta(meta: dict[str, object]) -> Module:
+    """Rebuild the BNN architecture recorded in checkpoint metadata.
+
+    Required key: ``image_size``.  Optional (with training defaults):
+    ``base_width``, ``scaling``, ``stem_stride``.  Weights are loaded
+    separately; the seed only fixes the throwaway initialisation.
+    """
+    if "image_size" not in meta:
+        raise KeyError(
+            "checkpoint metadata lacks 'image_size'; pass an explicit "
+            "model= to load_checkpoint() for legacy checkpoints"
+        )
+    image_size = int(meta["image_size"])
+    base_width = int(meta.get("base_width", 8))
+    scaling = str(meta.get("scaling", "xnor"))
+    stem_stride = int(meta.get("stem_stride", 2 if image_size >= 64 else 1))
+    n_stages = stages_for_image_size(image_size, stem_stride)
+    channels = tuple(base_width * (2**i) for i in range(n_stages))
+    return build_bnn_resnet(
+        channels, scaling=scaling, stem_stride=stem_stride, seed=0
+    )
+
+
+@dataclass
+class ModelEntry:
+    """One registered model: weights, compiled engine, serving knobs."""
+
+    name: str
+    model: Module
+    engine: PackedBNN | FloatEngine
+    backend: str  #: ``"packed"`` or ``"float"``
+    image_size: int  #: square input side the engine expects
+    decision_bias: float = 0.0  #: score threshold (see ``BNNDetector``)
+    meta: dict[str, object] = field(default_factory=dict)
+
+
+class ModelRegistry:
+    """Thread-safe name -> :class:`ModelEntry` store."""
+
+    def __init__(self):
+        self._entries: dict[str, ModelEntry] = {}
+        self._lock = Lock()
+
+    def register(
+        self,
+        name: str,
+        model: Module,
+        image_size: int,
+        prefer_packed: bool = True,
+        decision_bias: float = 0.0,
+        meta: dict[str, object] | None = None,
+    ) -> ModelEntry:
+        """Compile and register a live model under ``name``.
+
+        Re-registering a name replaces the previous entry (latest wins),
+        which is how a rolling model update deploys.
+        """
+        engine, backend = compile_engine(model, prefer_packed=prefer_packed)
+        entry = ModelEntry(
+            name=name,
+            model=model,
+            engine=engine,
+            backend=backend,
+            image_size=int(image_size),
+            decision_bias=float(decision_bias),
+            meta=dict(meta or {}),
+        )
+        with self._lock:
+            self._entries[name] = entry
+        return entry
+
+    def load_checkpoint(
+        self,
+        name: str,
+        path: str | os.PathLike,
+        model: Module | None = None,
+        image_size: int | None = None,
+        prefer_packed: bool = True,
+    ) -> ModelEntry:
+        """Load a ``.npz`` checkpoint and register it under ``name``.
+
+        With ``model=None`` the architecture is rebuilt from the
+        checkpoint's metadata record (written by ``repro train --save``);
+        an explicit ``model`` skips that and just receives the weights.
+        """
+        meta = load_meta(path)
+        if model is None:
+            model = model_from_meta(meta)
+        load_model(model, path)
+        if image_size is None:
+            if "image_size" not in meta:
+                raise KeyError(
+                    "image_size not in checkpoint metadata; pass image_size="
+                )
+            image_size = int(meta["image_size"])
+        return self.register(
+            name,
+            model,
+            image_size=image_size,
+            prefer_packed=prefer_packed,
+            decision_bias=float(meta.get("decision_bias", 0.0)),
+            meta=meta,
+        )
+
+    def get(self, name: str) -> ModelEntry:
+        """Look up an entry; raises ``KeyError`` with the known names."""
+        with self._lock:
+            try:
+                return self._entries[name]
+            except KeyError:
+                raise KeyError(
+                    f"no model {name!r} registered "
+                    f"(known: {sorted(self._entries) or 'none'})"
+                ) from None
+
+    def names(self) -> list[str]:
+        """Registered model names, sorted."""
+        with self._lock:
+            return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -1,0 +1,320 @@
+"""The hotspot inference service: registry + batcher + pool + cache.
+
+:class:`HotspotService` is the synchronous front door of the serving
+layer.  Two request shapes:
+
+* **classify** — one clip (raster image or geometry) -> one
+  :class:`~repro.serve.types.Prediction`.  Requests from concurrent
+  callers coalesce in a per-model :class:`MicroBatcher` so the engine
+  runs on real batches even though every caller sees a simple blocking
+  call.
+* **scan** — a full layout swept by a sliding window
+  (:class:`~repro.serve.types.ScanRequest`) -> a
+  :class:`~repro.serve.types.ScanReport` of hotspot windows.  The
+  window list is sharded across a :class:`WorkerPool`; window rasters
+  go through the shared LRU :class:`RasterCache` so repeated geometry
+  (empty regions, repeated cells) skips rasterization entirely.
+
+Both paths produce predictions bit-identical to a direct
+``engine.predict_logits`` call on the same inputs — batching and
+sharding are pure throughput plumbing, never a numerics change.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..features.downsample import downsample_binary, to_network_input
+from ..litho.geometry import Clip, Rect
+from ..nn.module import Module
+from .batcher import MicroBatcher
+from .cache import RasterCache
+from .metrics import ServiceMetrics
+from .pool import WorkerPool
+from .registry import ModelEntry, ModelRegistry
+from .types import ClipRequest, Prediction, ScanHit, ScanReport, ScanRequest
+
+__all__ = ["HotspotService", "window_origins", "extract_window"]
+
+
+def window_origins(size: int, window: int, stride: int) -> list[tuple[int, int]]:
+    """Sliding-window origins covering a ``size`` x ``size`` layout.
+
+    Row-major order; the last row/column snaps to the layout edge so the
+    sweep covers the full area even when ``stride`` does not divide
+    ``size - window``.
+    """
+    last = size - window
+    steps = list(range(0, last + 1, stride))
+    if steps[-1] != last:
+        steps.append(last)
+    return [(x, y) for y in steps for x in steps]
+
+
+def extract_window(layout: Clip, x0: int, y0: int, window: int) -> Clip:
+    """Cut the ``window``-sized sub-clip of ``layout`` at ``(x0, y0)``.
+
+    Rectangles are clipped to the window and shifted to the window's
+    local origin, matching how training clips are framed.
+    """
+    frame = Rect(x0, y0, x0 + window, y0 + window)
+    out = Clip(window)
+    for rect in layout.rects:
+        part = rect.intersection(frame)
+        if part is not None:
+            out.add(part.shifted(-x0, -y0))
+    return out
+
+
+class HotspotService:
+    """Batched, multi-worker hotspot inference over registered models.
+
+    Parameters
+    ----------
+    registry:
+        Model store; a fresh empty one is created when omitted.
+    default_model:
+        Registry name used when a request does not pick a model.
+    max_batch / max_wait_ms:
+        Micro-batching knobs (see :class:`MicroBatcher`).  They also
+        bound the engine chunk size of scan shards.
+    cache_capacity:
+        LRU raster cache entries shared by every model and request type.
+    workers:
+        Scan-mode worker threads (default: CPU count, capped at 8).
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry | None = None,
+        default_model: str | None = None,
+        max_batch: int = 64,
+        max_wait_ms: float = 2.0,
+        cache_capacity: int = 2048,
+        workers: int | None = None,
+    ):
+        self.registry = registry if registry is not None else ModelRegistry()
+        self.default_model = default_model
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self.metrics = ServiceMetrics()
+        self.cache = RasterCache(capacity=cache_capacity)
+        self.pool = WorkerPool(workers=workers)
+        self._batchers: dict[str, tuple[object, MicroBatcher]] = {}
+        self._closed = False
+
+    @classmethod
+    def from_model(
+        cls,
+        model: Module,
+        image_size: int,
+        name: str = "default",
+        prefer_packed: bool = True,
+        decision_bias: float = 0.0,
+        **kwargs,
+    ) -> "HotspotService":
+        """Convenience: wrap one live model in a ready-to-serve service."""
+        registry = ModelRegistry()
+        registry.register(
+            name,
+            model,
+            image_size=image_size,
+            prefer_packed=prefer_packed,
+            decision_bias=decision_bias,
+        )
+        return cls(registry=registry, default_model=name, **kwargs)
+
+    # -- internals -------------------------------------------------------
+
+    def _entry(self, model: str | None) -> ModelEntry:
+        if self._closed:
+            raise RuntimeError("service is closed")
+        name = model or self.default_model
+        if name is None:
+            names = self.registry.names()
+            if len(names) == 1:
+                name = names[0]
+            else:
+                raise ValueError(
+                    "no model selected: pass model= or set default_model "
+                    f"(registered: {names or 'none'})"
+                )
+        return self.registry.get(name)
+
+    def _batcher(self, entry: ModelEntry) -> MicroBatcher:
+        engine_and_batcher = self._batchers.get(entry.name)
+        if engine_and_batcher is None or engine_and_batcher[0] is not entry.engine:
+            # lazily created; rebuilt when a name is re-registered
+            if engine_and_batcher is not None:
+                engine_and_batcher[1].close()
+            batcher = MicroBatcher(
+                entry.engine.forward,
+                max_batch=self.max_batch,
+                max_wait_ms=self.max_wait_ms,
+                metrics=self.metrics,
+            )
+            self._batchers[entry.name] = (entry.engine, batcher)
+        return self._batchers[entry.name][1]
+
+    def _prepare(self, request: ClipRequest, entry: ModelEntry) -> np.ndarray:
+        """Request -> network input ``(1, 1, s, s)`` in the {-1,+1} domain."""
+        if request.clip is not None:
+            image = self.cache.get(request.clip, entry.image_size, "binary")
+        else:
+            image = np.asarray(request.image, dtype=np.float64)
+            if image.shape[-1] != entry.image_size:
+                image = downsample_binary(image, entry.image_size)
+        return to_network_input(image[None])
+
+    def _as_request(self, item: ClipRequest | Clip | np.ndarray) -> ClipRequest:
+        if isinstance(item, ClipRequest):
+            return item
+        if isinstance(item, Clip):
+            return ClipRequest(clip=item)
+        return ClipRequest(image=np.asarray(item))
+
+    # -- classify path ---------------------------------------------------
+
+    def classify(
+        self, request: ClipRequest | Clip | np.ndarray, model: str | None = None
+    ) -> Prediction:
+        """Classify one clip (blocking; coalesces with concurrent calls)."""
+        return self.classify_many([request], model=model)[0]
+
+    def classify_many(
+        self,
+        requests: Iterable[ClipRequest | Clip | np.ndarray],
+        model: str | None = None,
+    ) -> list[Prediction]:
+        """Classify several clips, submitting all before waiting on any.
+
+        This is the batching-friendly entry point: the requests land in
+        the queue together and coalesce into ``max_batch``-sized engine
+        invocations.
+        """
+        entry = self._entry(model)
+        batcher = self._batcher(entry)
+        started = time.perf_counter()
+        prepared = [self._as_request(item) for item in requests]
+        futures = [
+            batcher.submit(self._prepare(request, entry))
+            for request in prepared
+        ]
+        predictions = []
+        for request, future in zip(prepared, futures):
+            try:
+                logits = future.result()
+            except Exception:
+                self.metrics.record_error()
+                raise
+            score = float(logits[1] - logits[0])
+            latency_ms = (time.perf_counter() - started) * 1e3
+            self.metrics.record_request(latency_ms)
+            predictions.append(
+                Prediction(
+                    request_id=request.request_id,
+                    label=int(score > entry.decision_bias),
+                    score=score,
+                    model=entry.name,
+                    backend=entry.backend,
+                    latency_ms=latency_ms,
+                )
+            )
+        return predictions
+
+    # -- scan path -------------------------------------------------------
+
+    def _scan_shard(
+        self,
+        origins: Sequence[tuple[int, int]],
+        request: ScanRequest,
+        entry: ModelEntry,
+    ) -> list[float]:
+        """Score one contiguous shard of window origins (chunked)."""
+        scores: list[float] = []
+        for start in range(0, len(origins), self.max_batch):
+            chunk = origins[start : start + self.max_batch]
+            images = np.stack(
+                [
+                    self.cache.get(
+                        extract_window(request.layout, x, y, request.window),
+                        entry.image_size,
+                        "binary",
+                    )
+                    for x, y in chunk
+                ]
+            )
+            logits = entry.engine.predict_logits(to_network_input(images))
+            scores.extend((logits[:, 1] - logits[:, 0]).tolist())
+        return scores
+
+    def scan(self, request: ScanRequest, model: str | None = None) -> ScanReport:
+        """Sweep a full layout; returns the windows flagged as hotspots.
+
+        Deterministic by construction: shards are contiguous origin
+        ranges and results are reassembled in shard order, so worker
+        count and thread scheduling never change the report.
+        """
+        entry = self._entry(model)
+        started = time.perf_counter()
+        origins = window_origins(
+            request.layout.size, request.window, request.stride
+        )
+        scores = self.pool.map_shards(
+            lambda shard: self._scan_shard(shard, request, entry), origins
+        )
+        hits = tuple(
+            ScanHit(x, y, x + request.window, y + request.window, score)
+            for (x, y), score in zip(origins, scores)
+            if score > entry.decision_bias
+        )
+        latency_ms = (time.perf_counter() - started) * 1e3
+        self.metrics.record_scan(len(origins), latency_ms)
+        return ScanReport(
+            request_id=request.request_id,
+            windows_scanned=len(origins),
+            hits=hits,
+            model=entry.name,
+            backend=entry.backend,
+            latency_ms=latency_ms,
+        )
+
+    # -- lifecycle / observability ---------------------------------------
+
+    def stats(self) -> dict[str, object]:
+        """Snapshot of service metrics, cache counters, and models."""
+        snapshot = self.metrics.stats()
+        snapshot["cache"] = {
+            "entries": len(self.cache),
+            "capacity": self.cache.capacity,
+            "hits": self.cache.hits,
+            "misses": self.cache.misses,
+            "hit_rate": round(self.cache.hit_rate, 4),
+        }
+        snapshot["models"] = {
+            name: {
+                "backend": self.registry.get(name).backend,
+                "image_size": self.registry.get(name).image_size,
+            }
+            for name in self.registry.names()
+        }
+        return snapshot
+
+    def close(self) -> None:
+        """Stop batcher threads and the scan worker pool."""
+        if self._closed:
+            return
+        self._closed = True
+        for _engine, batcher in self._batchers.values():
+            batcher.close()
+        self._batchers.clear()
+        self.pool.close()
+
+    def __enter__(self) -> "HotspotService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

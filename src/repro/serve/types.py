@@ -1,0 +1,115 @@
+"""Typed request/response contracts of the serving layer.
+
+Requests carry either a rasterized 0/1 clip image or raw clip geometry
+(a :class:`~repro.litho.geometry.Clip`); geometry requests are
+rasterized by the service through its LRU raster cache.  Responses are
+frozen dataclasses so callers can treat them as immutable records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..litho.geometry import Clip
+
+__all__ = [
+    "ClipRequest",
+    "Prediction",
+    "ScanRequest",
+    "ScanHit",
+    "ScanReport",
+]
+
+
+@dataclass(frozen=True)
+class ClipRequest:
+    """One clip to classify.
+
+    Exactly one of ``image`` (a square 0/1 occupancy raster, any side
+    the service can down-sample to the model's input size) or ``clip``
+    (layout geometry, rasterized server-side) must be given.
+    """
+
+    image: np.ndarray | None = None
+    clip: Clip | None = None
+    request_id: str = ""
+
+    def __post_init__(self) -> None:
+        if (self.image is None) == (self.clip is None):
+            raise ValueError("provide exactly one of image= or clip=")
+        if self.image is not None:
+            arr = np.asarray(self.image)
+            if arr.ndim == 3 and arr.shape[0] == 1:
+                arr = arr[0]
+            if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+                raise ValueError(
+                    f"image must be a square 2-D raster, got {arr.shape}"
+                )
+            object.__setattr__(self, "image", arr)
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Classification result for one clip."""
+
+    request_id: str
+    label: int  #: 1 = hotspot, 0 = clean
+    score: float  #: hotspot logit minus non-hotspot logit
+    model: str  #: registry name of the model that served the request
+    backend: str  #: ``"packed"`` (XNOR/popcount) or ``"float"``
+    latency_ms: float  #: service-side wall time, enqueue to response
+
+
+@dataclass(frozen=True)
+class ScanRequest:
+    """Sweep a full layout with a sliding window and classify each stop.
+
+    ``window`` is the clip side in nanometres (typically the training
+    clip size) and ``stride`` the sweep step; the final row/column is
+    snapped to the layout edge so coverage is complete.
+    """
+
+    layout: Clip
+    window: int
+    stride: int
+    request_id: str = ""
+
+    def __post_init__(self) -> None:
+        if self.window <= 0 or self.window > self.layout.size:
+            raise ValueError(
+                f"window {self.window} outside (0, {self.layout.size}]"
+            )
+        if self.stride <= 0:
+            raise ValueError(f"stride must be positive, got {self.stride}")
+
+
+@dataclass(frozen=True)
+class ScanHit:
+    """One window flagged as a hotspot (layout coordinates, nm)."""
+
+    x0: int
+    y0: int
+    x1: int
+    y1: int
+    score: float
+
+
+@dataclass(frozen=True)
+class ScanReport:
+    """Result of a scan request."""
+
+    request_id: str
+    windows_scanned: int
+    hits: tuple[ScanHit, ...] = field(default_factory=tuple)
+    model: str = ""
+    backend: str = ""
+    latency_ms: float = 0.0
+
+    @property
+    def hotspot_rate(self) -> float:
+        """Fraction of scanned windows flagged as hotspots."""
+        if self.windows_scanned == 0:
+            return 0.0
+        return len(self.hits) / self.windows_scanned

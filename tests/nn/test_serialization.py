@@ -9,6 +9,8 @@ from repro.nn import (
     Flatten,
     GlobalAvgPool2D,
     Sequential,
+    checkpoint_path,
+    load_meta,
     load_model,
     save_model,
 )
@@ -53,3 +55,48 @@ class TestSerialization:
         load_model(fresh, path)
         x = rng.normal(size=(2, 1, 3, 3))
         np.testing.assert_allclose(model.forward(x), fresh.forward(x))
+
+
+class TestCheckpointPath:
+    def test_appends_npz_suffix(self, tmp_path):
+        assert checkpoint_path(tmp_path / "model").name == "model.npz"
+
+    def test_keeps_existing_suffix(self, tmp_path):
+        assert checkpoint_path(tmp_path / "model.npz").name == "model.npz"
+
+    def test_save_without_suffix_loads_back(self, rng, tmp_path):
+        """np.savez always writes ``.npz``; loading must find that file."""
+        model = build(rng)
+        written = save_model(model, tmp_path / "bare")
+        assert written == tmp_path / "bare.npz" and written.exists()
+
+        fresh = build(np.random.default_rng(1))
+        load_model(fresh, tmp_path / "bare")  # suffix-less path round-trips
+        x = rng.normal(size=(2, 1, 6, 6))
+        np.testing.assert_allclose(model.forward(x), fresh.forward(x))
+
+    def test_save_returns_written_path(self, rng, tmp_path):
+        path = save_model(build(rng), tmp_path / "ck.npz")
+        assert path == tmp_path / "ck.npz"
+
+
+class TestMeta:
+    def test_meta_round_trip(self, rng, tmp_path):
+        meta = {"image_size": 32, "scaling": "xnor", "decision_bias": 0.25}
+        path = save_model(build(rng), tmp_path / "m", meta=meta)
+        loaded = load_meta(path)
+        assert loaded == meta
+        assert isinstance(loaded["image_size"], int)
+        assert isinstance(loaded["decision_bias"], float)
+
+    def test_meta_does_not_disturb_weights(self, rng, tmp_path):
+        model = build(rng)
+        path = save_model(model, tmp_path / "m", meta={"image_size": 16})
+        fresh = build(np.random.default_rng(2))
+        load_model(fresh, path)  # __meta__ keys must be filtered out
+        x = rng.normal(size=(3, 1, 6, 6))
+        np.testing.assert_allclose(model.forward(x), fresh.forward(x))
+
+    def test_no_meta_gives_empty_dict(self, rng, tmp_path):
+        path = save_model(build(rng), tmp_path / "m")
+        assert load_meta(path) == {}

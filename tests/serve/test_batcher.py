@@ -1,0 +1,123 @@
+"""Tests for the micro-batching queue.
+
+The load-bearing property: coalescing is a throughput optimisation with
+zero effect on results — every sample's output is bit-identical to a
+direct engine call, no matter how requests interleave across threads.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import MicroBatcher, ServiceMetrics
+
+
+def double(x):
+    return x * 2.0
+
+
+class TestMicroBatcher:
+    def test_single_submit_roundtrip(self):
+        with MicroBatcher(double, max_batch=4, max_wait_ms=1.0) as batcher:
+            x = np.arange(12.0).reshape(1, 3, 2, 2)
+            out = batcher.submit(x).result(timeout=5)
+        np.testing.assert_array_equal(out, (x * 2.0)[0])
+
+    def test_accepts_unbatched_sample(self):
+        with MicroBatcher(double, max_batch=2, max_wait_ms=0.5) as batcher:
+            out = batcher.infer(np.ones((1, 4, 4)))
+        assert out.shape == (1, 4, 4)
+
+    def test_rejects_multi_sample_input(self):
+        with MicroBatcher(double) as batcher:
+            with pytest.raises(ValueError):
+                batcher.submit(np.ones((2, 1, 4, 4)))
+
+    def test_coalesces_up_to_max_batch(self):
+        metrics = ServiceMetrics()
+        sizes = []
+
+        def record(x):
+            sizes.append(x.shape[0])
+            time.sleep(0.01)  # let the queue fill while "inferring"
+            return x
+
+        with MicroBatcher(record, max_batch=8, max_wait_ms=50.0,
+                          metrics=metrics) as batcher:
+            futures = [batcher.submit(np.full((1, 1, 2, 2), float(i)))
+                       for i in range(20)]
+            results = [f.result(timeout=10) for f in futures]
+        assert max(sizes) > 1  # coalescing happened
+        assert all(size <= 8 for size in sizes)  # cap respected
+        assert sum(sizes) == 20
+        assert metrics.batches_total == len(sizes)
+        for i, out in enumerate(results):  # order preserved
+            np.testing.assert_array_equal(out, np.full((1, 2, 2), float(i)))
+
+    def test_zero_wait_degenerates_to_per_request(self):
+        sizes = []
+
+        def record(x):
+            sizes.append(x.shape[0])
+            return x
+
+        with MicroBatcher(record, max_batch=64, max_wait_ms=0.0) as batcher:
+            for i in range(5):
+                batcher.infer(np.full((1, 1, 2, 2), float(i)))
+        assert sizes == [1] * 5
+
+    def test_infer_fn_exception_propagates(self):
+        def boom(x):
+            raise RuntimeError("engine on fire")
+
+        with MicroBatcher(boom, max_wait_ms=0.0) as batcher:
+            future = batcher.submit(np.ones((1, 1, 2, 2)))
+            with pytest.raises(RuntimeError, match="engine on fire"):
+                future.result(timeout=5)
+
+    def test_close_drains_and_rejects_new_work(self):
+        batcher = MicroBatcher(double, max_batch=4, max_wait_ms=1.0)
+        futures = [batcher.submit(np.full((1, 1, 2, 2), float(i)))
+                   for i in range(6)]
+        batcher.close()
+        for i, future in enumerate(futures):
+            np.testing.assert_array_equal(
+                future.result(timeout=5), np.full((1, 2, 2), 2.0 * i)
+            )
+        with pytest.raises(RuntimeError):
+            batcher.submit(np.ones((1, 1, 2, 2)))
+        batcher.close()  # idempotent
+
+    def test_deterministic_under_concurrent_submission(self):
+        """Same request set -> same outputs, however batches coalesce.
+
+        Eight threads hammer the batcher with interleaved submissions;
+        every sample's result must equal the serial reference exactly,
+        across runs with different max_batch/max_wait coalescing.
+        """
+        rng = np.random.default_rng(7)
+        samples = rng.normal(size=(48, 1, 1, 4, 4))
+        reference = [double(s)[0] for s in samples]
+
+        for max_batch, max_wait_ms in ((1, 0.0), (4, 2.0), (64, 10.0)):
+            results = [None] * len(samples)
+            with MicroBatcher(double, max_batch=max_batch,
+                              max_wait_ms=max_wait_ms) as batcher:
+
+                def worker(indices):
+                    for i in indices:
+                        results[i] = batcher.submit(samples[i]).result(10)
+
+                threads = [
+                    threading.Thread(target=worker,
+                                     args=(range(k, len(samples), 8),))
+                    for k in range(8)
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+            for out, ref in zip(results, reference):
+                np.testing.assert_array_equal(out, ref)

@@ -1,0 +1,110 @@
+"""Tests for the LRU rasterization cache."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.litho.geometry import Clip, Rect
+from repro.litho.raster import rasterize
+from repro.serve import RasterCache, geometry_key
+
+
+def make_clip(seed=0, size=512, n=6):
+    rng = np.random.default_rng(seed)
+    clip = Clip(size)
+    for _ in range(n):
+        x0 = int(rng.integers(0, size - 100))
+        y0 = int(rng.integers(0, size - 100))
+        clip.add(Rect(x0, y0, x0 + int(rng.integers(20, 90)),
+                      y0 + int(rng.integers(20, 90))))
+    return clip
+
+
+class TestGeometryKey:
+    def test_insertion_order_independent(self):
+        rects = [Rect(0, 0, 10, 10), Rect(20, 20, 40, 40), Rect(5, 50, 9, 99)]
+        a = Clip(100, rects)
+        b = Clip(100, list(reversed(rects)))
+        assert geometry_key(a, 16, "binary") == geometry_key(b, 16, "binary")
+
+    def test_distinguishes_resolution_mode_and_geometry(self):
+        clip = make_clip(1)
+        base = geometry_key(clip, 16, "binary")
+        assert geometry_key(clip, 32, "binary") != base
+        assert geometry_key(clip, 16, "area") != base
+        other = make_clip(2)
+        assert geometry_key(other, 16, "binary") != base
+
+
+class TestRasterCache:
+    def test_hit_on_equal_geometry_different_object(self):
+        cache = RasterCache(capacity=8)
+        a, b = make_clip(3), make_clip(3)
+        assert a is not b
+        first = cache.get(a, 16)
+        second = cache.get(b, 16)
+        assert cache.hits == 1 and cache.misses == 1
+        assert second is first  # shared storage, not a recompute
+
+    def test_matches_direct_rasterize(self):
+        cache = RasterCache()
+        clip = make_clip(4)
+        np.testing.assert_array_equal(
+            cache.get(clip, 24, "area"), rasterize(clip, 24, "area")
+        )
+
+    def test_cached_array_is_readonly(self):
+        cache = RasterCache()
+        image = cache.get(make_clip(5), 16)
+        with pytest.raises(ValueError):
+            image[0, 0] = 7.0
+
+    def test_lru_eviction(self):
+        cache = RasterCache(capacity=2)
+        clips = [make_clip(seed) for seed in range(3)]
+        cache.get(clips[0], 16)
+        cache.get(clips[1], 16)
+        cache.get(clips[0], 16)  # refresh 0 -> 1 is now LRU
+        cache.get(clips[2], 16)  # evicts 1
+        assert len(cache) == 2
+        misses = cache.misses
+        cache.get(clips[0], 16)
+        assert cache.misses == misses  # still cached
+        cache.get(clips[1], 16)
+        assert cache.misses == misses + 1  # was evicted
+
+    def test_hit_rate_and_clear(self):
+        cache = RasterCache()
+        clip = make_clip(6)
+        assert cache.hit_rate == 0.0
+        cache.get(clip, 16)
+        cache.get(clip, 16)
+        cache.get(clip, 16)
+        assert cache.hit_rate == pytest.approx(2 / 3)
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+
+    def test_thread_safety_under_concurrent_access(self):
+        cache = RasterCache(capacity=16)
+        clips = [make_clip(seed) for seed in range(8)]
+        expected = {i: rasterize(c, 16, "binary") for i, c in enumerate(clips)}
+        errors = []
+
+        def worker(offset):
+            try:
+                for i in range(40):
+                    idx = (i + offset) % len(clips)
+                    np.testing.assert_array_equal(
+                        cache.get(clips[idx], 16), expected[idx]
+                    )
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(k,)) for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert cache.hits + cache.misses == 160

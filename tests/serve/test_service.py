@@ -1,0 +1,228 @@
+"""Tests for the HotspotService front door: classify, scan, stats."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.binary.inference import PackedBNN
+from repro.features.downsample import to_network_input
+from repro.litho.geometry import Clip, Rect
+from repro.models.bnn_resnet import build_bnn_resnet
+from repro.serve import (
+    ClipRequest,
+    HotspotService,
+    ModelRegistry,
+    ScanRequest,
+    extract_window,
+    window_origins,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_bnn_resnet((4, 8), scaling="xnor", seed=0)
+
+
+@pytest.fixture
+def service(model):
+    svc = HotspotService.from_model(model, image_size=16, max_wait_ms=1.0)
+    yield svc
+    svc.close()
+
+
+def make_images(n=8, size=16, seed=0):
+    rng = np.random.default_rng(seed)
+    return (rng.random((n, size, size)) < 0.3).astype(float)
+
+
+def make_layout(size=2048, seed=1, n=20):
+    rng = np.random.default_rng(seed)
+    layout = Clip(size)
+    for _ in range(n):
+        x0 = int(rng.integers(0, size - 200))
+        y0 = int(rng.integers(0, size - 200))
+        layout.add(Rect(x0, y0, x0 + int(rng.integers(60, 180)),
+                        y0 + int(rng.integers(60, 180))))
+    return layout
+
+
+class TestWindowGeometry:
+    def test_origins_cover_layout_with_edge_snap(self):
+        origins = window_origins(size=100, window=40, stride=30)
+        xs = sorted({x for x, _ in origins})
+        assert xs == [0, 30, 60]  # 60 = 100 - 40 snaps the edge
+        assert len(origins) == 9
+
+    def test_origins_exact_tiling_no_duplicate(self):
+        origins = window_origins(size=64, window=16, stride=16)
+        assert len(origins) == 16
+        assert len(set(origins)) == 16
+
+    def test_extract_window_matches_local_geometry(self):
+        layout = Clip(100, [Rect(10, 10, 30, 30), Rect(60, 60, 90, 90)])
+        window = extract_window(layout, 50, 50, 50)
+        assert [(r.x0, r.y0, r.x1, r.y1) for r in window.rects] == [
+            (10, 10, 40, 40)
+        ]
+        empty = extract_window(layout, 30, 0, 20)
+        assert len(empty) == 0
+
+
+class TestClassify:
+    def test_image_and_request_agree(self, service):
+        image = make_images(1)[0]
+        direct = service.classify(image)
+        wrapped = service.classify(ClipRequest(image=image, request_id="r1"))
+        assert wrapped.request_id == "r1"
+        assert wrapped.score == direct.score
+        assert direct.backend == "packed" and direct.model == "default"
+
+    def test_matches_engine_exactly(self, service, model):
+        images = make_images(6, seed=2)
+        engine = PackedBNN(model)
+        logits = engine.predict_logits(to_network_input(images))
+        expected = logits[:, 1] - logits[:, 0]
+        predictions = service.classify_many(list(images))
+        np.testing.assert_array_equal(
+            np.array([p.score for p in predictions]), expected
+        )
+        for p, score in zip(predictions, expected):
+            assert p.label == int(score > 0)
+
+    def test_geometry_request_uses_cache(self, service):
+        clip = make_layout(size=512, seed=3, n=5)
+        first = service.classify(clip)
+        second = service.classify(ClipRequest(clip=clip))
+        assert second.score == first.score
+        assert service.cache.hits == 1
+
+    def test_downsamples_larger_rasters(self, service):
+        image = make_images(1, size=32, seed=4)[0]
+        prediction = service.classify(image)
+        assert prediction.label in (0, 1)
+
+    def test_decision_bias_shifts_labels(self, model):
+        images = make_images(10, seed=5)
+        with HotspotService.from_model(model, 16) as neutral:
+            scores = [p.score for p in neutral.classify_many(list(images))]
+        bias = float(np.median(scores))
+        with HotspotService.from_model(model, 16,
+                                       decision_bias=bias) as biased:
+            predictions = biased.classify_many(list(images))
+        for p, score in zip(predictions, scores):
+            assert p.score == score
+            assert p.label == int(score > bias)
+
+    def test_model_selection_errors(self, model):
+        registry = ModelRegistry()
+        registry.register("a", model, image_size=16)
+        registry.register("b", model, image_size=16)
+        with HotspotService(registry) as service:  # no default set
+            with pytest.raises(ValueError, match="no model selected"):
+                service.classify(make_images(1)[0])
+            assert service.classify(make_images(1)[0], model="a").model == "a"
+
+    def test_bad_request_shape(self, service):
+        with pytest.raises(ValueError):
+            ClipRequest(image=np.ones((4, 8)))
+        with pytest.raises(ValueError):
+            ClipRequest()  # neither image nor clip
+
+    def test_concurrent_classify_deterministic(self, service, model):
+        """Same request set -> same predictions under thread contention."""
+        images = make_images(32, seed=6)
+        engine = PackedBNN(model)
+        logits = engine.predict_logits(to_network_input(images))
+        expected = logits[:, 1] - logits[:, 0]
+        results = [None] * len(images)
+
+        def worker(indices):
+            for i in indices:
+                results[i] = service.classify(images[i]).score
+
+        threads = [threading.Thread(target=worker,
+                                    args=(range(k, len(images), 4),))
+                   for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        np.testing.assert_array_equal(np.array(results), expected)
+
+
+class TestScan:
+    def test_report_shape_and_counts(self, service):
+        layout = make_layout()
+        report = service.scan(ScanRequest(layout, window=512, stride=256,
+                                          request_id="scan-1"))
+        origins = window_origins(2048, 512, 256)
+        assert report.request_id == "scan-1"
+        assert report.windows_scanned == len(origins)
+        assert 0.0 <= report.hotspot_rate <= 1.0
+        for hit in report.hits:
+            assert hit.x1 - hit.x0 == 512 and hit.y1 - hit.y0 == 512
+
+    def test_scan_matches_manual_classification(self, service, model):
+        layout = make_layout(seed=8)
+        request = ScanRequest(layout, window=512, stride=512)
+        report = service.scan(request)
+        engine = PackedBNN(model)
+        expected_hits = []
+        for x, y in window_origins(2048, 512, 512):
+            window = extract_window(layout, x, y, 512)
+            from repro.litho.raster import rasterize
+
+            image = rasterize(window, 16, "binary")
+            logits = engine.predict_logits(to_network_input(image[None]))
+            score = float(logits[0, 1] - logits[0, 0])
+            if score > 0:
+                expected_hits.append((x, y, score))
+        assert [(h.x0, h.y0, h.score) for h in report.hits] == expected_hits
+
+    def test_worker_count_invariant(self, model):
+        layout = make_layout(seed=9)
+        request = ScanRequest(layout, window=512, stride=128)
+        reports = []
+        for workers in (1, 3, 7):
+            with HotspotService.from_model(model, 16,
+                                           workers=workers) as service:
+                reports.append(service.scan(request))
+        assert reports[0].hits == reports[1].hits == reports[2].hits
+        assert (reports[0].windows_scanned == reports[1].windows_scanned
+                == reports[2].windows_scanned)
+
+    def test_scan_validation(self):
+        layout = make_layout()
+        with pytest.raises(ValueError):
+            ScanRequest(layout, window=4096, stride=128)  # window > layout
+        with pytest.raises(ValueError):
+            ScanRequest(layout, window=512, stride=0)
+
+
+class TestStatsAndLifecycle:
+    def test_stats_snapshot_fields(self, service):
+        service.classify_many(list(make_images(5, seed=10)))
+        service.scan(ScanRequest(make_layout(), window=512, stride=512))
+        stats = service.stats()
+        assert stats["requests_total"] == 5
+        assert stats["scan_requests_total"] == 1
+        assert stats["windows_scanned_total"] == 16
+        assert stats["batches_total"] >= 1
+        assert stats["request_latency"]["count"] == 5
+        assert 0.0 <= stats["cache"]["hit_rate"] <= 1.0
+        assert stats["models"]["default"]["backend"] == "packed"
+
+    def test_close_idempotent_and_rejects_new_work(self, model):
+        service = HotspotService.from_model(model, 16)
+        service.classify(make_images(1)[0])
+        service.close()
+        service.close()
+        with pytest.raises(RuntimeError):
+            service.classify(make_images(1)[0])
+
+    def test_float_backend_served_on_request(self, model):
+        with HotspotService.from_model(model, 16,
+                                       prefer_packed=False) as service:
+            prediction = service.classify(make_images(1)[0])
+        assert prediction.backend == "float"

@@ -29,6 +29,20 @@ class TestParser:
         assert args.scaling == "xnor"
         assert args.epsilon == 0.2
 
+    def test_predict_args(self):
+        args = build_parser().parse_args(["predict", "ck.npz", "--limit", "8"])
+        assert args.command == "predict"
+        assert args.checkpoint == "ck.npz"
+        assert args.limit == 8
+        assert args.packed  # --float flips this off
+
+    def test_serve_bench_defaults(self):
+        args = build_parser().parse_args(["serve-bench"])
+        assert args.command == "serve-bench"
+        assert args.requests == 128
+        assert args.max_batch == 64
+        assert args.max_wait_ms == 2.0
+
 
 class TestCommands:
     def test_litho_clean_run(self, capsys):
@@ -63,6 +77,51 @@ class TestCommands:
         assert path.exists()
         out = capsys.readouterr().out
         assert "BNN detector" in out
+
+    def test_train_save_then_predict(self, capsys, tmp_path):
+        """train --save writes a self-describing checkpoint predict serves."""
+        path = tmp_path / "ck"  # suffix-less on purpose
+        assert main([
+            "train", "--scale", "0.001", "--image-size", "16", "--seed", "7",
+            "--epochs", "1", "--finetune-epochs", "0", "--save", str(path),
+        ]) == 0
+        assert (tmp_path / "ck.npz").exists()
+        capsys.readouterr()
+
+        code = main([
+            "predict", str(path), "--scale", "0.001", "--seed", "7",
+            "--limit", "12",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Backend" in out and "packed" in out
+        assert "Accu (%)" in out
+
+    def test_predict_float_backend(self, capsys, tmp_path):
+        path = tmp_path / "ck.npz"
+        main([
+            "train", "--scale", "0.001", "--image-size", "16", "--seed", "7",
+            "--epochs", "1", "--finetune-epochs", "0", "--save", str(path),
+        ])
+        capsys.readouterr()
+        assert main(["predict", str(path), "--scale", "0.001", "--seed", "7",
+                     "--limit", "6", "--float"]) == 0
+        assert "float" in capsys.readouterr().out
+
+    def test_predict_missing_checkpoint(self, capsys, tmp_path):
+        assert main(["predict", str(tmp_path / "absent.npz"),
+                     "--scale", "0.001"]) == 2
+
+    def test_serve_bench_quick(self, capsys):
+        code = main([
+            "serve-bench", "--scale", "0.001", "--image-size", "16",
+            "--seed", "7", "--epochs", "1", "--requests", "16",
+            "--max-batch", "8",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batched-packed" in out
+        assert "predictions identical: True" in out
 
     def test_roc(self, capsys):
         code = main(["roc", "--scale", "0.002", "--image-size", "16",
