@@ -86,13 +86,18 @@ def test_scan_cache_effectiveness(iccad_benchmark, epochs):
                 layout.add(Rect(x, gy + 100, x + 90, gy + 1000))
     request = ScanRequest(layout, window=1024, stride=512)
 
+    # force the per-window path: this test exercises the raster cache,
+    # which the plane-compiled scan (benchmarked in bench_scan_plane.py)
+    # bypasses entirely
     with HotspotService.from_model(model, bench.image_size,
                                    workers=4) as service:
+        service._plane_scale = lambda *args: None
         report = service.scan(request)
         stats = service.stats()
     with HotspotService.from_model(model, bench.image_size,
                                    workers=1) as service:
         serial = service.scan(request)
+        plane_stats = service.stats()
 
     publish("serving_scan_cache", format_table(
         [{
@@ -107,5 +112,8 @@ def test_scan_cache_effectiveness(iccad_benchmark, epochs):
     assert report.windows_scanned == 225  # 15 x 15 origins
     # repeated cells must hit the raster cache
     assert stats["cache"]["hit_rate"] > 0.3
-    # worker count never changes the report
+    # the aligned geometry routes the default service down the
+    # plane-compiled path, and neither worker count nor the engine
+    # path changes the report
+    assert plane_stats["plane_scan_requests_total"] == 1
     assert serial.hits == report.hits

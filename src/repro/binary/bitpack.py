@@ -14,6 +14,8 @@ needed and packed results are bit-exact with the float simulation.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from ..nn import functional as F
@@ -21,28 +23,53 @@ from ..nn import functional as F
 __all__ = [
     "WORD_BITS",
     "popcount",
+    "popcount_table16",
     "pack_signs",
     "pack_channels",
     "pack_filters",
+    "pack_activation_plane",
     "packed_dot",
     "packed_matmul",
+    "packed_conv_dots",
     "binary_conv2d_packed",
+    "binary_conv2d_packed_tiled",
     "binary_conv2d_packed_channelwise",
 ]
 
 WORD_BITS = 64
 
-# np.bitwise_count arrived in NumPy 2.0; keep a lookup-table fallback so
-# the library still runs on 1.x installs.
-if hasattr(np, "bitwise_count"):
-    popcount = np.bitwise_count
-else:  # pragma: no cover - exercised only on old NumPy
-    _TABLE = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+# One popcount per 16-bit chunk: a 64 KiB table halves the lookups (and
+# the intermediate array) of the classic byte-table fallback.  Built by
+# the SWAR bit-trick vectorised over all 2^16 values.
+def _build_table16() -> np.ndarray:
+    t = np.arange(1 << 16, dtype=np.uint32)
+    t = (t & 0x5555) + ((t >> 1) & 0x5555)
+    t = (t & 0x3333) + ((t >> 2) & 0x3333)
+    t = (t & 0x0F0F) + ((t >> 4) & 0x0F0F)
+    return ((t & 0x00FF) + (t >> 8)).astype(np.uint8)
 
-    def popcount(x: np.ndarray) -> np.ndarray:
-        """Per-element population count for unsigned integer arrays."""
-        b = x.view(np.uint8).reshape(x.shape + (x.dtype.itemsize,))
-        return _TABLE[b].sum(axis=-1).astype(np.uint64)
+
+_TABLE16 = _build_table16()
+
+
+def popcount_table16(x: np.ndarray) -> np.ndarray:
+    """Per-element population count via a 16-bit lookup table.
+
+    Fallback for NumPy builds without ``np.bitwise_count`` (pre-2.0):
+    each element is viewed as ``itemsize / 2`` unsigned 16-bit chunks
+    gathered through one shared 65536-entry table — two lookups per
+    ``uint16``-packed word, four per ``uint64`` word — instead of
+    per-byte work.  Returns ``uint64`` counts with the input's shape.
+    """
+    x = np.ascontiguousarray(x)
+    if x.dtype.itemsize == 1:
+        return _TABLE16[x.astype(np.uint8)].astype(np.uint64)
+    chunks = x.view(np.uint16).reshape(x.shape + (x.dtype.itemsize // 2,))
+    return _TABLE16[chunks].sum(axis=-1, dtype=np.uint64)
+
+
+# np.bitwise_count arrived in NumPy 2.0; older installs use the table.
+popcount = getattr(np, "bitwise_count", popcount_table16)
 
 
 def pack_signs(x: np.ndarray) -> np.ndarray:
@@ -213,6 +240,86 @@ def _pack_activation_columns(
     return words.reshape(words.shape[0], -1)
 
 
+def pack_activation_plane(
+    x: np.ndarray, kernel_size: int, stride: int
+) -> np.ndarray:
+    """Packed im2col grid of a whole feature plane, *valid* positions.
+
+    Packs the sign bits of ``x`` (shape ``(1, c, h, w)``) once and lowers
+    them to the dense tap-packed column layout of
+    :func:`binary_conv2d_packed`, keeping the spatial grid: the result
+    has shape ``(words, oh, ow)`` where ``(oh, ow)`` is the valid
+    (padding-free) output geometry.  A scan window whose receptive
+    fields lie inside the plane reads its activation columns as a plain
+    slice of this shared grid — the packing cost is paid once per plane
+    instead of once per overlapping window.
+    """
+    n, c, h, w = x.shape
+    if n != 1:
+        raise ValueError(f"expected a single plane (1, c, h, w), got {x.shape}")
+    k = kernel_size
+    oh = F.conv_output_size(h, k, stride, 0)
+    ow = F.conv_output_size(w, k, stride, 0)
+    cols = _pack_activation_columns(x, k, stride, 0)
+    return cols.reshape(cols.shape[0], oh, ow)
+
+
+@lru_cache(maxsize=8)
+def _dot_table16(w_bytes: bytes, n_bits: int) -> np.ndarray:
+    """Per-filter dot tables over every 16-bit activation word.
+
+    For receptive fields that fit one ``uint16`` word (the 1-channel
+    3x3 stem), the XNOR dot against filter ``f`` is a pure function of
+    the activation word ``v``: ``n_bits - 2 * popcount(v ^ w_f)``.
+    Tabulating all 2^16 values turns the convolution core into one
+    gather per filter — no XOR, popcount, or wide temporaries on the
+    hot path.  Keyed by the packed filter bytes so the table is built
+    once per compiled layer.
+    """
+    w = np.frombuffer(w_bytes, dtype=np.uint16)
+    values = np.arange(1 << 16, dtype=np.uint16)
+    hamming = _TABLE16[values[None, :] ^ w[:, None]]
+    return (n_bits - 2 * hamming.astype(np.int16)).astype(np.int16)
+
+
+def packed_conv_dots(
+    cols: np.ndarray, w_packed: np.ndarray, n_bits: int
+) -> np.ndarray:
+    """Integer dot products of packed activation columns and filters.
+
+    ``cols`` is a ``(words, P)`` column matrix (from
+    :func:`binary_conv2d_packed`'s internal lowering or a
+    :func:`pack_activation_plane` slice), ``w_packed`` a ``(c_out,
+    words)`` filter bank sharing the same bit layout.  Returns ``(c_out,
+    P)`` dot products ``n_bits - 2 * hamming`` as an integer array —
+    exact integers, so any caller computing the same receptive fields
+    gets bit-identical results regardless of how the columns were
+    gathered (the dtype may be a narrow integer type on fast paths).
+    """
+    if cols.dtype != w_packed.dtype:
+        # narrow-word fast path: all bits fit the columns' dtype
+        w_packed = w_packed.astype(cols.dtype)
+    n_words, n_cols = cols.shape
+    out_channels = w_packed.shape[0]
+    if cols.dtype == np.uint16 and n_words == 1 and out_channels <= 64:
+        table = _dot_table16(w_packed.astype(np.uint16).tobytes(), n_bits)
+        return table[:, cols[0]]
+    hamming = np.zeros((out_channels, n_cols), dtype=np.int64)
+    if out_channels <= n_words:
+        # few filters: one full-column pass per filter
+        for filt in range(out_channels):
+            hamming[filt] = popcount(
+                np.bitwise_xor(cols, w_packed[filt][:, None])
+            ).sum(axis=0, dtype=np.int64)
+    else:
+        # few words: accumulate word by word, each pass fully vectorised
+        for word in range(n_words):
+            hamming += popcount(
+                np.bitwise_xor(cols[word][None, :], w_packed[:, word][:, None])
+            )
+    return n_bits - 2 * hamming
+
+
 def binary_conv2d_packed(
     x_sign: np.ndarray,
     w_packed: np.ndarray,
@@ -258,27 +365,67 @@ def binary_conv2d_packed(
     n_bits = in_channels * k * k
 
     cols = _pack_activation_columns(x_sign, k, stride, padding)
-    if cols.dtype != w_packed.dtype:
-        # narrow-word fast path: all bits fit the columns' dtype
-        w_packed = w_packed.astype(cols.dtype)
-    n_words, n_cols = cols.shape
-    hamming = np.zeros((out_channels, n_cols), dtype=np.int64)
-    if out_channels <= n_words:
-        # few filters: one full-column pass per filter
-        for filt in range(out_channels):
-            hamming[filt] = popcount(
-                np.bitwise_xor(cols, w_packed[filt][:, None])
-            ).sum(axis=0, dtype=np.int64)
-    else:
-        # few words: accumulate word by word, each pass fully vectorised
-        for word in range(n_words):
-            hamming += popcount(
-                np.bitwise_xor(cols[word][None, :], w_packed[:, word][:, None])
-            )
-    out = n_bits - 2 * hamming
+    out = packed_conv_dots(cols, w_packed, n_bits)
+    # order="C": the transposed copy must be C-contiguous so every
+    # downstream reduction sees one canonical memory layout — numpy's
+    # strided reductions accumulate in layout-dependent order, and a
+    # channels-innermost buffer here would make results depend on how
+    # callers batched the inputs (breaking the engine's bit-identity
+    # guarantees across batch sizes and the plane scan path).
     return out.reshape(out_channels, n, oh, ow).transpose(1, 0, 2, 3).astype(
-        np.float64
+        np.float64, order="C"
     )
+
+
+def binary_conv2d_packed_tiled(
+    x_sign: np.ndarray,
+    w_packed: np.ndarray,
+    out_channels: int,
+    kernel_size: int,
+    stride: int,
+    padding: int,
+    in_channels: int | None = None,
+    max_cols: int = 1 << 20,
+) -> np.ndarray:
+    """:func:`binary_conv2d_packed` with a bounded ``cols`` buffer.
+
+    The one-shot lowering materialises ``words x (n * oh * ow)`` packed
+    columns, which for a full-layout plane can dwarf the plane itself.
+    This variant splits the *output rows* into tiles of at most
+    ``max_cols`` columns each, lowers and multiplies one tile at a time,
+    and stitches the results.  Each tile sees exactly the same receptive
+    fields (the input is pre-padded with -1, the binary domain's
+    "empty", and tiles are cut on output-row boundaries), and the dot
+    products are exact integers — the output is bit-identical to the
+    untiled kernel.
+    """
+    n, c, h, w = x_sign.shape
+    if in_channels is None:
+        in_channels = c
+    k = kernel_size
+    oh = F.conv_output_size(h, k, stride, padding)
+    ow = F.conv_output_size(w, k, stride, padding)
+    n_bits = in_channels * k * k
+    rows_per_tile = max(1, max_cols // max(1, n * ow))
+    if rows_per_tile >= oh:
+        return binary_conv2d_packed(
+            x_sign, w_packed, out_channels, k, stride, padding, in_channels
+        )
+    padded = np.pad(
+        x_sign,
+        ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+        constant_values=-1.0,
+    )
+    out = np.empty((n, out_channels, oh, ow), dtype=np.float64)
+    for r0 in range(0, oh, rows_per_tile):
+        r1 = min(r0 + rows_per_tile, oh)
+        strip = padded[:, :, r0 * stride : (r1 - 1) * stride + k, :]
+        cols = _pack_activation_columns(strip, k, stride, 0)
+        dots = packed_conv_dots(cols, w_packed, n_bits)
+        out[:, :, r0:r1, :] = dots.reshape(
+            out_channels, n, r1 - r0, ow
+        ).transpose(1, 0, 2, 3)
+    return out
 
 
 def binary_conv2d_packed_channelwise(
@@ -318,4 +465,8 @@ def binary_conv2d_packed_channelwise(
             np.bitwise_xor(cols_pc, w_packed_per_channel[filt][:, None, :])
         ).sum(axis=-1, dtype=np.int64)
         out[filt] = (partial * alpha_cols).sum(axis=0)
-    return out.reshape(out_channels, n, oh, ow).transpose(1, 0, 2, 3)
+    # C-contiguous for the same layout-canonicalisation reason as
+    # binary_conv2d_packed.
+    return np.ascontiguousarray(
+        out.reshape(out_channels, n, oh, ow).transpose(1, 0, 2, 3)
+    )

@@ -34,9 +34,15 @@ from .binary_conv import BinaryConv2D
 from .binary_dense import BinaryDense
 from .block import BNNConvBlock
 
-__all__ = ["PackedBNN", "FloatEngine"]
+__all__ = ["PackedBNN", "PlaneScanPlan", "FloatEngine"]
 
 _Fn = Callable[[np.ndarray], np.ndarray]
+
+# Layer types that act element-wise (per pixel, per channel): applying
+# them to a full plane and then slicing a window is bit-identical to
+# slicing first.  The plane scan engine runs any such prefix directly
+# on the plane.
+_POINTWISE_LAYERS = (BatchNorm2D, ReLU, HardTanh, SignSTE, Dropout)
 
 
 def _compile_batchnorm(layer: BatchNorm2D) -> _Fn:
@@ -48,7 +54,9 @@ def _compile_batchnorm(layer: BatchNorm2D) -> _Fn:
         """Execute the compiled layer on a batch."""
         shape = [1] * x.ndim
         shape[1] = scale.size
-        return x * scale.reshape(shape) + shift.reshape(shape)
+        out = x * scale.reshape(shape)
+        out += shift.reshape(shape)  # in-place: one fewer full-size temp
+        return out
 
     return run
 
@@ -88,7 +96,7 @@ def _compile_binary_conv(layer: BinaryConv2D) -> _Fn:
         if mode == "xnor":
             n, _, oh, ow = out.shape
             alpha_map = quantize.input_scale_xnor(x, k, k, stride, padding)
-            out = out * alpha_map.reshape(n, 1, oh, ow)
+            out *= alpha_map.reshape(n, 1, oh, ow)  # in-place, bit-equal
         return out
 
     return run
@@ -180,6 +188,301 @@ def _compile(module: Module) -> _Fn:
     raise TypeError(f"PackedBNN cannot compile layer type {type(module).__name__}")
 
 
+def _stem_plane_spec(layers: list[Module], layer_fns: list[_Fn]) -> dict | None:
+    """Describe the network prefix the plane scan engine can amortize.
+
+    Walks the top-level layers of a :class:`Sequential` model: an
+    optional run of element-wise layers, then the stem convolution (a
+    bare :class:`BinaryConv2D` or a :class:`BNNConvBlock`, whose
+    batch-norm is element-wise and joins the prefix).  Returns ``None``
+    — meaning :class:`PlaneScanPlan` falls back to whole-window slicing
+    — when the stem is anything else, takes more than one input channel
+    (layout planes are single-channel) or uses an exotic
+    ``padding >= kernel_size`` geometry.
+    """
+    pre: list[_Fn] = []
+    idx = 0
+    while idx < len(layers) and isinstance(layers[idx], _POINTWISE_LAYERS):
+        pre.append(layer_fns[idx])
+        idx += 1
+    if idx >= len(layers):
+        return None
+    stem = layers[idx]
+    if isinstance(stem, BNNConvBlock):
+        conv = stem.conv
+        pre = pre + [_compile_batchnorm(stem.bn)]
+    elif isinstance(stem, BinaryConv2D):
+        conv = stem
+    else:
+        return None
+    if conv.in_channels != 1 or conv.padding >= conv.kernel_size:
+        return None
+    w_binary, alpha_w = quantize.binarize_weights(conv.weight.data)
+    return {
+        "pre": pre,
+        "rest": layer_fns[idx + 1 :],
+        "w_packed": bitpack.pack_filters(w_binary),
+        "alpha_w": alpha_w,
+        "k": conv.kernel_size,
+        "stride": conv.stride,
+        "padding": conv.padding,
+        "c_out": conv.out_channels,
+        "scaling": conv.scaling,
+    }
+
+
+class PlaneScanPlan:
+    """A compiled sliding-window scan over one rasterized plane.
+
+    Built by :meth:`PackedBNN.plan_scan`.  The plan pre-computes, once
+    per plane, everything the stem convolution shares between
+    overlapping windows:
+
+    * the element-wise prefix (batch-norm of the stem block) applied to
+      the whole plane;
+    * per *phase* — the residue ``(origin - padding) mod stride`` along
+      each axis — a valid (padding-free) grid of integer XNOR/popcount
+      dot products covering every in-plane receptive field, via the
+      tiled packed convolution;
+    * the matching grid of activation scaling means (Eq. 14/15 of the
+      paper), via the tap-ordered :func:`~repro.binary.quantize.box_sums`.
+
+    :meth:`logits` then assembles each window's stem output from plane
+    slices (interior cells) plus thin border strips recomputed per
+    window with the window's own -1 padding, and runs the remaining
+    layers batched.  Because the dot products are exact integers and
+    every float operation is element-wise in the same order as the
+    per-window kernels, the result is **bit-identical** to
+    ``predict_logits`` on the stacked window slices — that equivalence
+    is what lets the serving layer swap this path in silently.
+
+    When the model has no plane-able stem the plan still works: it
+    slices whole windows out of the plane and runs the full compiled
+    network per batch (still amortizing rasterisation).
+    """
+
+    def __init__(
+        self,
+        plane: np.ndarray,
+        window: int,
+        origins,
+        stem: dict | None,
+        fn: _Fn,
+    ):
+        plane = np.asarray(plane, dtype=np.float64)
+        if plane.ndim == 2:
+            plane = plane[None, None]
+        if plane.ndim != 4 or plane.shape[0] != 1:
+            raise ValueError(
+                f"expected one plane (h, w) or (1, c, h, w), got {plane.shape}"
+            )
+        self._plane = plane
+        self._window = int(window)
+        self._origins = [(int(x), int(y)) for x, y in origins]
+        height, width = plane.shape[2], plane.shape[3]
+        for ox, oy in self._origins:
+            if not (0 <= ox <= width - self._window
+                    and 0 <= oy <= height - self._window):
+                raise ValueError(
+                    f"window origin ({ox}, {oy}) out of plane bounds"
+                )
+        self._fn = fn
+        self._stem = stem if plane.shape[1] == 1 else None
+        if self._stem is None:
+            return
+        k, s, p = stem["k"], stem["stride"], stem["padding"]
+        oh = F.conv_output_size(self._window, k, s, p)
+        self._oh = oh
+        # interior rows/cols: output cells whose receptive field lies
+        # fully inside the window (no padding contribution)
+        i0 = min(-(-p // s), oh)
+        i1 = (self._window + p - k) // s + 1
+        self._i0, self._i1 = i0, max(min(i1, oh), i0)
+        x = plane
+        for f in stem["pre"]:
+            x = f(x)
+        self._plane_bn = x
+        self._plane_abs = np.abs(x) if stem["scaling"] != "none" else None
+        self._n_bits = k * k
+        self._phases: dict[tuple[int, int], tuple] = {}
+        for ox, oy in self._origins:
+            self._phase_grids((oy - p) % s, (ox - p) % s)
+
+    @property
+    def uses_plane_stem(self) -> bool:
+        """Whether the stem runs fully-convolutionally on the plane."""
+        return self._stem is not None
+
+    def _phase_grids(self, phy: int, phx: int) -> tuple:
+        """Valid-conv dot and scaling grids for one origin phase."""
+        grids = self._phases.get((phy, phx))
+        if grids is not None:
+            return grids
+        stem = self._stem
+        k, s = stem["k"], stem["stride"]
+        sub = self._plane_bn[:, :, phy:, phx:]
+        dots = bitpack.binary_conv2d_packed_tiled(
+            sub, stem["w_packed"], stem["c_out"], k, s, 0, in_channels=1
+        )[0]
+        alpha = None
+        if self._plane_abs is not None:
+            alpha = quantize.box_sums(
+                self._plane_abs[:, :, phy:, phx:], k, k, s
+            )[0, 0] / (k * k)
+        grids = (dots, alpha)
+        self._phases[(phy, phx)] = grids
+        return grids
+
+    def _border_strip(
+        self,
+        chunk: list[tuple[int, int]],
+        plane: np.ndarray,
+        fill: float,
+        lo: int,
+        hi: int,
+        rows: bool,
+    ) -> np.ndarray:
+        """Batched slice of the -1/0-padded window views, one side.
+
+        Returns rows ``[lo, hi)`` (or columns, when ``rows`` is false) of
+        each window's padded view — the exact strip the whole-window
+        assembly would cut, without materialising the windows.
+        ``fill`` is the padding value (-1 in the sign domain, 0 for the
+        |x| plane).
+        """
+        p, w = self._stem["padding"], self._window
+        wp = w + 2 * p
+        shape = (
+            (len(chunk), 1, hi - lo, wp) if rows else (len(chunk), 1, wp, hi - lo)
+        )
+        strip = np.full(shape, fill)
+        # overlap of the strip with the window interior, in padded coords
+        y0, y1 = max(lo, p), min(hi, p + w)
+        if y1 <= y0:
+            return strip
+        for b, (ox, oy) in enumerate(chunk):
+            if rows:
+                strip[b, 0, y0 - lo : y1 - lo, p : p + w] = plane[
+                    0, 0, oy + y0 - p : oy + y1 - p, ox : ox + w
+                ]
+            else:
+                strip[b, 0, p : p + w, y0 - lo : y1 - lo] = plane[
+                    0, 0, oy : oy + w, ox + y0 - p : ox + y1 - p
+                ]
+        return strip
+
+    def _stem_chunk(self, chunk: list[tuple[int, int]]) -> np.ndarray:
+        """Assemble stem outputs for a chunk of windows; run the rest."""
+        stem = self._stem
+        k, s, p = stem["k"], stem["stride"], stem["padding"]
+        c_out, oh = stem["c_out"], self._oh
+        i0, i1 = self._i0, self._i1
+        w = self._window
+        dots = np.empty((len(chunk), c_out, oh, oh), dtype=np.float64)
+        alpha = (
+            np.empty((len(chunk), 1, oh, oh), dtype=np.float64)
+            if self._plane_abs is not None
+            else None
+        )
+        for b, (ox, oy) in enumerate(chunk):
+            phy, phx = (oy - p) % s, (ox - p) % s
+            plane_dots, plane_alpha = self._phase_grids(phy, phx)
+            qy, qx = (oy - p - phy) // s, (ox - p - phx) // s
+            if i1 > i0:
+                dots[b, :, i0:i1, i0:i1] = plane_dots[
+                    :, qy + i0 : qy + i1, qx + i0 : qx + i1
+                ]
+                if alpha is not None:
+                    alpha[b, 0, i0:i1, i0:i1] = plane_alpha[
+                        qy + i0 : qy + i1, qx + i0 : qx + i1
+                    ]
+        if i0 > 0 or i1 < oh:
+            # border cells read each window's own -1 padding: recompute
+            # them from thin strips of the padded window views, batched
+            # across the whole chunk (one packed conv and one box-sum
+            # per border side, not per window).  Only the strips are
+            # materialised — k-ish rows or columns per side, never the
+            # full padded windows.
+            for a0, a1, rows in (
+                (0, i0, True), (i1, oh, True), (0, i0, False), (i1, oh, False),
+            ):
+                if a1 <= a0:
+                    continue
+                lo, hi = a0 * s, (a1 - 1) * s + k
+                src = self._border_strip(
+                    chunk, self._plane_bn, -1.0, lo, hi, rows
+                )
+                cols = bitpack._pack_activation_columns(src, k, s, 0)
+                shape = (
+                    (c_out, len(chunk), a1 - a0, oh)
+                    if rows
+                    else (c_out, len(chunk), oh, a1 - a0)
+                )
+                strip = bitpack.packed_conv_dots(
+                    cols, stem["w_packed"], self._n_bits
+                ).reshape(shape).transpose(1, 0, 2, 3)
+                if rows:
+                    dots[:, :, a0:a1, :] = strip
+                else:
+                    dots[:, :, :, a0:a1] = strip
+                if alpha is None:
+                    continue
+                a_src = self._border_strip(
+                    chunk, self._plane_abs, 0.0, lo, hi, rows
+                )
+                a_strip = quantize.box_sums(a_src, k, k, s) / (k * k)
+                if rows:
+                    alpha[:, :, a0:a1, :] = a_strip
+                else:
+                    alpha[:, :, :, a0:a1] = a_strip
+        # scaling-factor application replicates the per-window kernels'
+        # multiply order exactly (element-wise, so batch-independent)
+        alpha_w = stem["alpha_w"][None, :, None, None]
+        mode = stem["scaling"]
+        if mode == "xnor":
+            out = dots * alpha_w
+            out *= alpha
+        elif mode == "channelwise":
+            out = dots * alpha
+            out *= alpha_w
+        else:
+            out = dots * alpha_w
+        for f in stem["rest"]:
+            out = f(out)
+        return out
+
+    def logits(self, origins=None, batch_size: int = 256) -> np.ndarray:
+        """Class logits for ``origins`` (default: all plan origins).
+
+        ``origins`` may be any subset of the plan's origins — the
+        serving layer shards contiguous ranges across workers — and the
+        plan is read-only after construction, so concurrent calls are
+        safe.  Returns ``(len(origins), num_classes)``.
+        """
+        chosen = (
+            self._origins
+            if origins is None
+            else [(int(x), int(y)) for x, y in origins]
+        )
+        if not chosen:
+            return np.empty((0, 0), dtype=np.float64)
+        w = self._window
+        outputs = []
+        for start in range(0, len(chosen), batch_size):
+            chunk = chosen[start : start + batch_size]
+            if self._stem is not None:
+                outputs.append(self._stem_chunk(chunk))
+            else:
+                batch = np.stack(
+                    [
+                        self._plane[0, :, oy : oy + w, ox : ox + w]
+                        for ox, oy in chunk
+                    ]
+                )
+                outputs.append(self._fn(batch))
+        return np.concatenate(outputs, axis=0)
+
+
 class PackedBNN:
     """A trained model compiled to bit-packed inference kernels.
 
@@ -193,7 +496,20 @@ class PackedBNN:
     """
 
     def __init__(self, model: Module):
-        self._fn = _compile(model)
+        if isinstance(model, Sequential):
+            layer_fns = [_compile(layer) for layer in model.layers]
+
+            def run_seq(x: np.ndarray) -> np.ndarray:
+                """Execute the compiled layers in order."""
+                for fn in layer_fns:
+                    x = fn(x)
+                return x
+
+            self._fn: _Fn = run_seq
+            self._stem_spec = _stem_plane_spec(list(model.layers), layer_fns)
+        else:
+            self._fn = _compile(model)
+            self._stem_spec = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         """Run the compiled network on a batch."""
@@ -208,6 +524,26 @@ class PackedBNN:
             for start in range(0, images.shape[0], batch_size)
         ]
         return np.concatenate(outputs, axis=0)
+
+    def plan_scan(self, plane: np.ndarray, window: int, origins) -> PlaneScanPlan:
+        """Compile a sliding-window scan over a rasterized plane.
+
+        ``plane`` is the full-layout network input (``(h, w)`` or
+        ``(1, c, h, w)``, already in the ±1 domain); ``window`` the
+        window side in plane pixels; ``origins`` the ``(x, y)`` pixel
+        origins of the windows to score.  The returned
+        :class:`PlaneScanPlan` yields logits bit-identical to
+        ``predict_logits`` on the stacked window slices.
+        """
+        return PlaneScanPlan(plane, window, origins, self._stem_spec, self._fn)
+
+    def scan_plane(
+        self, plane: np.ndarray, window: int, origins, batch_size: int = 256
+    ) -> np.ndarray:
+        """One-shot :meth:`plan_scan` + :meth:`PlaneScanPlan.logits`."""
+        return self.plan_scan(plane, window, origins).logits(
+            batch_size=batch_size
+        )
 
 
 class FloatEngine:

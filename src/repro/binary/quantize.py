@@ -24,6 +24,7 @@ __all__ = [
     "binarize_weights",
     "weight_ste_grad",
     "box_mean",
+    "box_sums",
     "input_scale_channelwise",
     "input_scale_xnor",
 ]
@@ -67,37 +68,42 @@ def weight_ste_grad(
     return grad_estimated * (1.0 / n + alpha * ste_mask)
 
 
+def box_sums(x: np.ndarray, kh: int, kw: int, stride: int) -> np.ndarray:
+    """Sliding-window sums over the two trailing axes, *valid* positions.
+
+    Accumulates the ``kh * kw`` shifted strided views of ``x`` in a fixed
+    tap order (row-major over the kernel).  Because every output cell
+    adds exactly its own receptive-field values in the same order, the
+    result for a cell depends only on those values — never on the
+    surrounding context — so a window cut from a larger plane yields
+    bit-identical sums to the same computation on the window alone.
+    The plane-compiled scan engine relies on this to share one scaling
+    map across overlapping windows.
+    """
+    oh = (x.shape[-2] - kh) // stride + 1
+    ow = (x.shape[-1] - kw) // stride + 1
+    out = np.zeros(x.shape[:-2] + (oh, ow), dtype=np.result_type(x, np.float64))
+    for dy in range(kh):
+        for dx in range(kw):
+            out += x[..., dy : dy + stride * oh : stride,
+                     dx : dx + stride * ow : stride]
+    return out
+
+
 def box_mean(
     x: np.ndarray, kh: int, kw: int, stride: int, padding: int
 ) -> np.ndarray:
     """Sliding-window mean over the two trailing axes (zero padding).
 
     Computes the ``K = 1/(kh*kw)`` averaging convolution of Section
-    3.4.3 with an integral image (two cumulative sums), so the scaling
-    maps cost O(pixels) instead of an im2col pass.  Input ``(..., h, w)``
-    gives output ``(..., oh, ow)`` with the main convolution's geometry.
+    3.4.3 via :func:`box_sums` — ``kh * kw`` shifted adds per output
+    cell in a fixed tap order.  Input ``(..., h, w)`` gives output
+    ``(..., oh, ow)`` with the main convolution's geometry.
     """
     padded = np.pad(
-        x,
-        [(0, 0)] * (x.ndim - 2) + [(padding + 1, padding), (padding + 1, padding)],
-        mode="constant",
+        x, [(0, 0)] * (x.ndim - 2) + [(padding, padding)] * 2, mode="constant"
     )
-    integral = padded.cumsum(axis=-2).cumsum(axis=-1)
-    h = x.shape[-2] + 2 * padding
-    w = x.shape[-1] + 2 * padding
-    oh = (h - kh) // stride + 1
-    ow = (w - kw) // stride + 1
-    rows = np.arange(oh) * stride
-    cols = np.arange(ow) * stride
-    top, bottom = rows[:, None], rows[:, None] + kh
-    left, right = cols[None, :], cols[None, :] + kw
-    sums = (
-        integral[..., bottom, right]
-        - integral[..., top, right]
-        - integral[..., bottom, left]
-        + integral[..., top, left]
-    )
-    return sums / (kh * kw)
+    return box_sums(padded, kh, kw, stride) / (kh * kw)
 
 
 def _local_mean_cols(
@@ -135,5 +141,14 @@ def input_scale_xnor(
     with shape ``(1, n * oh * ow)`` so it broadcasts against the
     channelwise variant.
     """
-    a = np.abs(x).mean(axis=1, keepdims=True)
+    # Sequential per-channel accumulation: bitwise equal to
+    # ``np.abs(x).mean(axis=1)`` (numpy reduces an outer axis
+    # slice-by-slice in order) but avoids materialising |x| for the
+    # whole batch at once — the largest temporary in the deep layers.
+    c = x.shape[1]
+    a = np.abs(x[:, 0:1])
+    for channel in range(1, c):
+        a += np.abs(x[:, channel : channel + 1])
+    if c > 1:
+        a /= c
     return _local_mean_cols(a, kh, kw, stride, padding)

@@ -15,7 +15,7 @@ from .opc import IterativeOPC, rule_based_opc
 from .optics import OpticalModel, gaussian_kernel
 from .patterns import EXTENDED_FAMILIES, PATTERN_FAMILIES, Technology, sample_clip
 from .process_window import dose_latitude, passes_at, process_window_area
-from .raster import rasterize
+from .raster import rasterize, rasterize_plane
 from .resist import (
     ProcessCorner,
     default_process_window,
@@ -46,6 +46,7 @@ __all__ = [
     "passes_at",
     "process_window_area",
     "rasterize",
+    "rasterize_plane",
     "ProcessCorner",
     "default_process_window",
     "nominal_corner",

@@ -14,7 +14,7 @@ import numpy as np
 
 from .geometry import Clip, Rect
 
-__all__ = ["rasterize", "coverage_1d"]
+__all__ = ["rasterize", "rasterize_plane", "coverage_1d"]
 
 
 def coverage_1d(lo: float, hi: float, pixels: int, scale: float) -> np.ndarray:
@@ -29,11 +29,59 @@ def coverage_1d(lo: float, hi: float, pixels: int, scale: float) -> np.ndarray:
     return np.maximum(right - left, 0.0) / scale
 
 
+def _coverage_span(
+    lo: float, hi: float, px0: int, px1: int, scale: float
+) -> np.ndarray:
+    """:func:`coverage_1d` restricted to pixels ``[px0, px1)``.
+
+    Computes exactly the values ``coverage_1d(lo, hi, ...)[px0:px1]``
+    (each pixel edge is the same ``j * scale`` product) without
+    allocating the full-width arrays — the point of the restriction for
+    full-layout planes, where a rectangle spans a tiny fraction of the
+    row.
+    """
+    edges = np.arange(px0, px1 + 1) * scale
+    left = np.clip(lo, edges[:-1], edges[1:])
+    right = np.clip(hi, edges[:-1], edges[1:])
+    return np.maximum(right - left, 0.0) / scale
+
+
 def _rect_coverage(rect: Rect, pixels: int, scale: float) -> np.ndarray:
     """Per-pixel coverage of one rectangle (outer product of 1-D runs)."""
     cov_x = coverage_1d(rect.x0, rect.x1, pixels, scale)
     cov_y = coverage_1d(rect.y0, rect.y1, pixels, scale)
     return np.outer(cov_y, cov_x)  # rows are y
+
+
+def _accumulate_rects(image: np.ndarray, rects, scale: float) -> None:
+    """Add every rectangle's per-pixel coverage into ``image`` in order.
+
+    The shared core of :func:`rasterize` and :func:`rasterize_plane`:
+    both walk rectangles in insertion order and add identical coverage
+    values per pixel, which is what makes a plane raster's window slice
+    bit-identical to rasterizing the extracted window (the per-pixel
+    float additions happen in the same order with the same operands).
+    """
+    pixels_y, pixels_x = image.shape
+    for rect in rects:
+        # restrict the outer-product update to the rectangle's pixel span
+        px0 = max(int(rect.x0 / scale), 0)
+        px1 = min(int(np.ceil(rect.x1 / scale)), pixels_x)
+        py0 = max(int(rect.y0 / scale), 0)
+        py1 = min(int(np.ceil(rect.y1 / scale)), pixels_y)
+        if px1 <= px0 or py1 <= py0:
+            continue
+        cov_x = _coverage_span(rect.x0, rect.x1, px0, px1, scale)
+        cov_y = _coverage_span(rect.y0, rect.y1, py0, py1, scale)
+        image[py0:py1, px0:px1] += np.outer(cov_y, cov_x)
+
+
+def _finish(image: np.ndarray, mode: str) -> np.ndarray:
+    """Clamp accumulated coverage and apply the output mode."""
+    np.clip(image, 0.0, 1.0, out=image)
+    if mode == "binary":
+        return (image > 0.5).astype(np.float64)
+    return image
 
 
 def rasterize(clip: Clip, pixels: int, mode: str = "area") -> np.ndarray:
@@ -51,18 +99,36 @@ def rasterize(clip: Clip, pixels: int, mode: str = "area") -> np.ndarray:
         raise ValueError(f"mode must be 'area' or 'binary', got {mode!r}")
     scale = clip.size / pixels
     image = np.zeros((pixels, pixels))
-    for rect in clip.rects:
-        # restrict the outer-product update to the rectangle's pixel span
-        px0 = max(int(rect.x0 / scale), 0)
-        px1 = min(int(np.ceil(rect.x1 / scale)), pixels)
-        py0 = max(int(rect.y0 / scale), 0)
-        py1 = min(int(np.ceil(rect.y1 / scale)), pixels)
-        if px1 <= px0 or py1 <= py0:
-            continue
-        cov_x = coverage_1d(rect.x0, rect.x1, pixels, scale)[px0:px1]
-        cov_y = coverage_1d(rect.y0, rect.y1, pixels, scale)[py0:py1]
-        image[py0:py1, px0:px1] += np.outer(cov_y, cov_x)
-    np.clip(image, 0.0, 1.0, out=image)
-    if mode == "binary":
-        return (image > 0.5).astype(np.float64)
-    return image
+    _accumulate_rects(image, clip.rects, scale)
+    return _finish(image, mode)
+
+
+def rasterize_plane(layout: Clip, scale: float, mode: str = "area") -> np.ndarray:
+    """Rasterise a full layout once at a fixed ``scale`` (nm per pixel).
+
+    The plane raster amortizes a sliding-window scan: windows whose
+    origins fall on pixel boundaries are plain array views of the
+    returned plane.  When ``scale`` is a positive integer dividing
+    ``layout.size`` and the window origins (the geometry the serving
+    layer checks before taking this path), each aligned
+    ``pixels x pixels`` slice is **bit-identical** to
+    ``rasterize(extract_window(layout, x, y, window), pixels, mode)``:
+    rectangle clipping at window borders lands exactly on pixel edges,
+    per-pixel coverage terms are the same exact-integer differences
+    divided by the same ``scale``, and rectangles accumulate in the
+    same order.
+
+    ``layout.size / scale`` must be a whole number of pixels.
+    """
+    if mode not in ("area", "binary"):
+        raise ValueError(f"mode must be 'area' or 'binary', got {mode!r}")
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    pixels = round(layout.size / scale)
+    if pixels * scale != layout.size:
+        raise ValueError(
+            f"scale {scale} does not divide layout size {layout.size}"
+        )
+    image = np.zeros((pixels, pixels))
+    _accumulate_rects(image, layout.rects, scale)
+    return _finish(image, mode)

@@ -27,7 +27,7 @@ Quickstart::
 
 from .batcher import MicroBatcher
 from .benchmark import ModeResult, measure_serving, serving_table_rows
-from .cache import RasterCache, geometry_key
+from .cache import PlaneCache, RasterCache, geometry_key
 from .metrics import LatencyHistogram, ServiceMetrics
 from .pool import WorkerPool, shard_slices
 from .registry import ModelEntry, ModelRegistry, compile_engine, model_from_meta
@@ -40,6 +40,7 @@ __all__ = [
     "measure_serving",
     "serving_table_rows",
     "RasterCache",
+    "PlaneCache",
     "geometry_key",
     "LatencyHistogram",
     "ServiceMetrics",

@@ -18,9 +18,9 @@ from threading import Lock
 import numpy as np
 
 from ..litho.geometry import Clip
-from ..litho.raster import rasterize
+from ..litho.raster import rasterize, rasterize_plane
 
-__all__ = ["RasterCache", "geometry_key"]
+__all__ = ["RasterCache", "PlaneCache", "geometry_key"]
 
 
 def geometry_key(clip: Clip, pixels: int, mode: str) -> tuple:
@@ -32,14 +32,16 @@ def geometry_key(clip: Clip, pixels: int, mode: str) -> tuple:
     return (clip.size, pixels, mode, rects)
 
 
-class RasterCache:
-    """Thread-safe LRU cache of rasterized clip images.
+class _ArrayLRU:
+    """Lock-protected LRU of read-only arrays, keyed by hashable tuples.
 
-    Cached arrays are returned with ``writeable=False`` — callers share
-    the stored array and must copy before mutating.
+    Shared machinery of :class:`RasterCache` and :class:`PlaneCache`;
+    subclasses provide the key and the build function.  Cached arrays
+    are returned with ``writeable=False`` — callers share the stored
+    array and must copy before mutating.
     """
 
-    def __init__(self, capacity: int = 2048):
+    def __init__(self, capacity: int):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
@@ -48,9 +50,7 @@ class RasterCache:
         self.hits = 0
         self.misses = 0
 
-    def get(self, clip: Clip, pixels: int, mode: str = "binary") -> np.ndarray:
-        """Return the raster of ``clip``, computing and caching on miss."""
-        key = geometry_key(clip, pixels, mode)
+    def _get_or_build(self, key: tuple, build) -> np.ndarray:
         with self._lock:
             image = self._entries.get(key)
             if image is not None:
@@ -58,9 +58,9 @@ class RasterCache:
                 self._entries.move_to_end(key)
                 return image
             self.misses += 1
-        # rasterize outside the lock: misses are the expensive path and
+        # build outside the lock: misses are the expensive path and
         # concurrent misses on the same key just do redundant work once
-        image = rasterize(clip, pixels, mode)
+        image = build()
         image.flags.writeable = False
         with self._lock:
             self._entries[key] = image
@@ -85,3 +85,36 @@ class RasterCache:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+
+
+class RasterCache(_ArrayLRU):
+    """Thread-safe LRU cache of rasterized clip images."""
+
+    def __init__(self, capacity: int = 2048):
+        super().__init__(capacity)
+
+    def get(self, clip: Clip, pixels: int, mode: str = "binary") -> np.ndarray:
+        """Return the raster of ``clip``, computing and caching on miss."""
+        key = geometry_key(clip, pixels, mode)
+        return self._get_or_build(key, lambda: rasterize(clip, pixels, mode))
+
+
+class PlaneCache(_ArrayLRU):
+    """Thread-safe LRU cache of full-layout plane rasters.
+
+    Planes are orders of magnitude larger than window rasters (a whole
+    layout at clip resolution), so the default capacity is small — a
+    handful of layouts under active scanning.  Keyed by the layout's
+    exact geometry plus the plane resolution, like :class:`RasterCache`.
+    """
+
+    def __init__(self, capacity: int = 8):
+        super().__init__(capacity)
+
+    def get(self, layout: Clip, scale: float, mode: str = "binary") -> np.ndarray:
+        """Return the plane raster of ``layout``, caching on miss."""
+        pixels = round(layout.size / scale)
+        key = geometry_key(layout, pixels, mode)
+        return self._get_or_build(
+            key, lambda: rasterize_plane(layout, scale, mode)
+        )

@@ -89,6 +89,7 @@ class ServiceMetrics:
         self.batched_clips_total = 0
         self.max_batch_size = 0
         self.scan_requests_total = 0
+        self.plane_scan_requests_total = 0
         self.windows_scanned_total = 0
         self.request_latency = LatencyHistogram()
         self.batch_latency = LatencyHistogram()
@@ -116,10 +117,18 @@ class ServiceMetrics:
                 self.max_batch_size = size
             self.batch_latency.observe(latency_ms)
 
-    def record_scan(self, windows: int, latency_ms: float) -> None:
-        """One scan request sweeping ``windows`` windows."""
+    def record_scan(
+        self, windows: int, latency_ms: float, plane: bool = False
+    ) -> None:
+        """One scan request sweeping ``windows`` windows.
+
+        ``plane=True`` marks a sweep served by the plane-compiled scan
+        engine rather than per-window rasterization.
+        """
         with self._lock:
             self.scan_requests_total += 1
+            if plane:
+                self.plane_scan_requests_total += 1
             self.windows_scanned_total += windows
             self.scan_latency.observe(latency_ms)
 
@@ -136,6 +145,7 @@ class ServiceMetrics:
             self.batched_clips_total = 0
             self.max_batch_size = 0
             self.scan_requests_total = 0
+            self.plane_scan_requests_total = 0
             self.windows_scanned_total = 0
             self.request_latency = LatencyHistogram()
             self.batch_latency = LatencyHistogram()
@@ -161,6 +171,7 @@ class ServiceMetrics:
                 "mean_batch_size": round(self.mean_batch_size, 2),
                 "max_batch_size": self.max_batch_size,
                 "scan_requests_total": self.scan_requests_total,
+                "plane_scan_requests_total": self.plane_scan_requests_total,
                 "windows_scanned_total": self.windows_scanned_total,
                 "request_latency": self.request_latency.snapshot(),
                 "batch_latency": self.batch_latency.snapshot(),

@@ -63,7 +63,9 @@ class WorkerPool:
         ``fn`` receives one shard (a subsequence) and returns a list of
         per-item results.  Defaults to one shard per worker.
         """
-        if not items:
+        # len(), not truthiness: numpy arrays and other Sequence types
+        # raise or mislead on bool()
+        if len(items) == 0:
             return []
         slices = shard_slices(len(items), shards or self.workers)
         if len(slices) == 1:

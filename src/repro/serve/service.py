@@ -31,7 +31,7 @@ from ..features.downsample import downsample_binary, to_network_input
 from ..litho.geometry import Clip, Rect
 from ..nn.module import Module
 from .batcher import MicroBatcher
-from .cache import RasterCache
+from .cache import PlaneCache, RasterCache
 from .metrics import ServiceMetrics
 from .pool import WorkerPool
 from .registry import ModelEntry, ModelRegistry
@@ -47,6 +47,10 @@ def window_origins(size: int, window: int, stride: int) -> list[tuple[int, int]]
     sweep covers the full area even when ``stride`` does not divide
     ``size - window``.
     """
+    if window <= 0 or window > size:
+        raise ValueError(f"window {window} outside (0, {size}]")
+    if stride <= 0:
+        raise ValueError(f"stride must be positive, got {stride}")
     last = size - window
     steps = list(range(0, last + 1, stride))
     if steps[-1] != last:
@@ -83,6 +87,10 @@ class HotspotService:
         bound the engine chunk size of scan shards.
     cache_capacity:
         LRU raster cache entries shared by every model and request type.
+    plane_cache_capacity:
+        LRU entries of full-layout plane rasters (used by the scan
+        path's plane-compiled engine; planes are large, keep this
+        small).
     workers:
         Scan-mode worker threads (default: CPU count, capped at 8).
     """
@@ -94,6 +102,7 @@ class HotspotService:
         max_batch: int = 64,
         max_wait_ms: float = 2.0,
         cache_capacity: int = 2048,
+        plane_cache_capacity: int = 8,
         workers: int | None = None,
     ):
         self.registry = registry if registry is not None else ModelRegistry()
@@ -102,6 +111,7 @@ class HotspotService:
         self.max_wait_ms = max_wait_ms
         self.metrics = ServiceMetrics()
         self.cache = RasterCache(capacity=cache_capacity)
+        self.plane_cache = PlaneCache(capacity=plane_cache_capacity)
         self.pool = WorkerPool(workers=workers)
         self._batchers: dict[str, tuple[object, MicroBatcher]] = {}
         self._closed = False
@@ -251,28 +261,76 @@ class HotspotService:
             scores.extend((logits[:, 1] - logits[:, 0]).tolist())
         return scores
 
+    def _plane_scale(self, request: ScanRequest, entry: ModelEntry) -> int | None:
+        """Integer nm-per-pixel scale of a plane-compatible scan, or None.
+
+        The plane path requires window slices of the full-layout raster
+        to be bit-identical to per-window rasterization (see
+        :func:`repro.litho.raster.rasterize_plane`): the window must be
+        a whole number of pixels per raster cell, and both the layout
+        and every window origin must land on pixel boundaries.  Origins
+        are multiples of the stride plus the snapped last column
+        ``size - window``, so ``scale | size`` and ``scale | stride``
+        cover them all.
+        """
+        window, pixels = request.window, entry.image_size
+        if pixels <= 0 or window % pixels:
+            return None
+        scale = window // pixels
+        if request.layout.size % scale or request.stride % scale:
+            return None
+        return scale
+
     def scan(self, request: ScanRequest, model: str | None = None) -> ScanReport:
         """Sweep a full layout; returns the windows flagged as hotspots.
 
         Deterministic by construction: shards are contiguous origin
         ranges and results are reassembled in shard order, so worker
         count and thread scheduling never change the report.
+
+        When the scan geometry is pixel-aligned (see
+        :meth:`_plane_scale`) and the engine exposes ``plan_scan``, the
+        layout is rasterized **once** as a full plane and windows are
+        scored by the plane-compiled scan engine — workers then shard
+        origin ranges over the shared read-only plan instead of
+        rasterizing every window.  The report is bit-identical either
+        way; the plane path is purely a throughput optimisation.
         """
         entry = self._entry(model)
         started = time.perf_counter()
         origins = window_origins(
             request.layout.size, request.window, request.stride
         )
-        scores = self.pool.map_shards(
-            lambda shard: self._scan_shard(shard, request, entry), origins
-        )
+        scale = self._plane_scale(request, entry)
+        plan = None
+        if scale is not None and hasattr(entry.engine, "plan_scan"):
+            plane = self.plane_cache.get(request.layout, scale, "binary")
+            plan = entry.engine.plan_scan(
+                to_network_input(plane[None]),
+                entry.image_size,
+                [(x // scale, y // scale) for x, y in origins],
+            )
+
+            def score_shard(shard: Sequence[tuple[int, int]]) -> list[float]:
+                logits = plan.logits(
+                    [(x // scale, y // scale) for x, y in shard],
+                    batch_size=self.max_batch,
+                )
+                return (logits[:, 1] - logits[:, 0]).tolist()
+
+        else:
+
+            def score_shard(shard: Sequence[tuple[int, int]]) -> list[float]:
+                return self._scan_shard(shard, request, entry)
+
+        scores = self.pool.map_shards(score_shard, origins)
         hits = tuple(
             ScanHit(x, y, x + request.window, y + request.window, score)
             for (x, y), score in zip(origins, scores)
             if score > entry.decision_bias
         )
         latency_ms = (time.perf_counter() - started) * 1e3
-        self.metrics.record_scan(len(origins), latency_ms)
+        self.metrics.record_scan(len(origins), latency_ms, plane=plan is not None)
         return ScanReport(
             request_id=request.request_id,
             windows_scanned=len(origins),
@@ -293,6 +351,13 @@ class HotspotService:
             "hits": self.cache.hits,
             "misses": self.cache.misses,
             "hit_rate": round(self.cache.hit_rate, 4),
+        }
+        snapshot["plane_cache"] = {
+            "entries": len(self.plane_cache),
+            "capacity": self.plane_cache.capacity,
+            "hits": self.plane_cache.hits,
+            "misses": self.plane_cache.misses,
+            "hit_rate": round(self.plane_cache.hit_rate, 4),
         }
         snapshot["models"] = {
             name: {

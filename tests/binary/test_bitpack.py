@@ -158,3 +158,110 @@ def test_packed_dot_equals_dense_property(n, seed):
     b = quantize.sign(rng.normal(size=n))
     packed = bitpack.packed_dot(bitpack.pack_signs(a), bitpack.pack_signs(b), n)
     assert packed == int(a @ b)
+
+
+class TestPopcountTable16:
+    @pytest.mark.parametrize("dtype", [np.uint8, np.uint16, np.uint32,
+                                       np.uint64])
+    def test_parity_with_active_path(self, rng, dtype):
+        """The LUT fallback agrees with whatever popcount is active."""
+        bits = np.iinfo(dtype).bits
+        x = rng.integers(0, 2**bits, size=(7, 13), dtype=np.uint64
+                         ).astype(dtype)
+        np.testing.assert_array_equal(
+            bitpack.popcount_table16(x).astype(np.int64),
+            bitpack.popcount(x).astype(np.int64),
+        )
+
+    def test_extremes(self):
+        x = np.array([0, 1, 2**63, 2**64 - 1], dtype=np.uint64)
+        np.testing.assert_array_equal(
+            bitpack.popcount_table16(x).astype(int), [0, 1, 1, 64]
+        )
+
+    def test_non_contiguous_input(self, rng):
+        x = rng.integers(0, 2**64, size=(6, 8), dtype=np.uint64)[::2, ::2]
+        np.testing.assert_array_equal(
+            bitpack.popcount_table16(x).astype(np.int64),
+            bitpack.popcount(np.ascontiguousarray(x)).astype(np.int64),
+        )
+
+
+class TestTiledConv:
+    @pytest.mark.parametrize("c,k,stride,padding", [
+        (1, 3, 2, 1), (1, 3, 1, 1), (8, 3, 2, 1), (80, 3, 1, 1), (4, 1, 1, 0),
+    ])
+    def test_bit_identical_to_untiled(self, rng, c, k, stride, padding):
+        x = quantize.sign(rng.normal(size=(2, c, 12, 12)))
+        w = quantize.sign(rng.normal(size=(5, c, k, k)))
+        w_packed = bitpack.pack_filters(w)
+        full = bitpack.binary_conv2d_packed(x, w_packed, 5, k, stride, padding)
+        for max_cols in (1, 7, 24, 10_000):
+            tiled = bitpack.binary_conv2d_packed_tiled(
+                x, w_packed, 5, k, stride, padding, max_cols=max_cols
+            )
+            np.testing.assert_array_equal(tiled, full)
+
+
+class TestPackActivationPlane:
+    def test_window_columns_are_plane_slices(self, rng):
+        """A window's valid-conv columns are a slice of the plane grid."""
+        k, stride = 3, 2
+        plane = quantize.sign(rng.normal(size=(1, 1, 40, 40)))
+        grid = bitpack.pack_activation_plane(plane, k, stride)
+        oh = (40 - k) // stride + 1
+        assert grid.shape[1:] == (oh, oh)
+        # a 16x16 window at plane offset (8, 12): its valid columns
+        window = plane[:, :, 8 : 8 + 16, 12 : 12 + 16]
+        wcols = bitpack._pack_activation_columns(window, k, stride, 0)
+        woh = (16 - k) // stride + 1
+        view = grid[:, 4 : 4 + woh, 6 : 6 + woh]  # offsets / stride
+        np.testing.assert_array_equal(
+            view.reshape(view.shape[0], -1), wcols
+        )
+
+    def test_rejects_batched_input(self, rng):
+        x = quantize.sign(rng.normal(size=(2, 1, 8, 8)))
+        with pytest.raises(ValueError):
+            bitpack.pack_activation_plane(x, 3, 1)
+
+
+class TestPackedConvDots:
+    def test_matches_packed_conv(self, rng):
+        """The factored integer core reproduces binary_conv2d_packed."""
+        c, k = 3, 3
+        x = quantize.sign(rng.normal(size=(1, c, 10, 10)))
+        w = quantize.sign(rng.normal(size=(6, c, k, k)))
+        w_packed = bitpack.pack_filters(w)
+        cols = bitpack._pack_activation_columns(x, k, 1, 1)
+        dots = bitpack.packed_conv_dots(cols, w_packed, c * k * k)
+        ref = bitpack.binary_conv2d_packed(x, w_packed, 6, k, 1, 1)
+        np.testing.assert_array_equal(
+            dots.reshape(6, 1, 10, 10).transpose(1, 0, 2, 3), ref
+        )
+
+    def test_table16_fast_path_matches_generic(self, rng):
+        """Single-channel 3x3 dots hit the uint16 table; same integers."""
+        k = 3
+        x = quantize.sign(rng.normal(size=(2, 1, 12, 12)))
+        w = quantize.sign(rng.normal(size=(8, 1, k, k)))
+        w_packed = bitpack.pack_filters(w)
+        cols = bitpack._pack_activation_columns(x, k, 1, 1)
+        assert cols.dtype == np.uint16  # 9 bits: the table16 fast path
+        fast = bitpack.packed_conv_dots(cols, w_packed, k * k)
+        generic = bitpack.packed_conv_dots(
+            cols.astype(np.uint64), w_packed, k * k
+        )
+        np.testing.assert_array_equal(fast, generic)
+
+    def test_table16_skipped_above_64_filters(self, rng):
+        """Wide filter banks fall back to the generic branch (the table
+        would be 65 x 65536 int16 per bank, larger than the work)."""
+        k = 3
+        x = quantize.sign(rng.normal(size=(1, 1, 8, 8)))
+        w = quantize.sign(rng.normal(size=(65, 1, k, k)))
+        w_packed = bitpack.pack_filters(w)
+        cols = bitpack._pack_activation_columns(x, k, 1, 1)
+        out = bitpack.packed_conv_dots(cols, w_packed, k * k)
+        ref = bitpack.packed_conv_dots(cols.astype(np.uint64), w_packed, k * k)
+        np.testing.assert_array_equal(out, ref)

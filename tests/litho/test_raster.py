@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.litho import Clip, Rect, rasterize
+from repro.litho import Clip, Rect, rasterize, rasterize_plane
 from repro.litho.raster import coverage_1d
 
 
@@ -79,3 +79,50 @@ def test_flip_raster_commutes_property(x0, y0, w, h):
     image = rasterize(clip, 50, mode="area")
     flipped = rasterize(clip.flip_horizontal(), 50, mode="area")
     np.testing.assert_allclose(flipped, image[:, ::-1], atol=1e-12)
+
+
+class TestRasterizePlane:
+    def _layout(self, size=256, seed=7, n=40):
+        rng = np.random.default_rng(seed)
+        layout = Clip(size)
+        for _ in range(n):
+            x0 = int(rng.integers(0, size - 8))
+            y0 = int(rng.integers(0, size - 8))
+            layout.add(Rect(x0, y0, x0 + int(rng.integers(3, 70)),
+                            y0 + int(rng.integers(3, 40))))
+        return layout
+
+    @pytest.mark.parametrize("mode", ["area", "binary"])
+    @pytest.mark.parametrize("scale", [1, 4])
+    def test_window_slices_bit_identical(self, mode, scale):
+        """Aligned plane slices equal per-window rasterization exactly."""
+        from repro.serve.service import extract_window
+
+        layout = self._layout()
+        window = 32 * scale  # 32-pixel windows at this scale
+        pixels = window // scale
+        plane = rasterize_plane(layout, float(scale), mode)
+        assert plane.shape == (layout.size // scale,) * 2
+        last = layout.size - window
+        for x, y in [(0, 0), (64, 0), (0, last), (last, last), (64, 128)]:
+            direct = rasterize(extract_window(layout, x, y, window),
+                               pixels, mode)
+            px, py = x // scale, y // scale
+            view = plane[py : py + pixels, px : px + pixels]
+            np.testing.assert_array_equal(view, direct)
+
+    def test_full_plane_matches_rasterize(self):
+        """At scale = size/pixels the plane equals plain rasterize."""
+        layout = self._layout(size=128)
+        np.testing.assert_array_equal(
+            rasterize_plane(layout, 2.0, "area"), rasterize(layout, 64, "area")
+        )
+
+    def test_validation(self):
+        layout = self._layout(size=100)
+        with pytest.raises(ValueError):
+            rasterize_plane(layout, 3.0)  # 3 does not divide 100
+        with pytest.raises(ValueError):
+            rasterize_plane(layout, 0.0)
+        with pytest.raises(ValueError):
+            rasterize_plane(layout, 4.0, mode="grayscale")

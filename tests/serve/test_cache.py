@@ -6,8 +6,8 @@ import numpy as np
 import pytest
 
 from repro.litho.geometry import Clip, Rect
-from repro.litho.raster import rasterize
-from repro.serve import RasterCache, geometry_key
+from repro.litho.raster import rasterize, rasterize_plane
+from repro.serve import PlaneCache, RasterCache, geometry_key
 
 
 def make_clip(seed=0, size=512, n=6):
@@ -108,3 +108,34 @@ class TestRasterCache:
             t.join()
         assert not errors
         assert cache.hits + cache.misses == 160
+
+
+class TestPlaneCache:
+    def test_returns_readonly_plane_raster(self):
+        layout = make_clip(3)
+        cache = PlaneCache(capacity=2)
+        plane = cache.get(layout, 2.0)
+        np.testing.assert_array_equal(plane, rasterize_plane(layout, 2.0, "binary"))
+        assert not plane.flags.writeable
+        assert cache.misses == 1
+
+    def test_hits_on_equal_geometry(self):
+        layout = make_clip(4)
+        clone = Clip(layout.size, list(layout.rects))
+        cache = PlaneCache(capacity=2)
+        first = cache.get(layout, 1.0)
+        second = cache.get(clone, 1.0)
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_scale_is_part_of_the_key(self):
+        layout = make_clip(5)
+        cache = PlaneCache(capacity=4)
+        assert cache.get(layout, 1.0).shape != cache.get(layout, 2.0).shape
+        assert cache.misses == 2
+
+    def test_eviction_bound(self):
+        cache = PlaneCache(capacity=1)
+        cache.get(make_clip(1), 2.0)
+        cache.get(make_clip(2), 2.0)
+        assert len(cache) == 1

@@ -1,0 +1,75 @@
+"""Tests for the scan worker pool's sharding arithmetic and mapping."""
+
+import numpy as np
+import pytest
+
+from repro.serve.pool import WorkerPool, shard_slices
+
+
+class TestShardSlices:
+    def test_even_split(self):
+        assert shard_slices(8, 4) == [
+            slice(0, 2), slice(2, 4), slice(4, 6), slice(6, 8)
+        ]
+
+    def test_uneven_split_front_loads_remainder(self):
+        slices = shard_slices(10, 3)
+        sizes = [s.stop - s.start for s in slices]
+        assert sizes == [4, 3, 3]
+        assert slices[0].start == 0 and slices[-1].stop == 10
+
+    def test_zero_items_yields_no_shards(self):
+        assert shard_slices(0, 4) == []
+
+    def test_more_shards_than_items_drops_empties(self):
+        slices = shard_slices(3, 8)
+        assert len(slices) == 3
+        assert all(s.stop - s.start == 1 for s in slices)
+
+    def test_covers_range_without_gaps(self):
+        for n_items in (1, 5, 17, 100):
+            for n_shards in (1, 2, 7, 200):
+                covered = []
+                for s in shard_slices(n_items, n_shards):
+                    covered.extend(range(n_items)[s])
+                assert covered == list(range(n_items))
+
+
+class TestMapShards:
+    @pytest.fixture
+    def pool(self):
+        with WorkerPool(workers=4) as pool:
+            yield pool
+
+    def test_flattens_in_order(self, pool):
+        items = list(range(23))
+        out = pool.map_shards(lambda shard: [x * 2 for x in shard], items)
+        assert out == [x * 2 for x in items]
+
+    def test_empty_items(self, pool):
+        assert pool.map_shards(lambda shard: list(shard), []) == []
+
+    def test_more_shards_than_items(self, pool):
+        out = pool.map_shards(lambda shard: list(shard), [1, 2], shards=10)
+        assert out == [1, 2]
+
+    def test_non_list_sequences(self, pool):
+        """range, tuple and numpy arrays all shard (no truthiness traps)."""
+        assert pool.map_shards(lambda s: [x + 1 for x in s], range(9)) == list(
+            range(1, 10)
+        )
+        assert pool.map_shards(lambda s: list(s), (4, 5, 6)) == [4, 5, 6]
+        arr = np.arange(11)
+        assert pool.map_shards(lambda s: s.tolist(), arr) == arr.tolist()
+        empty = np.empty(0)
+        assert pool.map_shards(lambda s: s.tolist(), empty) == []
+
+    def test_single_worker_runs_inline(self):
+        with WorkerPool(workers=1) as pool:
+            out = pool.map_shards(lambda shard: [x**2 for x in shard],
+                                  [1, 2, 3])
+        assert out == [1, 4, 9]
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            WorkerPool(workers=0)

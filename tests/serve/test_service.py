@@ -54,6 +54,32 @@ class TestWindowGeometry:
         assert xs == [0, 30, 60]  # 60 = 100 - 40 snaps the edge
         assert len(origins) == 9
 
+    def test_tail_window_not_duplicated_when_snap_coincides(self):
+        origins = window_origins(size=100, window=40, stride=20)
+        assert sorted({x for x, _ in origins}) == [0, 20, 40, 60]
+
+    def test_window_equals_size_single_origin(self):
+        assert window_origins(size=64, window=64, stride=16) == [(0, 0)]
+
+    def test_stride_larger_than_window_still_covers_edges(self):
+        origins = window_origins(size=100, window=20, stride=70)
+        assert sorted({x for x, _ in origins}) == [0, 70, 80]
+
+    def test_window_larger_than_layout_raises(self):
+        with pytest.raises(ValueError):
+            window_origins(size=100, window=128, stride=32)
+        with pytest.raises(ValueError):
+            window_origins(size=100, window=0, stride=32)
+        with pytest.raises(ValueError):
+            window_origins(size=100, window=50, stride=0)
+
+    def test_extract_window_tail_clips_rects(self):
+        layout = Clip(100, [Rect(55, 55, 100, 100)])
+        tail = extract_window(layout, 60, 60, 40)
+        assert [(r.x0, r.y0, r.x1, r.y1) for r in tail.rects] == [
+            (0, 0, 40, 40)
+        ]
+
     def test_origins_exact_tiling_no_duplicate(self):
         origins = window_origins(size=64, window=16, stride=16)
         assert len(origins) == 16
@@ -198,6 +224,53 @@ class TestScan:
             ScanRequest(layout, window=4096, stride=128)  # window > layout
         with pytest.raises(ValueError):
             ScanRequest(layout, window=512, stride=0)
+
+
+class TestPlaneScan:
+    """The plane-compiled scan path is a silent drop-in: reports must be
+    bit-identical to the per-window path for any worker count."""
+
+    def _per_window_report(self, model, request, workers=1):
+        """Reference report with the plane path forced off."""
+        with HotspotService.from_model(model, 16, workers=workers) as svc:
+            svc._plane_scale = lambda *args: None
+            report = svc.scan(request)
+            assert svc.metrics.plane_scan_requests_total == 0
+        return report
+
+    @pytest.mark.parametrize("stride", [32, 64, 128])
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_bit_identical_reports(self, model, stride, workers):
+        layout = make_layout(size=512, seed=5)
+        request = ScanRequest(layout, window=128, stride=stride)
+        expected = self._per_window_report(model, request, workers=workers)
+        with HotspotService.from_model(model, 16, workers=workers) as svc:
+            report = svc.scan(request)
+            assert svc.metrics.plane_scan_requests_total == 1
+        assert report.hits == expected.hits  # exact float equality
+        assert report.windows_scanned == expected.windows_scanned
+
+    def test_misaligned_geometry_falls_back(self, model):
+        # window 200 is not a whole number of 16-px cells (200 % 16 != 0)
+        layout = make_layout(size=500, seed=6)
+        request = ScanRequest(layout, window=200, stride=100)
+        with HotspotService.from_model(model, 16) as svc:
+            svc.scan(request)
+            assert svc.metrics.plane_scan_requests_total == 0
+            assert svc.metrics.scan_requests_total == 1
+            assert len(svc.plane_cache) == 0
+
+    def test_plane_cache_reused_across_scans(self, model):
+        layout = make_layout(size=512, seed=7)
+        request = ScanRequest(layout, window=128, stride=64)
+        with HotspotService.from_model(model, 16) as svc:
+            first = svc.scan(request)
+            second = svc.scan(request)
+            stats = svc.stats()
+        assert first.hits == second.hits
+        assert stats["plane_scan_requests_total"] == 2
+        assert stats["plane_cache"]["misses"] == 1
+        assert stats["plane_cache"]["hits"] == 1
 
 
 class TestStatsAndLifecycle:
