@@ -85,6 +85,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_predict.add_argument("--float", dest="packed", action="store_false",
                            help="serve the float simulation instead of the "
                                 "packed engine")
+    p_predict.add_argument("--timeout-s", type=float, default=None,
+                           help="per-call deadline in seconds; exceeded "
+                                "deadlines fail typed instead of hanging")
+    p_predict.add_argument("--queue-depth", type=int, default=1024,
+                           help="admission queue bound (backpressure)")
+    p_predict.add_argument("--overflow", choices=["block", "shed"],
+                           default="block",
+                           help="full-queue policy: block submitters or "
+                                "shed with ServiceOverloaded")
 
     p_serve = sub.add_parser(
         "serve-bench",
@@ -247,16 +256,20 @@ def _cmd_roc(args) -> int:
 def _cmd_predict(args) -> int:
     from .bench import format_table
     from .detect.metrics import ConfusionMatrix
-    from .nn.serialization import checkpoint_path
-    from .serve import HotspotService, ModelRegistry
+    from .nn.serialization import CheckpointError, checkpoint_path
+    from .serve import DeadlineExceeded, HotspotService, ModelRegistry
 
     if not checkpoint_path(args.checkpoint).exists():
         print(f"checkpoint not found: {checkpoint_path(args.checkpoint)}")
         return 2
     registry = ModelRegistry()
-    entry = registry.load_checkpoint(
-        "checkpoint", args.checkpoint, prefer_packed=args.packed
-    )
+    try:
+        entry = registry.load_checkpoint(
+            "checkpoint", args.checkpoint, prefer_packed=args.packed
+        )
+    except CheckpointError as exc:
+        print(f"refusing to serve a bad checkpoint: {exc}")
+        return 2
     if entry.image_size != args.image_size:
         print(f"note: checkpoint was trained at image size "
               f"{entry.image_size}, overriding --image-size {args.image_size}")
@@ -266,9 +279,18 @@ def _cmd_predict(args) -> int:
     labels = np.asarray(benchmark.test.labels)
     if args.limit is not None:
         images, labels = images[: args.limit], labels[: args.limit]
-    with HotspotService(registry, default_model="checkpoint") as service:
-        predictions = service.classify_many(list(np.squeeze(images, axis=1)
-                                                 if images.ndim == 4 else images))
+    with HotspotService(
+        registry, default_model="checkpoint",
+        queue_depth=args.queue_depth, overflow=args.overflow,
+        default_timeout_s=args.timeout_s,
+    ) as service:
+        try:
+            predictions = service.classify_many(
+                list(np.squeeze(images, axis=1)
+                     if images.ndim == 4 else images))
+        except DeadlineExceeded as exc:
+            print(f"deadline exceeded: {exc}")
+            return 3
         stats = service.stats()
     predicted = np.array([p.label for p in predictions])
     confusion = ConfusionMatrix.from_predictions(predicted, labels)

@@ -37,7 +37,14 @@ from .losses import SoftmaxCrossEntropy, WeightedCrossEntropy, log_softmax, soft
 from .module import Module, Parameter
 from .optim import SGD, Adam, Momentum, NAG, NAdam, Optimizer
 from .schedulers import LinearWarmup, ReduceLROnPlateau, StepDecay
-from .serialization import checkpoint_path, load_meta, load_model, save_model
+from .serialization import (
+    CheckpointError,
+    checkpoint_path,
+    load_meta,
+    load_model,
+    save_model,
+    state_checksum,
+)
 from .trainer import History, Trainer, evaluate_loss, predict_logits
 
 __all__ = [
@@ -81,10 +88,12 @@ __all__ = [
     "LinearWarmup",
     "ReduceLROnPlateau",
     "StepDecay",
+    "CheckpointError",
     "checkpoint_path",
     "load_meta",
     "load_model",
     "save_model",
+    "state_checksum",
     "History",
     "Trainer",
     "evaluate_loss",

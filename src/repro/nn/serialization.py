@@ -6,21 +6,62 @@ carry a small metadata record (architecture knobs, decision threshold)
 under ``__meta__.``-prefixed keys so that consumers — notably the
 serving layer's model registry — can rebuild the matching architecture
 without out-of-band information.
+
+Integrity: :func:`save_model` records a SHA-256 over the parameter
+arrays (``content_sha256`` in the metadata record) and
+:func:`load_model` re-verifies it, so a corrupt or tampered checkpoint
+fails loudly with :class:`CheckpointError` instead of serving garbage
+predictions.  Truncated or non-zip files raise the same typed error.
+Checkpoints written before the checksum existed load unchanged (no
+checksum recorded, none verified).
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
+import zipfile
 from pathlib import Path
 
 import numpy as np
 
 from .module import Module
 
-__all__ = ["save_model", "load_model", "load_meta", "checkpoint_path"]
+__all__ = [
+    "save_model",
+    "load_model",
+    "load_meta",
+    "checkpoint_path",
+    "CheckpointError",
+    "state_checksum",
+]
 
 #: Archive-key prefix separating metadata entries from model state.
 _META_PREFIX = "__meta__."
+
+#: Metadata key holding the parameter-content checksum.
+_CHECKSUM_KEY = "content_sha256"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is corrupt, truncated, or fails its checksum."""
+
+
+def state_checksum(state: dict[str, np.ndarray]) -> str:
+    """SHA-256 over a state dict: key names, dtypes, shapes, and bytes.
+
+    Keys are visited in sorted order so the digest is independent of
+    dict insertion order; dtype and shape are hashed so a reshaped or
+    re-typed array with identical bytes still changes the digest.
+    """
+    digest = hashlib.sha256()
+    for key in sorted(state):
+        array = np.ascontiguousarray(state[key])
+        digest.update(key.encode())
+        digest.update(str(array.dtype).encode())
+        digest.update(repr(array.shape).encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()
 
 
 def checkpoint_path(path: str | os.PathLike) -> Path:
@@ -45,32 +86,70 @@ def save_model(
     """Serialize every parameter and extra state array to a ``.npz`` file.
 
     ``meta`` entries (ints, floats, strings, or arrays) are stored under
-    ``__meta__.`` keys and recovered with :func:`load_meta`.  Returns the
-    path actually written (the input with ``.npz`` appended if missing).
+    ``__meta__.`` keys and recovered with :func:`load_meta`.  A
+    ``content_sha256`` checksum over the parameter arrays is always
+    added to the metadata record.  Returns the path actually written
+    (the input with ``.npz`` appended if missing).
     """
     path = checkpoint_path(path)
     state = model.state_dict()
+    checksum = state_checksum(state)
     # npz keys cannot contain '/', but dots are fine.
     if meta:
         for key, value in meta.items():
             state[_META_PREFIX + key] = np.asarray(value)
+    state[_META_PREFIX + _CHECKSUM_KEY] = np.asarray(checksum)
     np.savez(path, **state)
     return path
+
+
+def _read_archive(path: Path) -> dict[str, np.ndarray]:
+    """Read every array of a checkpoint, typed-erroring on corruption.
+
+    ``np.load`` surfaces truncation and bit-rot as a grab-bag of
+    ``zipfile.BadZipFile`` / ``OSError`` / ``ValueError`` / ``EOFError``
+    depending on where the damage sits; all of them become one
+    :class:`CheckpointError` naming the file.
+    """
+    try:
+        with np.load(path) as archive:
+            return {key: archive[key] for key in archive.files}
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, OSError, ValueError, EOFError, KeyError) as exc:
+        raise CheckpointError(
+            f"corrupt or truncated checkpoint {path}: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
 
 
 def load_model(model: Module, path: str | os.PathLike) -> Module:
     """Load a checkpoint written by :func:`save_model` into ``model``.
 
     The model must already have the matching architecture; shapes are
-    validated by :meth:`Module.load_state_dict`.  Metadata entries are
-    ignored here — use :func:`load_meta` to read them.
+    validated by :meth:`Module.load_state_dict`.  When the checkpoint
+    records a ``content_sha256``, the parameter arrays are re-hashed and
+    a mismatch raises :class:`CheckpointError` before any state is
+    applied.  Metadata entries are ignored here — use :func:`load_meta`
+    to read them.
     """
-    with np.load(checkpoint_path(path)) as archive:
-        state = {
-            key: archive[key]
-            for key in archive.files
-            if not key.startswith(_META_PREFIX)
-        }
+    path = checkpoint_path(path)
+    arrays = _read_archive(path)
+    state = {
+        key: value
+        for key, value in arrays.items()
+        if not key.startswith(_META_PREFIX)
+    }
+    recorded = arrays.get(_META_PREFIX + _CHECKSUM_KEY)
+    if recorded is not None:
+        expected = str(recorded.item() if recorded.ndim == 0 else recorded)
+        actual = state_checksum(state)
+        if actual != expected:
+            raise CheckpointError(
+                f"checkpoint {path} failed its content checksum "
+                f"(recorded {expected[:12]}…, computed {actual[:12]}…); "
+                "the file is corrupt or was modified after writing"
+            )
     model.load_state_dict(state)
     return model
 
@@ -82,11 +161,11 @@ def load_meta(path: str | os.PathLike) -> dict[str, object]:
     ``str``); array entries stay arrays.
     """
     meta: dict[str, object] = {}
-    with np.load(checkpoint_path(path)) as archive:
-        for key in archive.files:
-            if key.startswith(_META_PREFIX):
-                value = archive[key]
-                meta[key[len(_META_PREFIX):]] = (
-                    value.item() if value.ndim == 0 else value
-                )
+    arrays = _read_archive(checkpoint_path(path))
+    for key, value in arrays.items():
+        if key.startswith(_META_PREFIX):
+            name = key[len(_META_PREFIX):]
+            if name == _CHECKSUM_KEY:
+                continue  # integrity record, not user metadata
+            meta[name] = value.item() if value.ndim == 0 else value
     return meta

@@ -16,6 +16,15 @@ synchronous-API service with production plumbing:
   cache statistics via ``HotspotService.stats()``;
 * :class:`HotspotService` — the front door tying the above together.
 
+Fault tolerance rides on top (``docs/serving.md`` → "Failure modes &
+guarantees"): per-request **deadlines** (typed
+:class:`DeadlineExceeded`), bounded admission queues with a block/shed
+**backpressure** policy (:class:`ServiceOverloaded`), **poison
+quarantine** by batch bisection, degraded :class:`ScanReport`\\ s with
+explicit ``failed_ranges``, checkpoint content checksums
+(:class:`CheckpointError`), a :meth:`HotspotService.health` probe, and
+a deterministic :class:`FaultInjector` for chaos-testing all of it.
+
 Quickstart::
 
     from repro.serve import HotspotService
@@ -28,14 +37,41 @@ Quickstart::
 from .batcher import MicroBatcher
 from .benchmark import ModeResult, measure_serving, serving_table_rows
 from .cache import PlaneCache, RasterCache, geometry_key
+from .errors import (
+    CheckpointError,
+    DeadlineExceeded,
+    ServeError,
+    ServiceOverloaded,
+    ShardError,
+)
+from .faults import FaultInjector, FaultRule, InjectedFault
 from .metrics import LatencyHistogram, ServiceMetrics
-from .pool import WorkerPool, shard_slices
+from .pool import ShardOutcome, WorkerPool, shard_slices
 from .registry import ModelEntry, ModelRegistry, compile_engine, model_from_meta
 from .service import HotspotService, extract_window, window_origins
-from .types import ClipRequest, Prediction, ScanHit, ScanReport, ScanRequest
+from .types import (
+    ClipRequest,
+    HealthReport,
+    HealthState,
+    Prediction,
+    ScanHit,
+    ScanReport,
+    ScanRequest,
+)
 
 __all__ = [
     "MicroBatcher",
+    "ServeError",
+    "DeadlineExceeded",
+    "ServiceOverloaded",
+    "ShardError",
+    "CheckpointError",
+    "FaultInjector",
+    "FaultRule",
+    "InjectedFault",
+    "HealthReport",
+    "HealthState",
+    "ShardOutcome",
     "ModeResult",
     "measure_serving",
     "serving_table_rows",

@@ -1,0 +1,79 @@
+"""Typed error hierarchy of the serving layer.
+
+Every failure mode the service distinguishes gets its own exception
+type, so callers (and tests) can route on *what went wrong* instead of
+string-matching messages:
+
+* :class:`DeadlineExceeded` — a request ran past its deadline; the work
+  was abandoned (threads cannot be killed, but no caller blocks on it).
+* :class:`ServiceOverloaded` — the admission queue was full under the
+  ``"shed"`` overflow policy; the request was rejected *before* any
+  work was done, so retrying later is always safe.
+* :class:`ShardError` — one scan shard failed; carries the contiguous
+  ``[start, stop)`` item range so the failure is attributable to exact
+  window indices.
+* :class:`CheckpointError` — a checkpoint file is corrupt, truncated,
+  or fails its content checksum (defined next to the serialization code
+  in :mod:`repro.nn.serialization`, re-exported here).
+
+All serving errors derive from :class:`ServeError` so ``except
+ServeError`` catches the whole family without also swallowing
+programming errors like ``TypeError``.
+"""
+
+from __future__ import annotations
+
+from ..nn.serialization import CheckpointError
+
+__all__ = [
+    "ServeError",
+    "DeadlineExceeded",
+    "ServiceOverloaded",
+    "ShardError",
+    "CheckpointError",
+]
+
+
+class ServeError(RuntimeError):
+    """Base class of every serving-layer failure."""
+
+
+class DeadlineExceeded(ServeError):
+    """A request (or one stage of it) ran past its deadline.
+
+    The in-flight work is abandoned, not killed: a hung engine call
+    keeps its worker thread until it returns, but no caller waits for
+    it and its result is discarded.
+    """
+
+    def __init__(self, message: str, timeout_s: float | None = None,
+                 stage: str = ""):
+        super().__init__(message)
+        self.timeout_s = timeout_s
+        self.stage = stage  #: where the deadline fired, e.g. ``"queue"``
+
+
+class ServiceOverloaded(ServeError):
+    """The admission queue was full and the overflow policy is ``"shed"``.
+
+    Raised at ``submit()`` time — the request did no work and holds no
+    queue slot, so the caller can back off and retry.
+    """
+
+
+class ShardError(ServeError):
+    """One scan shard raised; wraps the cause with its item range.
+
+    ``start``/``stop`` are indices into the scanned item list (window
+    origins, for the service's scan path), so a failure points at the
+    exact contiguous range of windows it took down.  The original
+    exception is chained as ``__cause__``.
+    """
+
+    def __init__(self, start: int, stop: int, cause: BaseException):
+        super().__init__(
+            f"shard [{start}:{stop}) failed: {type(cause).__name__}: {cause}"
+        )
+        self.start = start
+        self.stop = stop
+        self.__cause__ = cause

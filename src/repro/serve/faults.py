@@ -1,0 +1,192 @@
+"""Deterministic fault injection (chaos hooks) for the serving layer.
+
+The fault-tolerance machinery — deadlines, poison quarantine, degraded
+scans — is only trustworthy if it is exercised, and real faults are too
+rare and too random to test against.  This module injects them on
+demand: a :class:`FaultInjector` holds per-*site* rules ("engine",
+"raster", …) that add latency, raise exceptions, or corrupt outputs,
+and :class:`HotspotService` threads its calls through the injector when
+one is passed at construction.
+
+Determinism is the design constraint: chaos tests must fail
+reproducibly.  Rules trigger either unconditionally (``probability=1``),
+on a seeded RNG draw, or on an explicit set of call indices
+(``on_calls``), and each rule carries an optional ``times`` budget.
+With ``on_calls``/``times`` the fault schedule is a pure function of
+the per-site call counter, independent of thread scheduling; a seeded
+``probability`` draw is reproducible for a serialized call sequence.
+
+The injector is intentionally dumb about *what* it wraps: any callable
+works, so tests can also wrap bare engine functions without a service::
+
+    faults = FaultInjector(seed=0)
+    faults.add_error("engine", on_calls=[1])     # second call blows up
+    flaky = faults.wrap("engine", engine.forward)
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["FaultInjector", "InjectedFault", "FaultRule"]
+
+
+class InjectedFault(RuntimeError):
+    """The default exception raised by an error-injection rule."""
+
+
+@dataclass
+class FaultRule:
+    """One injection rule at one site.
+
+    ``kind`` is ``"latency"`` (sleep ``latency_ms``), ``"error"``
+    (raise ``error``), or ``"corrupt"`` (negate the wrapped call's
+    array output — numerically loud, structurally intact).
+    """
+
+    kind: str
+    probability: float = 1.0
+    latency_ms: float = 0.0
+    error: BaseException | None = None
+    on_calls: frozenset[int] | None = None  #: 0-based call indices to hit
+    times: int | None = None  #: remaining firing budget (None = unlimited)
+    fired: int = field(default=0)  #: how often this rule has fired
+
+    def _applies(self, call_index: int, rng: np.random.Generator) -> bool:
+        if self.times is not None and self.fired >= self.times:
+            return False
+        if self.on_calls is not None and call_index not in self.on_calls:
+            return False
+        if self.probability < 1.0 and rng.random() >= self.probability:
+            return False
+        self.fired += 1
+        return True
+
+
+class FaultInjector:
+    """Seeded, thread-safe chaos hook: latency, errors, corruption.
+
+    Sites are plain strings; the service uses ``"engine"`` for every
+    inference invocation (batched classify, scan chunks, plane scoring)
+    and ``"raster"`` for rasterization/cache fills.  Tests may invent
+    their own sites for bare-callable wrapping.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._rng = np.random.default_rng(seed)
+        self._lock = threading.Lock()
+        self._rules: dict[str, list[FaultRule]] = {}
+        self._calls: dict[str, int] = {}
+
+    # -- configuring rules -----------------------------------------------
+
+    def _add(self, site: str, rule: FaultRule) -> FaultRule:
+        with self._lock:
+            self._rules.setdefault(site, []).append(rule)
+        return rule
+
+    def add_latency(
+        self,
+        site: str,
+        latency_ms: float,
+        probability: float = 1.0,
+        on_calls=None,
+        times: int | None = None,
+    ) -> FaultRule:
+        """Sleep ``latency_ms`` before the wrapped call."""
+        return self._add(site, FaultRule(
+            kind="latency", probability=probability, latency_ms=latency_ms,
+            on_calls=None if on_calls is None else frozenset(on_calls),
+            times=times,
+        ))
+
+    def add_error(
+        self,
+        site: str,
+        error: BaseException | None = None,
+        probability: float = 1.0,
+        on_calls=None,
+        times: int | None = None,
+    ) -> FaultRule:
+        """Raise ``error`` (default :class:`InjectedFault`) at the site."""
+        return self._add(site, FaultRule(
+            kind="error", probability=probability,
+            error=error if error is not None
+            else InjectedFault(f"injected fault at site {site!r}"),
+            on_calls=None if on_calls is None else frozenset(on_calls),
+            times=times,
+        ))
+
+    def add_corruption(
+        self,
+        site: str,
+        probability: float = 1.0,
+        on_calls=None,
+        times: int | None = None,
+    ) -> FaultRule:
+        """Negate the wrapped call's array output (shape-preserving)."""
+        return self._add(site, FaultRule(
+            kind="corrupt", probability=probability,
+            on_calls=None if on_calls is None else frozenset(on_calls),
+            times=times,
+        ))
+
+    def clear(self, site: str | None = None) -> None:
+        """Drop every rule (of one site, or all); counters survive."""
+        with self._lock:
+            if site is None:
+                self._rules.clear()
+            else:
+                self._rules.pop(site, None)
+
+    # -- firing ----------------------------------------------------------
+
+    def calls(self, site: str) -> int:
+        """How many times the site has been entered."""
+        with self._lock:
+            return self._calls.get(site, 0)
+
+    def fire(self, site: str) -> bool:
+        """Enter a site: apply latency/error rules; return corrupt flag.
+
+        Returns ``True`` when a corruption rule fired for this call, so
+        wrappers know to mangle the output.  Sleeps happen outside the
+        lock; an error rule raises its exception out of this method.
+        """
+        sleep_ms = 0.0
+        error: BaseException | None = None
+        corrupt = False
+        with self._lock:
+            index = self._calls.get(site, 0)
+            self._calls[site] = index + 1
+            for rule in self._rules.get(site, ()):
+                if not rule._applies(index, self._rng):
+                    continue
+                if rule.kind == "latency":
+                    sleep_ms += rule.latency_ms
+                elif rule.kind == "error" and error is None:
+                    error = rule.error
+                elif rule.kind == "corrupt":
+                    corrupt = True
+        if sleep_ms > 0.0:
+            time.sleep(sleep_ms / 1000.0)
+        if error is not None:
+            raise error
+        return corrupt
+
+    def wrap(self, site: str, fn):
+        """Wrap ``fn`` so every call passes through the site's rules."""
+
+        def wrapped(*args, **kwargs):
+            corrupt = self.fire(site)
+            out = fn(*args, **kwargs)
+            if corrupt and isinstance(out, np.ndarray):
+                out = np.negative(out)
+            return out
+
+        wrapped.__name__ = getattr(fn, "__name__", "wrapped")
+        return wrapped

@@ -85,12 +85,19 @@ class ServiceMetrics:
         self._lock = Lock()
         self.requests_total = 0
         self.errors_total = 0
+        self.shed_total = 0
+        self.timeouts_total = 0
+        self.quarantined_total = 0
         self.batches_total = 0
+        self.batch_splits_total = 0
         self.batched_clips_total = 0
         self.max_batch_size = 0
         self.scan_requests_total = 0
         self.plane_scan_requests_total = 0
+        self.degraded_scans_total = 0
         self.windows_scanned_total = 0
+        self.windows_failed_total = 0
+        self.shard_retries_total = 0
         self.request_latency = LatencyHistogram()
         self.batch_latency = LatencyHistogram()
         self.scan_latency = LatencyHistogram()
@@ -108,6 +115,26 @@ class ServiceMetrics:
         with self._lock:
             self.errors_total += 1
 
+    def record_shed(self) -> None:
+        """One request rejected at admission (queue full, shed policy)."""
+        with self._lock:
+            self.shed_total += 1
+
+    def record_timeout(self) -> None:
+        """One request abandoned past its deadline."""
+        with self._lock:
+            self.timeouts_total += 1
+
+    def record_quarantine(self, n: int = 1) -> None:
+        """``n`` poison requests isolated by batch bisection."""
+        with self._lock:
+            self.quarantined_total += n
+
+    def record_batch_split(self) -> None:
+        """One failed batch bisected to isolate its poison request(s)."""
+        with self._lock:
+            self.batch_splits_total += 1
+
     def record_batch(self, size: int, latency_ms: float) -> None:
         """One coalesced engine invocation of ``size`` clips."""
         with self._lock:
@@ -118,18 +145,30 @@ class ServiceMetrics:
             self.batch_latency.observe(latency_ms)
 
     def record_scan(
-        self, windows: int, latency_ms: float, plane: bool = False
+        self,
+        windows: int,
+        latency_ms: float,
+        plane: bool = False,
+        failed_windows: int = 0,
+        retried_shards: int = 0,
     ) -> None:
         """One scan request sweeping ``windows`` windows.
 
         ``plane=True`` marks a sweep served by the plane-compiled scan
-        engine rather than per-window rasterization.
+        engine rather than per-window rasterization.  ``failed_windows``
+        counts windows whose shard failed even after retry (a degraded
+        scan); ``retried_shards`` counts shard retries that happened
+        (whether or not the retry succeeded).
         """
         with self._lock:
             self.scan_requests_total += 1
             if plane:
                 self.plane_scan_requests_total += 1
+            if failed_windows:
+                self.degraded_scans_total += 1
             self.windows_scanned_total += windows
+            self.windows_failed_total += failed_windows
+            self.shard_retries_total += retried_shards
             self.scan_latency.observe(latency_ms)
 
     def reset(self) -> None:
@@ -141,12 +180,19 @@ class ServiceMetrics:
         with self._lock:
             self.requests_total = 0
             self.errors_total = 0
+            self.shed_total = 0
+            self.timeouts_total = 0
+            self.quarantined_total = 0
             self.batches_total = 0
+            self.batch_splits_total = 0
             self.batched_clips_total = 0
             self.max_batch_size = 0
             self.scan_requests_total = 0
             self.plane_scan_requests_total = 0
+            self.degraded_scans_total = 0
             self.windows_scanned_total = 0
+            self.windows_failed_total = 0
+            self.shard_retries_total = 0
             self.request_latency = LatencyHistogram()
             self.batch_latency = LatencyHistogram()
             self.scan_latency = LatencyHistogram()
@@ -166,13 +212,20 @@ class ServiceMetrics:
             return {
                 "requests_total": self.requests_total,
                 "errors_total": self.errors_total,
+                "shed_total": self.shed_total,
+                "timeouts_total": self.timeouts_total,
+                "quarantined_total": self.quarantined_total,
                 "batches_total": self.batches_total,
+                "batch_splits_total": self.batch_splits_total,
                 "batched_clips_total": self.batched_clips_total,
                 "mean_batch_size": round(self.mean_batch_size, 2),
                 "max_batch_size": self.max_batch_size,
                 "scan_requests_total": self.scan_requests_total,
                 "plane_scan_requests_total": self.plane_scan_requests_total,
+                "degraded_scans_total": self.degraded_scans_total,
                 "windows_scanned_total": self.windows_scanned_total,
+                "windows_failed_total": self.windows_failed_total,
+                "shard_retries_total": self.shard_retries_total,
                 "request_latency": self.request_latency.snapshot(),
                 "batch_latency": self.batch_latency.snapshot(),
                 "scan_latency": self.scan_latency.snapshot(),

@@ -11,15 +11,34 @@ Results are returned **in shard order** (each shard a contiguous slice
 of the input list), so the pool is deterministic: the same item list
 produces the same flattened result list regardless of worker count or
 scheduling.
+
+Failure semantics (two modes, per call):
+
+* :meth:`WorkerPool.map_shards` is all-or-nothing: a shard exception is
+  wrapped in :class:`~repro.serve.errors.ShardError` carrying the exact
+  ``[start, stop)`` item range, not-yet-started shards are cancelled,
+  and a ``timeout`` bounds the whole map with
+  :class:`~repro.serve.errors.DeadlineExceeded` (running shards are
+  abandoned, never joined — threads cannot be killed).
+* :meth:`WorkerPool.map_shards_tolerant` degrades instead of raising:
+  each failed shard is retried up to ``retries`` times and the call
+  returns per-shard :class:`ShardOutcome` records, so the caller (the
+  scan path) can keep every healthy shard's results and report the
+  failed ranges instead of discarding the sweep.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
+import time
+from concurrent.futures import CancelledError, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
 from typing import Callable, Sequence, TypeVar
 
-__all__ = ["WorkerPool", "shard_slices"]
+from .errors import DeadlineExceeded, ShardError
+
+__all__ = ["WorkerPool", "ShardOutcome", "shard_slices"]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -37,6 +56,27 @@ def shard_slices(n_items: int, n_shards: int) -> list[slice]:
         slices.append(slice(start, start + size))
         start += size
     return slices
+
+
+@dataclass
+class ShardOutcome:
+    """Result of one shard in a tolerant map.
+
+    Exactly one of ``results`` / ``error`` is set.  ``start``/``stop``
+    are the shard's item range; ``retries`` counts re-runs that
+    happened (whether the shard ultimately succeeded or not).
+    """
+
+    start: int
+    stop: int
+    results: list | None = None
+    error: BaseException | None = None
+    retries: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the shard produced results."""
+        return self.error is None
 
 
 class WorkerPool:
@@ -57,24 +97,120 @@ class WorkerPool:
         fn: Callable[[Sequence[T]], list[R]],
         items: Sequence[T],
         shards: int | None = None,
+        timeout: float | None = None,
     ) -> list[R]:
         """Apply ``fn`` to contiguous shards of ``items``; flatten in order.
 
         ``fn`` receives one shard (a subsequence) and returns a list of
         per-item results.  Defaults to one shard per worker.
+
+        All-or-nothing: the first shard failure cancels every
+        not-yet-started shard and raises :class:`ShardError` naming the
+        failed ``[start, stop)`` range (the cause chained); exceeding
+        ``timeout`` (seconds, over the whole call) cancels pending
+        shards and raises :class:`DeadlineExceeded`.
         """
         # len(), not truthiness: numpy arrays and other Sequence types
         # raise or mislead on bool()
         if len(items) == 0:
             return []
         slices = shard_slices(len(items), shards or self.workers)
-        if len(slices) == 1:
-            return list(fn(items))
+        if len(slices) == 1 and timeout is None:
+            try:
+                return list(fn(items))
+            except Exception as exc:
+                raise ShardError(0, len(items), exc) from exc
+        deadline = None if timeout is None else time.monotonic() + timeout
         futures = [self._executor.submit(fn, items[s]) for s in slices]
         results: list[R] = []
-        for future in futures:
-            results.extend(future.result())
+        for i, future in enumerate(futures):
+            remaining = (
+                None if deadline is None
+                else max(0.0, deadline - time.monotonic())
+            )
+            try:
+                results.extend(future.result(timeout=remaining))
+            except FutureTimeoutError:
+                self._cancel_pending(futures[i:])
+                raise DeadlineExceeded(
+                    f"scan shards did not complete within {timeout}s "
+                    f"(stalled at shard [{slices[i].start}:{slices[i].stop}))",
+                    timeout_s=timeout, stage="map_shards",
+                ) from None
+            except Exception as exc:
+                self._cancel_pending(futures[i + 1:])
+                raise ShardError(slices[i].start, slices[i].stop, exc) from exc
         return results
+
+    def map_shards_tolerant(
+        self,
+        fn: Callable[[Sequence[T]], list[R]],
+        items: Sequence[T],
+        shards: int | None = None,
+        timeout: float | None = None,
+        retries: int = 1,
+    ) -> list[ShardOutcome]:
+        """Map shards, degrading instead of raising on partial failure.
+
+        Every shard runs (subject to ``timeout``, a deadline over the
+        whole call); a shard that raises is retried up to ``retries``
+        times, and the returned :class:`ShardOutcome` list — one entry
+        per shard, in item order — records results or the final
+        exception per shard.  A shard whose result is not available by
+        the deadline is recorded as failed with
+        :class:`DeadlineExceeded` (its thread is abandoned, and any
+        shard not yet started is cancelled).  Only programming errors
+        escape this method.
+        """
+        if len(items) == 0:
+            return []
+        slices = shard_slices(len(items), shards or self.workers)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        futures = [self._executor.submit(fn, items[s]) for s in slices]
+        outcomes: list[ShardOutcome] = []
+        timed_out = False
+        for i, (s, future) in enumerate(zip(slices, futures)):
+            outcome = ShardOutcome(start=s.start, stop=s.stop)
+            attempts = 0
+            while True:
+                remaining = (
+                    None if deadline is None
+                    else max(0.0, deadline - time.monotonic())
+                )
+                try:
+                    outcome.results = list(future.result(timeout=remaining))
+                    outcome.error = None
+                    break
+                except (FutureTimeoutError, CancelledError):
+                    outcome.error = DeadlineExceeded(
+                        f"shard [{s.start}:{s.stop}) did not complete "
+                        f"within the {timeout}s scan deadline",
+                        timeout_s=timeout, stage="shard",
+                    )
+                    timed_out = True
+                    break  # no retry: the deadline already passed
+                except Exception as exc:
+                    outcome.error = exc
+                    if attempts >= retries:
+                        break
+                    if deadline is not None and time.monotonic() >= deadline:
+                        break  # no budget left to retry into
+                    attempts += 1
+                    outcome.retries = attempts
+                    future = self._executor.submit(fn, items[s])
+            outcomes.append(outcome)
+            if timed_out:
+                # deadline passed: collect already-finished shards for
+                # free, fail the rest without waiting
+                self._cancel_pending(futures[i + 1:])
+        return outcomes
+
+    @staticmethod
+    def _cancel_pending(futures) -> None:
+        """Cancel every not-yet-started future (running ones are
+        abandoned — thread work cannot be interrupted)."""
+        for future in futures:
+            future.cancel()
 
     def close(self) -> None:
         """Shut the pool down, waiting for in-flight shards."""

@@ -26,7 +26,7 @@ from ..binary.inference import FloatEngine, PackedBNN
 from ..detect.bnn_detector import stages_for_image_size
 from ..models.bnn_resnet import build_bnn_resnet
 from ..nn.module import Module
-from ..nn.serialization import load_meta, load_model
+from ..nn.serialization import CheckpointError, load_meta, load_model
 
 __all__ = ["ModelEntry", "ModelRegistry", "compile_engine", "model_from_meta"]
 
@@ -133,11 +133,22 @@ class ModelRegistry:
         With ``model=None`` the architecture is rebuilt from the
         checkpoint's metadata record (written by ``repro train --save``);
         an explicit ``model`` skips that and just receives the weights.
+
+        A corrupt, truncated, or checksum-failing checkpoint raises
+        :class:`~repro.nn.serialization.CheckpointError` *before*
+        anything is registered — a bad model file must never replace a
+        live entry (re-registering a name is how rolling updates
+        deploy, so the previous entry keeps serving).
         """
-        meta = load_meta(path)
-        if model is None:
-            model = model_from_meta(meta)
-        load_model(model, path)
+        try:
+            meta = load_meta(path)
+            if model is None:
+                model = model_from_meta(meta)
+            load_model(model, path)
+        except CheckpointError as exc:
+            raise CheckpointError(
+                f"cannot register model {name!r}: {exc}"
+            ) from exc
         if image_size is None:
             if "image_size" not in meta:
                 raise KeyError(

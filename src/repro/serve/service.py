@@ -18,11 +18,26 @@ layer.  Two request shapes:
 Both paths produce predictions bit-identical to a direct
 ``engine.predict_logits`` call on the same inputs — batching and
 sharding are pure throughput plumbing, never a numerics change.
+
+Fault tolerance (see ``docs/serving.md`` → "Failure modes &
+guarantees"): requests carry **deadlines** (``timeout=`` per call, or
+``default_timeout_s`` service-wide) and fail with typed
+:class:`~repro.serve.errors.DeadlineExceeded` /
+:class:`~repro.serve.errors.ServiceOverloaded` instead of hanging or
+OOMing; a poison clip that crashes the engine is **quarantined** by
+batch bisection so co-batched requests still succeed; a failing scan
+shard is retried once and then reported as a **degraded**
+:class:`~repro.serve.types.ScanReport` (``failed_ranges``) rather than
+discarding the healthy shards; and a seeded
+:class:`~repro.serve.faults.FaultInjector` can be threaded through the
+engine and raster call sites to rehearse all of the above
+deterministically.
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -32,10 +47,20 @@ from ..litho.geometry import Clip, Rect
 from ..nn.module import Module
 from .batcher import MicroBatcher
 from .cache import PlaneCache, RasterCache
+from .errors import DeadlineExceeded, ServiceOverloaded
+from .faults import FaultInjector
 from .metrics import ServiceMetrics
 from .pool import WorkerPool
 from .registry import ModelEntry, ModelRegistry
-from .types import ClipRequest, Prediction, ScanHit, ScanReport, ScanRequest
+from .types import (
+    ClipRequest,
+    HealthReport,
+    HealthState,
+    Prediction,
+    ScanHit,
+    ScanReport,
+    ScanRequest,
+)
 
 __all__ = ["HotspotService", "window_origins", "extract_window"]
 
@@ -93,6 +118,23 @@ class HotspotService:
         small).
     workers:
         Scan-mode worker threads (default: CPU count, capped at 8).
+    queue_depth:
+        Admission-queue bound per model batcher (backpressure); ``None``
+        restores the legacy unbounded queue.
+    overflow:
+        Full-queue policy: ``"block"`` (wait, bounded by the request
+        deadline) or ``"shed"`` (reject with ``ServiceOverloaded``).
+    default_timeout_s:
+        Service-wide request deadline in seconds, used when a call does
+        not pass its own ``timeout=``.  ``None`` means no deadline.
+    shard_retries:
+        How often a failed scan shard is re-run before its window range
+        is reported as failed in a degraded ``ScanReport``.
+    faults:
+        Optional :class:`~repro.serve.faults.FaultInjector` threaded
+        through the engine (``"engine"``) and rasterization
+        (``"raster"``) call sites — chaos testing only, never set in
+        production.
     """
 
     def __init__(
@@ -104,11 +146,31 @@ class HotspotService:
         cache_capacity: int = 2048,
         plane_cache_capacity: int = 8,
         workers: int | None = None,
+        queue_depth: int | None = 1024,
+        overflow: str = "block",
+        default_timeout_s: float | None = None,
+        shard_retries: int = 1,
+        faults: FaultInjector | None = None,
     ):
+        # validate eagerly: batchers are built lazily, and a bad knob
+        # must fail service construction, not the first request
+        if shard_retries < 0:
+            raise ValueError(f"shard_retries must be >= 0, got {shard_retries}")
+        if queue_depth is not None and queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        if overflow not in ("block", "shed"):
+            raise ValueError(
+                f"overflow must be 'block' or 'shed', got {overflow!r}"
+            )
         self.registry = registry if registry is not None else ModelRegistry()
         self.default_model = default_model
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
+        self.queue_depth = queue_depth
+        self.overflow = overflow
+        self.default_timeout_s = default_timeout_s
+        self.shard_retries = shard_retries
+        self.faults = faults
         self.metrics = ServiceMetrics()
         self.cache = RasterCache(capacity=cache_capacity)
         self.plane_cache = PlaneCache(capacity=plane_cache_capacity)
@@ -160,19 +222,32 @@ class HotspotService:
             # lazily created; rebuilt when a name is re-registered
             if engine_and_batcher is not None:
                 engine_and_batcher[1].close()
+            infer_fn = entry.engine.forward
+            if self.faults is not None:
+                infer_fn = self.faults.wrap("engine", infer_fn)
             batcher = MicroBatcher(
-                entry.engine.forward,
+                infer_fn,
                 max_batch=self.max_batch,
                 max_wait_ms=self.max_wait_ms,
                 metrics=self.metrics,
+                queue_depth=self.queue_depth,
+                overflow=self.overflow,
             )
             self._batchers[entry.name] = (entry.engine, batcher)
         return self._batchers[entry.name][1]
 
+    def _raster(self, clip: Clip, pixels: int) -> np.ndarray:
+        """Cached rasterization, threaded through the ``"raster"`` faults."""
+        if self.faults is None:
+            return self.cache.get(clip, pixels, "binary")
+        return self.faults.wrap(
+            "raster", lambda: self.cache.get(clip, pixels, "binary")
+        )()
+
     def _prepare(self, request: ClipRequest, entry: ModelEntry) -> np.ndarray:
         """Request -> network input ``(1, 1, s, s)`` in the {-1,+1} domain."""
         if request.clip is not None:
-            image = self.cache.get(request.clip, entry.image_size, "binary")
+            image = self._raster(request.clip, entry.image_size)
         else:
             image = np.asarray(request.image, dtype=np.float64)
             if image.shape[-1] != entry.image_size:
@@ -189,34 +264,71 @@ class HotspotService:
     # -- classify path ---------------------------------------------------
 
     def classify(
-        self, request: ClipRequest | Clip | np.ndarray, model: str | None = None
+        self,
+        request: ClipRequest | Clip | np.ndarray,
+        model: str | None = None,
+        timeout: float | None = None,
     ) -> Prediction:
         """Classify one clip (blocking; coalesces with concurrent calls)."""
-        return self.classify_many([request], model=model)[0]
+        return self.classify_many([request], model=model, timeout=timeout)[0]
 
     def classify_many(
         self,
         requests: Iterable[ClipRequest | Clip | np.ndarray],
         model: str | None = None,
+        timeout: float | None = None,
     ) -> list[Prediction]:
         """Classify several clips, submitting all before waiting on any.
 
         This is the batching-friendly entry point: the requests land in
         the queue together and coalesce into ``max_batch``-sized engine
         invocations.
+
+        ``timeout`` (seconds, default ``default_timeout_s``) is one
+        deadline over the whole call — admission and result waits
+        combined.  Exceeding it abandons the outstanding requests and
+        raises :class:`DeadlineExceeded`; a full admission queue under
+        the ``"shed"`` policy raises :class:`ServiceOverloaded` without
+        doing any work.
         """
         entry = self._entry(model)
         batcher = self._batcher(entry)
+        if timeout is None:
+            timeout = self.default_timeout_s
         started = time.perf_counter()
+        deadline = None if timeout is None else time.monotonic() + timeout
         prepared = [self._as_request(item) for item in requests]
-        futures = [
-            batcher.submit(self._prepare(request, entry))
-            for request in prepared
-        ]
+        futures = []
+        try:
+            for request in prepared:
+                remaining = (
+                    None if deadline is None
+                    else max(0.0, deadline - time.monotonic())
+                )
+                futures.append(
+                    batcher.submit(self._prepare(request, entry),
+                                   timeout=remaining)
+                )
+        except (DeadlineExceeded, ServiceOverloaded):
+            for future in futures:
+                future.cancel()
+            raise
         predictions = []
         for request, future in zip(prepared, futures):
+            remaining = (
+                None if deadline is None
+                else max(0.0, deadline - time.monotonic())
+            )
             try:
-                logits = future.result()
+                logits = future.result(timeout=remaining)
+            except FutureTimeoutError:
+                for pending in futures:
+                    pending.cancel()
+                self.metrics.record_timeout()
+                raise DeadlineExceeded(
+                    f"classify did not complete within {timeout}s",
+                    timeout_s=timeout, stage="classify",
+                ) from None
             except Exception:
                 self.metrics.record_error()
                 raise
@@ -244,20 +356,22 @@ class HotspotService:
         entry: ModelEntry,
     ) -> list[float]:
         """Score one contiguous shard of window origins (chunked)."""
+        predict = entry.engine.predict_logits
+        if self.faults is not None:
+            predict = self.faults.wrap("engine", predict)
         scores: list[float] = []
         for start in range(0, len(origins), self.max_batch):
             chunk = origins[start : start + self.max_batch]
             images = np.stack(
                 [
-                    self.cache.get(
+                    self._raster(
                         extract_window(request.layout, x, y, request.window),
                         entry.image_size,
-                        "binary",
                     )
                     for x, y in chunk
                 ]
             )
-            logits = entry.engine.predict_logits(to_network_input(images))
+            logits = predict(to_network_input(images))
             scores.extend((logits[:, 1] - logits[:, 0]).tolist())
         return scores
 
@@ -281,7 +395,12 @@ class HotspotService:
             return None
         return scale
 
-    def scan(self, request: ScanRequest, model: str | None = None) -> ScanReport:
+    def scan(
+        self,
+        request: ScanRequest,
+        model: str | None = None,
+        timeout: float | None = None,
+    ) -> ScanReport:
         """Sweep a full layout; returns the windows flagged as hotspots.
 
         Deterministic by construction: shards are contiguous origin
@@ -294,9 +413,21 @@ class HotspotService:
         scored by the plane-compiled scan engine — workers then shard
         origin ranges over the shared read-only plan instead of
         rasterizing every window.  The report is bit-identical either
-        way; the plane path is purely a throughput optimisation.
+        way; the plane path is purely a throughput optimisation, and a
+        failure while *building* the plan falls back to the per-window
+        path instead of failing the sweep.
+
+        Partial failure degrades instead of raising: a shard that keeps
+        failing after ``shard_retries`` re-runs — or that misses the
+        ``timeout`` deadline (seconds, default ``default_timeout_s``) —
+        is dropped from the hit list and reported in the
+        ``failed_ranges`` of a ``degraded`` report, while every healthy
+        shard's hits are returned unchanged (bit-identical to a fully
+        healthy sweep over the same windows).
         """
         entry = self._entry(model)
+        if timeout is None:
+            timeout = self.default_timeout_s
         started = time.perf_counter()
         origins = window_origins(
             request.layout.size, request.window, request.stride
@@ -304,18 +435,32 @@ class HotspotService:
         scale = self._plane_scale(request, entry)
         plan = None
         if scale is not None and hasattr(entry.engine, "plan_scan"):
-            plane = self.plane_cache.get(request.layout, scale, "binary")
-            plan = entry.engine.plan_scan(
-                to_network_input(plane[None]),
-                entry.image_size,
-                [(x // scale, y // scale) for x, y in origins],
-            )
+            try:
+                plane = self.plane_cache.get(request.layout, scale, "binary")
+                plan = entry.engine.plan_scan(
+                    to_network_input(plane[None]),
+                    entry.image_size,
+                    [(x // scale, y // scale) for x, y in origins],
+                )
+            except Exception:
+                # plan compilation is an optimisation; per-window scan
+                # still serves the sweep (shard failures stay isolated)
+                self.metrics.record_error()
+                plan = None
+        if plan is not None:
+            compiled_plan = plan
 
             def score_shard(shard: Sequence[tuple[int, int]]) -> list[float]:
-                logits = plan.logits(
+                if self.faults is not None:
+                    corrupt = self.faults.fire("engine")
+                else:
+                    corrupt = False
+                logits = compiled_plan.logits(
                     [(x // scale, y // scale) for x, y in shard],
                     batch_size=self.max_batch,
                 )
+                if corrupt:
+                    logits = np.negative(logits)
                 return (logits[:, 1] - logits[:, 0]).tolist()
 
         else:
@@ -323,28 +468,78 @@ class HotspotService:
             def score_shard(shard: Sequence[tuple[int, int]]) -> list[float]:
                 return self._scan_shard(shard, request, entry)
 
-        scores = self.pool.map_shards(score_shard, origins)
-        hits = tuple(
-            ScanHit(x, y, x + request.window, y + request.window, score)
-            for (x, y), score in zip(origins, scores)
-            if score > entry.decision_bias
+        outcomes = self.pool.map_shards_tolerant(
+            score_shard, origins, timeout=timeout, retries=self.shard_retries
         )
+        hits = []
+        failed_ranges = []
+        retried_shards = 0
+        for outcome in outcomes:
+            retried_shards += outcome.retries
+            if not outcome.ok:
+                failed_ranges.append((outcome.start, outcome.stop))
+                continue
+            for (x, y), score in zip(
+                origins[outcome.start:outcome.stop], outcome.results
+            ):
+                if score > entry.decision_bias:
+                    hits.append(ScanHit(
+                        x, y, x + request.window, y + request.window, score
+                    ))
         latency_ms = (time.perf_counter() - started) * 1e3
-        self.metrics.record_scan(len(origins), latency_ms, plane=plan is not None)
+        failed_windows = sum(stop - start for start, stop in failed_ranges)
+        self.metrics.record_scan(
+            len(origins), latency_ms, plane=plan is not None,
+            failed_windows=failed_windows, retried_shards=retried_shards,
+        )
         return ScanReport(
             request_id=request.request_id,
             windows_scanned=len(origins),
-            hits=hits,
+            hits=tuple(hits),
             model=entry.name,
             backend=entry.backend,
             latency_ms=latency_ms,
+            degraded=bool(failed_ranges),
+            failed_ranges=tuple(failed_ranges),
         )
 
     # -- lifecycle / observability ---------------------------------------
 
+    def health(self) -> HealthReport:
+        """Probe the service's health state.
+
+        ``DRAINING`` once :meth:`close` has begun; ``DEGRADED`` when any
+        fault counter (errors, sheds, timeouts, quarantined requests,
+        degraded scans) has incremented since the metrics were last
+        reset — the reasons enumerate which; ``READY`` otherwise.
+        Degradation is sticky until ``metrics.reset()``: a service that
+        shed load five minutes ago should keep telling its load
+        balancer so until an operator (or a warm-up cycle) clears it.
+        """
+        if self._closed:
+            return HealthReport(
+                HealthState.DRAINING, ("service is closed/draining",)
+            )
+        m = self.metrics
+        reasons = tuple(
+            f"{count} {what}"
+            for count, what in (
+                (m.errors_total, "request errors"),
+                (m.shed_total, "requests shed (queue full)"),
+                (m.timeouts_total, "deadline timeouts"),
+                (m.quarantined_total, "poison requests quarantined"),
+                (m.degraded_scans_total, "degraded scans"),
+            )
+            if count
+        )
+        if reasons:
+            return HealthReport(HealthState.DEGRADED, reasons)
+        return HealthReport(HealthState.READY)
+
     def stats(self) -> dict[str, object]:
         """Snapshot of service metrics, cache counters, and models."""
         snapshot = self.metrics.stats()
+        snapshot["health"] = self.health().state.value
         snapshot["cache"] = {
             "entries": len(self.cache),
             "capacity": self.cache.capacity,
@@ -369,14 +564,26 @@ class HotspotService:
         return snapshot
 
     def close(self) -> None:
-        """Stop batcher threads and the scan worker pool."""
+        """Stop batcher threads and the scan worker pool.
+
+        Every batcher and the pool are closed even when one of them is
+        wedged; the first wedged-batcher error is re-raised at the end
+        so the leak is visible without leaving the rest of the service
+        running.
+        """
         if self._closed:
             return
-        self._closed = True
+        self._closed = True  # health() now reports DRAINING
+        wedged: Exception | None = None
         for _engine, batcher in self._batchers.values():
-            batcher.close()
+            try:
+                batcher.close()
+            except RuntimeError as exc:
+                wedged = wedged or exc
         self._batchers.clear()
         self.pool.close()
+        if wedged is not None:
+            raise wedged
 
     def __enter__(self) -> "HotspotService":
         return self

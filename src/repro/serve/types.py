@@ -8,6 +8,7 @@ frozen dataclasses so callers can treat them as immutable records.
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -20,7 +21,37 @@ __all__ = [
     "ScanRequest",
     "ScanHit",
     "ScanReport",
+    "HealthState",
+    "HealthReport",
 ]
+
+
+class HealthState(enum.Enum):
+    """Coarse service health for load balancers and operators.
+
+    ``READY`` — serving normally.  ``DEGRADED`` — serving, but faults
+    (sheds, timeouts, quarantined requests, degraded scans, errors)
+    have been observed since the metrics were last reset; responses may
+    be partial.  ``DRAINING`` — ``close()`` has begun; no new requests
+    are admitted.
+    """
+
+    READY = "ready"
+    DEGRADED = "degraded"
+    DRAINING = "draining"
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """One health probe: the state plus the reasons it is not READY."""
+
+    state: HealthState
+    reasons: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """Whether the service is accepting new requests."""
+        return self.state is not HealthState.DRAINING
 
 
 @dataclass(frozen=True)
@@ -98,7 +129,16 @@ class ScanHit:
 
 @dataclass(frozen=True)
 class ScanReport:
-    """Result of a scan request."""
+    """Result of a scan request.
+
+    A report can be **degraded**: when a scan shard keeps failing after
+    retry (or misses the scan deadline), the service returns the healthy
+    shards' hits instead of discarding the sweep, sets ``degraded``,
+    and enumerates the un-scored windows in ``failed_ranges`` — each a
+    ``(start, stop)`` half-open range of window indices in the sweep's
+    row-major origin order.  ``windows_scanned`` always counts the full
+    sweep; subtract ``windows_failed`` for the number actually scored.
+    """
 
     request_id: str
     windows_scanned: int
@@ -106,10 +146,26 @@ class ScanReport:
     model: str = ""
     backend: str = ""
     latency_ms: float = 0.0
+    degraded: bool = False
+    failed_ranges: tuple[tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.degraded != bool(self.failed_ranges):
+            raise ValueError(
+                "degraded must be True exactly when failed_ranges is "
+                f"non-empty (degraded={self.degraded}, "
+                f"failed_ranges={self.failed_ranges})"
+            )
+
+    @property
+    def windows_failed(self) -> int:
+        """Windows whose shard failed (0 for a healthy report)."""
+        return sum(stop - start for start, stop in self.failed_ranges)
 
     @property
     def hotspot_rate(self) -> float:
-        """Fraction of scanned windows flagged as hotspots."""
-        if self.windows_scanned == 0:
+        """Fraction of *scored* windows flagged as hotspots."""
+        scored = self.windows_scanned - self.windows_failed
+        if scored == 0:
             return 0.0
-        return len(self.hits) / self.windows_scanned
+        return len(self.hits) / scored

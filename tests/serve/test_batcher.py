@@ -11,7 +11,12 @@ import time
 import numpy as np
 import pytest
 
-from repro.serve import MicroBatcher, ServiceMetrics
+from repro.serve import (
+    DeadlineExceeded,
+    MicroBatcher,
+    ServiceMetrics,
+    ServiceOverloaded,
+)
 
 
 def double(x):
@@ -90,6 +95,146 @@ class TestMicroBatcher:
             batcher.submit(np.ones((1, 1, 2, 2)))
         batcher.close()  # idempotent
 
+    def test_malformed_submit_fails_at_the_door(self):
+        """Shape/dtype mismatches raise in the caller, never poison the
+        consumer-thread concatenate of co-batched requests."""
+        with MicroBatcher(double, max_batch=8, max_wait_ms=20.0) as batcher:
+            good = batcher.submit(np.ones((1, 1, 4, 4)))
+            with pytest.raises(ValueError, match="contract"):
+                batcher.submit(np.ones((1, 1, 8, 8)))  # wrong shape
+            with pytest.raises(ValueError, match="contract"):
+                batcher.submit(np.ones((1, 1, 4, 4), dtype=np.float32))
+            with pytest.raises(ValueError, match="numeric"):
+                batcher.submit(np.array([[["a"] * 4] * 4]))
+            np.testing.assert_array_equal(
+                good.result(timeout=5), np.full((1, 4, 4), 2.0)
+            )
+
+    def test_poison_request_quarantined_by_bisection(self):
+        """One poison clip in a coalesced batch fails alone; every
+        healthy co-batched request still gets its exact result."""
+
+        def poison_fn(x):
+            if np.any(x == 7.0):
+                raise RuntimeError("poison clip")
+            return x * 10.0
+
+        metrics = ServiceMetrics()
+        with MicroBatcher(poison_fn, max_batch=16, max_wait_ms=50.0,
+                          metrics=metrics) as batcher:
+            futures = [batcher.submit(np.full((1, 1, 2, 2), float(i)))
+                       for i in range(10)]
+            for i, future in enumerate(futures):
+                if i == 7:
+                    with pytest.raises(RuntimeError, match="poison clip"):
+                        future.result(timeout=10)
+                else:
+                    np.testing.assert_array_equal(
+                        future.result(timeout=10),
+                        np.full((1, 2, 2), 10.0 * i),
+                    )
+        assert metrics.quarantined_total == 1
+        assert metrics.batch_splits_total >= 1
+
+    def test_shed_policy_raises_typed_overload(self):
+        release = threading.Event()
+
+        def slow(x):
+            release.wait(10)
+            return x
+
+        metrics = ServiceMetrics()
+        batcher = MicroBatcher(slow, max_batch=1, max_wait_ms=0.0,
+                               metrics=metrics, queue_depth=1,
+                               overflow="shed")
+        try:
+            first = batcher.submit(np.ones((1, 2, 2)))
+            time.sleep(0.05)  # consumer picks up `first`, blocks in slow()
+            queued = batcher.submit(np.ones((1, 2, 2)))  # fills the queue
+            with pytest.raises(ServiceOverloaded):
+                batcher.submit(np.ones((1, 2, 2)))
+            assert metrics.shed_total == 1
+        finally:
+            release.set()
+            batcher.close()
+        assert first.result(timeout=5) is not None
+        assert queued.result(timeout=5) is not None
+
+    def test_block_policy_admission_deadline(self):
+        release = threading.Event()
+
+        def slow(x):
+            release.wait(10)
+            return x
+
+        batcher = MicroBatcher(slow, max_batch=1, max_wait_ms=0.0,
+                               queue_depth=1, overflow="block")
+        try:
+            batcher.submit(np.ones((1, 2, 2)))
+            time.sleep(0.05)
+            batcher.submit(np.ones((1, 2, 2)))
+            with pytest.raises(DeadlineExceeded) as excinfo:
+                batcher.submit(np.ones((1, 2, 2)), timeout=0.1)
+            assert excinfo.value.stage == "admission"
+        finally:
+            release.set()
+            batcher.close()
+
+    def test_queued_request_expires_at_its_deadline(self):
+        release = threading.Event()
+
+        def slow(x):
+            release.wait(10)
+            return x
+
+        metrics = ServiceMetrics()
+        batcher = MicroBatcher(slow, max_batch=1, max_wait_ms=0.0,
+                               metrics=metrics)
+        try:
+            batcher.submit(np.ones((1, 2, 2)))  # occupies the consumer
+            time.sleep(0.05)
+            stale = batcher.submit(np.ones((1, 2, 2)), timeout=0.05)
+            time.sleep(0.1)  # deadline passes while queued
+            release.set()
+            with pytest.raises(DeadlineExceeded):
+                stale.result(timeout=5)
+            assert metrics.timeouts_total == 1
+        finally:
+            release.set()
+            batcher.close()
+
+    def test_infer_timeout_on_hung_engine(self):
+        release = threading.Event()
+
+        def hung(x):
+            release.wait(10)
+            return x
+
+        batcher = MicroBatcher(hung, max_batch=1, max_wait_ms=0.0)
+        try:
+            started = time.perf_counter()
+            with pytest.raises(DeadlineExceeded):
+                batcher.infer(np.ones((1, 2, 2)), timeout=0.1)
+            assert time.perf_counter() - started < 5.0
+        finally:
+            release.set()
+            batcher.close()
+
+    def test_close_raises_when_consumer_is_wedged(self):
+        release = threading.Event()
+
+        def hung(x):
+            release.wait(30)
+            return x
+
+        batcher = MicroBatcher(hung, max_batch=1, max_wait_ms=0.0)
+        batcher.submit(np.ones((1, 2, 2)))
+        time.sleep(0.05)
+        with pytest.raises(RuntimeError, match="failed to stop"):
+            batcher.close(timeout=0.2)
+        release.set()
+        batcher.close(timeout=5.0)  # drains cleanly once unwedged
+
     def test_deterministic_under_concurrent_submission(self):
         """Same request set -> same outputs, however batches coalesce.
 
@@ -121,3 +266,54 @@ class TestMicroBatcher:
                     t.join()
             for out, ref in zip(results, reference):
                 np.testing.assert_array_equal(out, ref)
+
+    def test_stress_concurrent_submits_and_close_loses_nothing(self):
+        """Submitters hammer the batcher while close() races them.
+
+        Every submit must either be rejected cleanly (RuntimeError: the
+        batcher closed first) or produce a future that resolves with
+        the correct value — no hangs, no futures stranded forever.
+        """
+        accepted: list = []
+        rejected = [0]
+        lock = threading.Lock()
+        batcher = MicroBatcher(double, max_batch=8, max_wait_ms=0.5,
+                               queue_depth=64, overflow="block")
+
+        def submitter(worker: int):
+            for i in range(200):
+                value = float(worker * 1000 + i)
+                try:
+                    future = batcher.submit(
+                        np.full((1, 1, 2, 2), value), timeout=10.0
+                    )
+                except RuntimeError:  # closed (or shed): clean rejection
+                    with lock:
+                        rejected[0] += 1
+                    return
+                with lock:
+                    accepted.append((value, future))
+
+        threads = [threading.Thread(target=submitter, args=(k,))
+                   for k in range(6)]
+        for t in threads:
+            t.start()
+        time.sleep(0.05)
+        batcher.close(timeout=30.0)
+        for t in threads:
+            t.join(timeout=30.0)
+            assert not t.is_alive(), "submitter thread hung"
+        assert accepted, "close() won the race before any submit landed"
+        resolved = 0
+        for value, future in accepted:
+            # every accepted future must resolve promptly: either the
+            # correct doubled result or a clean deadline rejection
+            try:
+                out = future.result(timeout=10.0)
+            except DeadlineExceeded:
+                continue
+            np.testing.assert_array_equal(
+                out, np.full((1, 2, 2), value * 2.0)
+            )
+            resolved += 1
+        assert resolved > 0

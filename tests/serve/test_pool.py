@@ -1,8 +1,12 @@
 """Tests for the scan worker pool's sharding arithmetic and mapping."""
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
+from repro.serve.errors import DeadlineExceeded, ShardError
 from repro.serve.pool import WorkerPool, shard_slices
 
 
@@ -73,3 +77,137 @@ class TestMapShards:
     def test_invalid_worker_count(self):
         with pytest.raises(ValueError):
             WorkerPool(workers=0)
+
+
+class TestShardFailures:
+    @pytest.fixture
+    def pool(self):
+        with WorkerPool(workers=4) as pool:
+            yield pool
+
+    def test_shard_error_carries_exact_range(self, pool):
+        def fn(shard):
+            if 5 in shard:
+                raise ValueError("bad window")
+            return list(shard)
+
+        with pytest.raises(ShardError) as excinfo:
+            pool.map_shards(fn, list(range(16)))  # 4 shards of 4
+        assert (excinfo.value.start, excinfo.value.stop) == (4, 8)
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_single_shard_failure_also_attributed(self):
+        with WorkerPool(workers=1) as pool:
+            with pytest.raises(ShardError) as excinfo:
+                pool.map_shards(lambda s: 1 // 0, [1, 2, 3])
+        assert (excinfo.value.start, excinfo.value.stop) == (0, 3)
+
+    def test_failure_cancels_not_yet_started_shards(self):
+        """With one worker, shards run serially: after shard 2 fails the
+        caller cancels the queue.  The worker may have already grabbed
+        shard 3 (that race is inherent), but shard 4 — still queued
+        behind either a busy worker or a cancelled future — never runs."""
+        executed = []
+
+        def fn(shard):
+            executed.append(shard[0])
+            if shard[0] == 4:
+                raise RuntimeError("boom")
+            if shard[0] == 8:
+                time.sleep(0.3)  # hold the worker while cancels land
+            return list(shard)
+
+        with WorkerPool(workers=1) as pool:
+            with pytest.raises(ShardError) as excinfo:
+                pool.map_shards(fn, list(range(16)), shards=4)
+        assert (excinfo.value.start, excinfo.value.stop) == (4, 8)
+        assert executed[:2] == [0, 4]
+        assert 12 not in executed  # the final shard was cancelled
+
+    def test_map_timeout_raises_deadline(self):
+        release = threading.Event()
+
+        def hung(shard):
+            release.wait(10)
+            return list(shard)
+
+        with WorkerPool(workers=2) as pool:
+            started = time.perf_counter()
+            try:
+                with pytest.raises(DeadlineExceeded):
+                    pool.map_shards(hung, list(range(8)), timeout=0.1)
+                assert time.perf_counter() - started < 5.0
+            finally:
+                release.set()
+
+
+class TestMapShardsTolerant:
+    @pytest.fixture
+    def pool(self):
+        with WorkerPool(workers=4) as pool:
+            yield pool
+
+    def test_partial_failure_keeps_healthy_shards(self, pool):
+        def fn(shard):
+            if 5 in shard:
+                raise ValueError("bad shard")
+            return [x * 2 for x in shard]
+
+        outcomes = pool.map_shards_tolerant(fn, list(range(16)), retries=0)
+        assert [(o.start, o.stop, o.ok) for o in outcomes] == [
+            (0, 4, True), (4, 8, False), (8, 12, True), (12, 16, True)
+        ]
+        assert outcomes[0].results == [0, 2, 4, 6]
+        assert isinstance(outcomes[1].error, ValueError)
+        assert outcomes[1].results is None
+
+    def test_retry_heals_transient_failure(self, pool):
+        failed_once = threading.Event()
+
+        def flaky(shard):
+            if 5 in shard and not failed_once.is_set():
+                failed_once.set()
+                raise ValueError("transient")
+            return [x * 2 for x in shard]
+
+        outcomes = pool.map_shards_tolerant(flaky, list(range(16)), retries=1)
+        assert all(o.ok for o in outcomes)
+        assert outcomes[1].retries == 1
+        assert outcomes[1].results == [8, 10, 12, 14]
+
+    def test_persistent_failure_exhausts_retries(self, pool):
+        attempts = []
+
+        def broken(shard):
+            if 5 in shard:
+                attempts.append(1)
+                raise ValueError("persistent")
+            return list(shard)
+
+        outcomes = pool.map_shards_tolerant(broken, list(range(16)), retries=2)
+        assert not outcomes[1].ok
+        assert outcomes[1].retries == 2
+        assert len(attempts) == 3  # initial run + two retries
+
+    def test_timeout_fails_pending_shards_only(self, pool):
+        release = threading.Event()
+
+        def mixed(shard):
+            if shard[0] >= 8:
+                release.wait(10)  # the back half hangs
+            return list(shard)
+
+        started = time.perf_counter()
+        try:
+            outcomes = pool.map_shards_tolerant(
+                mixed, list(range(16)), timeout=0.3
+            )
+        finally:
+            release.set()
+        assert time.perf_counter() - started < 5.0
+        assert outcomes[0].ok and outcomes[1].ok
+        assert not outcomes[2].ok and not outcomes[3].ok
+        assert isinstance(outcomes[2].error, DeadlineExceeded)
+
+    def test_empty_items(self, pool):
+        assert pool.map_shards_tolerant(lambda s: list(s), []) == []

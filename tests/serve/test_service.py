@@ -11,9 +11,12 @@ from repro.litho.geometry import Clip, Rect
 from repro.models.bnn_resnet import build_bnn_resnet
 from repro.serve import (
     ClipRequest,
+    HealthState,
     HotspotService,
     ModelRegistry,
+    ScanReport,
     ScanRequest,
+    ServiceOverloaded,
     extract_window,
     window_origins,
 )
@@ -299,3 +302,95 @@ class TestStatsAndLifecycle:
                                        prefer_packed=False) as service:
             prediction = service.classify(make_images(1)[0])
         assert prediction.backend == "float"
+
+    def test_stats_exposes_robustness_counters(self, service):
+        service.classify(make_images(1)[0])
+        stats = service.stats()
+        for key in ("shed_total", "timeouts_total", "quarantined_total",
+                    "batch_splits_total", "degraded_scans_total",
+                    "windows_failed_total", "shard_retries_total"):
+            assert stats[key] == 0
+        assert stats["health"] == "ready"
+
+    def test_invalid_robustness_knobs_rejected(self, model):
+        with pytest.raises(ValueError):
+            HotspotService.from_model(model, 16, overflow="drop")
+        with pytest.raises(ValueError):
+            HotspotService.from_model(model, 16, queue_depth=0)
+        with pytest.raises(ValueError):
+            HotspotService.from_model(model, 16, shard_retries=-1)
+
+    def test_shed_policy_reaches_service_front_door(self, model):
+        """queue_depth/overflow plumb through to every batcher: with a
+        one-slot shed queue, a flood of submits must shed rather than
+        block, and the shed counter must tick."""
+        with HotspotService.from_model(model, 16, queue_depth=1,
+                                       overflow="shed",
+                                       max_wait_ms=50.0) as svc:
+            batcher = svc._batcher(svc.registry.get("default"))
+            shed = 0
+            for image in make_images(32, seed=11):
+                try:
+                    batcher.submit(np.ascontiguousarray(image[None, None]))
+                except ServiceOverloaded:
+                    shed += 1
+            assert svc.metrics.shed_total == shed
+
+
+class TestHealth:
+    def test_ready_then_degraded_then_draining(self, service):
+        assert service.health().state is HealthState.READY
+        assert service.health().ok
+        service.metrics.record_shed()
+        report = service.health()
+        assert report.state is HealthState.DEGRADED
+        assert report.ok  # degraded still serves
+        assert any("shed" in reason for reason in report.reasons)
+        service.metrics.reset()
+        assert service.health().state is HealthState.READY
+        service.close()
+        final = service.health()
+        assert final.state is HealthState.DRAINING
+        assert not final.ok
+
+    def test_each_fault_counter_degrades_with_reason(self, service):
+        counters = {
+            "record_shed": "shed",
+            "record_timeout": "timeout",
+            "record_quarantine": "quarantined",
+        }
+        for method, needle in counters.items():
+            service.metrics.reset()
+            getattr(service.metrics, method)()
+            report = service.health()
+            assert report.state is HealthState.DEGRADED
+            assert any(needle in reason for reason in report.reasons), (
+                method, report.reasons
+            )
+        service.metrics.reset()
+
+
+class TestScanReportContract:
+    def _report(self, **overrides):
+        fields = dict(request_id="r", model="m", windows_scanned=10,
+                      hits=(), latency_ms=1.0)
+        fields.update(overrides)
+        return ScanReport(**fields)
+
+    def test_degraded_flag_must_match_failed_ranges(self):
+        with pytest.raises(ValueError):
+            self._report(degraded=True, failed_ranges=())
+        with pytest.raises(ValueError):
+            self._report(degraded=False, failed_ranges=((0, 4),))
+
+    def test_windows_failed_sums_ranges(self):
+        report = self._report(degraded=True, failed_ranges=((0, 4), (8, 10)))
+        assert report.windows_failed == 6
+
+    def test_hotspot_rate_counts_only_scored_windows(self):
+        report = self._report(hits=(1, 2), degraded=True,
+                              failed_ranges=((0, 5),))
+        assert report.hotspot_rate == 2 / 5  # 10 windows, 5 scored
+        empty = self._report(windows_scanned=4, degraded=True,
+                             failed_ranges=((0, 4),))
+        assert empty.hotspot_rate == 0.0  # nothing scored: no divide
