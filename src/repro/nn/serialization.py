@@ -8,11 +8,14 @@ serving layer's model registry — can rebuild the matching architecture
 without out-of-band information.
 
 Integrity: :func:`save_model` records a SHA-256 over the parameter
-arrays (``content_sha256`` in the metadata record) and
-:func:`load_model` re-verifies it, so a corrupt or tampered checkpoint
+arrays (``content_sha256``) *and* one over the metadata record itself
+(``meta_sha256`` — architecture knobs and the decision threshold drive
+model reconstruction, so they need tamper detection just as much as the
+weights).  :func:`load_model` and :func:`load_meta` re-verify the
+digests covering what they return, so a corrupt or tampered checkpoint
 fails loudly with :class:`CheckpointError` instead of serving garbage
 predictions.  Truncated or non-zip files raise the same typed error.
-Checkpoints written before the checksum existed load unchanged (no
+Checkpoints written before a checksum existed load unchanged (no
 checksum recorded, none verified).
 """
 
@@ -41,6 +44,10 @@ _META_PREFIX = "__meta__."
 
 #: Metadata key holding the parameter-content checksum.
 _CHECKSUM_KEY = "content_sha256"
+
+#: Metadata key holding the checksum over the metadata record itself
+#: (every other ``__meta__.`` entry, including ``content_sha256``).
+_META_CHECKSUM_KEY = "meta_sha256"
 
 
 class CheckpointError(RuntimeError):
@@ -87,9 +94,11 @@ def save_model(
 
     ``meta`` entries (ints, floats, strings, or arrays) are stored under
     ``__meta__.`` keys and recovered with :func:`load_meta`.  A
-    ``content_sha256`` checksum over the parameter arrays is always
-    added to the metadata record.  Returns the path actually written
-    (the input with ``.npz`` appended if missing).
+    ``content_sha256`` checksum over the parameter arrays and a
+    ``meta_sha256`` over the metadata record (architecture knobs,
+    decision threshold — everything the registry rebuilds a model from)
+    are always added.  Returns the path actually written (the input
+    with ``.npz`` appended if missing).
     """
     path = checkpoint_path(path)
     state = model.state_dict()
@@ -99,6 +108,14 @@ def save_model(
         for key, value in meta.items():
             state[_META_PREFIX + key] = np.asarray(value)
     state[_META_PREFIX + _CHECKSUM_KEY] = np.asarray(checksum)
+    meta_state = {
+        key: value
+        for key, value in state.items()
+        if key.startswith(_META_PREFIX)
+    }
+    state[_META_PREFIX + _META_CHECKSUM_KEY] = np.asarray(
+        state_checksum(meta_state)
+    )
     np.savez(path, **state)
     return path
 
@@ -123,15 +140,48 @@ def _read_archive(path: Path) -> dict[str, np.ndarray]:
         ) from exc
 
 
+def _recorded_digest(arrays: dict[str, np.ndarray], key: str) -> str | None:
+    """The hex digest stored under a ``__meta__.`` key, or None."""
+    recorded = arrays.get(_META_PREFIX + key)
+    if recorded is None:
+        return None
+    return str(recorded.item() if recorded.ndim == 0 else recorded)
+
+
+def _verify_meta(path: Path, arrays: dict[str, np.ndarray]) -> None:
+    """Check ``meta_sha256`` over the metadata record, when recorded.
+
+    The registry rebuilds architecture and decision threshold from the
+    metadata, so a flipped ``__meta__.`` entry is exactly as dangerous
+    as a flipped weight — it gets the same loud :class:`CheckpointError`.
+    """
+    expected = _recorded_digest(arrays, _META_CHECKSUM_KEY)
+    if expected is None:
+        return  # pre-meta-checksum checkpoint: nothing to verify
+    meta_state = {
+        key: value
+        for key, value in arrays.items()
+        if key.startswith(_META_PREFIX)
+        and key != _META_PREFIX + _META_CHECKSUM_KEY
+    }
+    actual = state_checksum(meta_state)
+    if actual != expected:
+        raise CheckpointError(
+            f"checkpoint {path} failed its metadata checksum "
+            f"(recorded {expected[:12]}…, computed {actual[:12]}…); "
+            "the metadata record is corrupt or was modified after writing"
+        )
+
+
 def load_model(model: Module, path: str | os.PathLike) -> Module:
     """Load a checkpoint written by :func:`save_model` into ``model``.
 
     The model must already have the matching architecture; shapes are
     validated by :meth:`Module.load_state_dict`.  When the checkpoint
-    records a ``content_sha256``, the parameter arrays are re-hashed and
-    a mismatch raises :class:`CheckpointError` before any state is
-    applied.  Metadata entries are ignored here — use :func:`load_meta`
-    to read them.
+    records a ``content_sha256`` / ``meta_sha256``, the parameter arrays
+    and the metadata record are re-hashed and a mismatch raises
+    :class:`CheckpointError` before any state is applied.  Metadata
+    entries are ignored here — use :func:`load_meta` to read them.
     """
     path = checkpoint_path(path)
     arrays = _read_archive(path)
@@ -140,9 +190,8 @@ def load_model(model: Module, path: str | os.PathLike) -> Module:
         for key, value in arrays.items()
         if not key.startswith(_META_PREFIX)
     }
-    recorded = arrays.get(_META_PREFIX + _CHECKSUM_KEY)
-    if recorded is not None:
-        expected = str(recorded.item() if recorded.ndim == 0 else recorded)
+    expected = _recorded_digest(arrays, _CHECKSUM_KEY)
+    if expected is not None:
         actual = state_checksum(state)
         if actual != expected:
             raise CheckpointError(
@@ -150,6 +199,7 @@ def load_model(model: Module, path: str | os.PathLike) -> Module:
                 f"(recorded {expected[:12]}…, computed {actual[:12]}…); "
                 "the file is corrupt or was modified after writing"
             )
+    _verify_meta(path, arrays)
     model.load_state_dict(state)
     return model
 
@@ -158,14 +208,19 @@ def load_meta(path: str | os.PathLike) -> dict[str, object]:
     """Read the metadata record of a checkpoint (empty dict if none).
 
     Scalar entries come back as plain Python values (``int``, ``float``,
-    ``str``); array entries stay arrays.
+    ``str``); array entries stay arrays.  When the checkpoint records a
+    ``meta_sha256``, the record is re-hashed first and a mismatch raises
+    :class:`CheckpointError` — consumers (the serving registry) rebuild
+    architectures and decision thresholds from these entries.
     """
+    path = checkpoint_path(path)
+    arrays = _read_archive(path)
+    _verify_meta(path, arrays)
     meta: dict[str, object] = {}
-    arrays = _read_archive(checkpoint_path(path))
     for key, value in arrays.items():
         if key.startswith(_META_PREFIX):
             name = key[len(_META_PREFIX):]
-            if name == _CHECKSUM_KEY:
-                continue  # integrity record, not user metadata
+            if name in (_CHECKSUM_KEY, _META_CHECKSUM_KEY):
+                continue  # integrity records, not user metadata
             meta[name] = value.item() if value.ndim == 0 else value
     return meta

@@ -52,6 +52,11 @@ __all__ = ["MicroBatcher"]
 
 _SHUTDOWN = object()
 
+#: How long (seconds) a blocked ``submit()`` waits between admission
+#: attempts.  The lock is never held while waiting, so the slice bounds
+#: only the latency of noticing a freed slot / a concurrent ``close()``.
+_ADMISSION_SLICE_S = 0.01
+
 
 class _Item:
     """One queued request: input, future, and optional deadline."""
@@ -179,42 +184,60 @@ class MicroBatcher:
         future: Future = Future()
         deadline = None if timeout is None else time.monotonic() + timeout
         item = _Item(x, future, deadline)
-        with self._lock:
-            if self._closed:
-                raise RuntimeError("submit() on a closed MicroBatcher")
-            try:
-                if self.overflow == "shed":
+        # The lock only ever guards non-blocking work (closed check +
+        # put_nowait) so a full queue under a wedged consumer can never
+        # wedge *other* submitters or close() on the lock.  Under the
+        # "block" policy the wait happens outside the lock, in short
+        # slices that re-check both the closed flag and the deadline.
+        while True:
+            with self._lock:
+                if self._closed:
+                    raise RuntimeError("submit() on a closed MicroBatcher")
+                try:
                     self._queue.put_nowait(item)
-                else:
-                    self._queue.put(item, timeout=timeout)
-            except queue.Full:
-                if self.overflow == "shed":
-                    if self.metrics is not None:
-                        self.metrics.record_shed()
-                    raise ServiceOverloaded(
-                        f"admission queue full ({self.queue_depth} deep); "
-                        "request shed"
-                    ) from None
+                    return future
+                except queue.Full:
+                    pass
+            if self.overflow == "shed":
+                if self.metrics is not None:
+                    self.metrics.record_shed()
+                raise ServiceOverloaded(
+                    f"admission queue full ({self.queue_depth} deep); "
+                    "request shed"
+                )
+            remaining = (
+                None if deadline is None else deadline - time.monotonic()
+            )
+            if remaining is not None and remaining <= 0:
                 if self.metrics is not None:
                     self.metrics.record_timeout()
                 raise DeadlineExceeded(
                     f"request not admitted within {timeout}s "
                     f"(queue full at depth {self.queue_depth})",
                     timeout_s=timeout, stage="admission",
-                ) from None
-        return future
+                )
+            time.sleep(
+                _ADMISSION_SLICE_S if remaining is None
+                else min(_ADMISSION_SLICE_S, remaining)
+            )
 
     def infer(self, x: np.ndarray, timeout: float | None = None) -> np.ndarray:
         """Synchronous convenience: submit one sample and wait.
 
-        With a ``timeout`` the wait is bounded: a request that has not
-        resolved in time is cancelled (if still queued) and
+        ``timeout`` is one deadline over the whole call — admission and
+        result wait combined, never 2x.  A request that has not resolved
+        in time is cancelled (if still queued) and
         :class:`DeadlineExceeded` raised — the caller never hangs on a
         wedged engine.
         """
+        deadline = None if timeout is None else time.monotonic() + timeout
         future = self.submit(x, timeout=timeout)
+        remaining = (
+            None if deadline is None
+            else max(0.0, deadline - time.monotonic())
+        )
         try:
-            return future.result(timeout=timeout)
+            return future.result(timeout=remaining)
         except FutureTimeoutError:
             future.cancel()
             if self.metrics is not None:
@@ -234,16 +257,23 @@ class MicroBatcher:
         shutdown sentinel (and is drained) or raises cleanly.
         """
         with self._lock:
-            first = not self._closed
             self._closed = True
-        if first:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        if self._thread.is_alive():
             try:
                 # bounded put: a full queue with a wedged consumer would
-                # otherwise hang close() itself
+                # otherwise hang close() itself.  Re-attempted on every
+                # close() so a retry after a transient backlog can still
+                # deliver the sentinel (extra sentinels are harmless —
+                # the drain loop skips them).
                 self._queue.put(_SHUTDOWN, timeout=timeout)
             except queue.Full:
                 pass  # consumer wedged; the join below reports it
-        self._thread.join(timeout=timeout)
+        remaining = (
+            None if deadline is None
+            else max(0.0, deadline - time.monotonic())
+        )
+        self._thread.join(timeout=remaining)
         if self._thread.is_alive():
             raise RuntimeError(
                 f"MicroBatcher consumer thread failed to stop within "

@@ -212,9 +212,32 @@ class WorkerPool:
         for future in futures:
             future.cancel()
 
-    def close(self) -> None:
-        """Shut the pool down, waiting for in-flight shards."""
-        self._executor.shutdown(wait=True)
+    def close(self, timeout: float | None = 10.0) -> None:
+        """Shut the pool down, waiting at most ``timeout`` seconds.
+
+        Queued-but-unstarted shards are cancelled; in-flight shards get
+        ``timeout`` to finish.  A worker still alive past the deadline —
+        an abandoned shard wedged in an engine call (threads are never
+        killed) — raises ``RuntimeError`` so the leak is visible instead
+        of blocking shutdown forever.  ``timeout=None`` restores the
+        unbounded ``shutdown(wait=True)`` wait.
+        """
+        if timeout is None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            return
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        deadline = time.monotonic() + timeout
+        threads = list(getattr(self._executor, "_threads", ()))
+        for thread in threads:
+            remaining = deadline - time.monotonic()
+            if remaining > 0:
+                thread.join(timeout=remaining)
+        wedged = [t.name for t in threads if t.is_alive()]
+        if wedged:
+            raise RuntimeError(
+                f"WorkerPool failed to stop within {timeout}s; wedged "
+                f"worker thread(s) leaked: {', '.join(wedged)}"
+            )
 
     def __enter__(self) -> "WorkerPool":
         return self

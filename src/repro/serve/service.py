@@ -563,13 +563,15 @@ class HotspotService:
         }
         return snapshot
 
-    def close(self) -> None:
+    def close(self, timeout: float | None = 10.0) -> None:
         """Stop batcher threads and the scan worker pool.
 
         Every batcher and the pool are closed even when one of them is
-        wedged; the first wedged-batcher error is re-raised at the end
-        so the leak is visible without leaving the rest of the service
-        running.
+        wedged: each gets at most ``timeout`` seconds, the pool shuts
+        down with a bounded wait (a shard abandoned by a past
+        ``DeadlineExceeded`` scan cannot block shutdown forever), and
+        the first wedged-component error is re-raised at the end so the
+        leak is visible without leaving the rest of the service running.
         """
         if self._closed:
             return
@@ -577,11 +579,14 @@ class HotspotService:
         wedged: Exception | None = None
         for _engine, batcher in self._batchers.values():
             try:
-                batcher.close()
+                batcher.close(timeout=timeout)
             except RuntimeError as exc:
                 wedged = wedged or exc
         self._batchers.clear()
-        self.pool.close()
+        try:
+            self.pool.close(timeout=timeout)
+        except RuntimeError as exc:
+            wedged = wedged or exc
         if wedged is not None:
             raise wedged
 

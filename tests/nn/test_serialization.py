@@ -1,9 +1,11 @@
 """Tests for model checkpointing."""
 
 import numpy as np
+import pytest
 
 from repro.nn import (
     BatchNorm2D,
+    CheckpointError,
     Conv2D,
     Dense,
     Flatten,
@@ -100,3 +102,18 @@ class TestMeta:
     def test_no_meta_gives_empty_dict(self, rng, tmp_path):
         path = save_model(build(rng), tmp_path / "m")
         assert load_meta(path) == {}
+
+    def test_tampered_meta_refused(self, rng, tmp_path):
+        """Meta entries drive model reconstruction (architecture knobs,
+        decision threshold), so they carry their own checksum: a re-zipped
+        edit to a ``__meta__`` entry fails both loaders loudly."""
+        path = save_model(build(rng), tmp_path / "m",
+                          meta={"image_size": 32, "decision_bias": 0.25})
+        with np.load(path) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        arrays["__meta__.decision_bias"] = np.asarray(-0.25)  # stale digests
+        np.savez(path, **arrays)
+        with pytest.raises(CheckpointError, match="metadata checksum"):
+            load_meta(path)
+        with pytest.raises(CheckpointError, match="metadata checksum"):
+            load_model(build(rng), path)

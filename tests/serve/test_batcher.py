@@ -235,6 +235,81 @@ class TestMicroBatcher:
         release.set()
         batcher.close(timeout=5.0)  # drains cleanly once unwedged
 
+    def test_blocked_submit_never_wedges_other_submitters_or_close(self):
+        """A full queue under a wedged consumer stalls only the blocked
+        submitter.  The batcher lock is never held while waiting for a
+        slot, so concurrent submits keep their own deadlines and
+        ``close()`` still runs and reports the wedge (regression:
+        ``submit()`` used to hold the lock across a blocking queue put,
+        deadlocking every other submitter and ``close()`` itself).
+        """
+        release = threading.Event()
+
+        def hung(x):
+            release.wait(30)
+            return x
+
+        batcher = MicroBatcher(hung, max_batch=1, max_wait_ms=0.0,
+                               queue_depth=1, overflow="block")
+        outcome: dict = {}
+        try:
+            batcher.submit(np.ones((1, 2, 2)))  # consumer takes it, wedges
+            time.sleep(0.05)
+            batcher.submit(np.ones((1, 2, 2)))  # fills the depth-1 queue
+
+            def blocked_forever():
+                try:
+                    batcher.submit(np.ones((1, 2, 2)))  # no deadline
+                except RuntimeError as exc:
+                    outcome["error"] = exc
+
+            thread = threading.Thread(target=blocked_forever)
+            thread.start()
+            time.sleep(0.05)
+            # another submitter's own deadline still fires on time
+            started = time.perf_counter()
+            with pytest.raises(DeadlineExceeded):
+                batcher.submit(np.ones((1, 2, 2)), timeout=0.1)
+            assert time.perf_counter() - started < 2.0
+            # and close() is not blocked out of the lock: it flips the
+            # closed flag and reports the wedged consumer promptly
+            started = time.perf_counter()
+            with pytest.raises(RuntimeError, match="failed to stop"):
+                batcher.close(timeout=0.2)
+            assert time.perf_counter() - started < 2.0
+            # the deadline-less blocked submitter loses the race cleanly
+            thread.join(timeout=5.0)
+            assert not thread.is_alive()
+            assert isinstance(outcome.get("error"), RuntimeError)
+        finally:
+            release.set()
+            batcher.close(timeout=10.0)  # drains cleanly once unwedged
+
+    def test_infer_deadline_covers_admission_and_wait_once(self):
+        """``infer(timeout=t)`` is one budget end to end: time spent
+        blocked on admission is subtracted from the result wait
+        (regression: the two stages each got the full ``t``, so the
+        documented bound was ~2x in the worst case)."""
+
+        def slow(x):
+            time.sleep(0.6)
+            return x
+
+        batcher = MicroBatcher(slow, max_batch=1, max_wait_ms=0.0,
+                               queue_depth=1, overflow="block")
+        try:
+            batcher.submit(np.ones((1, 2, 2)))  # consumer busy ~0.6s
+            time.sleep(0.05)
+            batcher.submit(np.ones((1, 2, 2)))  # queue full: admission blocks
+            started = time.perf_counter()
+            with pytest.raises(DeadlineExceeded):
+                batcher.infer(np.ones((1, 2, 2)), timeout=0.9)
+            # admission ate ~0.6s of the 0.9s budget; the old code then
+            # waited a further full 0.9s on the future (~1.5s total)
+            assert time.perf_counter() - started < 1.2
+        finally:
+            batcher.close(timeout=10.0)
+
     def test_deterministic_under_concurrent_submission(self):
         """Same request set -> same outputs, however batches coalesce.
 

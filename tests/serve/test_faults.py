@@ -254,6 +254,23 @@ class TestScanUnderFaults:
         for start, stop in report.failed_ranges:
             assert stop > start
 
+    def test_shutdown_bounded_after_timed_out_scan(self, model):
+        """A ``DeadlineExceeded`` scan abandons its wedged shard threads
+        by design (threads cannot be killed); ``close()`` must then
+        still finish within its own timeout — raising on the leak — not
+        wait on the abandoned work forever."""
+        layout = make_layout(size=512, seed=8, n=10)
+        request = ScanRequest(layout, window=128, stride=128)
+        faults = FaultInjector(seed=0)
+        faults.add_latency("engine", latency_ms=3000.0)
+        svc = HotspotService.from_model(model, 16, workers=2, faults=faults)
+        report = svc.scan(request, timeout=0.2)
+        assert report.degraded
+        started = time.perf_counter()
+        with pytest.raises(RuntimeError, match="failed to stop"):
+            svc.close(timeout=0.3)
+        assert time.perf_counter() - started < 2.0
+
     def test_corrupted_engine_output_stays_contained(self, model):
         """Score corruption flips predictions but never breaks the sweep:
         the report is structurally sound and non-degraded."""
@@ -300,6 +317,23 @@ class TestCorruptCheckpoints:
         fresh = build_bnn_resnet((4, 8), scaling="xnor", seed=1)
         with pytest.raises(CheckpointError, match="checksum"):
             load_model(fresh, path)
+
+    def test_tampered_meta_threshold_refused(self, model, tmp_path):
+        """The registry rebuilds architecture and decision threshold
+        from the meta record, so meta is covered by its own checksum: a
+        valid-zip flip of the decision threshold is refused, not served.
+        """
+        path = save_model(model, tmp_path / "ckpt",
+                          meta={"image_size": 16, "decision_bias": 0.5})
+        with np.load(path) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        tampered = dict(arrays)
+        tampered["__meta__.decision_bias"] = np.asarray(-0.5)  # stale digest
+        np.savez(path, **tampered)
+        registry = ModelRegistry()
+        with pytest.raises(CheckpointError, match="metadata checksum"):
+            registry.load_checkpoint("m", path)
+        assert len(registry) == 0  # nothing half-registered
 
     def test_service_keeps_serving_old_model_after_bad_rollout(
         self, model, tmp_path

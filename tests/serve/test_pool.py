@@ -211,3 +211,31 @@ class TestMapShardsTolerant:
 
     def test_empty_items(self, pool):
         assert pool.map_shards_tolerant(lambda s: list(s), []) == []
+
+
+class TestClose:
+    def test_close_bounded_when_worker_wedged(self):
+        """A shard abandoned by a timed-out map cannot block ``close()``
+        forever: the leak surfaces as ``RuntimeError`` within the close
+        timeout (regression: ``close()`` used ``shutdown(wait=True)``
+        and hung on the wedged thread, so a service that survived a
+        ``DeadlineExceeded`` scan could never shut down)."""
+        release = threading.Event()
+
+        def wedge(shard):
+            release.wait(30)
+            return list(shard)
+
+        pool = WorkerPool(workers=1)
+        try:
+            outcomes = pool.map_shards_tolerant(
+                wedge, list(range(4)), timeout=0.1
+            )
+            assert [o.ok for o in outcomes] == [False]
+            started = time.perf_counter()
+            with pytest.raises(RuntimeError, match="failed to stop"):
+                pool.close(timeout=0.2)
+            assert time.perf_counter() - started < 2.0
+        finally:
+            release.set()
+            pool.close(timeout=10.0)  # joins cleanly once unwedged
