@@ -1,15 +1,27 @@
-"""Packed inference engine: compile a trained BNN to popcount kernels.
+"""Inference engines: lowered IR programs behind stable engine classes.
 
-:class:`PackedBNN` walks a trained model and replaces every
-:class:`~repro.binary.binary_conv.BinaryConv2D` with a bit-packed
-XNOR/popcount kernel (weights are packed once at compile time), every
-batch-norm with a frozen per-channel affine transform, and keeps the
-small float layers (pooling, dense head) as-is.  The compiled engine is
-numerically identical to ``model.forward(training=False)`` — verified by
-the test suite — while running the convolution cores on 64-bit words.
+Every engine here is a thin shell over the :mod:`repro.engine` stack —
+a trained model is lowered **once** to the typed op-graph IR
+(:func:`repro.engine.lower.lower`), compiled by a named backend from
+the registry, and executed with per-op timing hooks:
 
-This mirrors the deployment story of the paper: training simulates
-binarization in float, inference runs on binary arithmetic.
+* :class:`PackedBNN` — the ``"packed"`` backend: bit-packed
+  XNOR/popcount kernels, the paper's deployment story (training
+  simulates binarization in float, inference runs on binary
+  arithmetic).
+* :class:`FloatEngine` — the ``"float"`` backend: deployment float
+  MACs over sign values, bit-identical to packed (exact integer dots);
+  falls back to a live view of ``model.forward(training=False)`` when
+  the model contains layers the IR cannot represent.
+* :class:`ProgramEngine` — the generic base usable with any registered
+  backend name (:func:`engine_for_backend`).
+* :class:`PlaneScanPlan` — the plane-compiled sliding-window scan,
+  built on the stem the IR finder exposes
+  (:func:`repro.engine.lower.find_plane_stem`).
+
+Compiled engines are numerically identical to
+``model.forward(training=False)`` — verified by the test suite — and
+bit-identical to *each other* (verified by ``repro.engine.parity``).
 """
 
 from __future__ import annotations
@@ -18,224 +30,66 @@ from typing import Callable
 
 import numpy as np
 
+from ..engine.backends import get_backend
+from ..engine.executor import Executor, OpTimings
+from ..engine.ir import Program
+from ..engine.lower import LoweringError, find_plane_stem, lower
 from ..nn import functional as F
-from ..nn.layers.activations import HardTanh, ReLU, SignSTE, sign
-from ..nn.layers.batchnorm import BatchNorm2D
-from ..nn.layers.container import Sequential
-from ..nn.layers.conv import Conv2D
-from ..nn.layers.dense import Dense
-from ..nn.layers.dropout import Dropout
-from ..nn.layers.pooling import AvgPool2D, GlobalAvgPool2D, MaxPool2D
-from ..nn.layers.residual import ResidualBlock
-from ..nn.layers.shape import Flatten
 from ..nn.module import Module
 from . import bitpack, quantize
-from .binary_conv import BinaryConv2D
-from .binary_dense import BinaryDense
-from .block import BNNConvBlock
 
-__all__ = ["PackedBNN", "PlaneScanPlan", "FloatEngine"]
+__all__ = [
+    "PackedBNN",
+    "PlaneScanPlan",
+    "FloatEngine",
+    "ProgramEngine",
+    "engine_for_backend",
+]
 
 _Fn = Callable[[np.ndarray], np.ndarray]
 
-# Layer types that act element-wise (per pixel, per channel): applying
-# them to a full plane and then slicing a window is bit-identical to
-# slicing first.  The plane scan engine runs any such prefix directly
-# on the plane.
-_POINTWISE_LAYERS = (BatchNorm2D, ReLU, HardTanh, SignSTE, Dropout)
 
+def _stem_plane_spec(
+    program: Program, executor: Executor, timings: OpTimings
+) -> dict | None:
+    """Describe the program prefix the plane scan engine can amortize.
 
-def _compile_batchnorm(layer: BatchNorm2D) -> _Fn:
-    """Freeze running statistics into one per-channel affine transform."""
-    scale = layer.gamma.data / np.sqrt(layer.running_var + layer.eps)
-    shift = layer.beta.data - layer.running_mean * scale
+    Uses :func:`~repro.engine.lower.find_plane_stem` to locate the stem
+    convolution — an optional run of element-wise nodes, then a
+    single-input-channel binary convolution with ordinary geometry.
+    Returns ``None`` (plan falls back to whole-window slicing) when no
+    such stem exists.
 
-    def run(x: np.ndarray) -> np.ndarray:
-        """Execute the compiled layer on a batch."""
-        shape = [1] * x.ndim
-        shape[1] = scale.size
-        out = x * scale.reshape(shape)
-        out += shift.reshape(shape)  # in-place: one fewer full-size temp
-        return out
-
-    return run
-
-
-def _compile_binary_conv(layer: BinaryConv2D) -> _Fn:
-    """Pack the binarized filters once; run popcount kernels at call time."""
-    weight = layer.weight.data
-    c_out = layer.out_channels
-    k = layer.kernel_size
-    stride, padding = layer.stride, layer.padding
-    w_binary, alpha_w = quantize.binarize_weights(weight)
-    mode = layer.scaling
-
-    if mode == "channelwise":
-        w_packed = bitpack.pack_signs(w_binary.reshape(c_out, weight.shape[1], k * k))
-
-        def run(x: np.ndarray) -> np.ndarray:
-            """Execute the compiled layer on a batch."""
-            alpha_cols = quantize.input_scale_channelwise(x, k, k, stride, padding)
-            out = bitpack.binary_conv2d_packed_channelwise(
-                sign(x), w_packed, alpha_cols, c_out, k, stride, padding
-            )
-            return out * alpha_w[None, :, None, None]
-
-        return run
-
-    w_packed = bitpack.pack_filters(w_binary)
-    c_in = weight.shape[1]
-
-    def run(x: np.ndarray) -> np.ndarray:
-        # binary_conv2d_packed binarizes by sign bit internally
-        """Execute the compiled layer on a batch."""
-        dots = bitpack.binary_conv2d_packed(
-            x, w_packed, c_out, k, stride, padding, in_channels=c_in
-        )
-        out = dots * alpha_w[None, :, None, None]
-        if mode == "xnor":
-            n, _, oh, ow = out.shape
-            alpha_map = quantize.input_scale_xnor(x, k, k, stride, padding)
-            out *= alpha_map.reshape(n, 1, oh, ow)  # in-place, bit-equal
-        return out
-
-    return run
-
-
-def _compile_binary_dense(layer: BinaryDense) -> _Fn:
-    """Packed dense layer: one popcount dot per output unit."""
-    w = layer.weight.data
-    n_in = w.shape[0]
-    alpha_w = np.abs(w).mean(axis=0)
-    w_packed = bitpack.pack_signs(sign(w).T)  # (out, words)
-    scaling = layer.scaling
-
-    def run(x: np.ndarray) -> np.ndarray:
-        """Execute the compiled layer on a batch."""
-        x_packed = bitpack.pack_signs(sign(x))
-        dots = bitpack.packed_matmul(x_packed, w_packed, n_in).astype(np.float64)
-        out = dots * alpha_w
-        if scaling:
-            out = out * np.abs(x).mean(axis=1, keepdims=True)
-        return out
-
-    return run
-
-
-def _compile(module: Module) -> _Fn:
-    """Recursively compile a module tree into a plain callable."""
-    if isinstance(module, Sequential):
-        fns = [_compile(layer) for layer in module.layers]
-
-        def run_seq(x: np.ndarray) -> np.ndarray:
-            """Execute the compiled layers in order."""
-            for fn in fns:
-                x = fn(x)
-            return x
-
-        return run_seq
-    if isinstance(module, ResidualBlock):
-        main = _compile(module.main)
-        shortcut = _compile(module.shortcut) if module.shortcut is not None else None
-
-        def run_res(x: np.ndarray) -> np.ndarray:
-            """Execute the compiled residual block (main + shortcut)."""
-            out = main(x)
-            return out + (x if shortcut is None else shortcut(x))
-
-        return run_res
-    if isinstance(module, BNNConvBlock):
-        bn = _compile_batchnorm(module.bn)
-        conv = _compile_binary_conv(module.conv)
-        return lambda x: conv(bn(x))
-    if isinstance(module, BinaryConv2D):
-        return _compile_binary_conv(module)
-    if isinstance(module, BinaryDense):
-        return _compile_binary_dense(module)
-    if isinstance(module, BatchNorm2D):
-        return _compile_batchnorm(module)
-    if isinstance(module, Conv2D):
-        weight = module.weight.data.copy()
-        bias = module.bias.data.copy() if module.bias is not None else None
-        stride, padding = module.stride, module.padding
-        return lambda x: F.conv2d_forward(x, weight, bias, stride, padding)[0]
-    if isinstance(module, Dense):
-        weight = module.weight.data.copy()
-        bias = module.bias.data.copy() if module.bias is not None else None
-        # einsum (unoptimized) accumulates each output element in a fixed
-        # per-row loop order, unlike `x @ weight` where BLAS picks
-        # different kernels (gemv vs gemm) by batch size — keeping the
-        # engine's outputs bit-identical however requests are batched.
-        if bias is None:
-            return lambda x: np.einsum("nk,kc->nc", x, weight)
-        return lambda x: np.einsum("nk,kc->nc", x, weight) + bias
-    if isinstance(module, MaxPool2D):
-        return lambda x: F.maxpool2d_forward(x, module.kernel_size, module.stride)[0]
-    if isinstance(module, AvgPool2D):
-        return lambda x: F.avgpool2d_forward(x, module.kernel_size, module.stride)
-    if isinstance(module, GlobalAvgPool2D):
-        return lambda x: x.mean(axis=(2, 3))
-    if isinstance(module, Flatten):
-        return lambda x: x.reshape(x.shape[0], -1)
-    if isinstance(module, ReLU):
-        return lambda x: np.maximum(x, 0.0)
-    if isinstance(module, HardTanh):
-        return lambda x: np.clip(x, -1.0, 1.0)
-    if isinstance(module, SignSTE):
-        return sign
-    if isinstance(module, Dropout):
-        return lambda x: x  # identity at inference
-    raise TypeError(f"PackedBNN cannot compile layer type {type(module).__name__}")
-
-
-def _stem_plane_spec(layers: list[Module], layer_fns: list[_Fn]) -> dict | None:
-    """Describe the network prefix the plane scan engine can amortize.
-
-    Walks the top-level layers of a :class:`Sequential` model: an
-    optional run of element-wise layers, then the stem convolution (a
-    bare :class:`BinaryConv2D` or a :class:`BNNConvBlock`, whose
-    batch-norm is element-wise and joins the prefix).  Returns ``None``
-    — meaning :class:`PlaneScanPlan` falls back to whole-window slicing
-    — when the stem is anything else, takes more than one input channel
-    (layout planes are single-channel) or uses an exotic
-    ``padding >= kernel_size`` geometry.
+    ``pre`` holds the *out-of-place* kernel functions of the prefix
+    (the cached plane must never be mutated); ``rest`` wraps the
+    remaining kernels in a sub-executor that owns its input (the plan
+    hands it freshly assembled stem outputs), sharing the engine's
+    timing table so plane scans show up in the per-op breakdown.
     """
-    pre: list[_Fn] = []
-    idx = 0
-    while idx < len(layers) and isinstance(layers[idx], _POINTWISE_LAYERS):
-        pre.append(layer_fns[idx])
-        idx += 1
-    if idx >= len(layers):
+    index = find_plane_stem(program)
+    if index is None:
         return None
-    stem = layers[idx]
-    if isinstance(stem, BNNConvBlock):
-        conv = stem.conv
-        pre = pre + [_compile_batchnorm(stem.bn)]
-    elif isinstance(stem, BinaryConv2D):
-        conv = stem
-    else:
-        return None
-    if conv.in_channels != 1 or conv.padding >= conv.kernel_size:
-        return None
-    w_binary, alpha_w = quantize.binarize_weights(conv.weight.data)
+    node = program[index]
+    w_binary, alpha_w = quantize.binarize_weights(node.weight)
+    rest_exec = Executor(executor.kernels[index + 1:], timings)
     return {
-        "pre": pre,
-        "rest": layer_fns[idx + 1 :],
+        "pre": [kernel.fn for kernel in executor.kernels[:index]],
+        "rest": [lambda out: rest_exec.run(out, owned=True)],
         "w_packed": bitpack.pack_filters(w_binary),
         "alpha_w": alpha_w,
-        "k": conv.kernel_size,
-        "stride": conv.stride,
-        "padding": conv.padding,
-        "c_out": conv.out_channels,
-        "scaling": conv.scaling,
+        "k": node.kernel_size,
+        "stride": node.stride,
+        "padding": node.padding,
+        "c_out": node.out_channels,
+        "scaling": node.scaling,
     }
 
 
 class PlaneScanPlan:
     """A compiled sliding-window scan over one rasterized plane.
 
-    Built by :meth:`PackedBNN.plan_scan`.  The plan pre-computes, once
-    per plane, everything the stem convolution shares between
+    Built by :meth:`ProgramEngine.plan_scan`.  The plan pre-computes,
+    once per plane, everything the stem convolution shares between
     overlapping windows:
 
     * the element-wise prefix (batch-norm of the stem block) applied to
@@ -483,33 +337,32 @@ class PlaneScanPlan:
         return np.concatenate(outputs, axis=0)
 
 
-class PackedBNN:
-    """A trained model compiled to bit-packed inference kernels.
+class ProgramEngine:
+    """A trained model lowered to IR and compiled by a named backend.
 
-    Parameters
-    ----------
-    model:
-        A trained module tree built from the layer types of
-        :mod:`repro.nn` and :mod:`repro.binary`.  Weights are snapshot
-        at construction; later training of ``model`` does not affect the
-        compiled engine.
+    Construction snapshots the model: :func:`~repro.engine.lower.lower`
+    copies weights and batch-norm statistics into the IR, the backend
+    packs/binarizes them once, and later training of ``model`` does not
+    affect the compiled engine.
+
+    Per-op wall-clock timings accumulate in :attr:`op_times` across
+    every ``forward`` / ``predict_logits`` / plane-scan call (the table
+    is thread-safe; serving drives engines from multiple threads); read
+    them with :meth:`op_timings` and clear with
+    :meth:`reset_op_timings`.
     """
 
-    def __init__(self, model: Module):
-        if isinstance(model, Sequential):
-            layer_fns = [_compile(layer) for layer in model.layers]
-
-            def run_seq(x: np.ndarray) -> np.ndarray:
-                """Execute the compiled layers in order."""
-                for fn in layer_fns:
-                    x = fn(x)
-                return x
-
-            self._fn: _Fn = run_seq
-            self._stem_spec = _stem_plane_spec(list(model.layers), layer_fns)
-        else:
-            self._fn = _compile(model)
-            self._stem_spec = None
+    def __init__(self, model: Module, backend: str):
+        self.program: Program | None = lower(model)
+        self.backend_name = backend
+        self.op_times = OpTimings()
+        self._executor: Executor | None = get_backend(backend).compile(
+            self.program, self.op_times
+        )
+        self._fn: _Fn = self._executor
+        self._stem_spec = _stem_plane_spec(
+            self.program, self._executor, self.op_times
+        )
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         """Run the compiled network on a batch."""
@@ -545,32 +398,82 @@ class PackedBNN:
             batch_size=batch_size
         )
 
+    def op_timings(self) -> list[dict[str, object]]:
+        """Cumulative per-op timing rows (program order) since the last
+        :meth:`reset_op_timings`."""
+        return self.op_times.snapshot()
 
-class FloatEngine:
-    """Float-simulation inference with the :class:`PackedBNN` interface.
+    def reset_op_timings(self) -> None:
+        """Zero the per-op timing table."""
+        self.op_times.reset()
 
-    Wraps ``model.forward(training=False)`` so callers that only need
-    ``forward`` / ``predict_logits`` — the serving layer's model
-    registry in particular — can fall back to the float model when a
-    network contains layers the packed compiler does not support, or
-    when the float path is explicitly requested for comparison runs.
-    Unlike :class:`PackedBNN` this is a live view of ``model``, not a
-    weight snapshot.
+
+class PackedBNN(ProgramEngine):
+    """A trained model compiled to bit-packed inference kernels.
+
+    The ``"packed"`` backend: every binary convolution runs as
+    XNOR/popcount on 64-bit words (with the table16 fast path for
+    single-word stems), batch-norms are frozen per-channel affines, and
+    the small float layers (pooling, dense head) run as-is.
+
+    Parameters
+    ----------
+    model:
+        A trained module tree built from the layer types of
+        :mod:`repro.nn` and :mod:`repro.binary`.  Weights are snapshot
+        at construction; later training of ``model`` does not affect the
+        compiled engine.
+    """
+
+    def __init__(self, model: Module):
+        super().__init__(model, "packed")
+
+
+class FloatEngine(ProgramEngine):
+    """Float-arithmetic inference with the :class:`PackedBNN` interface.
+
+    Compiles the model through the ``"float"`` backend — deployment
+    float MACs over sign values, **bit-identical** to the packed
+    backend (see ``repro.engine.parity``) — so comparison runs exercise
+    the same lowered program on a different arithmetic substrate.
+
+    When the model contains layers the IR cannot represent, this engine
+    degrades to its historical behavior: a *live* (non-snapshot) view
+    of ``model.forward(training=False)``, which by definition runs any
+    layer the model itself can.  The serving registry reports that
+    condition as a fallback reason.
     """
 
     def __init__(self, model: Module):
         self._model = model
+        try:
+            super().__init__(model, "float")
+            self._live = False
+        except LoweringError:
+            self._live = True
+            self.program = None
+            self.backend_name = "float"
+            self.op_times = OpTimings()
+            self._executor = None
+            self._stem_spec = None
+            self._fn = lambda x: self._model.forward(x, training=False)
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
-        """Run the float model on a batch (inference mode)."""
-        return self._model.forward(x, training=False)
+    @property
+    def is_live(self) -> bool:
+        """Whether this engine is a live model view (no compiled IR)."""
+        return self._live
 
-    __call__ = forward
 
-    def predict_logits(self, images: np.ndarray, batch_size: int = 256) -> np.ndarray:
-        """Batched inference over a full array of images."""
-        outputs = [
-            self.forward(images[start : start + batch_size])
-            for start in range(0, images.shape[0], batch_size)
-        ]
-        return np.concatenate(outputs, axis=0)
+def engine_for_backend(model: Module, backend: str) -> ProgramEngine:
+    """Build the engine class serving a named backend.
+
+    ``"packed"`` and ``"float"`` map to their dedicated classes (which
+    the serving layer type-checks and documents); any other registered
+    backend gets a generic :class:`ProgramEngine`.  Unknown names raise
+    ``ValueError`` listing the registered backends.
+    """
+    if backend == "packed":
+        return PackedBNN(model)
+    if backend == "float":
+        return FloatEngine(model)
+    return ProgramEngine(model, backend)

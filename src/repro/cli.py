@@ -83,8 +83,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_predict.add_argument("--limit", type=int, default=None,
                            help="classify at most this many test clips")
     p_predict.add_argument("--float", dest="packed", action="store_false",
-                           help="serve the float simulation instead of the "
-                                "packed engine")
+                           help="shorthand for --backend float")
+    p_predict.add_argument("--backend", default=None,
+                           help="engine backend to serve with (see "
+                                "repro.engine.backends; e.g. packed, float); "
+                                "strict: unknown names fail")
     p_predict.add_argument("--timeout-s", type=float, default=None,
                            help="per-call deadline in seconds; exceeded "
                                 "deadlines fail typed instead of hanging")
@@ -193,6 +196,9 @@ def _cmd_train(args) -> int:
             "scaling": args.scaling,
             "stem_stride": 2 if args.image_size >= 64 else 1,
             "decision_bias": detector.decision_bias,
+            # the backend this model compiled to; loading under a
+            # different one warns (reproducible-serving record)
+            "backend": detector.backend_name,
         })
         print(f"checkpoint written to {written}")
     return 0
@@ -263,12 +269,17 @@ def _cmd_predict(args) -> int:
         print(f"checkpoint not found: {checkpoint_path(args.checkpoint)}")
         return 2
     registry = ModelRegistry()
+    backend = args.backend or (None if args.packed else "float")
     try:
         entry = registry.load_checkpoint(
-            "checkpoint", args.checkpoint, prefer_packed=args.packed
+            "checkpoint", args.checkpoint, prefer_packed=args.packed,
+            backend=backend,
         )
     except CheckpointError as exc:
         print(f"refusing to serve a bad checkpoint: {exc}")
+        return 2
+    except (ValueError, TypeError) as exc:
+        print(f"cannot serve requested backend: {exc}")
         return 2
     if entry.image_size != args.image_size:
         print(f"note: checkpoint was trained at image size "

@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..binary.block import clip_binary_weights
-from ..binary.inference import PackedBNN
+from ..binary.inference import PackedBNN, ProgramEngine, engine_for_backend
 from ..features.downsample import to_network_input
 from ..models.bnn_resnet import build_bnn_resnet
 from ..nn.data import ArrayDataset, DataLoader, RandomFlip, balanced_weights
@@ -63,6 +63,11 @@ class BNNDetector(HotspotDetector):
     packed:
         Compile the trained network to the popcount engine for
         :meth:`predict` (the deployment configuration).
+    backend:
+        Explicit engine backend name (see
+        :mod:`repro.engine.backends`); overrides ``packed`` when set.
+        ``"float"`` serves the bit-identical float-MAC substrate, any
+        future registered backend works unchanged.
     balance:
         Class-rebalance the main-phase mini-batches (draw with
         replacement so both classes contribute equally).  Necessary at
@@ -95,6 +100,7 @@ class BNNDetector(HotspotDetector):
         batch_size: int = 32,
         val_fraction: float = 0.15,
         packed: bool = True,
+        backend: str | None = None,
         balance: bool = True,
         stem_stride: int | None = None,
         target_fa_rate: float | None = None,
@@ -113,14 +119,22 @@ class BNNDetector(HotspotDetector):
         self.batch_size = batch_size
         self.val_fraction = val_fraction
         self.packed = packed
+        self.backend = backend
         self.balance = balance
         self.stem_stride = stem_stride
         self.target_fa_rate = target_fa_rate
         self.seed = seed
         self.verbose = verbose
         self.model = None
-        self.engine: PackedBNN | None = None
+        self.engine: ProgramEngine | None = None
         self.decision_bias = 0.0
+
+    @property
+    def backend_name(self) -> str:
+        """The engine backend :meth:`predict` runs on (after ``fit``)."""
+        if self.engine is not None:
+            return self.engine.backend_name
+        return self.backend or "float"
 
     # -- internals -------------------------------------------------------
 
@@ -233,7 +247,10 @@ class BNNDetector(HotspotDetector):
                             self.lr * 0.1, rng, hard_labels=fit_labels,
                             hotspot_mass=self.finetune_hotspot_mass)
 
-        self.engine = PackedBNN(self.model) if self.packed else None
+        if self.backend is not None:
+            self.engine = engine_for_backend(self.model, self.backend)
+        else:
+            self.engine = PackedBNN(self.model) if self.packed else None
         if self.target_fa_rate is not None and val_idx.size:
             self._calibrate(images[val_idx], labels[val_idx])
         return self

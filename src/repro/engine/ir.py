@@ -1,0 +1,287 @@
+"""Typed op-graph IR: the shared representation under every backend.
+
+A trained :class:`~repro.nn.module.Module` tree is lowered (by
+:mod:`repro.engine.lower`) into a :class:`Program` — a flat sequence of
+typed op nodes carrying everything a backend needs to emit kernels:
+frozen weights, channel counts, kernel/stride/padding geometry, and
+activation-scaling modes.  Backends (:mod:`repro.engine.backends`)
+compile nodes to kernels; the :class:`~repro.engine.executor.Executor`
+runs them.
+
+Design rules:
+
+* **Nodes are frozen snapshots.**  Weight arrays are copied at lowering
+  time, so a compiled program never changes under further training of
+  the source model (the old ``PackedBNN`` snapshot guarantee, now shared
+  by every backend).
+* **Inference-only.**  Training-time concerns (dropout masks, batch-norm
+  batch statistics, STE gradients) are resolved away during lowering:
+  dropout lowers to an identity :class:`ActivationOp`, batch-norm to a
+  frozen per-channel :class:`BatchNormAffine`.
+* **Structure is explicit.**  The only nesting is
+  :class:`ResidualOp`, which carries its branches as sub-``Program``\\ s;
+  everything else is a flat pipeline, which is what lets the plane-scan
+  engine find a network's stem by scanning the node list instead of
+  pattern-matching layer classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..nn import functional as F
+
+__all__ = [
+    "OpNode",
+    "BatchNormAffine",
+    "BinaryConvOp",
+    "BinaryDenseOp",
+    "ConvOp",
+    "DenseOp",
+    "PoolOp",
+    "ReshapeOp",
+    "ActivationOp",
+    "ResidualOp",
+    "Program",
+    "is_pointwise",
+    "output_shape",
+    "infer_shapes",
+    "describe",
+]
+
+
+@dataclass(frozen=True, eq=False)
+class OpNode:
+    """Base class of every IR node.
+
+    ``name`` is the dotted path of the source layer in the module tree
+    (e.g. ``"1.main.0.conv"``) — unique within a program, stable across
+    backends, and the key under which per-op timings are reported.
+    """
+
+    name: str
+
+
+@dataclass(frozen=True, eq=False)
+class BatchNormAffine(OpNode):
+    """Frozen batch-norm: one per-channel affine ``x * scale + shift``.
+
+    ``scale = gamma / sqrt(running_var + eps)`` and
+    ``shift = beta - running_mean * scale`` are computed once at
+    lowering time from the layer's running statistics.
+    """
+
+    channels: int
+    scale: np.ndarray  #: per-channel multiplier, shape ``(channels,)``
+    shift: np.ndarray  #: per-channel offset, shape ``(channels,)``
+
+
+@dataclass(frozen=True, eq=False)
+class BinaryConvOp(OpNode):
+    """Binarized convolution (Eq. 8/14-15): the substrate-defining op.
+
+    Carries the real-valued master filters; backends binarize them
+    (Eq. 8) and pick their arithmetic — float MACs over sign values or
+    packed XNOR/popcount words — under the contract that the
+    channel-summed dot products are **exact integers**, which is what
+    makes every backend bit-identical (see ``repro.engine.parity``).
+    """
+
+    in_channels: int
+    out_channels: int
+    kernel_size: int
+    stride: int
+    padding: int
+    scaling: str  #: ``"channelwise"`` (Eq. 14), ``"xnor"``, or ``"none"``
+    weight: np.ndarray  #: master filters ``(c_out, c_in, k, k)``
+
+
+@dataclass(frozen=True, eq=False)
+class BinaryDenseOp(OpNode):
+    """Binarized fully connected layer (one popcount dot per unit)."""
+
+    in_features: int
+    out_features: int
+    scaling: bool  #: apply the per-row ``mean|x|`` activation scale
+    weight: np.ndarray  #: master weights ``(in_features, out_features)``
+
+
+@dataclass(frozen=True, eq=False)
+class ConvOp(OpNode):
+    """Plain float convolution (kept for non-binarized stems/baselines)."""
+
+    in_channels: int
+    out_channels: int
+    kernel_size: int
+    stride: int
+    padding: int
+    weight: np.ndarray
+    bias: np.ndarray | None
+
+
+@dataclass(frozen=True, eq=False)
+class DenseOp(OpNode):
+    """Plain float fully connected layer (the network head)."""
+
+    in_features: int
+    out_features: int
+    weight: np.ndarray
+    bias: np.ndarray | None
+
+
+@dataclass(frozen=True, eq=False)
+class PoolOp(OpNode):
+    """Spatial pooling: ``kind`` is ``"max"``, ``"avg"``, or
+    ``"global_avg"`` (which collapses ``(n, c, h, w)`` to ``(n, c)``)."""
+
+    kind: str
+    kernel_size: int = 0  #: 0 for ``global_avg``
+    stride: int = 0
+
+
+@dataclass(frozen=True, eq=False)
+class ReshapeOp(OpNode):
+    """Pure layout change; ``"flatten"`` maps ``(n, ...)`` to ``(n, -1)``."""
+
+    kind: str = "flatten"
+
+
+@dataclass(frozen=True, eq=False)
+class ActivationOp(OpNode):
+    """Element-wise activation: ``"relu"``, ``"hardtanh"``, ``"sign"``,
+    or ``"identity"`` (what inference-time dropout lowers to)."""
+
+    kind: str
+
+
+@dataclass(frozen=True, eq=False)
+class ResidualOp(OpNode):
+    """``out = main(x) + shortcut(x)`` (identity shortcut when None)."""
+
+    main: "Program"
+    shortcut: "Program | None"
+
+
+#: Node types whose computation is element-wise per pixel and channel:
+#: applying them to a full plane and slicing a window afterwards is
+#: bit-identical to slicing first.  The plane-scan engine runs any such
+#: program prefix directly on the plane.
+_POINTWISE_TYPES = (BatchNormAffine, ActivationOp)
+
+
+def is_pointwise(node: OpNode) -> bool:
+    """Whether ``node`` acts element-wise (plane/window commuting)."""
+    return isinstance(node, _POINTWISE_TYPES)
+
+
+@dataclass(frozen=True, eq=False)
+class Program:
+    """An ordered pipeline of op nodes (the unit backends compile)."""
+
+    nodes: tuple[OpNode, ...]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[OpNode]:
+        return iter(self.nodes)
+
+    def __getitem__(self, index: int) -> OpNode:
+        return self.nodes[index]
+
+    def walk(self) -> Iterator[OpNode]:
+        """Pre-order traversal including residual branch sub-programs."""
+        for node in self.nodes:
+            yield node
+            if isinstance(node, ResidualOp):
+                yield from node.main.walk()
+                if node.shortcut is not None:
+                    yield from node.shortcut.walk()
+
+
+def output_shape(node: OpNode, shape: tuple[int, ...]) -> tuple[int, ...]:
+    """Shape produced by ``node`` on an input of ``shape`` (batch-first)."""
+    if isinstance(node, (BatchNormAffine, ActivationOp)):
+        return shape
+    if isinstance(node, (BinaryConvOp, ConvOp)):
+        n, _, h, w = shape
+        k, s, p = node.kernel_size, node.stride, node.padding
+        return (n, node.out_channels,
+                F.conv_output_size(h, k, s, p), F.conv_output_size(w, k, s, p))
+    if isinstance(node, (BinaryDenseOp, DenseOp)):
+        return (shape[0], node.out_features)
+    if isinstance(node, PoolOp):
+        if node.kind == "global_avg":
+            return shape[:2]
+        n, c, h, w = shape
+        k, s = node.kernel_size, node.stride
+        return (n, c, (h - k) // s + 1, (w - k) // s + 1)
+    if isinstance(node, ReshapeOp):
+        return (shape[0], int(np.prod(shape[1:])))
+    if isinstance(node, ResidualOp):
+        out = shape
+        for sub in node.main:
+            out = output_shape(sub, out)
+        return out
+    raise TypeError(f"unknown IR node type {type(node).__name__}")
+
+
+def infer_shapes(
+    program: Program, input_shape: tuple[int, ...]
+) -> dict[str, tuple[tuple[int, ...], tuple[int, ...]]]:
+    """Per-node ``name -> (input_shape, output_shape)`` for a program.
+
+    Residual branches are resolved too (both branches see the residual
+    node's input shape), so every node of :meth:`Program.walk` appears.
+    """
+    shapes: dict[str, tuple[tuple[int, ...], tuple[int, ...]]] = {}
+
+    def visit(prog: Program, shape: tuple[int, ...]) -> tuple[int, ...]:
+        for node in prog:
+            out = output_shape(node, shape)
+            shapes[node.name] = (shape, out)
+            if isinstance(node, ResidualOp):
+                visit(node.main, shape)
+                if node.shortcut is not None:
+                    visit(node.shortcut, shape)
+            shape = out
+        return shape
+
+    visit(program, tuple(input_shape))
+    return shapes
+
+
+def _node_detail(node: OpNode) -> str:
+    if isinstance(node, (BinaryConvOp, ConvOp)):
+        return (f"{node.in_channels}->{node.out_channels} "
+                f"k{node.kernel_size} s{node.stride} p{node.padding}"
+                + (f" {node.scaling}" if isinstance(node, BinaryConvOp) else ""))
+    if isinstance(node, (BinaryDenseOp, DenseOp)):
+        return f"{node.in_features}->{node.out_features}"
+    if isinstance(node, BatchNormAffine):
+        return f"c={node.channels}"
+    if isinstance(node, PoolOp):
+        return node.kind
+    if isinstance(node, (ActivationOp, ReshapeOp)):
+        return node.kind
+    if isinstance(node, ResidualOp):
+        return (f"main[{len(node.main)}]"
+                + ("" if node.shortcut is None
+                   else f" shortcut[{len(node.shortcut)}]"))
+    return ""
+
+
+def describe(program: Program, input_shape: tuple[int, ...] | None = None) -> str:
+    """Human-readable program listing (one line per walked node)."""
+    shapes = infer_shapes(program, input_shape) if input_shape else {}
+    lines = []
+    for node in program.walk():
+        line = f"{node.name:<24} {type(node).__name__:<16} {_node_detail(node)}"
+        if node.name in shapes:
+            _, out = shapes[node.name]
+            line += f" -> {tuple(out)}"
+        lines.append(line.rstrip())
+    return "\n".join(lines)

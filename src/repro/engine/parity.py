@@ -1,0 +1,212 @@
+"""Cross-backend parity harness: the correctness gate for backends.
+
+Every registered backend must produce **bit-identical** logits on the
+same lowered program — not merely close.  This is achievable because
+the binary ops' channel-summed dot products are exact integers on every
+substrate (popcount identities and float sums of ±1 products both
+round nothing), and the shared scaling/structural kernels apply float
+operations in one fixed expression order.  A backend that is "almost
+right" — wrong padding semantics, a reordered reduction, a dropped
+scaling factor — therefore fails loudly here instead of shifting
+accuracy numbers quietly.
+
+Use :func:`compare_backends` programmatically, or run as a module for
+the CI quick gate::
+
+    PYTHONPATH=src python -m repro.engine.parity --image-size 16
+
+which exercises every registered backend pair on seeded models across
+all scaling modes (including a ``stem_stride=1`` single-channel 3x3
+stem, the table16 fast-path shape) and exits non-zero on any mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .backends import available_backends, get_backend
+from .executor import Executor
+from .lower import lower
+
+__all__ = [
+    "PairResult",
+    "ParityResult",
+    "seeded_model",
+    "compare_backends",
+    "assert_backend_parity",
+    "main",
+]
+
+
+@dataclass(frozen=True)
+class PairResult:
+    """Outcome of one backend-pair comparison."""
+
+    left: str
+    right: str
+    identical: bool  #: byte-for-byte equal logits (shape, dtype, bits)
+    max_abs_diff: float  #: 0.0 when identical; inf on shape/dtype mismatch
+
+
+@dataclass
+class ParityResult:
+    """All pairwise comparisons for one model and input batch."""
+
+    backends: tuple[str, ...]
+    pairs: list[PairResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(pair.identical for pair in self.pairs)
+
+    def failures(self) -> list[PairResult]:
+        return [pair for pair in self.pairs if not pair.identical]
+
+
+def seeded_model(
+    image_size: int = 16,
+    base_width: int = 4,
+    scaling: str = "xnor",
+    stem_stride: int = 1,
+    seed: int = 0,
+):
+    """A small deterministic BNN-ResNet with non-trivial BN statistics.
+
+    ``stem_stride=1`` keeps the 1-channel 3x3 stem (9 packed bits) so
+    the packed backend's table16 fast path is on the comparison.
+    """
+    from ..detect.bnn_detector import stages_for_image_size
+    from ..models.bnn_resnet import build_bnn_resnet
+
+    stages = stages_for_image_size(image_size, stem_stride=stem_stride)
+    channels = [base_width * (1 << index) for index in range(stages)]
+    model = build_bnn_resnet(
+        channels, scaling=scaling, stem_stride=stem_stride, seed=seed
+    )
+    rng = np.random.default_rng(seed + 1)
+    # one training-mode pass accumulates batch-norm running statistics,
+    # so the frozen affines the backends compile are non-trivial
+    model.forward(
+        rng.normal(size=(8, 1, image_size, image_size)), training=True
+    )
+    return model
+
+
+def _bit_identical(a: np.ndarray, b: np.ndarray) -> tuple[bool, float]:
+    if a.shape != b.shape or a.dtype != b.dtype:
+        return False, float("inf")
+    if a.tobytes() == b.tobytes():
+        return True, 0.0
+    return False, float(np.max(np.abs(a - b)))
+
+
+def compare_backends(
+    model,
+    images: np.ndarray | None = None,
+    backends: list[str] | None = None,
+    image_size: int = 16,
+    batch: int = 8,
+    seed: int = 0,
+) -> ParityResult:
+    """Lower ``model`` once, run every backend, compare all pairs.
+
+    Each backend executes the *same* :class:`~repro.engine.ir.Program`
+    through its own compiled kernels.  Inputs default to a seeded ±1
+    batch (the layout-clip domain); pass ``images`` to use real clips.
+    """
+    names = tuple(backends if backends is not None else available_backends())
+    program = lower(model)
+    if images is None:
+        rng = np.random.default_rng(seed)
+        images = np.where(
+            rng.random((batch, 1, image_size, image_size)) < 0.5, 1.0, -1.0
+        )
+    result = ParityResult(backends=names)
+    logits: dict[str, np.ndarray] = {}
+    for name in names:
+        executor: Executor = get_backend(name).compile(program)
+        # fresh copy per backend: a kernel mutating its input would
+        # otherwise corrupt the comparison instead of failing it
+        logits[name] = executor.run(images.copy())
+    for i, left in enumerate(names):
+        for right in names[i + 1:]:
+            identical, diff = _bit_identical(logits[left], logits[right])
+            result.pairs.append(PairResult(left, right, identical, diff))
+    return result
+
+
+def assert_backend_parity(
+    model=None,
+    backends: list[str] | None = None,
+    image_size: int = 16,
+    batch: int = 8,
+    seed: int = 0,
+) -> ParityResult:
+    """Raise ``AssertionError`` naming every backend pair that diverges."""
+    if model is None:
+        model = seeded_model(image_size=image_size, seed=seed)
+    result = compare_backends(
+        model, backends=backends, image_size=image_size, batch=batch, seed=seed
+    )
+    if not result.ok:
+        lines = [
+            f"  {pair.left} vs {pair.right}: max |diff| = {pair.max_abs_diff:g}"
+            for pair in result.failures()
+        ]
+        raise AssertionError(
+            "backend parity violated (logits must be bit-identical):\n"
+            + "\n".join(lines)
+        )
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI gate: parity across all backends, every scaling mode."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.engine.parity",
+        description="Assert bit-identical logits across inference backends.",
+    )
+    parser.add_argument("--image-size", type=int, default=16)
+    parser.add_argument("--base-width", type=int, default=4)
+    parser.add_argument("--batch", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--scaling", action="append", default=None,
+        choices=["channelwise", "xnor", "none"],
+        help="scaling mode(s) to test (default: all)",
+    )
+    parser.add_argument(
+        "--stem-stride", type=int, action="append", default=None,
+        help="stem stride(s) to test (default: 1 and 2)",
+    )
+    args = parser.parse_args(argv)
+
+    scalings = args.scaling or ["channelwise", "xnor", "none"]
+    strides = args.stem_stride or [1, 2]
+    names = available_backends()
+    print(f"backends: {', '.join(names)}")
+    failed = False
+    for scaling in scalings:
+        for stem_stride in strides:
+            model = seeded_model(
+                image_size=args.image_size, base_width=args.base_width,
+                scaling=scaling, stem_stride=stem_stride, seed=args.seed,
+            )
+            result = compare_backends(
+                model, image_size=args.image_size,
+                batch=args.batch, seed=args.seed,
+            )
+            status = "OK (bit-identical)" if result.ok else "MISMATCH"
+            print(f"scaling={scaling:<12} stem_stride={stem_stride}  {status}")
+            for pair in result.failures():
+                failed = True
+                print(f"    {pair.left} vs {pair.right}: "
+                      f"max |diff| = {pair.max_abs_diff:g}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

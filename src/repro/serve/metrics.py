@@ -79,10 +79,19 @@ class LatencyHistogram:
 
 
 class ServiceMetrics:
-    """Thread-safe counters and histograms for one service instance."""
+    """Thread-safe counters and histograms for one service instance.
+
+    Besides its own counters, the object can host per-model engine
+    op-timing tables (:meth:`register_op_table`): any object with
+    ``snapshot() -> list[dict]`` and ``reset()`` — in practice
+    :class:`repro.engine.executor.OpTimings` — whose rows then appear
+    under ``per_op_ms`` in :meth:`stats`, giving the per-layer time
+    breakdown of everything the engines executed.
+    """
 
     def __init__(self):
         self._lock = Lock()
+        self._op_tables: dict[str, object] = {}
         self.requests_total = 0
         self.errors_total = 0
         self.shed_total = 0
@@ -171,12 +180,27 @@ class ServiceMetrics:
             self.shard_retries_total += retried_shards
             self.scan_latency.observe(latency_ms)
 
+    def register_op_table(self, model: str, table: object) -> None:
+        """Attach a per-op timing table for ``model`` (idempotent).
+
+        ``table`` must provide ``snapshot()`` and ``reset()``; the same
+        object may be registered repeatedly (services register on every
+        request path touch, engines own the table).
+        """
+        with self._lock:
+            self._op_tables[model] = table
+
     def reset(self) -> None:
         """Zero every counter and histogram (e.g. after a warm-up phase).
 
         In-place, so holders of a reference — batchers, services — keep
-        recording into the same object.
+        recording into the same object.  Registered per-op tables are
+        reset too (their registration is kept).
         """
+        with self._lock:
+            tables = list(self._op_tables.values())
+        for table in tables:
+            table.reset()
         with self._lock:
             self.requests_total = 0
             self.errors_total = 0
@@ -207,9 +231,20 @@ class ServiceMetrics:
         return self.batched_clips_total / self.batches_total
 
     def stats(self) -> dict[str, object]:
-        """Plain-dict snapshot of every counter and histogram summary."""
+        """Plain-dict snapshot of every counter and histogram summary.
+
+        ``per_op_ms`` maps each model with a registered op table to its
+        per-layer timing rows (``op``, ``calls``, ``total_ms``,
+        ``mean_ms`` — cumulative since the last reset, in program
+        order), covering batched classify *and* plane-scan work because
+        both run through the same executor.
+        """
+        with self._lock:
+            tables = dict(self._op_tables)
+        per_op = {name: table.snapshot() for name, table in tables.items()}
         with self._lock:
             return {
+                "per_op_ms": per_op,
                 "requests_total": self.requests_total,
                 "errors_total": self.errors_total,
                 "shed_total": self.shed_total,

@@ -3,27 +3,47 @@
 The registry is the service's model store.  Models arrive either as
 live :class:`~repro.nn.module.Module` trees (``register``) or as
 ``.npz`` checkpoints written by ``repro train --save``
-(``load_checkpoint``).  Each entry is compiled to the bit-packed
-XNOR/popcount engine (:class:`~repro.binary.inference.PackedBNN`); when
-compilation fails — e.g. the network contains a layer type the packed
-compiler does not support — the registry falls back to the float
-simulation (:class:`~repro.binary.inference.FloatEngine`) and records
-the backend so callers can see which path served them.
+(``load_checkpoint``).  Each entry is compiled through the engine
+backend registry (:mod:`repro.engine.backends`):
+
+* ``backend=None`` (default) keeps the historical policy — prefer the
+  bit-packed XNOR/popcount engine
+  (:class:`~repro.binary.inference.PackedBNN`) and fall back to the
+  float engine when the model cannot be lowered.  The fallback is no
+  longer silent: *why* it happened (the unloweredable layer type) is
+  recorded on the entry and surfaced by ``HotspotService.stats()`` /
+  ``health()`` as a degraded-performance note.
+* ``backend="name"`` requests one registered backend *strictly*: an
+  unknown name raises ``ValueError`` listing what exists, and a model
+  that cannot be lowered for it raises instead of silently serving a
+  different substrate.
 
 Checkpoints written with metadata (``save_model(..., meta=...)``) are
 self-describing: :func:`model_from_meta` rebuilds the paper's residual
 architecture from the recorded knobs, so ``load_checkpoint`` needs no
-out-of-band architecture information.
+out-of-band architecture information.  Checkpoints also record the
+backend they were trained/saved for; loading one under a different
+backend warns (predictions stay bit-identical across built-in backends,
+but timing-sensitive serving runs stop being reproducible from the
+checkpoint alone).
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass, field
 from threading import Lock
 
-from ..binary.inference import FloatEngine, PackedBNN
+from ..binary.inference import (
+    FloatEngine,
+    PackedBNN,
+    ProgramEngine,
+    engine_for_backend,
+)
 from ..detect.bnn_detector import stages_for_image_size
+from ..engine.backends import available_backends
+from ..engine.lower import LoweringError
 from ..models.bnn_resnet import build_bnn_resnet
 from ..nn.module import Module
 from ..nn.serialization import CheckpointError, load_meta, load_model
@@ -31,22 +51,53 @@ from ..nn.serialization import CheckpointError, load_meta, load_model
 __all__ = ["ModelEntry", "ModelRegistry", "compile_engine", "model_from_meta"]
 
 
-def compile_engine(
-    model: Module, prefer_packed: bool = True
-) -> tuple[PackedBNN | FloatEngine, str]:
-    """Compile ``model`` to an inference engine, falling back to float.
+def _compile_with_reason(
+    model: Module, prefer_packed: bool, backend: str | None
+) -> tuple[ProgramEngine, str, str | None]:
+    """Compile ``model``; also report why a fallback happened (or None).
 
-    Returns ``(engine, backend)`` where backend is ``"packed"`` or
-    ``"float"``.  Compilation errors (unsupported layer types) are
-    swallowed — the float simulation always works — so registration
-    never fails for a forward-capable model.
+    Only the legacy ``backend=None`` path can fall back; an explicit
+    backend request is strict.
     """
+    if backend is not None:
+        if backend not in available_backends():
+            raise ValueError(
+                f"unknown backend {backend!r} "
+                f"(available: {', '.join(available_backends())})"
+            )
+        return engine_for_backend(model, backend), backend, None
     if prefer_packed:
         try:
-            return PackedBNN(model), "packed"
-        except (TypeError, ValueError, AttributeError):
-            pass
-    return FloatEngine(model), "float"
+            return PackedBNN(model), "packed", None
+        except LoweringError as exc:
+            reason = (
+                f"layer type {exc.layer_type!r} cannot be lowered to the "
+                f"packed backend; serving the float fallback"
+            )
+        except (TypeError, ValueError, AttributeError) as exc:
+            reason = (
+                f"packed compilation failed ({type(exc).__name__}: {exc}); "
+                f"serving the float fallback"
+            )
+        return FloatEngine(model), "float", reason
+    return FloatEngine(model), "float", None
+
+
+def compile_engine(
+    model: Module, prefer_packed: bool = True, backend: str | None = None
+) -> tuple[ProgramEngine, str]:
+    """Compile ``model`` to an inference engine.
+
+    Returns ``(engine, backend_name)``.  With ``backend=None`` this is
+    the historical packed-or-float policy: compilation errors are
+    swallowed — the float engine always works (it degrades to a live
+    model view for unloweredable models) — so registration never fails
+    for a forward-capable model.  An explicit ``backend`` resolves
+    through the engine backend registry and is strict (unknown names
+    and unloweredable models raise).
+    """
+    engine, name, _ = _compile_with_reason(model, prefer_packed, backend)
+    return engine, name
 
 
 def model_from_meta(meta: dict[str, object]) -> Module:
@@ -78,11 +129,14 @@ class ModelEntry:
 
     name: str
     model: Module
-    engine: PackedBNN | FloatEngine
-    backend: str  #: ``"packed"`` or ``"float"``
+    engine: ProgramEngine
+    backend: str  #: resolved backend name (``"packed"``, ``"float"``, ...)
     image_size: int  #: square input side the engine expects
     decision_bias: float = 0.0  #: score threshold (see ``BNNDetector``)
     meta: dict[str, object] = field(default_factory=dict)
+    #: why the preferred backend was not used (None when none happened);
+    #: surfaced by the service as a degraded-performance note
+    fallback_reason: str | None = None
 
 
 class ModelRegistry:
@@ -100,21 +154,27 @@ class ModelRegistry:
         prefer_packed: bool = True,
         decision_bias: float = 0.0,
         meta: dict[str, object] | None = None,
+        backend: str | None = None,
     ) -> ModelEntry:
         """Compile and register a live model under ``name``.
 
-        Re-registering a name replaces the previous entry (latest wins),
-        which is how a rolling model update deploys.
+        ``backend`` selects a registered engine backend by name
+        (strict); the default keeps the prefer-packed-with-fallback
+        policy.  Re-registering a name replaces the previous entry
+        (latest wins), which is how a rolling model update deploys.
         """
-        engine, backend = compile_engine(model, prefer_packed=prefer_packed)
+        engine, backend_name, reason = _compile_with_reason(
+            model, prefer_packed, backend
+        )
         entry = ModelEntry(
             name=name,
             model=model,
             engine=engine,
-            backend=backend,
+            backend=backend_name,
             image_size=int(image_size),
             decision_bias=float(decision_bias),
             meta=dict(meta or {}),
+            fallback_reason=reason,
         )
         with self._lock:
             self._entries[name] = entry
@@ -127,12 +187,19 @@ class ModelRegistry:
         model: Module | None = None,
         image_size: int | None = None,
         prefer_packed: bool = True,
+        backend: str | None = None,
     ) -> ModelEntry:
         """Load a ``.npz`` checkpoint and register it under ``name``.
 
         With ``model=None`` the architecture is rebuilt from the
         checkpoint's metadata record (written by ``repro train --save``);
         an explicit ``model`` skips that and just receives the weights.
+
+        When the checkpoint records the backend it was saved for and the
+        effective request differs, a ``UserWarning`` is emitted — the
+        predictions of the built-in backends are bit-identical, but a
+        serving run is only reproducible from the checkpoint alone when
+        the backend matches.
 
         A corrupt, truncated, or checksum-failing checkpoint raises
         :class:`~repro.nn.serialization.CheckpointError` *before*
@@ -149,6 +216,26 @@ class ModelRegistry:
             raise CheckpointError(
                 f"cannot register model {name!r}: {exc}"
             ) from exc
+        if backend is not None and backend not in available_backends():
+            # fail before the mismatch warning below can claim we are
+            # "serving with" a backend that does not exist
+            raise ValueError(
+                f"unknown backend {backend!r} "
+                f"(available: {', '.join(available_backends())})"
+            )
+        recorded = meta.get("backend")
+        if recorded is not None:
+            requested = backend or ("packed" if prefer_packed else "float")
+            if str(recorded) != requested:
+                warnings.warn(
+                    f"checkpoint {os.fspath(path)!r} records backend "
+                    f"{str(recorded)!r} but {requested!r} was requested; "
+                    f"serving with {requested!r} (predictions are "
+                    f"bit-identical across built-in backends, but the run "
+                    f"is not reproducible from the checkpoint alone)",
+                    UserWarning,
+                    stacklevel=2,
+                )
         if image_size is None:
             if "image_size" not in meta:
                 raise KeyError(
@@ -162,6 +249,7 @@ class ModelRegistry:
             prefer_packed=prefer_packed,
             decision_bias=float(meta.get("decision_bias", 0.0)),
             meta=meta,
+            backend=backend,
         )
 
     def get(self, name: str) -> ModelEntry:

@@ -186,9 +186,14 @@ class HotspotService:
         name: str = "default",
         prefer_packed: bool = True,
         decision_bias: float = 0.0,
+        backend: str | None = None,
         **kwargs,
     ) -> "HotspotService":
-        """Convenience: wrap one live model in a ready-to-serve service."""
+        """Convenience: wrap one live model in a ready-to-serve service.
+
+        ``backend`` selects a registered engine backend by name
+        (strict); the default keeps prefer-packed-with-fallback.
+        """
         registry = ModelRegistry()
         registry.register(
             name,
@@ -196,6 +201,7 @@ class HotspotService:
             image_size=image_size,
             prefer_packed=prefer_packed,
             decision_bias=decision_bias,
+            backend=backend,
         )
         return cls(registry=registry, default_model=name, **kwargs)
 
@@ -214,7 +220,13 @@ class HotspotService:
                     "no model selected: pass model= or set default_model "
                     f"(registered: {names or 'none'})"
                 )
-        return self.registry.get(name)
+        entry = self.registry.get(name)
+        # engines accumulate per-op wall times; exposing the table via
+        # the metrics object makes stats() report a per-layer breakdown
+        table = getattr(entry.engine, "op_times", None)
+        if table is not None:
+            self.metrics.register_op_table(entry.name, table)
+        return entry
 
     def _batcher(self, entry: ModelEntry) -> MicroBatcher:
         engine_and_batcher = self._batchers.get(entry.name)
@@ -511,10 +523,15 @@ class HotspotService:
         ``DRAINING`` once :meth:`close` has begun; ``DEGRADED`` when any
         fault counter (errors, sheds, timeouts, quarantined requests,
         degraded scans) has incremented since the metrics were last
-        reset — the reasons enumerate which; ``READY`` otherwise.
-        Degradation is sticky until ``metrics.reset()``: a service that
-        shed load five minutes ago should keep telling its load
-        balancer so until an operator (or a warm-up cycle) clears it.
+        reset — the reasons enumerate which — or when any registered
+        model silently fell back from its preferred engine backend (a
+        degraded-*performance* note: predictions stay correct, but the
+        packed substrate is not serving); ``READY`` otherwise.
+        Degradation from fault counters is sticky until
+        ``metrics.reset()``: a service that shed load five minutes ago
+        should keep telling its load balancer so until an operator (or
+        a warm-up cycle) clears it.  A fallback note clears only by
+        re-registering the model so the preferred backend compiles.
         """
         if self._closed:
             return HealthReport(
@@ -531,6 +548,12 @@ class HotspotService:
                 (m.degraded_scans_total, "degraded scans"),
             )
             if count
+        )
+        reasons += tuple(
+            f"model {name!r}: {entry.fallback_reason}"
+            for name in self.registry.names()
+            for entry in (self.registry.get(name),)
+            if entry.fallback_reason
         )
         if reasons:
             return HealthReport(HealthState.DEGRADED, reasons)
@@ -558,6 +581,7 @@ class HotspotService:
             name: {
                 "backend": self.registry.get(name).backend,
                 "image_size": self.registry.get(name).image_size,
+                "fallback_reason": self.registry.get(name).fallback_reason,
             }
             for name in self.registry.names()
         }

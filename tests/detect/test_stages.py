@@ -1,0 +1,70 @@
+"""Edge-case tests for :func:`stages_for_image_size`.
+
+The stage count drives both model construction and plane-scan window
+geometry, so its clamping and rounding behaviour is load-bearing: a
+wrong count either builds a network whose global pool sees a degenerate
+map or silently changes the paper's architecture at 128x128.
+"""
+
+import pytest
+
+from repro.detect.bnn_detector import stages_for_image_size
+
+
+class TestPaperGeometry:
+    def test_paper_128px_gives_five_stages(self):
+        assert stages_for_image_size(128) == 5
+
+    def test_each_halving_drops_one_stage(self):
+        assert stages_for_image_size(64) == 4
+        assert stages_for_image_size(32) == 3
+        assert stages_for_image_size(16) == 2
+
+
+class TestStemStride:
+    def test_downsampling_stem_absorbs_one_stage(self):
+        # a stride-2 stem already halves the map once, so one fewer
+        # stride-2 residual stage reaches the same 4x4 output
+        assert stages_for_image_size(128, stem_stride=2) == 4
+        assert stages_for_image_size(64, stem_stride=2) == 3
+
+    def test_stem_stride_one_is_default(self):
+        for size in (16, 32, 64, 128):
+            assert stages_for_image_size(size) == stages_for_image_size(
+                size, stem_stride=1
+            )
+
+    def test_any_stride_above_one_costs_exactly_one_stage(self):
+        # the formula treats stride 4 like stride 2 (one absorbed
+        # halving); documents the current contract
+        assert stages_for_image_size(128, stem_stride=4) == \
+            stages_for_image_size(128, stem_stride=2)
+
+
+class TestClamping:
+    def test_lower_clamp_at_two_stages(self):
+        # tiny inputs still get a two-stage network
+        assert stages_for_image_size(8) == 2
+        assert stages_for_image_size(4) == 2
+        assert stages_for_image_size(16, stem_stride=2) == 2
+
+    def test_upper_clamp_at_five_stages(self):
+        # huge inputs never exceed the paper's five stages
+        assert stages_for_image_size(256) == 5
+        assert stages_for_image_size(1024) == 5
+        assert stages_for_image_size(512, stem_stride=2) == 5
+
+
+class TestNonPowerOfTwo:
+    def test_rounds_down_to_enclosing_power_of_two(self):
+        # log2 truncation: 100px behaves like 64px, 127px like 64px,
+        # 129px like 128px
+        assert stages_for_image_size(100) == stages_for_image_size(64)
+        assert stages_for_image_size(127) == stages_for_image_size(64)
+        assert stages_for_image_size(129) == stages_for_image_size(128)
+
+    @pytest.mark.parametrize("size", [24, 48, 96, 192])
+    def test_returns_int_within_bounds(self, size):
+        stages = stages_for_image_size(size)
+        assert isinstance(stages, int)
+        assert 2 <= stages <= 5

@@ -1,0 +1,150 @@
+"""Tests for the lowering pass: module trees -> typed IR programs."""
+
+import numpy as np
+import pytest
+
+from repro.binary import BinaryConv2D, BinaryDense
+from repro.engine import (
+    ActivationOp,
+    BatchNormAffine,
+    BinaryConvOp,
+    BinaryDenseOp,
+    DenseOp,
+    LoweringError,
+    PoolOp,
+    ResidualOp,
+    describe,
+    find_plane_stem,
+    infer_shapes,
+    lower,
+)
+from repro.models import bnn_resnet8
+from repro.nn import (
+    BatchNorm2D,
+    Dense,
+    Dropout,
+    GlobalAvgPool2D,
+    Module,
+    ReLU,
+    Sequential,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestLower:
+    def test_resnet_structure_is_flattened(self):
+        model = bnn_resnet8(seed=0, base_width=4)
+        program = lower(model)
+        # stem BNNConvBlock flattens to [BatchNormAffine, BinaryConvOp]
+        assert isinstance(program[0], BatchNormAffine)
+        assert isinstance(program[1], BinaryConvOp)
+        kinds = [type(node) for node in program]
+        assert ResidualOp in kinds and DenseOp in kinds and PoolOp in kinds
+
+    def test_names_are_dotted_module_paths(self):
+        model = bnn_resnet8(seed=0, base_width=4)
+        program = lower(model)
+        names = [node.name for node in program.walk()]
+        assert len(names) == len(set(names)), "node names must be unique"
+        assert "0.bn" in names and "0.conv" in names
+        assert any(".main." in name for name in names)
+
+    def test_weights_are_snapshots(self, rng):
+        conv = BinaryConv2D(1, 4, 3, rng=rng)
+        program = lower(Sequential(conv))
+        before = program[0].weight.copy()
+        conv.weight.data[...] = 7.0
+        np.testing.assert_array_equal(program[0].weight, before)
+
+    def test_batchnorm_freezes_running_stats(self, rng):
+        bn = BatchNorm2D(3)
+        bn.running_mean = rng.normal(size=3)
+        bn.running_var = np.abs(rng.normal(size=3)) + 0.5
+        node = lower(Sequential(bn))[0]
+        expected_scale = bn.gamma.data / np.sqrt(bn.running_var + bn.eps)
+        np.testing.assert_allclose(node.scale, expected_scale)
+        np.testing.assert_allclose(
+            node.shift, bn.beta.data - bn.running_mean * expected_scale
+        )
+
+    def test_dropout_lowers_to_identity(self):
+        program = lower(Sequential(Dropout(0.5)))
+        assert isinstance(program[0], ActivationOp)
+        assert program[0].kind == "identity"
+
+    def test_unknown_layer_raises_typed_error(self):
+        class Strange(Module):
+            pass
+
+        with pytest.raises(LoweringError) as excinfo:
+            lower(Sequential(Strange()))
+        assert excinfo.value.layer_type == "Strange"
+        assert isinstance(excinfo.value, TypeError)  # legacy contract
+
+    def test_binary_dense_node(self, rng):
+        program = lower(Sequential(BinaryDense(6, 2, rng=rng)))
+        node = program[0]
+        assert isinstance(node, BinaryDenseOp)
+        assert node.in_features == 6 and node.out_features == 2
+
+
+class TestStemFinder:
+    def test_resnet_stem_found_after_pointwise_prefix(self):
+        model = bnn_resnet8(seed=0, base_width=4)
+        program = lower(model)
+        index = find_plane_stem(program)
+        assert index == 1  # after the stem block's batch-norm
+        assert program[index].in_channels == 1
+
+    def test_multichannel_stem_rejected(self, rng):
+        program = lower(Sequential(BinaryConv2D(3, 4, 3, rng=rng)))
+        assert find_plane_stem(program) is None
+
+    def test_exotic_padding_rejected(self, rng):
+        program = lower(
+            Sequential(BinaryConv2D(1, 4, 3, padding=3, rng=rng))
+        )
+        assert find_plane_stem(program) is None
+
+    def test_no_conv_at_all(self):
+        program = lower(Sequential(GlobalAvgPool2D(), Dense(1, 2)))
+        assert find_plane_stem(program) is None
+
+
+class TestShapes:
+    def test_infer_shapes_covers_residual_branches(self):
+        model = bnn_resnet8(seed=0, base_width=4)
+        program = lower(model)
+        shapes = infer_shapes(program, (2, 1, 16, 16))
+        walked = {node.name for node in program.walk()}
+        assert set(shapes) == walked
+        # the head sees (n, classes)
+        last = program[len(program) - 1]
+        assert shapes[last.name][1] == (2, 2)
+
+    def test_shapes_match_execution(self, rng):
+        from repro.engine import get_backend
+
+        model = bnn_resnet8(seed=0, base_width=4)
+        model.forward(rng.normal(size=(4, 1, 16, 16)), training=True)
+        program = lower(model)
+        out = get_backend("packed").compile(program).run(
+            rng.normal(size=(3, 1, 16, 16))
+        )
+        shapes = infer_shapes(program, (3, 1, 16, 16))
+        assert tuple(out.shape) == shapes[program[len(program) - 1].name][1]
+
+    def test_describe_lists_every_node(self):
+        model = bnn_resnet8(seed=0, base_width=4)
+        program = lower(model)
+        text = describe(program, input_shape=(1, 1, 16, 16))
+        assert "BinaryConvOp" in text and "ResidualOp" in text
+        assert "-> (1, 2)" in text
+
+    def test_relu_lowering(self):
+        program = lower(Sequential(ReLU()))
+        assert program[0].kind == "relu"

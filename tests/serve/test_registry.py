@@ -1,5 +1,7 @@
 """Tests for the model registry and checkpoint round-trips."""
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -126,3 +128,103 @@ class TestCheckpointRoundTrip:
             "m", path, model=make_model(seed=4), image_size=16
         )
         assert entry.backend == "packed" and entry.image_size == 16
+
+
+class TestExplicitBackend:
+    def test_explicit_float_is_compiled_not_live(self):
+        model = make_model()
+        model.forward(make_images(seed=4), training=True)
+        engine, backend = compile_engine(model, backend="float")
+        assert backend == "float" and isinstance(engine, FloatEngine)
+        assert not engine.is_live  # compiled program, not a model view
+        images = make_images(seed=5)
+        np.testing.assert_array_equal(
+            engine.predict_logits(images),
+            PackedBNN(model).predict_logits(images),
+        )
+
+    def test_unknown_backend_raises_listing_available(self):
+        with pytest.raises(ValueError, match="packed"):
+            compile_engine(make_model(), backend="turbo")
+
+    def test_explicit_packed_is_strict_on_unloweredable(self):
+        model = Sequential(Unsupported(), Dense(4, 2,
+                                                rng=np.random.default_rng(0)))
+        with pytest.raises(TypeError):
+            compile_engine(model, backend="packed")
+
+    def test_register_threads_backend_through(self):
+        registry = ModelRegistry()
+        entry = registry.register(
+            "m", make_model(), image_size=16, backend="float"
+        )
+        assert entry.backend == "float"
+        assert isinstance(entry.engine, FloatEngine)
+        assert entry.fallback_reason is None
+
+
+class TestFallbackReason:
+    def test_reason_recorded_on_silent_fallback(self):
+        model = Sequential(Unsupported(), Dense(4, 2,
+                                                rng=np.random.default_rng(0)))
+        registry = ModelRegistry()
+        entry = registry.register("m", model, image_size=16)
+        assert entry.backend == "float"
+        assert entry.fallback_reason is not None
+        assert "Unsupported" in entry.fallback_reason
+
+    def test_no_reason_when_float_requested(self):
+        registry = ModelRegistry()
+        entry = registry.register(
+            "m", make_model(), image_size=16, prefer_packed=False
+        )
+        assert entry.backend == "float"
+        assert entry.fallback_reason is None
+
+    def test_no_reason_on_successful_packed(self):
+        registry = ModelRegistry()
+        entry = registry.register("m", make_model(), image_size=16)
+        assert entry.backend == "packed"
+        assert entry.fallback_reason is None
+
+
+class TestBackendMeta:
+    def _save(self, tmp_path, backend="packed"):
+        model = make_model(seed=2)
+        model.forward(make_images(seed=7), training=True)
+        return save_model(model, tmp_path / "ck", meta={
+            "image_size": 16, "base_width": 4, "scaling": "xnor",
+            "stem_stride": 1, "backend": backend,
+        })
+
+    def test_matching_backend_loads_silently(self, tmp_path):
+        path = self._save(tmp_path, backend="packed")
+        registry = ModelRegistry()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            entry = registry.load_checkpoint("m", path)
+        assert entry.backend == "packed"
+
+    def test_mismatched_backend_warns(self, tmp_path):
+        path = self._save(tmp_path, backend="packed")
+        registry = ModelRegistry()
+        with pytest.warns(UserWarning, match="records backend 'packed'"):
+            entry = registry.load_checkpoint("m", path, prefer_packed=False)
+        assert entry.backend == "float"
+
+    def test_explicit_backend_mismatch_warns(self, tmp_path):
+        path = self._save(tmp_path, backend="float")
+        registry = ModelRegistry()
+        with pytest.warns(UserWarning, match="'packed' was requested"):
+            registry.load_checkpoint("m", path, backend="packed")
+
+    def test_legacy_checkpoint_without_record_is_silent(self, tmp_path):
+        model = make_model(seed=3)
+        path = save_model(model, tmp_path / "ck", meta={
+            "image_size": 16, "base_width": 4,
+        })
+        registry = ModelRegistry()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            entry = registry.load_checkpoint("m", path, prefer_packed=False)
+        assert entry.backend == "float"

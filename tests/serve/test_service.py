@@ -394,3 +394,57 @@ class TestScanReportContract:
         empty = self._report(windows_scanned=4, degraded=True,
                              failed_ranges=((0, 4),))
         assert empty.hotspot_rate == 0.0  # nothing scored: no divide
+
+
+class TestBackendObservability:
+    def test_per_op_ms_in_stats(self, service):
+        service.classify_many(list(make_images(4, seed=20)))
+        per_op = service.stats()["per_op_ms"]
+        assert "default" in per_op
+        rows = per_op["default"]
+        assert rows and all(row["calls"] >= 1 for row in rows)
+        assert any(".conv" in row["op"] or row["op"].endswith("conv")
+                   for row in rows)
+        assert all(row["total_ms"] >= 0.0 for row in rows)
+
+    def test_per_op_tables_reset_with_metrics(self, service):
+        service.classify(make_images(1, seed=21)[0])
+        service.metrics.reset()
+        rows = service.stats()["per_op_ms"]["default"]
+        assert rows and all(row["calls"] == 0 for row in rows)
+
+    def test_no_fallback_reason_on_packed_default(self, service):
+        service.classify(make_images(1, seed=22)[0])
+        assert service.stats()["models"]["default"]["fallback_reason"] is None
+
+    def test_explicit_backend_threads_to_service(self, model):
+        with HotspotService.from_model(model, 16,
+                                       backend="float") as service:
+            prediction = service.classify(make_images(1, seed=23)[0])
+            assert prediction.backend == "float"
+            # an explicit request is not a fallback: health stays READY
+            assert service.health().state is HealthState.READY
+            assert (service.stats()["models"]["default"]["fallback_reason"]
+                    is None)
+
+    def test_silent_fallback_degrades_health_with_reason(self):
+        from repro.nn import Dense, GlobalAvgPool2D, Module, Sequential
+
+        class Unsupported(Module):
+            def forward(self, x, training=False):
+                return np.tanh(x)
+
+        rng = np.random.default_rng(0)
+        fallback_model = Sequential(
+            Unsupported(), GlobalAvgPool2D(), Dense(1, 2, rng=rng)
+        )
+        with HotspotService.from_model(fallback_model, 16) as service:
+            prediction = service.classify(make_images(1, seed=24)[0])
+            assert prediction.backend == "float"
+            entry_stats = service.stats()["models"]["default"]
+            assert "Unsupported" in entry_stats["fallback_reason"]
+            report = service.health()
+            assert report.state is HealthState.DEGRADED
+            assert report.ok  # degraded still serves
+            assert any("default" in reason and "Unsupported" in reason
+                       for reason in report.reasons)
