@@ -61,6 +61,18 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["xnor", "channelwise", "none"])
     p_train.add_argument("--save", metavar="PATH",
                          help="write the trained weights to a .npz checkpoint")
+    p_train.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                         help="write atomic run-state checkpoints every "
+                              "epoch; a killed or preempted run resumes "
+                              "bit-identically with --resume")
+    p_train.add_argument("--resume", action="store_true",
+                         help="continue the run recorded in --checkpoint-dir "
+                              "(same seed/flags required); fresh start if "
+                              "the directory is empty")
+    p_train.add_argument("--keep", type=int, default=3,
+                         help="run-state retention: keep the last N "
+                              "checkpoints plus the best-validation one "
+                              "(default 3)")
 
     p_litho = sub.add_parser("litho", help="simulate one synthetic pattern")
     p_litho.add_argument("--pattern", default="grating",
@@ -174,16 +186,40 @@ def _cmd_table3(args) -> int:
 def _cmd_train(args) -> int:
     from .bench import format_table
     from .detect import BNNDetector
+    from .nn.serialization import CheckpointError
+    from .train import DivergenceError, PreemptedError
 
+    if args.resume and not args.checkpoint_dir:
+        print("--resume requires --checkpoint-dir")
+        return 2
     benchmark = _load(args)
     detector = BNNDetector(
         base_width=args.base_width, scaling=args.scaling,
         epochs=args.epochs, finetune_epochs=args.finetune_epochs,
         epsilon=args.epsilon, seed=0,
+        checkpoint_dir=args.checkpoint_dir, resume=args.resume,
+        keep=args.keep, handle_signals=args.checkpoint_dir is not None,
     )
-    metrics = detector.fit_evaluate(
-        benchmark.train, benchmark.test, np.random.default_rng(0)
-    )
+    try:
+        metrics = detector.fit_evaluate(
+            benchmark.train, benchmark.test, np.random.default_rng(0)
+        )
+    except PreemptedError as exc:
+        print(f"training preempted: {exc}")
+        if exc.checkpoint is not None:
+            print("rerun with --resume to continue bit-identically")
+        return 130
+    except DivergenceError as exc:
+        print(f"training diverged beyond recovery: {exc}")
+        return 4
+    except CheckpointError as exc:
+        print(f"cannot resume from a bad checkpoint: {exc}")
+        return 2
+    except ValueError as exc:
+        # checkpoint-dir misuse (dirty directory without --resume,
+        # mismatched phase schedule) and kindred config errors
+        print(f"cannot train: {exc}")
+        return 2
     print(format_table([metrics.row()], title="BNN detector"))
     if args.save:
         from .nn import save_model

@@ -19,7 +19,8 @@ from ..models.bnn_resnet import build_bnn_resnet
 from ..nn.data import ArrayDataset, DataLoader, RandomFlip, balanced_weights
 from ..nn.optim import NAdam
 from ..nn.schedulers import ReduceLROnPlateau
-from ..nn.trainer import Trainer, predict_logits
+from ..nn.trainer import History, Trainer, predict_logits
+from ..train import TrainingPhase, TrainingRun
 from .base import HotspotDetector
 from .biased import biased_targets
 
@@ -82,6 +83,25 @@ class BNNDetector(HotspotDetector):
         recall-aggressive threshold whose validation false-alarm rate
         stays at or below this fraction of non-hotspots.  ``None``
         keeps the plain argmax decision.
+    checkpoint_dir / resume / keep:
+        Crash safety (see :class:`repro.train.TrainingRun`): with a
+        directory set, every epoch of both training phases writes an
+        atomic run-state checkpoint, and ``resume=True`` continues a
+        killed run bit-identically (same constructor arguments, seed
+        and fit ``rng`` required).  ``keep`` is the retention depth
+        (last N + best-validation).
+    max_grad_norm:
+        Optional exploding-gradient guard forwarded to the trainers;
+        with a checkpoint state available, a tripped guard rolls back
+        and retries with a cut learning rate instead of crashing.
+    handle_signals:
+        Convert SIGINT/SIGTERM during ``fit`` into graceful preemption
+        (finish the batch, checkpoint, raise
+        :class:`~repro.train.PreemptedError`).
+    step_hook:
+        Test/chaos instrumentation: called with the global batch step
+        after every update (the same seam the fault-injection tests of
+        the serving layer use).
     """
 
     name = "Ours (BNN)"
@@ -106,6 +126,12 @@ class BNNDetector(HotspotDetector):
         target_fa_rate: float | None = None,
         seed: int = 0,
         verbose: bool = False,
+        checkpoint_dir=None,
+        resume: bool = False,
+        keep: int = 3,
+        max_grad_norm: float | None = None,
+        handle_signals: bool = False,
+        step_hook=None,
     ):
         self.channels = channels
         self.blocks_per_stage = blocks_per_stage
@@ -125,9 +151,16 @@ class BNNDetector(HotspotDetector):
         self.target_fa_rate = target_fa_rate
         self.seed = seed
         self.verbose = verbose
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = resume
+        self.keep = keep
+        self.max_grad_norm = max_grad_norm
+        self.handle_signals = handle_signals
+        self.step_hook = step_hook
         self.model = None
         self.engine: ProgramEngine | None = None
         self.decision_bias = 0.0
+        self.history: History | None = None
 
     @property
     def backend_name(self) -> str:
@@ -151,8 +184,9 @@ class BNNDetector(HotspotDetector):
                                 scaling=self.scaling, seed=self.seed,
                                 stem_stride=stem_stride)
 
-    def _run_phase(
+    def _build_phase(
         self,
+        name: str,
         train_part: ArrayDataset,
         val_loader: DataLoader | None,
         epochs: int,
@@ -160,16 +194,18 @@ class BNNDetector(HotspotDetector):
         rng: np.random.Generator,
         hard_labels: np.ndarray,
         hotspot_mass: float | None,
-    ) -> None:
-        """One training phase (main or biased fine-tune).
+    ) -> TrainingPhase | None:
+        """Construct one training phase (main or biased fine-tune).
 
         ``hard_labels`` are the 0/1 labels of ``train_part`` used for
         class-rebalanced sampling (the dataset itself may carry soft
         targets); ``hotspot_mass`` is the expected positive fraction per
-        epoch (``None`` keeps the natural distribution).
+        epoch (``None`` keeps the natural distribution).  Draws exactly
+        two seeds from ``rng`` (loader, then augmenter) so that phase
+        reconstruction — e.g. before a resume — is deterministic.
         """
         if epochs <= 0:
-            return
+            return None
         optimizer = NAdam(self.model.parameters(), lr=lr)
         scheduler = ReduceLROnPlateau(optimizer, factor=0.5, patience=1)
         trainer = Trainer(
@@ -177,6 +213,7 @@ class BNNDetector(HotspotDetector):
             optimizer,
             scheduler=scheduler,
             post_step=lambda: clip_binary_weights(self.model),
+            max_grad_norm=self.max_grad_norm,
         )
         weights = (
             balanced_weights(hard_labels, positive_mass=hotspot_mass)
@@ -190,8 +227,8 @@ class BNNDetector(HotspotDetector):
             augment=RandomFlip(np.random.default_rng(rng.integers(2**32))),
             sample_weights=weights,
         )
-        trainer.fit(loader, epochs=epochs, val_loader=val_loader,
-                    verbose=self.verbose)
+        return TrainingPhase(name=name, epochs=epochs, trainer=trainer,
+                             train_loader=loader, val_loader=val_loader)
 
     def _scores(self, images: np.ndarray) -> np.ndarray:
         """Hotspot decision scores (hotspot logit minus non-hotspot)."""
@@ -237,15 +274,29 @@ class BNNDetector(HotspotDetector):
             )
 
         hard = ArrayDataset(fit_images, fit_labels)
-        self._run_phase(hard, val_loader, self.epochs, self.lr, rng,
-                        hard_labels=fit_labels,
-                        hotspot_mass=0.5 if self.balance else None)
+        phases = []
+        main = self._build_phase("main", hard, val_loader, self.epochs,
+                                 self.lr, rng, hard_labels=fit_labels,
+                                 hotspot_mass=0.5 if self.balance else None)
+        if main is not None:
+            phases.append(main)
         if self.finetune_epochs > 0 and self.epsilon > 0:
             soft = ArrayDataset(fit_images,
                                 biased_targets(fit_labels, self.epsilon))
-            self._run_phase(soft, val_loader, self.finetune_epochs,
-                            self.lr * 0.1, rng, hard_labels=fit_labels,
-                            hotspot_mass=self.finetune_hotspot_mass)
+            finetune = self._build_phase(
+                "finetune", soft, val_loader, self.finetune_epochs,
+                self.lr * 0.1, rng, hard_labels=fit_labels,
+                hotspot_mass=self.finetune_hotspot_mass)
+            if finetune is not None:
+                phases.append(finetune)
+        if phases:
+            run = TrainingRun(
+                self.model, phases,
+                checkpoint_dir=self.checkpoint_dir, keep=self.keep,
+                step_hook=self.step_hook,
+                handle_signals=self.handle_signals, verbose=self.verbose,
+            )
+            self.history = run.run(resume=self.resume)
 
         if self.backend is not None:
             self.engine = engine_for_backend(self.model, self.backend)

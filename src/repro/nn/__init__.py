@@ -14,6 +14,8 @@ from .data import (
     DataLoader,
     RandomFlip,
     balanced_weights,
+    capture_rng_state,
+    restore_rng_state,
     train_val_split,
 )
 from .layers import (
@@ -45,7 +47,13 @@ from .serialization import (
     save_model,
     state_checksum,
 )
-from .trainer import History, Trainer, evaluate_loss, predict_logits
+from .trainer import (
+    GradientExplosionError,
+    History,
+    Trainer,
+    evaluate_loss,
+    predict_logits,
+)
 
 __all__ = [
     "functional",
@@ -57,6 +65,8 @@ __all__ = [
     "EarlyStopping",
     "RandomFlip",
     "balanced_weights",
+    "capture_rng_state",
+    "restore_rng_state",
     "train_val_split",
     "AvgPool2D",
     "BatchNorm1D",
@@ -94,6 +104,7 @@ __all__ = [
     "load_model",
     "save_model",
     "state_checksum",
+    "GradientExplosionError",
     "History",
     "Trainer",
     "evaluate_loss",

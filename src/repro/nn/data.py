@@ -8,6 +8,7 @@ in the clip (Section 3.4.1).
 
 from __future__ import annotations
 
+import json
 from typing import Iterator
 
 import numpy as np
@@ -17,8 +18,26 @@ __all__ = [
     "DataLoader",
     "RandomFlip",
     "balanced_weights",
+    "capture_rng_state",
+    "restore_rng_state",
     "train_val_split",
 ]
+
+
+def capture_rng_state(rng: np.random.Generator) -> str:
+    """Serialize a generator's ``bit_generator.state`` to a JSON string.
+
+    The state dict carries arbitrary-precision integers (PCG64 uses
+    128-bit words), which JSON represents exactly — so the string
+    round-trips through ``np.savez`` (as a 0-d unicode array) and back
+    into a bit-identical generator via :func:`restore_rng_state`.
+    """
+    return json.dumps(rng.bit_generator.state)
+
+
+def restore_rng_state(rng: np.random.Generator, state: str) -> None:
+    """Restore a state captured with :func:`capture_rng_state` in place."""
+    rng.bit_generator.state = json.loads(state)
 
 
 def balanced_weights(labels: np.ndarray, positive_mass: float = 0.5) -> np.ndarray:
@@ -124,6 +143,14 @@ class DataLoader:
     ):
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if drop_last and len(dataset) < batch_size:
+            # would silently yield zero batches every epoch — an easy
+            # footgun with small validation splits
+            raise ValueError(
+                f"drop_last=True with dataset length {len(dataset)} < "
+                f"batch_size {batch_size} would yield no batches; "
+                "lower batch_size or use drop_last=False"
+            )
         if sample_weights is not None:
             sample_weights = np.asarray(sample_weights, dtype=np.float64)
             if sample_weights.shape[0] != len(dataset):
@@ -159,6 +186,32 @@ class DataLoader:
                 images = self.augment(images)
             yield images, self.dataset.labels[idx]
 
+    # -- state dict ----------------------------------------------------
+
+    def state_dict(self) -> dict[str, str]:
+        """RNG states that determine the batch stream from here on.
+
+        Sampling order and augmentation flips are the loader's only
+        nondeterminism; capturing both generators is what lets a resumed
+        training run replay the exact batch stream of the original
+        (see :mod:`repro.train`).
+        """
+        state = {"rng": capture_rng_state(self.rng)}
+        if self.augment is not None:
+            state["augment_rng"] = capture_rng_state(self.augment.rng)
+        return state
+
+    def load_state_dict(self, state: dict[str, str]) -> None:
+        """Restore RNG states saved by :meth:`state_dict`."""
+        restore_rng_state(self.rng, state["rng"])
+        if self.augment is not None:
+            if "augment_rng" not in state:
+                raise KeyError(
+                    "loader state dict has no 'augment_rng' but this "
+                    "loader augments; saved from a different configuration?"
+                )
+            restore_rng_state(self.augment.rng, state["augment_rng"])
+
 
 def train_val_split(
     dataset: ArrayDataset, val_fraction: float, rng: np.random.Generator
@@ -169,4 +222,10 @@ def train_val_split(
     n = len(dataset)
     order = rng.permutation(n)
     n_val = max(1, int(round(n * val_fraction)))
+    if n - n_val < 1:
+        raise ValueError(
+            f"val_fraction={val_fraction} of a {n}-sample dataset leaves "
+            f"{n - n_val} training samples; lower val_fraction or provide "
+            "more data (need at least 1 sample on each side)"
+        )
     return dataset.subset(order[n_val:]), dataset.subset(order[:n_val])

@@ -42,6 +42,53 @@ class Optimizer:
     def _trainable(self) -> list[Parameter]:
         return [p for p in self.params if p.trainable]
 
+    # -- state dict ----------------------------------------------------
+    #
+    # Optimizers carry internal state (moment estimates, velocities,
+    # step counters) that must survive a crash for a resumed run to be
+    # bit-identical to an uninterrupted one.  The format is a flat
+    # mapping of string keys to arrays — the same shape as
+    # :meth:`Module.state_dict` — so run-state checkpoints can bundle
+    # model and optimizer state in one ``.npz`` archive.
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat mapping of optimizer state (lr + subclass slots)."""
+        state = {"lr": np.float64(self.lr)}
+        state.update(self._slot_state())
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore state saved by :meth:`state_dict` (exact shapes)."""
+        if "lr" not in state:
+            raise KeyError("optimizer state dict is missing 'lr'")
+        self.lr = float(state["lr"])
+        self._load_slot_state(state)
+
+    def _slot_state(self) -> dict[str, np.ndarray]:
+        """Subclass hook: per-parameter slots and counters to persist."""
+        return {}
+
+    def _load_slot_state(self, state: dict[str, np.ndarray]) -> None:
+        """Subclass hook: restore what :meth:`_slot_state` returned."""
+
+    def _load_slot_arrays(
+        self, state: dict[str, np.ndarray], name: str, slots: list[np.ndarray]
+    ) -> None:
+        """Copy ``state[f"{name}.{i}"]`` into ``slots[i]`` with checks."""
+        for i, slot in enumerate(slots):
+            key = f"{name}.{i}"
+            if key not in state:
+                raise KeyError(
+                    f"optimizer state dict is missing {key!r} "
+                    f"(saved with a different parameter list?)"
+                )
+            if state[key].shape != slot.shape:
+                raise ValueError(
+                    f"shape mismatch for optimizer slot {key!r}: "
+                    f"{state[key].shape} vs {slot.shape}"
+                )
+            slot[...] = state[key]
+
 
 class SGD(Optimizer):
     """Vanilla (mini-batch) gradient descent."""
@@ -52,7 +99,17 @@ class SGD(Optimizer):
             p.data -= self.lr * p.grad
 
 
-class Momentum(Optimizer):
+class _VelocityMixin:
+    """Shared state-dict plumbing for velocity-slot optimizers."""
+
+    def _slot_state(self) -> dict[str, np.ndarray]:
+        return {f"velocity.{i}": v.copy() for i, v in enumerate(self._velocity)}
+
+    def _load_slot_state(self, state: dict[str, np.ndarray]) -> None:
+        self._load_slot_arrays(state, "velocity", self._velocity)
+
+
+class Momentum(_VelocityMixin, Optimizer):
     """Classical (heavy-ball) momentum."""
 
     def __init__(self, params: list[Parameter], lr: float, momentum: float = 0.9):
@@ -70,7 +127,7 @@ class Momentum(Optimizer):
             p.data += v
 
 
-class NAG(Optimizer):
+class NAG(_VelocityMixin, Optimizer):
     """Nesterov accelerated gradient (Nesterov, 1983), in the common
     "lookahead rewritten at the current point" form."""
 
@@ -91,7 +148,24 @@ class NAG(Optimizer):
             p.data += -mu * v_prev + (1.0 + mu) * v
 
 
-class Adam(Optimizer):
+class _MomentMixin:
+    """Shared state-dict plumbing for Adam-family optimizers."""
+
+    def _slot_state(self) -> dict[str, np.ndarray]:
+        state: dict[str, np.ndarray] = {"t": np.int64(self._t)}
+        state.update({f"m.{i}": m.copy() for i, m in enumerate(self._m)})
+        state.update({f"v.{i}": v.copy() for i, v in enumerate(self._v)})
+        return state
+
+    def _load_slot_state(self, state: dict[str, np.ndarray]) -> None:
+        if "t" not in state:
+            raise KeyError("optimizer state dict is missing 't'")
+        self._t = int(state["t"])
+        self._load_slot_arrays(state, "m", self._m)
+        self._load_slot_arrays(state, "v", self._v)
+
+
+class Adam(_MomentMixin, Optimizer):
     """Adam (Kingma & Ba, 2014) with bias-corrected moment estimates."""
 
     def __init__(
@@ -126,7 +200,7 @@ class Adam(Optimizer):
             p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
 
-class NAdam(Optimizer):
+class NAdam(_MomentMixin, Optimizer):
     """NAdam (Dozat, 2016): Adam with Nesterov momentum.
 
     Uses the widely adopted simplification in which the Nesterov

@@ -9,6 +9,8 @@ ablations.
 
 from __future__ import annotations
 
+import numpy as np
+
 from .optim import Optimizer
 
 __all__ = ["LinearWarmup", "ReduceLROnPlateau", "StepDecay"]
@@ -69,6 +71,18 @@ class ReduceLROnPlateau:
         self.optimizer.lr = new_lr
         return decayed
 
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Mutable scheduler state (the lr itself lives in the optimizer)."""
+        return {
+            "best": np.float64(self.best),
+            "num_bad_epochs": np.int64(self.num_bad_epochs),
+        }
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore state saved by :meth:`state_dict`."""
+        self.best = float(state["best"])
+        self.num_bad_epochs = int(state["num_bad_epochs"])
+
 
 class LinearWarmup:
     """Ramp the learning rate linearly from ``start_factor * lr`` to the
@@ -103,6 +117,26 @@ class LinearWarmup:
             return self.after.step(val_loss)
         return False
 
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Warmup position plus the inner scheduler's state (if any)."""
+        state = {"epoch": np.int64(self._epoch)}
+        if self.after is not None:
+            inner = self.after.state_dict()
+            state.update({f"after.{key}": value for key, value in inner.items()})
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore state saved by :meth:`state_dict`."""
+        self._epoch = int(state["epoch"])
+        if self.after is not None:
+            prefix = "after."
+            inner = {
+                key[len(prefix):]: value
+                for key, value in state.items()
+                if key.startswith(prefix)
+            }
+            self.after.load_state_dict(inner)
+
 
 class StepDecay:
     """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
@@ -122,3 +156,11 @@ class StepDecay:
             self.optimizer.lr *= self.gamma
             return True
         return False
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Epoch counter (the lr itself lives in the optimizer)."""
+        return {"epoch": np.int64(self._epoch)}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore state saved by :meth:`state_dict`."""
+        self._epoch = int(state["epoch"])

@@ -20,16 +20,34 @@ from .module import Module
 from .optim import Optimizer
 from .schedulers import ReduceLROnPlateau
 
-__all__ = ["History", "Trainer", "evaluate_loss", "predict_logits"]
+__all__ = [
+    "GradientExplosionError",
+    "History",
+    "Trainer",
+    "evaluate_loss",
+    "predict_logits",
+]
+
+
+class GradientExplosionError(FloatingPointError):
+    """The global gradient norm exceeded the trainer's limit (or went
+    non-finite) — raised *before* the optimizer step so the master
+    weights are never poisoned by the exploding update."""
 
 
 @dataclass
 class History:
-    """Per-epoch training telemetry."""
+    """Per-epoch training telemetry.
+
+    ``events`` records out-of-band incidents — divergence rollbacks,
+    preemptions, resumes — as dicts with at least a ``"kind"`` key (see
+    :class:`repro.train.TrainingRun`); empty for plain uneventful runs.
+    """
 
     train_loss: list[float] = field(default_factory=list)
     val_loss: list[float] = field(default_factory=list)
     lr: list[float] = field(default_factory=list)
+    events: list[dict] = field(default_factory=list)
 
     @property
     def epochs(self) -> int:
@@ -41,6 +59,10 @@ def predict_logits(
     model: Module, images: np.ndarray, batch_size: int = 256
 ) -> np.ndarray:
     """Run inference in batches and return stacked logits."""
+    if images.shape[0] == 0:
+        # np.concatenate([]) raises a cryptic "need at least one array";
+        # a zero-batch forward yields the correctly shaped empty logits
+        return model.forward(images)
     outputs = []
     for start in range(0, images.shape[0], batch_size):
         outputs.append(model.forward(images[start : start + batch_size]))
@@ -81,6 +103,13 @@ class Trainer:
         Optional callable invoked after every optimizer step — used by
         the BNN detector to clamp master weights to [-1, 1] so the
         straight-through window of Eq. (10) stays active.
+    max_grad_norm:
+        Optional divergence guard: when set, the global (all-parameter)
+        gradient L2 norm is checked after every backward pass, and a
+        norm above the limit — or a non-finite one — raises
+        :class:`GradientExplosionError` *before* the optimizer step.
+        :class:`repro.train.TrainingRun` turns that into a rollback
+        instead of a dead run.
     """
 
     def __init__(
@@ -90,12 +119,25 @@ class Trainer:
         scheduler: ReduceLROnPlateau | None = None,
         loss_fn: SoftmaxCrossEntropy | None = None,
         post_step=None,
+        max_grad_norm: float | None = None,
     ):
+        if max_grad_norm is not None and max_grad_norm <= 0:
+            raise ValueError(
+                f"max_grad_norm must be positive, got {max_grad_norm}"
+            )
         self.model = model
         self.optimizer = optimizer
         self.scheduler = scheduler
         self.loss_fn = loss_fn if loss_fn is not None else SoftmaxCrossEntropy()
         self.post_step = post_step
+        self.max_grad_norm = max_grad_norm
+
+    def grad_norm(self) -> float:
+        """Global L2 norm over every trainable parameter's gradient."""
+        total = 0.0
+        for p in self.optimizer._trainable():
+            total += float(np.vdot(p.grad, p.grad).real)
+        return float(np.sqrt(total))
 
     def train_batch(self, images: np.ndarray, labels: np.ndarray) -> float:
         """One forward/backward/update step; returns the batch loss."""
@@ -105,6 +147,13 @@ class Trainer:
         if not np.isfinite(loss):
             raise FloatingPointError(f"non-finite training loss: {loss}")
         self.model.backward(self.loss_fn.backward())
+        if self.max_grad_norm is not None:
+            norm = self.grad_norm()
+            if not np.isfinite(norm) or norm > self.max_grad_norm:
+                raise GradientExplosionError(
+                    f"gradient norm {norm:.4g} exceeds limit "
+                    f"{self.max_grad_norm:.4g}"
+                )
         self.optimizer.step()
         if self.post_step is not None:
             self.post_step()
@@ -125,7 +174,9 @@ class Trainer:
                 loss = self.train_batch(images, labels)
                 epoch_loss += loss * images.shape[0]
                 seen += images.shape[0]
-            train_loss = epoch_loss / max(seen, 1)
+            if seen == 0:
+                raise ValueError("train_loader produced no batches")
+            train_loss = epoch_loss / seen
             history.train_loss.append(train_loss)
             history.lr.append(self.optimizer.lr)
             val_loss = None

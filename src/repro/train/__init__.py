@@ -1,0 +1,30 @@
+"""Crash-safe training runs: checkpoint/resume, rollback, preemption.
+
+The training-side counterpart of ``repro.serve``'s fault tolerance:
+:class:`TrainingRun` executes a multi-phase schedule (Algorithm 1's
+main MGD epochs + the biased fine-tune phase) with atomic run-state
+checkpoints, bit-identical resume after a kill at any batch step, a
+divergence sentinel with bounded rollback-and-retry, and graceful
+SIGINT/SIGTERM preemption.  See ``docs/training.md``.
+"""
+
+from .checkpoint import (
+    CheckpointInfo,
+    CheckpointManager,
+    load_run_state,
+    save_run_state,
+)
+from .errors import DivergenceError, PreemptedError, TrainingRunError
+from .run import TrainingPhase, TrainingRun
+
+__all__ = [
+    "CheckpointInfo",
+    "CheckpointManager",
+    "DivergenceError",
+    "PreemptedError",
+    "TrainingPhase",
+    "TrainingRun",
+    "TrainingRunError",
+    "load_run_state",
+    "save_run_state",
+]

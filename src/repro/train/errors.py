@@ -1,0 +1,51 @@
+"""Typed errors of the crash-safe training orchestrator.
+
+Mirrors the serving layer's philosophy (``repro.serve.errors``): every
+failure mode a caller might handle differently gets its own type, and
+each error message carries enough context to act on — the checkpoint to
+resume from, the number of rollbacks attempted, the step that was
+interrupted.
+
+Corrupt or truncated run-state files raise the *same*
+:class:`~repro.nn.serialization.CheckpointError` the model-checkpoint
+loader uses, so one ``except`` clause covers integrity failures of both
+formats.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["TrainingRunError", "DivergenceError", "PreemptedError"]
+
+
+class TrainingRunError(RuntimeError):
+    """Base class for orchestrator failures."""
+
+
+class DivergenceError(TrainingRunError):
+    """Training kept diverging after the allowed number of rollbacks.
+
+    Raised by :class:`repro.train.TrainingRun` once rollback + learning-
+    rate cuts have been retried ``max_retries`` times without completing
+    an epoch.  The underlying :class:`FloatingPointError` (non-finite
+    loss or exploding gradient) is chained as ``__cause__``.
+    """
+
+    def __init__(self, message: str, retries: int):
+        super().__init__(message)
+        self.retries = retries
+
+
+class PreemptedError(TrainingRunError):
+    """The run was preempted (SIGINT/SIGTERM or an explicit request).
+
+    The in-flight batch was finished and a resumable checkpoint was
+    written before raising; ``checkpoint`` names it (``None`` when the
+    run has no checkpoint directory, in which case the run is lost — the
+    error message says so).
+    """
+
+    def __init__(self, message: str, checkpoint: Path | None):
+        super().__init__(message)
+        self.checkpoint = checkpoint

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.nn import ArrayDataset, DataLoader, RandomFlip, train_val_split
-from repro.nn.data import balanced_weights
+from repro.nn.data import balanced_weights, capture_rng_state, restore_rng_state
 
 
 def small_dataset(n=10, rng=None):
@@ -84,6 +84,65 @@ class TestDataLoader:
             DataLoader(small_dataset(4), batch_size=2,
                        sample_weights=np.ones(3))
 
+    def test_drop_last_smaller_than_batch_raises(self):
+        # would silently yield zero batches every epoch
+        with pytest.raises(ValueError, match="no batches"):
+            DataLoader(small_dataset(4), batch_size=8, drop_last=True)
+
+
+class TestLoaderDeterminism:
+    """Same RNG state in -> same batch stream out.
+
+    This is the property the crash-safe training resume guarantee
+    (repro.train) rests on: restoring the loader and augmenter RNG
+    states must replay the exact sampling order and flip decisions.
+    """
+
+    @staticmethod
+    def _weighted_augmented_loader(seed=5):
+        rng = np.random.default_rng(seed)
+        labels = np.tile([0, 0, 0, 1], 5)
+        ds = ArrayDataset(np.arange(20 * 9, dtype=float).reshape(20, 1, 3, 3),
+                          labels)
+        return DataLoader(
+            ds, batch_size=6,
+            rng=np.random.default_rng(rng.integers(2**32)),
+            augment=RandomFlip(np.random.default_rng(rng.integers(2**32))),
+            sample_weights=balanced_weights(labels),
+        )
+
+    def test_state_roundtrip_replays_batch_stream(self):
+        loader = self._weighted_augmented_loader()
+        list(loader)  # advance both generators past their seed state
+        state = loader.state_dict()
+        first = [(img.copy(), lab.copy()) for img, lab in loader]
+        loader.load_state_dict(state)
+        second = [(img.copy(), lab.copy()) for img, lab in loader]
+        assert len(first) == len(second)
+        for (img_a, lab_a), (img_b, lab_b) in zip(first, second):
+            np.testing.assert_array_equal(img_a, img_b)
+            np.testing.assert_array_equal(lab_a, lab_b)
+
+    def test_identically_seeded_loaders_agree(self):
+        stream_a = [img.copy() for img, _ in self._weighted_augmented_loader()]
+        stream_b = [img.copy() for img, _ in self._weighted_augmented_loader()]
+        for a, b in zip(stream_a, stream_b):
+            np.testing.assert_array_equal(a, b)
+
+    def test_state_dict_is_json_string_roundtrip(self):
+        g = np.random.default_rng(3)
+        g.random(17)  # push past the seed state
+        state = capture_rng_state(g)
+        assert isinstance(state, str)
+        g2 = np.random.default_rng(0)
+        restore_rng_state(g2, state)
+        np.testing.assert_array_equal(g.random(8), g2.random(8))
+
+    def test_augment_state_required_when_augmenting(self):
+        loader = self._weighted_augmented_loader()
+        with pytest.raises(KeyError):
+            loader.load_state_dict({"rng": capture_rng_state(loader.rng)})
+
 
 class TestBalancedWeights:
     def test_class_mass_equal(self):
@@ -151,6 +210,11 @@ class TestSplit:
     def test_invalid_fraction_raises(self, rng):
         with pytest.raises(ValueError):
             train_val_split(small_dataset(), 0.0, rng)
+
+    def test_empty_train_side_raises(self, rng):
+        # 2 samples at 0.9 -> n_val = 2, train side would be empty
+        with pytest.raises(ValueError, match="training samples"):
+            train_val_split(small_dataset(2), 0.9, rng)
 
 
 @settings(max_examples=20, deadline=None)

@@ -102,3 +102,76 @@ def test_converges_on_quadratic(opt_cls, kwargs):
         p.grad[...] = 2.0 * (p.data - target)
         opt.step()
     np.testing.assert_allclose(p.data, target, atol=0.05)
+
+
+_ALL_OPTIMIZERS = [
+    (SGD, {"lr": 0.1}),
+    (Momentum, {"lr": 0.05}),
+    (NAG, {"lr": 0.05}),
+    (Adam, {"lr": 0.1}),
+    (NAdam, {"lr": 0.1}),
+]
+
+
+def _quadratic_steps(opt, p, n, target=np.array([1.0, 2.0])):
+    trace = []
+    for _ in range(n):
+        p.grad[...] = 2.0 * (p.data - target)
+        opt.step()
+        trace.append(p.data.copy())
+    return trace
+
+
+@pytest.mark.parametrize("opt_cls,kwargs", _ALL_OPTIMIZERS)
+class TestStateDict:
+    """Checkpoint/restore must continue training bit-identically —
+    the optimizer-side half of the crash-safe resume guarantee."""
+
+    def test_roundtrip_continues_bit_identically(self, opt_cls, kwargs):
+        p_a = Parameter(np.array([5.0, -3.0]))
+        opt_a = opt_cls([p_a], **kwargs)
+        _quadratic_steps(opt_a, p_a, 7)
+        state = opt_a.state_dict()
+        frozen = {k: np.asarray(v).copy() for k, v in state.items()}
+
+        # fresh optimizer over the same (copied) parameter values
+        p_b = Parameter(p_a.data.copy())
+        opt_b = opt_cls([p_b], **kwargs)
+        opt_b.load_state_dict(state)
+        cont_a = _quadratic_steps(opt_a, p_a, 5)
+        cont_b = _quadratic_steps(opt_b, p_b, 5)
+        for a, b in zip(cont_a, cont_b):
+            np.testing.assert_array_equal(a, b)
+        # state dict must be a snapshot, not a live view
+        for key, value in frozen.items():
+            np.testing.assert_array_equal(np.asarray(state[key]), value)
+
+    def test_lr_roundtrips(self, opt_cls, kwargs):
+        p = Parameter(np.zeros(2))
+        opt = opt_cls([p], **kwargs)
+        opt.lr = 0.0123
+        state = opt.state_dict()
+        opt2 = opt_cls([Parameter(np.zeros(2))], **kwargs)
+        opt2.load_state_dict(state)
+        assert opt2.lr == 0.0123
+
+    def test_missing_slot_raises(self, opt_cls, kwargs):
+        p = Parameter(np.zeros(3))
+        opt = opt_cls([p], **kwargs)
+        state = opt.state_dict()
+        if len(state) == 1:  # SGD: lr only, no per-parameter slots
+            pytest.skip("stateless optimizer: nothing to mismatch")
+        two_param = opt_cls([Parameter(np.zeros(3)), Parameter(np.zeros(3))],
+                            **kwargs)
+        with pytest.raises(KeyError):
+            two_param.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self, opt_cls, kwargs):
+        p = Parameter(np.zeros(3))
+        opt = opt_cls([p], **kwargs)
+        state = opt.state_dict()
+        if len(state) == 1:  # SGD: lr only, no per-parameter slots
+            pytest.skip("stateless optimizer: nothing to mismatch")
+        other = opt_cls([Parameter(np.zeros(5))], **kwargs)
+        with pytest.raises(ValueError):
+            other.load_state_dict(state)

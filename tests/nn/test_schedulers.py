@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.nn import Parameter, ReduceLROnPlateau, SGD, StepDecay
+from repro.nn import LinearWarmup, Parameter, ReduceLROnPlateau, SGD, StepDecay
 
 import numpy as np
 
@@ -72,3 +72,65 @@ class TestStepDecay:
     def test_invalid_step_size_raises(self):
         with pytest.raises(ValueError):
             StepDecay(make_opt(), step_size=0)
+
+
+class TestStateDicts:
+    """Scheduler state must round-trip so a resumed run continues the
+    same decay schedule (the scheduler half of crash-safe resume)."""
+
+    def test_plateau_roundtrip_preserves_patience_countdown(self):
+        opt = make_opt()
+        sched = ReduceLROnPlateau(opt, factor=0.5, patience=2)
+        sched.step(1.0)
+        sched.step(1.0)  # one bad epoch banked
+        state = sched.state_dict()
+
+        opt2 = make_opt()
+        fresh = ReduceLROnPlateau(opt2, factor=0.5, patience=2)
+        fresh.load_state_dict(state)
+        assert fresh.best == sched.best
+        assert not fresh.step(1.0)  # second bad epoch: still within patience
+        assert fresh.step(1.0)      # third: decay fires, same as original
+        assert opt2.lr == 0.5
+
+    def test_plateau_roundtrip_preserves_best(self):
+        opt = make_opt()
+        sched = ReduceLROnPlateau(opt, factor=0.5, patience=0)
+        sched.step(0.3)
+        restored = ReduceLROnPlateau(make_opt(), factor=0.5, patience=0)
+        restored.load_state_dict(sched.state_dict())
+        assert not restored.step(0.2)  # improvement over restored best
+        assert restored.step(0.25)     # worse than 0.2: plateau
+
+    def test_step_decay_roundtrip(self):
+        opt = make_opt()
+        sched = StepDecay(opt, step_size=3, gamma=0.1)
+        sched.step()
+        opt2 = make_opt()
+        restored = StepDecay(opt2, step_size=3, gamma=0.1)
+        restored.load_state_dict(sched.state_dict())
+        assert not restored.step()
+        assert restored.step()  # epoch 3: decay
+        assert opt2.lr == pytest.approx(0.1)
+
+    def test_linear_warmup_roundtrip_with_inner(self):
+        opt = make_opt()
+        inner = ReduceLROnPlateau(opt, factor=0.5, patience=0)
+        sched = LinearWarmup(opt, warmup_epochs=2, start_factor=0.5,
+                             after=inner)
+        sched.step(1.0)  # mid-warmup
+        inner.step(0.7)  # bank a best loss in the inner scheduler
+        state = sched.state_dict()
+
+        opt2 = make_opt()
+        inner2 = ReduceLROnPlateau(opt2, factor=0.5, patience=0)
+        restored = LinearWarmup(opt2, warmup_epochs=2, start_factor=0.5,
+                                after=inner2)
+        restored.load_state_dict(state)
+        opt2.lr = opt.lr  # lr itself lives in the optimizer state
+        assert restored.step(1.0)  # finishes warmup at the target lr
+        assert opt2.lr == pytest.approx(1.0)
+        # inner scheduler state came along for the ride
+        assert inner2.best == pytest.approx(0.7)
+        restored.step(1.0)  # worse than the restored best: inner decays
+        assert opt2.lr == pytest.approx(0.5)

@@ -7,6 +7,7 @@ from repro.nn import (
     ArrayDataset,
     DataLoader,
     Dense,
+    GradientExplosionError,
     NAdam,
     ReduceLROnPlateau,
     ReLU,
@@ -17,6 +18,12 @@ from repro.nn import (
     evaluate_loss,
     predict_logits,
 )
+
+
+def empty_loader():
+    """A loader over a zero-sample dataset (yields no batches)."""
+    ds = ArrayDataset(np.zeros((0, 4)), np.zeros(0, dtype=int))
+    return DataLoader(ds, 8)
 
 
 def toy_problem(rng, n=120):
@@ -85,6 +92,34 @@ class TestTrainer:
         with pytest.raises(FloatingPointError):
             trainer.train_batch(ds.images, ds.labels)
 
+    def test_empty_train_loader_raises(self, rng):
+        model = make_model(rng)
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.1))
+        with pytest.raises(ValueError, match="no batches"):
+            trainer.fit(empty_loader(), epochs=1)
+
+    def test_grad_norm_limit_raises_before_update(self, rng):
+        ds = toy_problem(rng, n=16)
+        model = make_model(rng)
+        before = [p.data.copy() for p in model.parameters()]
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.1),
+                          max_grad_norm=1e-12)
+        with pytest.raises(GradientExplosionError):
+            trainer.train_batch(ds.images, ds.labels)
+        # the exploding update must never have touched the weights
+        for p, orig in zip(model.parameters(), before):
+            np.testing.assert_array_equal(p.data, orig)
+
+    def test_grad_norm_limit_permits_normal_training(self, rng):
+        ds = toy_problem(rng)
+        model = make_model(rng)
+        trainer = Trainer(model, NAdam(model.parameters(), lr=0.01),
+                          max_grad_norm=1e6)
+        history = trainer.fit(
+            DataLoader(ds, 16, rng=np.random.default_rng(0)), epochs=3
+        )
+        assert history.epochs == 3
+
     def test_history_records_lr(self, rng):
         ds = toy_problem(rng, n=32)
         model = make_model(rng)
@@ -115,7 +150,10 @@ class TestEvaluate:
 
     def test_empty_loader_raises(self, rng):
         model = make_model(rng)
-        ds = toy_problem(rng, n=4)
-        loader = DataLoader(ds, 8, drop_last=True)  # 4 < 8 -> no batches
         with pytest.raises(ValueError):
-            evaluate_loss(model, loader)
+            evaluate_loss(model, empty_loader())
+
+    def test_predict_logits_empty_batch(self, rng):
+        model = make_model(rng)
+        logits = predict_logits(model, np.zeros((0, 4)))
+        assert logits.shape == (0, 2)

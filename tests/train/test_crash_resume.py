@@ -1,0 +1,59 @@
+"""The chaos gate: kill BNN detector training at random steps, resume,
+and demand bit-identical final weights (ISSUE acceptance criterion).
+
+The heavy lifting lives in :mod:`repro.train.parity` so CI can also run
+it as a standalone quick gate (``python -m repro.train.parity``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.train.parity import (
+    make_detector,
+    planted_dataset,
+    resume_parity,
+)
+
+
+@pytest.mark.slow
+class TestChaosGate:
+    def test_kill_at_random_steps_resumes_bit_identically(self, tmp_path):
+        report = resume_parity(kills=3, epochs=2, finetune_epochs=1,
+                               image_size=16, base_width=4, batch_size=16,
+                               n_per_class=15, chaos_seed=7,
+                               work_dir=tmp_path)
+        for kill in report.kills:
+            assert kill.identical, (
+                f"resume after kill at step {kill.kill_step} "
+                f"({kill.phase} phase) diverged from the reference run"
+            )
+        # the gate must cover the biased fine-tune phase, not just main
+        assert any(k.phase == "finetune" for k in report.kills)
+        assert report.truncation_refused
+        assert report.ok
+
+
+@pytest.mark.slow
+def test_resumed_history_spans_both_runs(tmp_path):
+    """The resumed detector's History carries the pre-kill epochs and a
+    resume event — the run looks continuous to telemetry."""
+    dataset = planted_dataset(10, 16, np.random.default_rng(0))
+
+    class Crash(RuntimeError):
+        pass
+
+    def bomb(step):
+        if step == 3:
+            raise Crash()
+
+    victim = make_detector(epochs=2, finetune_epochs=1,
+                           checkpoint_dir=tmp_path, step_hook=bomb)
+    with pytest.raises(Crash):
+        victim.fit(dataset, np.random.default_rng(1))
+
+    survivor = make_detector(epochs=2, finetune_epochs=1,
+                             checkpoint_dir=tmp_path, resume=True)
+    survivor.fit(dataset, np.random.default_rng(1))
+    history = survivor.history
+    assert history.epochs == 3  # 2 main + 1 finetune, pre-kill included
+    assert any(e["kind"] == "resume" for e in history.events)

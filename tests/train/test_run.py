@@ -1,0 +1,286 @@
+"""Tests for the TrainingRun orchestrator: parity with the plain
+trainer, divergence rollback, preemption, and resume semantics."""
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    ArrayDataset,
+    DataLoader,
+    Dense,
+    NAdam,
+    ReduceLROnPlateau,
+    ReLU,
+    Sequential,
+    Trainer,
+)
+from repro.nn.serialization import state_checksum
+from repro.train import (
+    DivergenceError,
+    PreemptedError,
+    TrainingPhase,
+    TrainingRun,
+)
+
+
+def blob_dataset(n=48, seed=3):
+    rng = np.random.default_rng(seed)
+    x = np.concatenate([
+        rng.normal(-1.0, size=(n // 2, 4)),
+        rng.normal(+1.0, size=(n // 2, 4)),
+    ])
+    y = np.concatenate([np.zeros(n // 2, int), np.ones(n // 2, int)])
+    order = rng.permutation(n)
+    return ArrayDataset(x[order], y[order])
+
+
+def make_model(seed=9):
+    rng = np.random.default_rng(seed)
+    return Sequential(Dense(4, 8, rng=rng), ReLU(), Dense(8, 2, rng=rng))
+
+
+def make_phase(model, name="main", epochs=2, lr=0.01, loader_seed=11,
+               with_val=False, max_grad_norm=None, data_seed=3):
+    ds = blob_dataset(seed=data_seed)
+    optimizer = NAdam(model.parameters(), lr=lr)
+    scheduler = ReduceLROnPlateau(optimizer, factor=0.5, patience=1)
+    trainer = Trainer(model, optimizer, scheduler=scheduler,
+                      max_grad_norm=max_grad_norm)
+    loader = DataLoader(ds, 16, rng=np.random.default_rng(loader_seed))
+    val = DataLoader(ds, 16, shuffle=False) if with_val else None
+    return TrainingPhase(name=name, epochs=epochs, trainer=trainer,
+                         train_loader=loader, val_loader=val)
+
+
+class TestConstruction:
+    def test_no_phases_raises(self):
+        with pytest.raises(ValueError, match="at least one"):
+            TrainingRun(make_model(), [])
+
+    def test_duplicate_phase_names_raise(self):
+        model = make_model()
+        with pytest.raises(ValueError, match="unique"):
+            TrainingRun(model, [make_phase(model), make_phase(model)])
+
+    def test_foreign_model_in_phase_raises(self):
+        model, other = make_model(), make_model()
+        with pytest.raises(ValueError, match="different model"):
+            TrainingRun(model, [make_phase(other)])
+
+    def test_zero_epoch_phase_raises(self):
+        with pytest.raises(ValueError, match="epochs"):
+            make_phase(make_model(), epochs=0)
+
+    def test_invalid_lr_cut_raises(self):
+        model = make_model()
+        with pytest.raises(ValueError, match="lr_cut"):
+            TrainingRun(model, [make_phase(model)], lr_cut=1.5)
+
+
+class TestParityWithTrainer:
+    def test_single_phase_matches_plain_fit(self):
+        """TrainingRun without checkpointing is the Trainer loop."""
+        model_a = make_model()
+        phase = make_phase(model_a, epochs=3, with_val=True)
+        history_a = TrainingRun(model_a, [phase]).run()
+
+        model_b = make_model()
+        ref = make_phase(model_b, epochs=3, with_val=True)
+        history_b = ref.trainer.fit(ref.train_loader, epochs=3,
+                                    val_loader=ref.val_loader)
+
+        assert state_checksum(model_a.state_dict()) == state_checksum(
+            model_b.state_dict()
+        )
+        assert history_a.train_loss == history_b.train_loss
+        assert history_a.val_loss == history_b.val_loss
+        assert history_a.lr == history_b.lr
+
+    def test_two_phases_run_in_order(self):
+        model = make_model()
+        phases = [
+            make_phase(model, name="main", epochs=2),
+            make_phase(model, name="finetune", epochs=1, lr=0.001,
+                       loader_seed=12),
+        ]
+        history = TrainingRun(model, phases).run()
+        assert history.epochs == 3
+        assert history.lr[-1] == pytest.approx(0.001)
+
+
+class TestResume:
+    def test_resume_without_dir_raises(self):
+        model = make_model()
+        run = TrainingRun(model, [make_phase(model)])
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            run.run(resume=True)
+
+    def test_fresh_start_refuses_dirty_directory(self, tmp_path):
+        model = make_model()
+        TrainingRun(model, [make_phase(model, epochs=1)],
+                    checkpoint_dir=tmp_path).run()
+        model2 = make_model()
+        run2 = TrainingRun(model2, [make_phase(model2, epochs=1)],
+                           checkpoint_dir=tmp_path)
+        with pytest.raises(ValueError, match="resume=True"):
+            run2.run()
+
+    def test_resume_empty_directory_starts_fresh(self, tmp_path):
+        model = make_model()
+        history = TrainingRun(model, [make_phase(model, epochs=1)],
+                              checkpoint_dir=tmp_path).run(resume=True)
+        assert history.epochs == 1
+        assert not any(e["kind"] == "resume" for e in history.events)
+
+    def test_resume_completed_run_is_noop(self, tmp_path):
+        model = make_model()
+        TrainingRun(model, [make_phase(model, epochs=2)],
+                    checkpoint_dir=tmp_path).run()
+        digest = state_checksum(model.state_dict())
+
+        model2 = make_model()
+        history = TrainingRun(model2, [make_phase(model2, epochs=2)],
+                              checkpoint_dir=tmp_path).run(resume=True)
+        assert state_checksum(model2.state_dict()) == digest
+        assert history.epochs == 2  # restored, not retrained
+
+    def test_schedule_mismatch_refused(self, tmp_path):
+        model = make_model()
+        TrainingRun(model, [make_phase(model, epochs=2)],
+                    checkpoint_dir=tmp_path).run()
+        model2 = make_model()
+        run2 = TrainingRun(model2, [make_phase(model2, epochs=5)],
+                           checkpoint_dir=tmp_path)
+        with pytest.raises(ValueError, match="different phase schedule"):
+            run2.run(resume=True)
+
+
+class TestPreemption:
+    @staticmethod
+    def _reference_digest(epochs=3):
+        model = make_model()
+        TrainingRun(model, [make_phase(model, epochs=epochs)]).run()
+        return state_checksum(model.state_dict())
+
+    def test_preempted_mid_epoch_then_resume_bit_identical(self, tmp_path):
+        reference = self._reference_digest()
+
+        model = make_model()
+        holder = {}
+        run = TrainingRun(
+            model, [make_phase(model, epochs=3)], checkpoint_dir=tmp_path,
+            step_hook=lambda step: holder["run"].request_preemption()
+            if step == 4 else None,
+        )
+        holder["run"] = run
+        with pytest.raises(PreemptedError) as excinfo:
+            run.run()
+        assert excinfo.value.checkpoint is not None
+        assert excinfo.value.checkpoint.exists()
+        assert "resume" in str(excinfo.value)
+
+        model2 = make_model()
+        history = TrainingRun(model2, [make_phase(model2, epochs=3)],
+                              checkpoint_dir=tmp_path).run(resume=True)
+        assert state_checksum(model2.state_dict()) == reference
+        assert any(e["kind"] == "resume" for e in history.events)
+
+    def test_preemption_without_manager_not_resumable(self):
+        model = make_model()
+        holder = {}
+        run = TrainingRun(
+            model, [make_phase(model, epochs=3)],
+            step_hook=lambda step: holder["run"].request_preemption()
+            if step == 2 else None,
+        )
+        holder["run"] = run
+        with pytest.raises(PreemptedError) as excinfo:
+            run.run()
+        assert excinfo.value.checkpoint is None
+        assert "not resumable" in str(excinfo.value)
+
+    def test_sigint_translates_to_preemption(self, tmp_path):
+        previous = signal.getsignal(signal.SIGINT)
+        model = make_model()
+        run = TrainingRun(
+            model, [make_phase(model, epochs=3)], checkpoint_dir=tmp_path,
+            handle_signals=True,
+            step_hook=lambda step: os.kill(os.getpid(), signal.SIGINT)
+            if step == 3 else None,
+        )
+        with pytest.raises(PreemptedError, match="SIGINT"):
+            run.run()
+        # original handler restored afterwards
+        assert signal.getsignal(signal.SIGINT) is previous
+
+    def test_crash_then_resume_via_step_checkpoints(self, tmp_path):
+        """A hard crash (raising hook) recovers from mid-epoch saves."""
+        reference = self._reference_digest()
+
+        class Boom(RuntimeError):
+            pass
+
+        def bomb(step):
+            if step == 5:
+                raise Boom()
+
+        model = make_model()
+        run = TrainingRun(model, [make_phase(model, epochs=3)],
+                          checkpoint_dir=tmp_path, checkpoint_every_steps=2,
+                          step_hook=bomb)
+        with pytest.raises(Boom):
+            run.run()
+
+        model2 = make_model()
+        TrainingRun(model2, [make_phase(model2, epochs=3)],
+                    checkpoint_dir=tmp_path).run(resume=True)
+        assert state_checksum(model2.state_dict()) == reference
+
+
+class TestDivergence:
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_rollback_recovers_and_records_event(self, tmp_path):
+        model = make_model()
+        poisoned = {"done": False}
+
+        def poison(step):
+            # corrupt the weights once; the next batch's loss is non-finite
+            if step == 2 and not poisoned["done"]:
+                poisoned["done"] = True
+                model.layers[0].weight.data[...] = np.inf
+
+        phase = make_phase(model, epochs=2, lr=0.01)
+        run = TrainingRun(model, [phase], checkpoint_dir=tmp_path,
+                          step_hook=poison, max_retries=3, lr_cut=0.5)
+        history = run.run()
+        assert history.epochs == 2  # completed despite the divergence
+        rollbacks = [e for e in history.events
+                     if e["kind"] == "divergence_rollback"]
+        assert len(rollbacks) == 1
+        assert rollbacks[0]["retry"] == 1
+        assert rollbacks[0]["lr"] == pytest.approx(0.005)
+        assert phase.trainer.optimizer.lr <= 0.005  # cut held
+        assert np.all(np.isfinite(model.layers[0].weight.data))
+
+    def test_retries_exhausted_raises_divergence_error(self):
+        model = make_model()
+        # a gradient limit nothing can satisfy: every epoch attempt fails
+        phase = make_phase(model, epochs=1, max_grad_norm=1e-12)
+        run = TrainingRun(model, [phase], max_retries=2)
+        with pytest.raises(DivergenceError) as excinfo:
+            run.run()
+        assert excinfo.value.retries == 2
+        assert "giving up" in str(excinfo.value)
+
+    def test_rollback_restores_last_good_weights(self):
+        model = make_model()
+        phase = make_phase(model, epochs=1, max_grad_norm=1e-12)
+        before = state_checksum(model.state_dict())
+        run = TrainingRun(model, [phase], max_retries=1)
+        with pytest.raises(DivergenceError):
+            run.run()
+        # no partial update survived the failed attempts
+        assert state_checksum(model.state_dict()) == before
