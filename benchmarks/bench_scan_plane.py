@@ -23,14 +23,13 @@ Asserted directions:
 Writes ``BENCH_scan.json`` at the repo root with the headline numbers.
 """
 
-import json
 import os
 import time
 from pathlib import Path
 
 import numpy as np
 
-from repro.bench import format_table
+from repro.bench import format_table, write_bench_json
 from repro.binary import bitpack
 from repro.litho.geometry import Clip, Rect
 from repro.models.bnn_resnet import build_bnn_resnet
@@ -137,7 +136,7 @@ def test_scan_plane_speedup():
                f"peak cols buffer {peak_mib:.1f} MiB)"),
     ))
 
-    (REPO_ROOT / "BENCH_scan.json").write_text(json.dumps({
+    write_bench_json(REPO_ROOT / "BENCH_scan.json", {
         "layout_size_nm": size,
         "rects": len(layout.rects),
         "window": WINDOW,
@@ -152,7 +151,7 @@ def test_scan_plane_speedup():
         "speedup": round(speedup, 2),
         "identical": identical,
         "peak_cols_mib": round(peak_mib, 2),
-    }, indent=2) + "\n")
+    })
 
     # the plane path is a silent drop-in: reports must be bit-identical
     assert identical

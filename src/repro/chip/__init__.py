@@ -1,0 +1,47 @@
+"""Full-chip streaming scan with bounded memory + incremental ECO re-scan.
+
+The monolithic serving path (:meth:`repro.serve.service.HotspotService.
+scan`) rasterizes a whole clip as one plane — fine for verification
+clips, quadratic-memory-impossible for a chip.  This package streams
+the same sweep instead:
+
+* :mod:`~repro.chip.tiling` cuts the origin grid into halo-correct
+  tiles sized from a byte budget;
+* :mod:`~repro.chip.index` serves each tile's geometry from a bucketed
+  spatial index, in raster accumulation order;
+* :mod:`~repro.chip.scanner` rasterizes and scores tile by tile —
+  bit-identical to the monolithic scan, peak plane memory bounded —
+  and re-scans only the windows a layout edit dirtied
+  (:mod:`~repro.chip.eco`);
+* :mod:`~repro.chip.heatmap` is the aggregated per-origin result.
+
+``python -m repro.chip.parity`` is the CI gate holding both
+bit-identity lines (streamed-vs-monolithic, re-scan-vs-scratch) on
+every engine backend.
+"""
+
+from .eco import DirtyRegionTracker
+from .heatmap import HotspotHeatmap, HotspotSite
+from .index import RectIndex
+from .scanner import (
+    DEFAULT_TILE_BUDGET,
+    ChipScanJob,
+    ChipScanner,
+    ChipScanResult,
+)
+from .tiling import TileGrid, TileSpec, origin_steps, plan_tiles
+
+__all__ = [
+    "ChipScanJob",
+    "ChipScanner",
+    "ChipScanResult",
+    "DEFAULT_TILE_BUDGET",
+    "DirtyRegionTracker",
+    "HotspotHeatmap",
+    "HotspotSite",
+    "RectIndex",
+    "TileGrid",
+    "TileSpec",
+    "origin_steps",
+    "plan_tiles",
+]

@@ -1,0 +1,135 @@
+"""Hotspot heatmap: the aggregated result of a full-chip sweep.
+
+The streaming scan never materialises "all windows" anywhere — what it
+keeps is one float64 score per origin, arranged on the sweep's origin
+grid.  :class:`HotspotHeatmap` is that grid plus enough geometry to map
+it back to nanometres: per-origin scores (hotspot logit minus
+non-hotspot logit, exactly the serving layer's decision score),
+hotspot extraction at a decision bias, and summary statistics.
+``NaN`` entries mark origins that were never scored (failed tiles of a
+degraded scan).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["HotspotSite", "HotspotHeatmap"]
+
+
+@dataclass(frozen=True)
+class HotspotSite:
+    """One window flagged as a hotspot (layout coordinates, nm)."""
+
+    x0: int
+    y0: int
+    x1: int
+    y1: int
+    score: float
+
+
+@dataclass
+class HotspotHeatmap:
+    """Per-origin logit map of one sweep.
+
+    ``scores[j, i]`` is the decision score of the window at origin
+    ``(steps[i], steps[j])`` — row-major like the serving layer's
+    origin order, so flattening the grid reproduces the monolithic
+    scan's window order exactly.
+    """
+
+    layout_size: int
+    window: int
+    stride: int
+    steps: tuple[int, ...]
+    scores: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.scores = np.asarray(self.scores, dtype=np.float64)
+        expected = (len(self.steps), len(self.steps))
+        if self.scores.shape != expected:
+            raise ValueError(
+                f"scores shape {self.scores.shape} does not match the "
+                f"{expected} origin grid"
+            )
+
+    @property
+    def n_windows(self) -> int:
+        """Origins in the sweep (scored or not)."""
+        return self.scores.size
+
+    @property
+    def n_unscored(self) -> int:
+        """Origins never scored (NaN entries; 0 for a healthy scan)."""
+        return int(np.isnan(self.scores).sum())
+
+    def hits(self, bias: float = 0.0) -> list[HotspotSite]:
+        """Windows whose score exceeds ``bias``, in row-major order."""
+        flagged = np.argwhere(np.nan_to_num(self.scores, nan=-np.inf) > bias)
+        w = self.window
+        return [
+            HotspotSite(self.steps[i], self.steps[j],
+                        self.steps[i] + w, self.steps[j] + w,
+                        float(self.scores[j, i]))
+            for j, i in flagged
+        ]
+
+    def summary(self, bias: float = 0.0) -> dict[str, object]:
+        """Headline statistics of the sweep."""
+        scored = self.scores[~np.isnan(self.scores)]
+        hotspots = int((scored > bias).sum())
+        return {
+            "layout_size_nm": self.layout_size,
+            "window": self.window,
+            "stride": self.stride,
+            "windows": self.n_windows,
+            "unscored": self.n_unscored,
+            "hotspots": hotspots,
+            "hotspot_rate": (hotspots / scored.size) if scored.size else 0.0,
+            "score_min": float(scored.min()) if scored.size else 0.0,
+            "score_max": float(scored.max()) if scored.size else 0.0,
+            "score_mean": float(scored.mean()) if scored.size else 0.0,
+        }
+
+    def copy(self) -> "HotspotHeatmap":
+        """Deep copy (the ECO merge path mutates the copy's scores)."""
+        return HotspotHeatmap(
+            layout_size=self.layout_size, window=self.window,
+            stride=self.stride, steps=self.steps,
+            scores=self.scores.copy(),
+        )
+
+    def equals(self, other: "HotspotHeatmap") -> bool:
+        """Bit-exact equality (NaN-aware) of geometry and scores."""
+        return (
+            self.layout_size == other.layout_size
+            and self.window == other.window
+            and self.stride == other.stride
+            and self.steps == other.steps
+            and np.array_equal(self.scores, other.scores, equal_nan=True)
+        )
+
+    def save_npz(self, path) -> None:
+        """Persist the heatmap as an ``.npz`` archive."""
+        np.savez_compressed(
+            path,
+            layout_size=np.int64(self.layout_size),
+            window=np.int64(self.window),
+            stride=np.int64(self.stride),
+            steps=np.asarray(self.steps, dtype=np.int64),
+            scores=self.scores,
+        )
+
+    @classmethod
+    def load_npz(cls, path) -> "HotspotHeatmap":
+        """Inverse of :meth:`save_npz`."""
+        with np.load(path) as archive:
+            return cls(
+                layout_size=int(archive["layout_size"]),
+                window=int(archive["window"]),
+                stride=int(archive["stride"]),
+                steps=tuple(int(s) for s in archive["steps"]),
+                scores=archive["scores"],
+            )

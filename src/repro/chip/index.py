@@ -1,0 +1,112 @@
+"""Bucketed spatial index over a layout's rectangles.
+
+A full-chip layout holds too many rectangles to walk per tile —
+rasterizing T tiles by scanning all N rectangles each time is
+``O(N * T)``.  :class:`RectIndex` hashes every rectangle into the
+coarse grid buckets it overlaps, so a tile query touches only the
+rectangles near the tile: build is ``O(N)``, a query is proportional
+to the geometry actually in the queried region.
+
+Two properties the streaming scan leans on:
+
+* **Order-preserving**: every rectangle gets a monotonically
+  increasing id at insertion, and queries return matches sorted by id
+  — i.e. in layout insertion order, which is the raster accumulation
+  order the bit-identity contract of
+  :func:`repro.litho.raster.rasterize_region` requires.
+* **Incrementally editable**: :meth:`apply` mirrors the list semantics
+  of :func:`repro.litho.fullchip.apply_edits` (remove-first-equal,
+  append-on-add) in ``O(edit)`` instead of rebuilding, so an ECO
+  re-scan pays for the edit, not for the chip.  After any edit
+  sequence the index enumerates exactly the rectangles of
+  ``apply_edits(layout, edits)`` in the same order.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+
+from ..litho.geometry import Clip, Rect
+
+__all__ = ["RectIndex"]
+
+
+class RectIndex:
+    """Uniform-grid spatial index of a layout's rectangle list."""
+
+    def __init__(self, layout: Clip, bucket: int = 4096):
+        if bucket <= 0:
+            raise ValueError(f"bucket must be positive, got {bucket}")
+        self.size = layout.size
+        self.bucket = bucket
+        self._rects: dict[int, Rect] = {}
+        #: rect value -> sorted ids of equal rects (remove-first-equal)
+        self._ids: dict[Rect, list[int]] = {}
+        self._buckets: dict[tuple[int, int], list[int]] = {}
+        self._next_id = 0
+        for rect in layout.rects:
+            self._insert(rect)
+
+    def __len__(self) -> int:
+        return len(self._rects)
+
+    def _bucket_range(self, rect: Rect) -> tuple[range, range]:
+        b = self.bucket
+        return (range(rect.x0 // b, (rect.x1 - 1) // b + 1),
+                range(rect.y0 // b, (rect.y1 - 1) // b + 1))
+
+    def _insert(self, rect: Rect) -> None:
+        rect_id = self._next_id
+        self._next_id += 1
+        self._rects[rect_id] = rect
+        insort(self._ids.setdefault(rect, []), rect_id)
+        xs, ys = self._bucket_range(rect)
+        for by in ys:
+            for bx in xs:
+                self._buckets.setdefault((bx, by), []).append(rect_id)
+
+    def _remove(self, rect: Rect) -> None:
+        ids = self._ids.get(rect)
+        if not ids:
+            raise ValueError(f"rectangle not in index: {rect}")
+        rect_id = ids.pop(0)  # first-equal, matching list.remove
+        if not ids:
+            del self._ids[rect]
+        del self._rects[rect_id]
+        xs, ys = self._bucket_range(rect)
+        for by in ys:
+            for bx in xs:
+                bucket = self._buckets[(bx, by)]
+                bucket.remove(rect_id)
+                if not bucket:
+                    del self._buckets[(bx, by)]
+
+    def apply(self, edit) -> None:
+        """Apply one :class:`~repro.litho.fullchip.LayoutEdit` in place."""
+        if edit.kind in ("remove", "move"):
+            self._remove(edit.rect)
+        if edit.kind == "add":
+            clipped = edit.rect.clipped(Rect(0, 0, self.size, self.size))
+            if clipped is not None:
+                self._insert(clipped)
+        elif edit.kind == "move":
+            clipped = edit.to.clipped(Rect(0, 0, self.size, self.size))
+            if clipped is not None:
+                self._insert(clipped)
+
+    def query(self, region: Rect) -> list[Rect]:
+        """Rectangles overlapping ``region``, in insertion order."""
+        b = self.bucket
+        seen: set[int] = set()
+        for by in range(region.y0 // b, (region.y1 - 1) // b + 1):
+            for bx in range(region.x0 // b, (region.x1 - 1) // b + 1):
+                seen.update(self._buckets.get((bx, by), ()))
+        return [
+            self._rects[i]
+            for i in sorted(seen)
+            if self._rects[i].intersects(region)
+        ]
+
+    def rects(self) -> list[Rect]:
+        """Every rectangle, in insertion order (the edited layout list)."""
+        return [self._rects[i] for i in sorted(self._rects)]

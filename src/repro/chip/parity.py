@@ -1,0 +1,115 @@
+"""CI gate: streamed scan ≡ monolithic scan, re-scan ≡ from-scratch.
+
+Run as ``python -m repro.chip.parity``.  Two invariants, each checked
+bit-for-bit on every engine backend:
+
+1. **Streaming parity** — :meth:`ChipScanner.scan` over a synthesized
+   chip, with a tile budget small enough to force a multi-tile grid,
+   produces scores ``np.array_equal`` to a monolithic reference that
+   rasterizes the whole layout once and scores every origin through a
+   single :meth:`plan_scan`.
+2. **ECO parity** — :meth:`ChipScanner.rescan` after a seeded edit
+   trace produces a heatmap ``equals`` a from-scratch streamed scan of
+   ``apply_edits(layout, edits)``, while re-scoring strictly fewer
+   windows than the sweep holds.
+
+Exit code 0 on success, 1 on any mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from ..binary.inference import engine_for_backend
+from ..features.downsample import to_network_input
+from ..litho.fullchip import apply_edits, synthesize_chip, synthesize_edit_trace
+from ..litho.raster import rasterize_plane
+from ..models.bnn_resnet import build_bnn_resnet
+from .scanner import ChipScanner
+from .tiling import origin_steps
+
+
+def _monolithic_scores(engine, layout, window, stride, image_size):
+    """Reference sweep: one whole-chip plane, one plan, all origins."""
+    scale = window // image_size
+    plane = to_network_input(rasterize_plane(layout, scale, "binary")[None])
+    steps = origin_steps(layout.size, window, stride)
+    origins = [(x // scale, y // scale) for y in steps for x in steps]
+    logits = engine.scan_plane(plane, image_size, origins)
+    n = len(steps)
+    return (logits[:, 1] - logits[:, 0]).reshape(n, n)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=8192,
+                        help="chip side in nm")
+    parser.add_argument("--window", type=int, default=1024)
+    parser.add_argument("--stride", type=int, default=512)
+    parser.add_argument("--image-size", type=int, default=32)
+    parser.add_argument("--edits", type=int, default=6)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--backends", nargs="+",
+                        default=["packed", "float"])
+    args = parser.parse_args(argv)
+
+    layout = synthesize_chip(args.size, seed=args.seed)
+    edits = synthesize_edit_trace(layout, args.edits, seed=args.seed + 1)
+    edited = apply_edits(layout, edits)
+    # small budget: enough for ~2x2 windows per tile -> multi-tile grid
+    window_px = args.window // (args.window // args.image_size)
+    budget = (2 * window_px) ** 2 * 8
+
+    model = build_bnn_resnet((4, 8), scaling="xnor", seed=args.seed)
+    rng = np.random.default_rng(99)
+    warmup = (rng.random((8, 1, args.image_size, args.image_size))
+              > 0.5) * 2.0 - 1.0
+    model.forward(warmup, training=True)  # give BN non-trivial stats
+
+    failures = 0
+    for backend in args.backends:
+        engine = engine_for_backend(model, backend)
+        scanner = ChipScanner(engine, args.image_size)
+
+        reference = _monolithic_scores(
+            engine, layout, args.window, args.stride, args.image_size
+        )
+        result = scanner.scan(layout, args.window, args.stride, budget)
+        streamed_ok = np.array_equal(result.heatmap.scores, reference)
+        multi_tile = result.tiles > 1
+        bounded = result.peak_tile_bytes <= budget
+        print(
+            f"[{backend}] streamed parity: "
+            f"{'OK' if streamed_ok else 'MISMATCH'} "
+            f"({result.tiles} tiles, peak {result.peak_tile_bytes} B "
+            f"<= budget {budget} B: {bounded})"
+        )
+        if not (streamed_ok and multi_tile and bounded):
+            failures += 1
+
+        rescanned = scanner.rescan(result, edits)
+        scratch = ChipScanner(engine, args.image_size).scan(
+            edited, args.window, args.stride, budget
+        )
+        eco_ok = rescanned.heatmap.equals(scratch.heatmap)
+        sparse = 0 < rescanned.rescored_windows < rescanned.windows
+        print(
+            f"[{backend}] eco parity: {'OK' if eco_ok else 'MISMATCH'} "
+            f"(re-scored {rescanned.rescored_windows} of "
+            f"{rescanned.windows} windows)"
+        )
+        if not (eco_ok and sparse):
+            failures += 1
+
+    if failures:
+        print(f"chip parity: {failures} check(s) FAILED", file=sys.stderr)
+        return 1
+    print("chip parity: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,365 @@
+"""Streaming full-chip scanner with incremental ECO re-scan.
+
+:class:`ChipScanner` runs the sliding-window hotspot sweep over
+layouts that do **not** fit in memory as one plane.  The sweep is cut
+into halo-correct tiles (:mod:`repro.chip.tiling`); each tile is
+rasterized from a spatial index (:mod:`repro.chip.index`) via
+:func:`repro.litho.raster.rasterize_region` and scored through the
+engine's plane-compiled scan (:meth:`plan_scan`), exactly the kernel
+the monolithic service path uses.  Both the raster and the per-window
+logits are bit-identical to a monolithic scan — streaming is purely a
+memory shape, never a numerics change — and the peak tile plane is
+bounded by ``tile_budget`` bytes (tracked, reported as
+``peak_tile_bytes``).
+
+The incremental path closes the edit→verify ECO loop:
+:meth:`ChipScanner.rescan` takes a previous :class:`ChipScanResult`
+plus a :class:`~repro.litho.fullchip.LayoutEdit` list, computes the
+dirty window set (:class:`~repro.chip.eco.DirtyRegionTracker`),
+updates the spatial index in ``O(edit)``, re-scores **only** the dirty
+windows, and merges them into a copy of the previous heatmap — a
+result bit-identical to a from-scratch scan of the edited layout at a
+small fraction of the cost.
+
+An optional region-keyed plane cache (the chip mode of
+:class:`repro.serve.cache.PlaneCache`, duck-typed here: any object
+with ``get_chip_tile`` / ``invalidate_chip_regions``) carries tile
+planes across scans of the same session token; a re-scan invalidates
+exactly the entries whose region the edit touched.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from threading import Lock
+
+import numpy as np
+
+from ..features.downsample import to_network_input
+from ..litho.fullchip import LayoutEdit, apply_edits
+from ..litho.geometry import Clip, Rect
+from ..litho.raster import rasterize_region
+from .eco import DirtyRegionTracker
+from .heatmap import HotspotHeatmap
+from .index import RectIndex
+from .tiling import TileGrid, TileSpec, plan_tiles
+
+__all__ = ["ChipScanner", "ChipScanJob", "ChipScanResult",
+           "DEFAULT_TILE_BUDGET"]
+
+#: Default tile-plane budget: 64 MiB of float64 raster per tile.
+DEFAULT_TILE_BUDGET = 64 * 2**20
+
+
+class ChipScanJob:
+    """A compiled streaming sweep: tile grid + spatial index + engine.
+
+    Tiles are independent and the job is read-only while scoring, so
+    :meth:`score_tile` may be called concurrently from a worker pool
+    (the serving layer shards the tile list exactly like it shards
+    origin ranges).  ``peak_tile_bytes`` tracks the largest tile plane
+    actually rasterized, under a lock.
+    """
+
+    def __init__(self, scanner: "ChipScanner", layout: Clip,
+                 grid: TileGrid, index: RectIndex, token: str | None):
+        self.scanner = scanner
+        self.layout = layout
+        self.grid = grid
+        self.index = index
+        self.token = token
+        self.peak_tile_bytes = 0
+        self._lock = Lock()
+
+    @property
+    def tiles(self) -> tuple[TileSpec, ...]:
+        """The planned tiles, row-major over the origin grid."""
+        return self.grid.tiles
+
+    def _note_plane(self, plane: np.ndarray) -> None:
+        with self._lock:
+            if plane.nbytes > self.peak_tile_bytes:
+                self.peak_tile_bytes = plane.nbytes
+
+    def _build_plane(self, region: Rect) -> np.ndarray:
+        """Rasterize one region into the engine's ±1 input domain."""
+        raster = rasterize_region(
+            self.index.query(region), region, self.grid.scale, "binary"
+        )
+        return to_network_input(raster[None])
+
+    def _region_plane(self, region: Rect) -> np.ndarray:
+        cache = self.scanner.plane_cache
+        if cache is not None and self.token is not None:
+            plane = cache.get_chip_tile(
+                self.token, region, self.grid.scale, "binary",
+                lambda: self._build_plane(region),
+            )
+        else:
+            plane = self._build_plane(region)
+        self._note_plane(plane)
+        return plane
+
+    def _local_origin(self, region: Rect, i: int, j: int) -> tuple[int, int]:
+        steps, scale = self.grid.steps, self.grid.scale
+        return ((steps[i] - region.x0) // scale,
+                (steps[j] - region.y0) // scale)
+
+    def score_tile(self, tile: TileSpec) -> np.ndarray:
+        """Score every window of one tile; returns ``(ny, nx)`` scores."""
+        region = tile.region
+        plane = self._region_plane(region)
+        origins = [
+            self._local_origin(region, i, j)
+            for j in range(tile.iy0, tile.iy1)
+            for i in range(tile.ix0, tile.ix1)
+        ]
+        plan = self.scanner.engine.plan_scan(
+            plane, self.scanner.image_size, origins
+        )
+        logits = plan.logits(batch_size=self.scanner.batch_size)
+        scores = logits[:, 1] - logits[:, 0]
+        return scores.reshape(tile.iy1 - tile.iy0, tile.ix1 - tile.ix0)
+
+    def score_origins(
+        self, region: Rect, plane: np.ndarray,
+        indices: list[tuple[int, int]],
+    ) -> np.ndarray:
+        """Score an arbitrary origin subset against one region plane.
+
+        Small subsets slice whole windows out of the plane and run the
+        batched engine directly — cheaper than a plane plan, whose
+        per-phase grids cover the entire region; large subsets use the
+        plan.  Both are bit-identical (the plan's contract), so the
+        crossover is purely a cost choice.
+        """
+        origins = [self._local_origin(region, i, j) for i, j in indices]
+        w = self.scanner.image_size
+        plane_px = plane.shape[2] * plane.shape[3]
+        if len(origins) * w * w < plane_px:
+            logits = []
+            for start in range(0, len(origins), self.scanner.batch_size):
+                chunk = origins[start:start + self.scanner.batch_size]
+                batch = np.stack(
+                    [plane[0, :, oy:oy + w, ox:ox + w] for ox, oy in chunk]
+                )
+                logits.append(self.scanner.engine.predict_logits(batch))
+            logits = np.concatenate(logits, axis=0)
+        else:
+            plan = self.scanner.engine.plan_scan(
+                plane, w, origins
+            )
+            logits = plan.logits(batch_size=self.scanner.batch_size)
+        return logits[:, 1] - logits[:, 0]
+
+    def empty_scores(self) -> np.ndarray:
+        """A NaN-filled origin grid (NaN = not scored)."""
+        n = len(self.grid.steps)
+        return np.full((n, n), np.nan)
+
+    def heatmap(self, scores: np.ndarray) -> HotspotHeatmap:
+        """Wrap a filled origin grid as a :class:`HotspotHeatmap`."""
+        return HotspotHeatmap(
+            layout_size=self.grid.layout_size, window=self.grid.window,
+            stride=self.grid.stride, steps=self.grid.steps, scores=scores,
+        )
+
+
+@dataclass
+class ChipScanResult:
+    """One streamed sweep: the heatmap plus its provenance and costs.
+
+    Holds the compiled job so the ECO loop can chain:
+    ``scanner.rescan(result, edits)`` updates the job's spatial index
+    *in place* — after a re-scan, the previous result's job reflects
+    the edited layout, so keep only the newest result of a session.
+    """
+
+    layout: Clip
+    heatmap: HotspotHeatmap
+    job: ChipScanJob
+    tile_budget: int
+    tiles: int
+    windows: int
+    peak_tile_bytes: int
+    wall_s: float
+    #: windows re-scored by the incremental path (None for a full scan)
+    rescored_windows: int | None = None
+    token: str | None = None
+    stats: dict[str, object] = field(default_factory=dict)
+
+    def summary(self, bias: float = 0.0) -> dict[str, object]:
+        """Heatmap summary extended with streaming cost counters."""
+        out = self.heatmap.summary(bias)
+        out.update(
+            tiles=self.tiles,
+            tile_budget=self.tile_budget,
+            peak_tile_bytes=self.peak_tile_bytes,
+            wall_s=self.wall_s,
+            rescored_windows=self.rescored_windows,
+        )
+        return out
+
+
+class ChipScanner:
+    """Bounded-memory streaming scan of arbitrarily large layouts.
+
+    Parameters
+    ----------
+    engine:
+        A compiled inference engine exposing ``plan_scan`` and
+        ``predict_logits`` (any :class:`repro.binary.inference.\
+ProgramEngine` — packed or float; results are bit-identical across
+        backends by the engine parity contract).
+    image_size:
+        Window side in pixels the engine expects; the raster scale is
+        ``window // image_size`` nm per pixel.
+    batch_size:
+        Engine chunk size for window batches.
+    plane_cache:
+        Optional region-keyed tile-plane cache (chip mode of
+        :class:`repro.serve.cache.PlaneCache`); only consulted when a
+        scan carries a session ``token``.
+    index_bucket:
+        Spatial-index bucket side in nm (defaults to the tile scale of
+        typical scans; any positive value is correct).
+    """
+
+    def __init__(
+        self,
+        engine,
+        image_size: int,
+        batch_size: int = 256,
+        plane_cache=None,
+        index_bucket: int = 4096,
+    ):
+        if image_size <= 0:
+            raise ValueError(f"image_size must be positive, got {image_size}")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.engine = engine
+        self.image_size = image_size
+        self.batch_size = batch_size
+        self.plane_cache = plane_cache
+        self.index_bucket = index_bucket
+
+    # -- full scan -------------------------------------------------------
+
+    def compile(
+        self,
+        layout: Clip,
+        window: int,
+        stride: int,
+        tile_budget: int = DEFAULT_TILE_BUDGET,
+        token: str | None = None,
+    ) -> ChipScanJob:
+        """Plan the tile grid and build the spatial index (no scoring).
+
+        The serving layer uses the compiled job directly so it can
+        shard :meth:`ChipScanJob.score_tile` calls across its worker
+        pool; library callers normally want :meth:`scan`.
+        """
+        if window % self.image_size:
+            raise ValueError(
+                f"window {window} is not a multiple of the engine image "
+                f"size {self.image_size} (windows must be whole pixels)"
+            )
+        scale = window // self.image_size
+        grid = plan_tiles(layout.size, window, stride, scale, tile_budget)
+        index = RectIndex(layout, bucket=max(self.index_bucket, window))
+        return ChipScanJob(self, layout, grid, index, token)
+
+    def scan(
+        self,
+        layout: Clip,
+        window: int,
+        stride: int,
+        tile_budget: int = DEFAULT_TILE_BUDGET,
+        token: str | None = None,
+    ) -> ChipScanResult:
+        """Stream the full sweep tile by tile; peak plane <= budget.
+
+        The resulting heatmap is bit-identical to a monolithic
+        ``plan_scan`` over ``rasterize_plane`` of the whole layout —
+        the CI parity gate (``python -m repro.chip.parity``) holds this
+        line for every backend.
+        """
+        started = time.perf_counter()
+        job = self.compile(layout, window, stride, tile_budget, token)
+        scores = job.empty_scores()
+        for tile in job.tiles:
+            scores[tile.iy0:tile.iy1, tile.ix0:tile.ix1] = (
+                job.score_tile(tile)
+            )
+        return ChipScanResult(
+            layout=layout, heatmap=job.heatmap(scores), job=job,
+            tile_budget=tile_budget, tiles=len(job.tiles),
+            windows=job.grid.n_windows,
+            peak_tile_bytes=job.peak_tile_bytes,
+            wall_s=time.perf_counter() - started, token=token,
+        )
+
+    # -- incremental ECO re-scan -----------------------------------------
+
+    def rescan(
+        self,
+        previous: ChipScanResult,
+        edits: list[LayoutEdit],
+    ) -> ChipScanResult:
+        """Re-score only the windows an edit list dirtied.
+
+        Equivalent — bit for bit — to ``scan(apply_edits(layout,
+        edits), ...)`` with the same parameters, but the cost scales
+        with the edit, not the chip: the spatial index updates in
+        ``O(edit)``, only regions holding dirty windows are
+        re-rasterized, and clean windows keep their previous scores
+        (their rasters are untouched by construction, see
+        :class:`~repro.chip.eco.DirtyRegionTracker`).
+        """
+        started = time.perf_counter()
+        job = previous.job
+        grid = job.grid
+        tracker = DirtyRegionTracker(grid.steps, grid.window)
+        dirty = tracker.dirty_windows(edits)
+        cache = self.plane_cache
+        if cache is not None and previous.token is not None:
+            cache.invalidate_chip_regions(
+                previous.token, tracker.dirty_rects(edits)
+            )
+        layout = apply_edits(previous.layout, edits)
+        for edit in edits:
+            job.index.apply(edit)
+        job.layout = layout
+        scores = previous.heatmap.scores.copy()
+        by_tile: dict[int, list[tuple[int, int]]] = {}
+        for i, j in dirty:
+            by_tile.setdefault(grid.tile_index_of(i, j), []).append((i, j))
+        for tile_index, indices in sorted(by_tile.items()):
+            tile = grid.tiles[tile_index]
+            if cache is not None and previous.token is not None:
+                # full tile region, so the rebuilt plane is reusable by
+                # the next edit that lands in the same tile
+                region = tile.region
+            else:
+                # minimal region: the bounding box of the dirty windows
+                # (a subset of the tile region, so still budget-bounded)
+                xs = [i for i, _ in indices]
+                ys = [j for _, j in indices]
+                region = Rect(
+                    grid.steps[min(xs)], grid.steps[min(ys)],
+                    grid.steps[max(xs)] + grid.window,
+                    grid.steps[max(ys)] + grid.window,
+                )
+            plane = job._region_plane(region)
+            fresh = job.score_origins(region, plane, indices)
+            for (i, j), score in zip(indices, fresh):
+                scores[j, i] = score
+        return ChipScanResult(
+            layout=layout, heatmap=job.heatmap(scores), job=job,
+            tile_budget=previous.tile_budget, tiles=len(by_tile),
+            windows=grid.n_windows,
+            peak_tile_bytes=job.peak_tile_bytes,
+            wall_s=time.perf_counter() - started,
+            rescored_windows=len(dirty), token=previous.token,
+        )

@@ -110,6 +110,40 @@ def build_parser() -> argparse.ArgumentParser:
                            help="full-queue policy: block submitters or "
                                 "shed with ServiceOverloaded")
 
+    p_scan = sub.add_parser(
+        "scan",
+        help="stream-scan a full layout for hotspots under a bounded "
+             "tile-memory budget",
+    )
+    p_scan.add_argument("layout",
+                        help="layout source: a clips .json/.txt file "
+                             "(first clip is the layout), or "
+                             "synth:<size_nm>[:seed] for the deterministic "
+                             "full-chip synthesizer")
+    p_scan.add_argument("checkpoint",
+                        help=".npz checkpoint from `repro train --save`")
+    p_scan.add_argument("--window", type=int, default=None,
+                        help="window side in nm (default: 32x the "
+                             "checkpoint's image size)")
+    p_scan.add_argument("--stride", type=int, default=None,
+                        help="sweep step in nm (default: window / 2)")
+    p_scan.add_argument("--tile-budget-mib", type=float, default=64.0,
+                        help="peak tile raster budget in MiB (default 64); "
+                             "the scan never rasterizes more than this at "
+                             "once")
+    p_scan.add_argument("--backend", default=None,
+                        help="engine backend to serve with (e.g. packed, "
+                             "float); strict: unknown names fail")
+    p_scan.add_argument("--bias", type=float, default=None,
+                        help="hotspot decision bias (default: the "
+                             "checkpoint's)")
+    p_scan.add_argument("--out", metavar="PATH", default=None,
+                        help="write results: a .npz path saves the full "
+                             "heatmap, anything else a JSON summary")
+    p_scan.add_argument("--timeout-s", type=float, default=None,
+                        help="scan deadline in seconds; failed/late tiles "
+                             "degrade the report instead of hanging")
+
     p_serve = sub.add_parser(
         "serve-bench",
         help="measure single-request vs micro-batched serving throughput",
@@ -354,6 +388,132 @@ def _cmd_predict(args) -> int:
     return 0
 
 
+def _load_scan_layout(source: str):
+    """Resolve the ``scan`` subcommand's layout source.
+
+    Returns ``(layout, error_message)``; exactly one is ``None``.
+    """
+    from pathlib import Path
+
+    from .litho.io import load_clips_json, load_clips_text
+
+    if source.startswith("synth:"):
+        from .litho.fullchip import synthesize_chip
+
+        parts = source.split(":")
+        try:
+            size = int(parts[1])
+            seed = int(parts[2]) if len(parts) > 2 else 0
+            return synthesize_chip(size, seed=seed), None
+        except (IndexError, ValueError) as exc:
+            return None, (f"bad synth spec {source!r} "
+                          f"(want synth:<size_nm>[:seed]): {exc}")
+    path = Path(source)
+    if not path.exists():
+        return None, f"layout file not found: {path}"
+    try:
+        loader = load_clips_json if path.suffix == ".json" else load_clips_text
+        clips = loader(path)
+    except (OSError, ValueError, KeyError) as exc:
+        return None, f"cannot load layout {path}: {exc}"
+    if not clips:
+        return None, f"no clips in {path}"
+    if len(clips) > 1:
+        print(f"note: {path} holds {len(clips)} clips; scanning the first")
+    return clips[0], None
+
+
+def _cmd_scan(args) -> int:
+    from .bench import format_table
+    from .nn.serialization import CheckpointError, checkpoint_path
+    from .serve import (
+        ChipScanRequest,
+        DeadlineExceeded,
+        HotspotService,
+        ModelRegistry,
+    )
+
+    layout, error = _load_scan_layout(args.layout)
+    if error:
+        print(error)
+        return 2
+    if not checkpoint_path(args.checkpoint).exists():
+        print(f"checkpoint not found: {checkpoint_path(args.checkpoint)}")
+        return 2
+    registry = ModelRegistry()
+    try:
+        entry = registry.load_checkpoint(
+            "checkpoint", args.checkpoint, backend=args.backend,
+        )
+    except CheckpointError as exc:
+        print(f"refusing to serve a bad checkpoint: {exc}")
+        return 2
+    except (ValueError, TypeError) as exc:
+        print(f"cannot serve requested backend: {exc}")
+        return 2
+    window = args.window or 32 * entry.image_size
+    stride = args.stride or max(1, window // 2)
+    budget = int(args.tile_budget_mib * 2**20)
+    try:
+        request = ChipScanRequest(layout, window, stride, tile_budget=budget)
+    except ValueError as exc:
+        print(f"bad scan geometry: {exc}")
+        return 2
+    with HotspotService(
+        registry, default_model="checkpoint",
+        default_timeout_s=args.timeout_s,
+    ) as service:
+        try:
+            report = service.scan_chip(request)
+        except DeadlineExceeded as exc:
+            print(f"deadline exceeded: {exc}")
+            return 3
+        except ValueError as exc:
+            # window/stride/scale misalignment and kindred geometry errors
+            print(f"cannot scan: {exc}")
+            return 2
+    bias = args.bias if args.bias is not None else entry.decision_bias
+    summary = report.heatmap.summary(bias)
+    row = {
+        "Layout": args.layout,
+        "Backend": report.backend,
+        "Windows": report.windows_scanned,
+        "Tiles": report.tiles_total,
+        "Peak tile (MiB)": round(report.peak_tile_bytes / 2**20, 2),
+        "Hotspots": summary["hotspots"],
+        "Rate (%)": round(100.0 * summary["hotspot_rate"], 2),
+        "Latency (s)": round(report.latency_ms / 1e3, 2),
+    }
+    print(format_table([row], title=f"repro scan — {layout.size}nm layout, "
+                                    f"window {window} / stride {stride}"))
+    if report.degraded:
+        print(f"DEGRADED: {len(report.failed_tiles)} tile(s) failed; "
+              f"{report.windows_failed} windows unscored")
+    if args.out:
+        from pathlib import Path
+
+        out = Path(args.out)
+        if out.suffix == ".npz":
+            report.heatmap.save_npz(out)
+        else:
+            import json
+
+            out.write_text(json.dumps({
+                "layout": args.layout,
+                "model": report.model,
+                "backend": report.backend,
+                "bias": bias,
+                "degraded": report.degraded,
+                "summary": summary,
+                "hits": [
+                    [h.x0, h.y0, h.x1, h.y1, h.score]
+                    for h in report.hits(bias)
+                ],
+            }, indent=2) + "\n")
+        print(f"results written to {out}")
+    return 0
+
+
 def _cmd_serve_bench(args) -> int:
     from .bench import format_table
     from .serve import measure_serving, serving_table_rows
@@ -405,6 +565,7 @@ _COMMANDS = {
     "litho": _cmd_litho,
     "roc": _cmd_roc,
     "predict": _cmd_predict,
+    "scan": _cmd_scan,
     "serve-bench": _cmd_serve_bench,
 }
 

@@ -10,12 +10,18 @@ from .benchmark import (
     generate_iccad2012_like,
 )
 from .epe import LithographySimulator, PrintabilityReport, analyze_contours
+from .fullchip import (
+    LayoutEdit,
+    apply_edits,
+    synthesize_chip,
+    synthesize_edit_trace,
+)
 from .geometry import Clip, Rect
 from .opc import IterativeOPC, rule_based_opc
 from .optics import OpticalModel, gaussian_kernel
 from .patterns import EXTENDED_FAMILIES, PATTERN_FAMILIES, Technology, sample_clip
 from .process_window import dose_latitude, passes_at, process_window_area
-from .raster import rasterize, rasterize_plane
+from .raster import rasterize, rasterize_plane, rasterize_region
 from .resist import (
     ProcessCorner,
     default_process_window,
@@ -34,6 +40,10 @@ __all__ = [
     "analyze_contours",
     "Clip",
     "Rect",
+    "LayoutEdit",
+    "apply_edits",
+    "synthesize_chip",
+    "synthesize_edit_trace",
     "IterativeOPC",
     "rule_based_opc",
     "OpticalModel",
@@ -47,6 +57,7 @@ __all__ = [
     "process_window_area",
     "rasterize",
     "rasterize_plane",
+    "rasterize_region",
     "ProcessCorner",
     "default_process_window",
     "nominal_corner",

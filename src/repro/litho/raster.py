@@ -14,7 +14,7 @@ import numpy as np
 
 from .geometry import Clip, Rect
 
-__all__ = ["rasterize", "rasterize_plane", "coverage_1d"]
+__all__ = ["rasterize", "rasterize_plane", "rasterize_region", "coverage_1d"]
 
 
 def coverage_1d(lo: float, hi: float, pixels: int, scale: float) -> np.ndarray:
@@ -131,4 +131,58 @@ def rasterize_plane(layout: Clip, scale: float, mode: str = "area") -> np.ndarra
         )
     image = np.zeros((pixels, pixels))
     _accumulate_rects(image, layout.rects, scale)
+    return _finish(image, mode)
+
+
+def rasterize_region(
+    rects, region: Rect, scale: float, mode: str = "area"
+) -> np.ndarray:
+    """Rasterise one rectangular sub-region of a layout.
+
+    ``rects`` is an iterable of layout rectangles *in insertion order*
+    (a superset containing every rectangle that overlaps ``region`` is
+    fine — rectangles outside contribute exactly ``+0.0`` per pixel,
+    which never changes a float bit).  ``region`` is the axis-aligned
+    nm window to rasterise; its four coordinates must be whole multiples
+    of ``scale`` so that clipping at the region border lands exactly on
+    pixel edges.
+
+    **Bit-identity contract** (the streaming scan depends on it): when
+    ``scale`` is a positive integer, the returned ``(h, w)`` image is
+    bit-identical to the matching slice of the monolithic
+    :func:`rasterize_plane` raster of the whole layout::
+
+        rasterize_plane(layout, scale, mode)[region.y0 // scale :
+                                             region.y1 // scale,
+                                             region.x0 // scale :
+                                             region.x1 // scale]
+
+    Clipping a rectangle to a pixel-aligned region does not change its
+    per-pixel coverage inside the region (the clipped bound is outside
+    every interior pixel's span), shifting to region-local coordinates
+    subtracts the same exact integers from rectangle bounds and pixel
+    edges, and rectangles accumulate in the same order — so every float
+    operation sees the same operands in the same order as the plane
+    raster.
+    """
+    if mode not in ("area", "binary"):
+        raise ValueError(f"mode must be 'area' or 'binary', got {mode!r}")
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    for name, value in (("x0", region.x0), ("y0", region.y0),
+                        ("x1", region.x1), ("y1", region.y1)):
+        steps = round(value / scale)
+        if steps * scale != value:
+            raise ValueError(
+                f"region.{name} = {value} is not a multiple of scale {scale}"
+            )
+    width = round((region.x1 - region.x0) / scale)
+    height = round((region.y1 - region.y0) / scale)
+    local = []
+    for rect in rects:
+        part = rect.intersection(region)
+        if part is not None:
+            local.append(part.shifted(-region.x0, -region.y0))
+    image = np.zeros((height, width))
+    _accumulate_rects(image, local, scale)
     return _finish(image, mode)

@@ -50,6 +50,8 @@ from .pool import ShardOutcome, WorkerPool, shard_slices
 from .registry import ModelEntry, ModelRegistry, compile_engine, model_from_meta
 from .service import HotspotService, extract_window, window_origins
 from .types import (
+    ChipScanReport,
+    ChipScanRequest,
     ClipRequest,
     HealthReport,
     HealthState,
@@ -94,4 +96,6 @@ __all__ = [
     "ScanHit",
     "ScanReport",
     "ScanRequest",
+    "ChipScanRequest",
+    "ChipScanReport",
 ]

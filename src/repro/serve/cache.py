@@ -106,6 +106,19 @@ class PlaneCache(_ArrayLRU):
     layout at clip resolution), so the default capacity is small — a
     handful of layouts under active scanning.  Keyed by the layout's
     exact geometry plus the plane resolution, like :class:`RasterCache`.
+
+    **Region-aware chip mode.**  Full-chip streaming scans
+    (:mod:`repro.chip`) cannot key by geometry — hashing millions of
+    rectangles per tile lookup would dwarf rasterization — so chip tile
+    planes are keyed instead by an opaque session ``token`` plus the
+    tile's nm region: the caller owns token freshness (a token names
+    one layout *state*; edit the layout, and either mint a new token or
+    invalidate the touched regions).  :meth:`invalidate_chip_regions`
+    is the edit hook the ECO re-scan path uses: it drops exactly the
+    entries whose region strictly overlaps a dirty rectangle, so clean
+    tiles stay warm across re-scans.  Both key shapes share one LRU
+    (chip keys are tagged, so they can never collide with geometry
+    keys).
     """
 
     def __init__(self, capacity: int = 8):
@@ -118,3 +131,49 @@ class PlaneCache(_ArrayLRU):
         return self._get_or_build(
             key, lambda: rasterize_plane(layout, scale, mode)
         )
+
+    def get_chip_tile(
+        self, token: str, region, scale: int, mode: str, build
+    ) -> np.ndarray:
+        """Return the tile plane of ``region`` under ``token``.
+
+        ``build`` is a zero-argument callable producing the plane on a
+        miss (the chip scanner rasterizes from its spatial index).
+        """
+        key = ("chip", token, (region.x0, region.y0, region.x1, region.y1),
+               scale, mode)
+        return self._get_or_build(key, build)
+
+    def invalidate_chip_regions(self, token: str, rects) -> int:
+        """Drop ``token``'s tile entries overlapping any of ``rects``.
+
+        Overlap is strict (shared borders do not count), matching the
+        dirty-window semantics of :class:`repro.chip.eco.\
+DirtyRegionTracker`: a rectangle touching a tile's border cannot have
+        changed any pixel of its raster.  Returns the number of entries
+        dropped.
+        """
+        dirty = [(r.x0, r.y0, r.x1, r.y1) for r in rects]
+        with self._lock:
+            stale = [
+                key for key in self._entries
+                if key[0] == "chip" and key[1] == token and any(
+                    key[2][0] < x1 and x0 < key[2][2]
+                    and key[2][1] < y1 and y0 < key[2][3]
+                    for x0, y0, x1, y1 in dirty
+                )
+            ]
+            for key in stale:
+                del self._entries[key]
+        return len(stale)
+
+    def invalidate_token(self, token: str) -> int:
+        """Drop every chip-tile entry of one session token."""
+        with self._lock:
+            stale = [
+                key for key in self._entries
+                if key[0] == "chip" and key[1] == token
+            ]
+            for key in stale:
+                del self._entries[key]
+        return len(stale)

@@ -107,9 +107,16 @@ class ServiceMetrics:
         self.windows_scanned_total = 0
         self.windows_failed_total = 0
         self.shard_retries_total = 0
+        self.chip_scan_requests_total = 0
+        self.chip_rescan_requests_total = 0
+        self.chip_tiles_scanned_total = 0
+        self.chip_tiles_failed_total = 0
+        self.chip_windows_rescored_total = 0
+        self.chip_peak_tile_bytes = 0
         self.request_latency = LatencyHistogram()
         self.batch_latency = LatencyHistogram()
         self.scan_latency = LatencyHistogram()
+        self.chip_scan_latency = LatencyHistogram()
 
     # -- recording hooks -------------------------------------------------
 
@@ -180,6 +187,41 @@ class ServiceMetrics:
             self.shard_retries_total += retried_shards
             self.scan_latency.observe(latency_ms)
 
+    def record_chip_scan(
+        self,
+        windows: int,
+        tiles: int,
+        latency_ms: float,
+        failed_tiles: int = 0,
+        failed_windows: int = 0,
+        peak_tile_bytes: int = 0,
+        rescored_windows: int | None = None,
+        retried_shards: int = 0,
+    ) -> None:
+        """One full-chip streaming scan (or incremental re-scan).
+
+        ``rescored_windows`` is ``None`` for a full scan; an integer
+        marks the request as an ECO re-scan and accumulates the dirty
+        windows actually re-scored.  ``peak_tile_bytes`` keeps a
+        high-water mark across requests (the budget-compliance signal
+        an operator watches).
+        """
+        with self._lock:
+            self.chip_scan_requests_total += 1
+            if rescored_windows is not None:
+                self.chip_rescan_requests_total += 1
+                self.chip_windows_rescored_total += rescored_windows
+            if failed_tiles:
+                self.degraded_scans_total += 1
+            self.chip_tiles_scanned_total += tiles - failed_tiles
+            self.chip_tiles_failed_total += failed_tiles
+            self.windows_scanned_total += windows
+            self.windows_failed_total += failed_windows
+            self.shard_retries_total += retried_shards
+            if peak_tile_bytes > self.chip_peak_tile_bytes:
+                self.chip_peak_tile_bytes = peak_tile_bytes
+            self.chip_scan_latency.observe(latency_ms)
+
     def register_op_table(self, model: str, table: object) -> None:
         """Attach a per-op timing table for ``model`` (idempotent).
 
@@ -217,9 +259,16 @@ class ServiceMetrics:
             self.windows_scanned_total = 0
             self.windows_failed_total = 0
             self.shard_retries_total = 0
+            self.chip_scan_requests_total = 0
+            self.chip_rescan_requests_total = 0
+            self.chip_tiles_scanned_total = 0
+            self.chip_tiles_failed_total = 0
+            self.chip_windows_rescored_total = 0
+            self.chip_peak_tile_bytes = 0
             self.request_latency = LatencyHistogram()
             self.batch_latency = LatencyHistogram()
             self.scan_latency = LatencyHistogram()
+            self.chip_scan_latency = LatencyHistogram()
 
     # -- reporting -------------------------------------------------------
 
@@ -261,7 +310,15 @@ class ServiceMetrics:
                 "windows_scanned_total": self.windows_scanned_total,
                 "windows_failed_total": self.windows_failed_total,
                 "shard_retries_total": self.shard_retries_total,
+                "chip_scan_requests_total": self.chip_scan_requests_total,
+                "chip_rescan_requests_total": self.chip_rescan_requests_total,
+                "chip_tiles_scanned_total": self.chip_tiles_scanned_total,
+                "chip_tiles_failed_total": self.chip_tiles_failed_total,
+                "chip_windows_rescored_total":
+                    self.chip_windows_rescored_total,
+                "chip_peak_tile_bytes": self.chip_peak_tile_bytes,
                 "request_latency": self.request_latency.snapshot(),
                 "batch_latency": self.batch_latency.snapshot(),
                 "scan_latency": self.scan_latency.snapshot(),
+                "chip_scan_latency": self.chip_scan_latency.snapshot(),
             }

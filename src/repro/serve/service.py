@@ -42,6 +42,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..chip import DEFAULT_TILE_BUDGET, ChipScanner, ChipScanResult
 from ..features.downsample import downsample_binary, to_network_input
 from ..litho.geometry import Clip, Rect
 from ..nn.module import Module
@@ -53,6 +54,8 @@ from .metrics import ServiceMetrics
 from .pool import WorkerPool
 from .registry import ModelEntry, ModelRegistry
 from .types import (
+    ChipScanReport,
+    ChipScanRequest,
     ClipRequest,
     HealthReport,
     HealthState,
@@ -514,6 +517,159 @@ class HotspotService:
             degraded=bool(failed_ranges),
             failed_ranges=tuple(failed_ranges),
         )
+
+    # -- full-chip streaming scan path -----------------------------------
+
+    def _chip_scanner(self, entry: ModelEntry) -> ChipScanner:
+        return ChipScanner(
+            entry.engine, entry.image_size, batch_size=self.max_batch,
+            plane_cache=self.plane_cache,
+        )
+
+    def _chip_report(
+        self,
+        request_id: str,
+        result: ChipScanResult,
+        entry: ModelEntry,
+        started: float,
+        failed_tiles: tuple[int, ...] = (),
+        retried_shards: int = 0,
+    ) -> ChipScanReport:
+        latency_ms = (time.perf_counter() - started) * 1e3
+        self.metrics.record_chip_scan(
+            windows=result.windows,
+            tiles=result.tiles,
+            latency_ms=latency_ms,
+            failed_tiles=len(failed_tiles),
+            failed_windows=result.heatmap.n_unscored,
+            peak_tile_bytes=result.peak_tile_bytes,
+            rescored_windows=result.rescored_windows,
+            retried_shards=retried_shards,
+        )
+        return ChipScanReport(
+            request_id=request_id,
+            windows_scanned=result.windows,
+            tiles_total=result.tiles,
+            peak_tile_bytes=result.peak_tile_bytes,
+            heatmap=result.heatmap,
+            result=result,
+            model=entry.name,
+            backend=entry.backend,
+            latency_ms=latency_ms,
+            degraded=bool(failed_tiles),
+            failed_tiles=failed_tiles,
+            rescored_windows=result.rescored_windows,
+        )
+
+    def scan_chip(
+        self,
+        request: ChipScanRequest,
+        model: str | None = None,
+        timeout: float | None = None,
+    ) -> ChipScanReport:
+        """Stream-scan a full chip; peak plane memory stays tile-bounded.
+
+        The layout is never rasterized whole: the sweep is compiled to
+        halo-correct tiles (:func:`repro.chip.plan_tiles`) and each
+        tile — one contiguous origin range — is rasterized and scored
+        independently, sharded one-tile-per-shard across the worker
+        pool.  Scores are bit-identical to :meth:`scan`'s plane path on
+        the same layout (the chip parity gate holds that line), so the
+        choice between the two is purely a memory/size decision.
+
+        Partial failure degrades instead of raising, at tile
+        granularity: a tile whose shard keeps failing after
+        ``shard_retries`` re-runs (or misses the deadline) stays ``NaN``
+        in the heatmap and is listed in the report's ``failed_tiles``;
+        healthy tiles are returned unchanged.
+
+        A ``request.token`` enrolls the scan in the region-keyed plane
+        cache: pass the returned report to :meth:`rescan_chip` with an
+        edit list, and only the dirtied tile planes are rebuilt.
+        """
+        entry = self._entry(model)
+        if timeout is None:
+            timeout = self.default_timeout_s
+        started = time.perf_counter()
+        scanner = self._chip_scanner(entry)
+        job = scanner.compile(
+            request.layout, request.window, request.stride,
+            request.tile_budget or DEFAULT_TILE_BUDGET,
+            token=request.token or None,
+        )
+        score_tile = job.score_tile
+        if self.faults is not None:
+            score_tile = self.faults.wrap("engine", score_tile)
+
+        def score_shard(tiles):
+            return [score_tile(tile) for tile in tiles]
+
+        outcomes = self.pool.map_shards_tolerant(
+            score_shard, job.tiles, shards=len(job.tiles),
+            timeout=timeout, retries=self.shard_retries,
+        )
+        scores = job.empty_scores()
+        failed_tiles: list[int] = []
+        retried_shards = 0
+        for outcome in outcomes:
+            retried_shards += outcome.retries
+            if not outcome.ok:
+                failed_tiles.extend(range(outcome.start, outcome.stop))
+                continue
+            for tile, block in zip(
+                job.tiles[outcome.start:outcome.stop], outcome.results
+            ):
+                scores[tile.iy0:tile.iy1, tile.ix0:tile.ix1] = block
+        result = ChipScanResult(
+            layout=request.layout, heatmap=job.heatmap(scores), job=job,
+            tile_budget=job.grid.tile_budget, tiles=len(job.tiles),
+            windows=job.grid.n_windows,
+            peak_tile_bytes=job.peak_tile_bytes,
+            wall_s=time.perf_counter() - started,
+            token=request.token or None,
+        )
+        return self._chip_report(
+            request.request_id, result, entry, started,
+            failed_tiles=tuple(failed_tiles),
+            retried_shards=retried_shards,
+        )
+
+    def rescan_chip(
+        self,
+        report: ChipScanReport,
+        edits: Sequence,
+        model: str | None = None,
+        request_id: str = "",
+    ) -> ChipScanReport:
+        """Incrementally re-scan after layout edits (the ECO loop).
+
+        ``report`` must come from :meth:`scan_chip` (or a previous
+        ``rescan_chip``) of this process — it carries the compiled
+        scanner state.  Only the windows whose extent the edits dirtied
+        are re-scored (:class:`repro.chip.DirtyRegionTracker`); the
+        merged heatmap is bit-identical to a from-scratch
+        :meth:`scan_chip` of the edited layout.  When the originating
+        request carried a ``token``, clean tile planes are reused from
+        the region-keyed plane cache and only dirtied regions are
+        re-rasterized.
+
+        The compiled state chains forward: re-scan against the
+        *newest* report of a session (earlier reports' state reflects
+        the edited layout after this call).
+        """
+        entry = self._entry(model)
+        result = report.result
+        if not isinstance(result, ChipScanResult):
+            raise ValueError(
+                "report carries no scanner state; pass a report returned "
+                "by scan_chip()/rescan_chip() of this process"
+            )
+        started = time.perf_counter()
+        scanner = self._chip_scanner(entry)
+        merged = scanner.rescan(result, list(edits))
+        # a degraded scan's NaN tiles stay NaN unless an edit dirtied
+        # them — reflected by the heatmap, not a new failed_tiles list
+        return self._chip_report(request_id, merged, entry, started)
 
     # -- lifecycle / observability ---------------------------------------
 

@@ -21,6 +21,8 @@ __all__ = [
     "ScanRequest",
     "ScanHit",
     "ScanReport",
+    "ChipScanRequest",
+    "ChipScanReport",
     "HealthState",
     "HealthReport",
 ]
@@ -114,6 +116,88 @@ class ScanRequest:
             )
         if self.stride <= 0:
             raise ValueError(f"stride must be positive, got {self.stride}")
+
+
+@dataclass(frozen=True)
+class ChipScanRequest:
+    """Stream-scan a full chip under a bounded tile-plane memory budget.
+
+    Unlike :class:`ScanRequest`, the layout is never rasterized as one
+    plane: the sweep is served tile by tile through
+    :class:`repro.chip.ChipScanner`, so ``layout`` may be arbitrarily
+    large.  ``tile_budget`` caps the float64 raster bytes of any tile
+    (0 picks the scanner default).  ``token``, when set, names this
+    layout state in the service's region-keyed plane cache so follow-up
+    ECO re-scans under the same token reuse clean tile planes.
+    """
+
+    layout: Clip
+    window: int
+    stride: int
+    tile_budget: int = 0
+    token: str = ""
+    request_id: str = ""
+
+    def __post_init__(self) -> None:
+        if self.window <= 0 or self.window > self.layout.size:
+            raise ValueError(
+                f"window {self.window} outside (0, {self.layout.size}]"
+            )
+        if self.stride <= 0:
+            raise ValueError(f"stride must be positive, got {self.stride}")
+        if self.tile_budget < 0:
+            raise ValueError(
+                f"tile_budget must be >= 0, got {self.tile_budget}"
+            )
+
+
+@dataclass(frozen=True)
+class ChipScanReport:
+    """Result of a chip scan (or an incremental re-scan).
+
+    ``heatmap`` is the full per-origin score grid
+    (:class:`repro.chip.HotspotHeatmap`); ``hits()`` and ``summary()``
+    live there.  Like :class:`ScanReport`, a report can be
+    **degraded**: tiles whose shard kept failing after retry are left
+    ``NaN`` in the heatmap and enumerated in ``failed_tiles`` (indices
+    into the scan's tile grid) — healthy tiles' scores are returned
+    unchanged.  ``rescored_windows`` is ``None`` for a full scan and
+    the dirty-window count for an ECO re-scan.
+
+    The report carries the scanner's compiled state (``result``) so the
+    service can serve :meth:`~repro.serve.service.HotspotService.\
+rescan_chip` against it without re-planning; treat it as opaque.
+    """
+
+    request_id: str
+    windows_scanned: int
+    tiles_total: int
+    peak_tile_bytes: int
+    heatmap: object  #: :class:`repro.chip.HotspotHeatmap`
+    result: object = field(repr=False, default=None)
+    model: str = ""
+    backend: str = ""
+    latency_ms: float = 0.0
+    degraded: bool = False
+    failed_tiles: tuple[int, ...] = ()
+    rescored_windows: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.degraded != bool(self.failed_tiles):
+            raise ValueError(
+                "degraded must be True exactly when failed_tiles is "
+                f"non-empty (degraded={self.degraded}, "
+                f"failed_tiles={self.failed_tiles})"
+            )
+
+    @property
+    def windows_failed(self) -> int:
+        """Windows never scored (NaN heatmap entries)."""
+        return self.heatmap.n_unscored
+
+    def hits(self, bias: float = 0.0):
+        """Hotspot windows above ``bias`` (see ``HotspotHeatmap.hits``)."""
+        return self.heatmap.hits(bias)
 
 
 @dataclass(frozen=True)

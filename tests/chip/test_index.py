@@ -1,0 +1,91 @@
+"""Tests for the bucketed spatial index."""
+
+import numpy as np
+import pytest
+
+from repro.chip import RectIndex
+from repro.litho.fullchip import LayoutEdit, apply_edits
+from repro.litho.geometry import Clip, Rect
+
+
+def random_layout(seed=0, size=4096, n=200):
+    rng = np.random.default_rng(seed)
+    clip = Clip(size)
+    for _ in range(n):
+        x0 = int(rng.integers(0, size - 64))
+        y0 = int(rng.integers(0, size - 64))
+        clip.add(Rect(x0, y0, x0 + int(rng.integers(8, 60)),
+                      y0 + int(rng.integers(8, 60))))
+    return clip
+
+
+class TestQuery:
+    def test_matches_brute_force_in_insertion_order(self):
+        layout = random_layout(1)
+        index = RectIndex(layout, bucket=512)
+        for region in [Rect(0, 0, 1024, 1024), Rect(1000, 2000, 3000, 2600),
+                       Rect(4000, 4000, 4096, 4096)]:
+            expected = [r for r in layout.rects if r.intersects(region)]
+            assert index.query(region) == expected
+
+    def test_touching_border_is_not_a_match(self):
+        layout = Clip(256, [Rect(0, 0, 64, 64)])
+        index = RectIndex(layout, bucket=64)
+        assert index.query(Rect(64, 0, 128, 64)) == []
+        assert index.query(Rect(63, 0, 128, 64)) == [Rect(0, 0, 64, 64)]
+
+    def test_rects_enumerates_layout_order(self):
+        layout = random_layout(2)
+        assert RectIndex(layout).rects() == list(layout.rects)
+
+
+class TestApply:
+    def test_edit_sequence_matches_apply_edits(self):
+        layout = random_layout(3, n=50)
+        rects = list(layout.rects)
+        edits = [
+            LayoutEdit("remove", rects[7]),
+            LayoutEdit("add", Rect(10, 10, 40, 44)),
+            LayoutEdit("move", rects[3], to=rects[3].shifted(16, 0)),
+            LayoutEdit("add", Rect(10, 10, 40, 44)),  # duplicate geometry
+            LayoutEdit("remove", Rect(10, 10, 40, 44)),
+        ]
+        index = RectIndex(layout, bucket=512)
+        for edit in edits:
+            index.apply(edit)
+        assert index.rects() == list(apply_edits(layout, edits).rects)
+
+    def test_remove_first_equal_with_duplicates(self):
+        rect = Rect(0, 0, 32, 32)
+        layout = Clip(256, [rect, Rect(100, 100, 130, 130), rect])
+        index = RectIndex(layout, bucket=64)
+        index.apply(LayoutEdit("remove", rect))
+        # one copy survives, and it is the *later* insertion
+        assert index.rects() == [Rect(100, 100, 130, 130), rect]
+        assert len(index) == 2
+
+    def test_remove_missing_raises(self):
+        index = RectIndex(Clip(256, [Rect(0, 0, 8, 8)]))
+        with pytest.raises(ValueError, match="not in index"):
+            index.apply(LayoutEdit("remove", Rect(1, 1, 9, 9)))
+
+    def test_query_after_edits_stays_consistent(self):
+        layout = random_layout(4, n=80)
+        index = RectIndex(layout, bucket=256)
+        current = layout
+        rng = np.random.default_rng(5)
+        for _ in range(30):
+            rects = list(current.rects)
+            victim = rects[int(rng.integers(len(rects)))]
+            edit = LayoutEdit("move", victim,
+                              to=Rect(victim.x0, victim.y0,
+                                      victim.x1 + 1, victim.y1 + 1))
+            index.apply(edit)
+            current = apply_edits(current, [edit])
+        region = Rect(512, 512, 3584, 3584)
+        expected = [r for r in current.rects if r.intersects(region)]
+        assert index.query(region) == expected
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="bucket"):
+            RectIndex(Clip(256), bucket=0)

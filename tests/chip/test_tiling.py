@@ -1,0 +1,99 @@
+"""Tests for the tile decomposition of a full-chip sweep."""
+
+import pytest
+
+from repro.chip import origin_steps, plan_tiles
+from repro.serve import window_origins
+
+
+class TestOriginSteps:
+    def test_matches_serving_layer_origins(self):
+        for size, window, stride in [(1024, 128, 64), (1000, 128, 48),
+                                     (512, 512, 64), (4096, 1024, 700)]:
+            steps = origin_steps(size, window, stride)
+            origins = window_origins(size, window, stride)
+            assert [(x, y) for y in steps for x in steps] == origins
+
+    def test_snaps_last_origin(self):
+        # 1000 - 128 = 872, not a multiple of 48: last origin snaps
+        steps = origin_steps(1000, 128, 48)
+        assert steps[-1] == 872
+        assert steps[-2] < 872
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            origin_steps(100, 128, 32)  # window > size
+        with pytest.raises(ValueError):
+            origin_steps(100, 50, 0)
+
+
+class TestPlanTiles:
+    def test_every_tile_within_budget(self):
+        budget = (3 * 64) ** 2 * 8  # up to 3 windows per axis per tile
+        grid = plan_tiles(4096, 512, 256, 8, budget)
+        assert len(grid.tiles) > 1
+        for tile in grid.tiles:
+            assert grid.tile_bytes(tile) <= budget
+
+    def test_tiles_partition_the_origin_grid(self):
+        grid = plan_tiles(4096, 512, 192, 8, (2 * 64) ** 2 * 8)
+        n = len(grid.steps)
+        owners = {}
+        for index, tile in enumerate(grid.tiles):
+            for j in range(tile.iy0, tile.iy1):
+                for i in range(tile.ix0, tile.ix1):
+                    assert (i, j) not in owners
+                    owners[(i, j)] = index
+        assert len(owners) == n * n == grid.n_windows
+
+    def test_tile_index_of_agrees_with_membership(self):
+        grid = plan_tiles(4096, 512, 192, 8, (2 * 64) ** 2 * 8)
+        for index, tile in enumerate(grid.tiles):
+            assert grid.tile_index_of(tile.ix0, tile.iy0) == index
+            assert grid.tile_of(tile.ix1 - 1, tile.iy1 - 1) is grid.tiles[
+                grid.tile_index_of(tile.ix1 - 1, tile.iy1 - 1)]
+        with pytest.raises(IndexError):
+            grid.tile_index_of(len(grid.steps), 0)
+
+    def test_region_covers_core_plus_halo(self):
+        grid = plan_tiles(2048, 256, 128, 8, (2 * 32) ** 2 * 8)
+        for tile in grid.tiles:
+            # the region must reach the end of the last window
+            assert tile.region.x0 == grid.steps[tile.ix0]
+            assert tile.region.x1 == grid.steps[tile.ix1 - 1] + grid.window
+            assert tile.region.y0 == grid.steps[tile.iy0]
+            assert tile.region.y1 == grid.steps[tile.iy1 - 1] + grid.window
+
+    def test_regions_land_on_pixel_edges(self):
+        grid = plan_tiles(4000, 500, 250, 5, (4 * 100) ** 2 * 8)
+        for tile in grid.tiles:
+            for edge in (tile.region.x0, tile.region.x1,
+                         tile.region.y0, tile.region.y1):
+                assert edge % grid.scale == 0
+
+    def test_single_tile_when_budget_is_large(self):
+        grid = plan_tiles(2048, 256, 128, 8, 2**30)
+        assert len(grid.tiles) == 1
+        tile = grid.tiles[0]
+        assert tile.n_origins == grid.n_windows
+
+    def test_budget_below_one_window_raises(self):
+        with pytest.raises(ValueError, match="cannot hold one"):
+            plan_tiles(2048, 256, 128, 8, (256 // 8) ** 2 * 8 - 1)
+
+    def test_misaligned_scale_raises(self):
+        with pytest.raises(ValueError, match="not a multiple"):
+            plan_tiles(2048, 250, 128, 8, 2**20)  # window % scale != 0
+        with pytest.raises(ValueError, match="not a multiple"):
+            plan_tiles(2047, 256, 128, 8, 2**20)  # size % scale != 0
+        with pytest.raises(ValueError, match="not a multiple"):
+            plan_tiles(2048, 256, 100, 8, 2**20)  # stride % scale != 0
+
+    def test_non_uniform_snapped_step_stays_bounded(self):
+        # 4096 - 512 = 3584, stride 768: steps 0..3072 then snap 3584;
+        # the last run's span includes the irregular gap
+        budget = (2 * 64) ** 2 * 8
+        grid = plan_tiles(4096, 512, 768, 8, budget)
+        assert grid.steps[-1] == 3584
+        for tile in grid.tiles:
+            assert grid.tile_bytes(tile) <= budget

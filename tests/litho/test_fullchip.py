@@ -1,0 +1,127 @@
+"""Tests for full-chip synthesis and ECO edit traces."""
+
+import numpy as np
+import pytest
+
+from repro.litho.fullchip import (
+    LayoutEdit,
+    apply_edits,
+    synthesize_chip,
+    synthesize_edit_trace,
+)
+from repro.litho.geometry import Clip, Rect
+from repro.litho.patterns import Technology
+
+
+class TestSynthesizeChip:
+    def test_deterministic(self):
+        a = synthesize_chip(8192, seed=5)
+        b = synthesize_chip(8192, seed=5)
+        assert list(a.rects) == list(b.rects)
+        assert list(a.rects) != list(synthesize_chip(8192, seed=6).rects)
+
+    def test_blocks_are_local(self):
+        """No rectangle crosses a block boundary."""
+        block = 2048
+        layout = synthesize_chip(8192, seed=1, block=block)
+        assert len(layout.rects) > 0
+        for rect in layout.rects:
+            assert rect.x0 // block == (rect.x1 - 1) // block
+            assert rect.y0 // block == (rect.y1 - 1) // block
+
+    def test_size_extension_shares_common_blocks(self):
+        """Growing the chip keeps the shared blocks' geometry."""
+        small = synthesize_chip(4096, seed=3, block=2048)
+        large = synthesize_chip(8192, seed=3, block=2048)
+        small_set = {(r.x0, r.y0, r.x1, r.y1) for r in small.rects}
+        large_subset = {
+            (r.x0, r.y0, r.x1, r.y1)
+            for r in large.rects
+            if r.x1 <= 4096 and r.y1 <= 4096
+        }
+        assert small_set == large_subset
+
+    def test_rects_stay_in_bounds(self):
+        layout = synthesize_chip(5000, seed=2, block=2048)
+        for rect in layout.rects:
+            assert 0 <= rect.x0 < rect.x1 <= 5000
+            assert 0 <= rect.y0 < rect.y1 <= 5000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthesize_chip(0)
+        with pytest.raises(ValueError):
+            synthesize_chip(1024, block=0)
+
+
+class TestLayoutEdit:
+    def test_kind_validation(self):
+        with pytest.raises(ValueError, match="unknown edit kind"):
+            LayoutEdit("replace", Rect(0, 0, 8, 8))
+
+    def test_move_requires_target(self):
+        with pytest.raises(ValueError, match="to="):
+            LayoutEdit("move", Rect(0, 0, 8, 8))
+        with pytest.raises(ValueError, match="to="):
+            LayoutEdit("add", Rect(0, 0, 8, 8), to=Rect(8, 8, 16, 16))
+
+    def test_dirty_rects(self):
+        move = LayoutEdit("move", Rect(0, 0, 8, 8), to=Rect(8, 8, 16, 16))
+        assert move.dirty_rects() == (Rect(0, 0, 8, 8), Rect(8, 8, 16, 16))
+        add = LayoutEdit("add", Rect(0, 0, 8, 8))
+        assert add.dirty_rects() == (Rect(0, 0, 8, 8),)
+
+
+class TestApplyEdits:
+    def test_list_semantics(self):
+        a, b = Rect(0, 0, 8, 8), Rect(16, 16, 32, 32)
+        layout = Clip(64, [a, b, a])  # duplicate geometry allowed
+        edited = apply_edits(layout, [
+            LayoutEdit("remove", a),            # first equal goes
+            LayoutEdit("move", b, to=b.shifted(4, 0)),
+            LayoutEdit("add", Rect(40, 40, 50, 50)),
+        ])
+        assert list(edited.rects) == [
+            a, b.shifted(4, 0), Rect(40, 40, 50, 50)
+        ]
+        # the original layout is untouched
+        assert list(layout.rects) == [a, b, a]
+
+    def test_remove_missing_raises(self):
+        layout = Clip(64, [Rect(0, 0, 8, 8)])
+        with pytest.raises(ValueError, match="not in the layout"):
+            apply_edits(layout, [LayoutEdit("remove", Rect(1, 1, 9, 9))])
+
+
+class TestSynthesizeEditTrace:
+    def test_deterministic_and_valid(self):
+        layout = synthesize_chip(8192, seed=4)
+        a = synthesize_edit_trace(layout, 20, seed=9)
+        b = synthesize_edit_trace(layout, 20, seed=9)
+        assert a == b
+        assert len(a) == 20
+        apply_edits(layout, a)  # sequential validity: must not raise
+
+    def test_region_confines_edits(self):
+        layout = synthesize_chip(8192, seed=4)
+        region = Rect(0, 0, 2048, 2048)
+        trace = synthesize_edit_trace(layout, 30, seed=10, region=region)
+        for edit in trace:
+            for rect in edit.dirty_rects():
+                assert rect.intersects(region) or (
+                    # moves may shift a region rect slightly outward
+                    edit.kind == "move"
+                )
+
+    def test_empty_trace(self):
+        layout = synthesize_chip(4096, seed=4)
+        assert synthesize_edit_trace(layout, 0) == []
+        with pytest.raises(ValueError):
+            synthesize_edit_trace(layout, -1)
+
+    def test_trace_on_empty_layout_stays_valid(self):
+        """Removes/moves only ever target rects an earlier add created."""
+        layout = Clip(4096)
+        trace = synthesize_edit_trace(layout, 10, seed=11)
+        assert trace[0].kind == "add"
+        apply_edits(layout, trace)  # must not raise

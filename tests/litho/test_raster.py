@@ -126,3 +126,98 @@ class TestRasterizePlane:
             rasterize_plane(layout, 0.0)
         with pytest.raises(ValueError):
             rasterize_plane(layout, 4.0, mode="grayscale")
+
+
+class TestRasterizeRegion:
+    """Region rasters vs monolithic plane slices — the tile contract."""
+
+    def _layout(self, size=256, seed=13, n=60):
+        rng = np.random.default_rng(seed)
+        layout = Clip(size)
+        for _ in range(n):
+            x0 = int(rng.integers(0, size - 8))
+            y0 = int(rng.integers(0, size - 8))
+            layout.add(Rect(x0, y0, x0 + int(rng.integers(3, 90)),
+                            y0 + int(rng.integers(3, 50))))
+        return layout
+
+    def _check(self, layout, region, scale, mode):
+        from repro.litho.raster import rasterize_region
+
+        plane = rasterize_plane(layout, scale, mode)
+        tile = rasterize_region(list(layout.rects), region, scale, mode)
+        np.testing.assert_array_equal(
+            tile,
+            plane[region.y0 // scale : region.y1 // scale,
+                  region.x0 // scale : region.x1 // scale],
+        )
+
+    @pytest.mark.parametrize("mode", ["area", "binary"])
+    @pytest.mark.parametrize("scale", [1, 4])
+    def test_interior_region_matches_plane_slice(self, mode, scale):
+        self._check(self._layout(), Rect(32, 64, 160, 192), scale, mode)
+
+    @pytest.mark.parametrize("mode", ["area", "binary"])
+    def test_rects_straddling_region_borders(self, mode):
+        """Geometry crossing the tile edge is clipped bit-identically."""
+        layout = Clip(128, [
+            Rect(20, 20, 80, 28),    # enters from the left
+            Rect(56, 0, 64, 128),    # crosses top-to-bottom
+            Rect(30, 60, 100, 68),   # exits to the right
+            Rect(48, 48, 80, 80),    # fully inside
+            Rect(0, 0, 16, 16),      # fully outside (below-left)
+        ])
+        self._check(layout, Rect(32, 32, 96, 96), 4, mode)
+
+    @pytest.mark.parametrize("mode", ["area", "binary"])
+    def test_region_clipped_at_layout_boundary(self, mode):
+        """Corner regions: rects clipped by the layout edge line up."""
+        layout = self._layout()
+        size = layout.size
+        for region in [Rect(0, 0, 64, 64), Rect(size - 64, 0, size, 64),
+                       Rect(0, size - 64, 64, size),
+                       Rect(size - 64, size - 64, size, size)]:
+            self._check(layout, region, 4, mode)
+
+    def test_halo_overlap_consistency(self):
+        """Overlapping tile regions agree on their shared pixels."""
+        from repro.litho.raster import rasterize_region
+
+        layout = self._layout()
+        rects = list(layout.rects)
+        left = rasterize_region(rects, Rect(0, 0, 160, 256), 4, "binary")
+        right = rasterize_region(rects, Rect(96, 0, 256, 256), 4, "binary")
+        np.testing.assert_array_equal(
+            left[:, 96 // 4 :], right[:, : (160 - 96) // 4]
+        )
+
+    def test_rect_touching_border_contributes_nothing(self):
+        """A rect ending exactly at the region edge changes no pixel."""
+        from repro.litho.raster import rasterize_region
+
+        region = Rect(64, 64, 128, 128)
+        touching = [Rect(0, 0, 64, 64), Rect(128, 64, 192, 128),
+                    Rect(64, 128, 128, 192)]
+        empty = rasterize_region([], region, 4, "area")
+        with_touching = rasterize_region(touching, region, 4, "area")
+        np.testing.assert_array_equal(empty, with_touching)
+        assert with_touching.sum() == 0.0
+
+    def test_subpixel_fraction_preserved_inside_region(self):
+        from repro.litho.raster import rasterize_region
+
+        # a 2nm sliver at 4nm/px: half-covered pixels inside the region
+        tile = rasterize_region([Rect(64, 0, 66, 128)],
+                                Rect(64, 0, 128, 128), 4, "area")
+        np.testing.assert_allclose(tile[:, 0], 0.5)
+        np.testing.assert_allclose(tile[:, 1:], 0.0)
+
+    def test_validation(self):
+        from repro.litho.raster import rasterize_region
+
+        with pytest.raises(ValueError):  # region not scale-aligned
+            rasterize_region([], Rect(2, 0, 66, 64), 4)
+        with pytest.raises(ValueError):
+            rasterize_region([], Rect(0, 0, 64, 64), 0)
+        with pytest.raises(ValueError):
+            rasterize_region([], Rect(0, 0, 64, 64), 4, mode="grayscale")

@@ -139,3 +139,76 @@ class TestPlaneCache:
         cache.get(make_clip(1), 2.0)
         cache.get(make_clip(2), 2.0)
         assert len(cache) == 1
+
+
+class TestChipTileCache:
+    """Region-keyed chip-tile mode of the plane cache."""
+
+    def make_plane(self, value=1.0, side=4):
+        return np.full((side, side), value)
+
+    def test_hit_keyed_by_token_region_scale_mode(self):
+        cache = PlaneCache(capacity=8)
+        region = Rect(0, 0, 256, 256)
+        built = []
+
+        def build():
+            built.append(1)
+            return self.make_plane()
+
+        first = cache.get_chip_tile("a", region, 16, "binary", build)
+        second = cache.get_chip_tile("a", region, 16, "binary", build)
+        assert first is second and len(built) == 1
+        # any key component change misses
+        cache.get_chip_tile("b", region, 16, "binary", build)
+        cache.get_chip_tile("a", Rect(0, 0, 256, 512), 16, "binary", build)
+        cache.get_chip_tile("a", region, 32, "binary", build)
+        cache.get_chip_tile("a", region, 16, "area", build)
+        assert len(built) == 5
+
+    def test_no_collision_with_geometry_keys(self):
+        cache = PlaneCache(capacity=8)
+        layout = make_clip(6)
+        plane = cache.get(layout, 2, "binary")
+        tile = cache.get_chip_tile(
+            "t", Rect(0, 0, layout.size, layout.size), 2, "binary",
+            self.make_plane,
+        )
+        assert tile is not plane
+        assert len(cache) == 2
+
+    def test_invalidate_strict_overlap(self):
+        cache = PlaneCache(capacity=8)
+        regions = [Rect(0, 0, 256, 256), Rect(256, 0, 512, 256),
+                   Rect(0, 256, 256, 512)]
+        for region in regions:
+            cache.get_chip_tile("t", region, 16, "binary", self.make_plane)
+        # touches the first two tiles' shared border at x=256 but only
+        # strictly overlaps the first
+        dropped = cache.invalidate_chip_regions(
+            "t", [Rect(200, 10, 256, 40)]
+        )
+        assert dropped == 1
+        assert len(cache) == 2
+        rebuilt = []
+        cache.get_chip_tile("t", regions[0], 16, "binary",
+                            lambda: rebuilt.append(1) or self.make_plane())
+        assert rebuilt == [1]
+
+    def test_invalidate_respects_token(self):
+        cache = PlaneCache(capacity=8)
+        region = Rect(0, 0, 256, 256)
+        cache.get_chip_tile("a", region, 16, "binary", self.make_plane)
+        cache.get_chip_tile("b", region, 16, "binary", self.make_plane)
+        assert cache.invalidate_chip_regions("a", [Rect(0, 0, 8, 8)]) == 1
+        assert len(cache) == 1
+
+    def test_invalidate_token_drops_all_its_tiles(self):
+        cache = PlaneCache(capacity=8)
+        layout = make_clip(7)
+        cache.get(layout, 2, "binary")
+        for x in (0, 256):
+            cache.get_chip_tile("t", Rect(x, 0, x + 256, 256), 16,
+                                "binary", self.make_plane)
+        assert cache.invalidate_token("t") == 2
+        assert len(cache) == 1  # the geometry-keyed plane survives

@@ -1,0 +1,200 @@
+"""Service-level tests for the streaming chip-scan path.
+
+The contract: ``scan_chip`` flags exactly the windows :meth:`scan`
+flags on the same layout (bit-identical scores, tile-bounded memory),
+``rescan_chip`` equals a from-scratch ``scan_chip`` of the edited
+layout, and injected tile failures degrade the report instead of
+raising.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chip import ChipScanResult
+from repro.litho.fullchip import (
+    apply_edits,
+    synthesize_chip,
+    synthesize_edit_trace,
+)
+from repro.litho.geometry import Clip, Rect
+from repro.models.bnn_resnet import build_bnn_resnet
+from repro.serve import (
+    ChipScanRequest,
+    ChipScanReport,
+    FaultInjector,
+    HotspotService,
+    ScanRequest,
+)
+
+SIZE = 4096
+WINDOW = 512
+STRIDE = 256
+IMAGE = 16
+# two windows per tile axis -> a 4x4 multi-tile grid at this geometry
+BUDGET = (2 * IMAGE) ** 2 * 8
+
+
+@pytest.fixture(scope="module")
+def model():
+    rng = np.random.default_rng(99)
+    model = build_bnn_resnet((4, 8), scaling="xnor", seed=7)
+    x = (rng.random((8, 1, IMAGE, IMAGE)) > 0.5) * 2.0 - 1.0
+    model.forward(x, training=True)
+    return model
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return synthesize_chip(SIZE, seed=7)
+
+
+def chip_request(layout, **kwargs):
+    kwargs.setdefault("tile_budget", BUDGET)
+    return ChipScanRequest(layout, WINDOW, STRIDE, **kwargs)
+
+
+class TestScanChip:
+    def test_hits_match_monolithic_scan(self, model, layout):
+        with HotspotService.from_model(model, IMAGE) as svc:
+            mono = svc.scan(ScanRequest(layout, WINDOW, STRIDE))
+            chip = svc.scan_chip(chip_request(layout))
+        assert not chip.degraded and chip.failed_tiles == ()
+        assert chip.tiles_total > 1
+        assert chip.windows_scanned == mono.windows_scanned
+        chip_hits = [(h.x0, h.y0, h.x1, h.y1, h.score) for h in chip.hits()]
+        mono_hits = [(h.x0, h.y0, h.x1, h.y1, h.score) for h in mono.hits]
+        assert chip_hits == mono_hits
+
+    def test_report_carries_memory_accounting(self, model, layout):
+        with HotspotService.from_model(model, IMAGE) as svc:
+            report = svc.scan_chip(chip_request(layout))
+        assert 0 < report.peak_tile_bytes <= BUDGET
+        assert report.windows_failed == 0
+        assert report.rescored_windows is None
+        assert isinstance(report.result, ChipScanResult)
+
+    def test_metrics_counters(self, model, layout):
+        with HotspotService.from_model(model, IMAGE) as svc:
+            report = svc.scan_chip(chip_request(layout))
+            stats = svc.metrics.stats()
+        assert stats["chip_scan_requests_total"] == 1
+        assert stats["chip_rescan_requests_total"] == 0
+        assert stats["chip_tiles_scanned_total"] == report.tiles_total
+        assert stats["chip_tiles_failed_total"] == 0
+        assert stats["chip_peak_tile_bytes"] == report.peak_tile_bytes
+        assert stats["windows_scanned_total"] == report.windows_scanned
+
+    def test_token_populates_plane_cache(self, model, layout):
+        with HotspotService.from_model(
+            model, IMAGE, plane_cache_capacity=64
+        ) as svc:
+            report = svc.scan_chip(chip_request(layout, token="eco"))
+            assert svc.plane_cache.misses == report.tiles_total
+            svc.scan_chip(chip_request(layout, token="eco"))
+            assert svc.plane_cache.hits == report.tiles_total
+
+
+class TestRescanChip:
+    def test_matches_scratch_scan(self, model, layout):
+        edits = synthesize_edit_trace(layout, 4, seed=41)
+        with HotspotService.from_model(model, IMAGE) as svc:
+            baseline = svc.scan_chip(chip_request(layout, token="eco"))
+            rescanned = svc.rescan_chip(baseline, edits)
+            scratch = svc.scan_chip(
+                chip_request(apply_edits(layout, edits))
+            )
+        assert rescanned.heatmap.equals(scratch.heatmap)
+        assert 0 < rescanned.rescored_windows < baseline.windows_scanned
+        assert rescanned.hits() == scratch.hits()
+
+    def test_rescan_metrics(self, model, layout):
+        edits = synthesize_edit_trace(
+            layout, 2, seed=42, region=Rect(0, 0, 1024, 1024)
+        )
+        with HotspotService.from_model(model, IMAGE) as svc:
+            baseline = svc.scan_chip(chip_request(layout))
+            rescanned = svc.rescan_chip(baseline, edits)
+            stats = svc.metrics.stats()
+        assert stats["chip_scan_requests_total"] == 2
+        assert stats["chip_rescan_requests_total"] == 1
+        assert (stats["chip_windows_rescored_total"]
+                == rescanned.rescored_windows > 0)
+
+    def test_requires_scanner_state(self, model, layout):
+        with HotspotService.from_model(model, IMAGE) as svc:
+            report = svc.scan_chip(chip_request(layout))
+            stripped = ChipScanReport(
+                request_id="",
+                windows_scanned=report.windows_scanned,
+                tiles_total=report.tiles_total,
+                peak_tile_bytes=report.peak_tile_bytes,
+                heatmap=report.heatmap,
+                result=None,
+                model=report.model,
+                backend=report.backend,
+                latency_ms=report.latency_ms,
+            )
+            with pytest.raises(ValueError, match="scanner state"):
+                svc.rescan_chip(stripped, [])
+
+
+class TestDegradedChipScan:
+    def test_failed_tiles_stay_nan_and_are_listed(self, model, layout):
+        faults = FaultInjector(seed=0)
+        faults.add_error("engine", on_calls=[2, 5])
+        with HotspotService.from_model(
+            model, IMAGE, faults=faults, shard_retries=0
+        ) as svc:
+            report = svc.scan_chip(chip_request(layout))
+            healthy = HotspotService.from_model(model, IMAGE).scan_chip(
+                chip_request(layout)
+            )
+        assert report.degraded
+        assert len(report.failed_tiles) == 2
+        assert report.windows_failed > 0
+        # every scored window is bit-identical to the healthy sweep
+        scores, reference = report.heatmap.scores, healthy.heatmap.scores
+        scored = ~np.isnan(scores)
+        assert scored.sum() == scores.size - report.windows_failed
+        np.testing.assert_array_equal(scores[scored], reference[scored])
+        stats = svc.metrics.stats()
+        assert stats["chip_tiles_failed_total"] == 2
+        assert stats["degraded_scans_total"] == 1
+
+    def test_shard_retry_recovers(self, model, layout):
+        faults = FaultInjector(seed=0)
+        faults.add_error("engine", times=1)
+        with HotspotService.from_model(
+            model, IMAGE, faults=faults, shard_retries=1
+        ) as svc:
+            report = svc.scan_chip(chip_request(layout))
+        assert not report.degraded and report.failed_tiles == ()
+        assert svc.metrics.stats()["shard_retries_total"] == 1
+
+
+class TestChipScanRequest:
+    def test_validation(self):
+        layout = Clip(1024)
+        with pytest.raises(ValueError, match="window"):
+            ChipScanRequest(layout, 2048, 256)
+        with pytest.raises(ValueError, match="stride"):
+            ChipScanRequest(layout, 512, 0)
+        with pytest.raises(ValueError, match="tile_budget"):
+            ChipScanRequest(layout, 512, 256, tile_budget=-1)
+
+    def test_report_invariant(self, model, layout):
+        with HotspotService.from_model(model, IMAGE) as svc:
+            report = svc.scan_chip(chip_request(layout))
+        with pytest.raises(ValueError, match="degraded"):
+            ChipScanReport(
+                request_id="",
+                windows_scanned=report.windows_scanned,
+                tiles_total=report.tiles_total,
+                peak_tile_bytes=report.peak_tile_bytes,
+                heatmap=report.heatmap,
+                model=report.model,
+                backend=report.backend,
+                latency_ms=1.0,
+                degraded=True,
+                failed_tiles=(),
+            )

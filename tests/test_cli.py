@@ -43,6 +43,15 @@ class TestParser:
         assert args.max_batch == 64
         assert args.max_wait_ms == 2.0
 
+    def test_scan_defaults(self):
+        args = build_parser().parse_args(["scan", "synth:8192", "ck.npz"])
+        assert args.command == "scan"
+        assert args.layout == "synth:8192"
+        assert args.checkpoint == "ck.npz"
+        assert args.window is None and args.stride is None
+        assert args.tile_budget_mib == 64.0
+        assert args.out is None
+
 
 class TestCommands:
     def test_litho_clean_run(self, capsys):
@@ -138,3 +147,64 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Ours (BNN)" in out
         assert "SPIE'15" in out
+
+
+class TestScanCommand:
+    @pytest.fixture(scope="class")
+    def checkpoint(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("scan") / "ck.npz"
+        assert main([
+            "train", "--scale", "0.001", "--image-size", "16", "--seed", "7",
+            "--epochs", "1", "--finetune-epochs", "0", "--save", str(path),
+        ]) == 0
+        return path
+
+    def test_missing_layout_file(self, capsys, tmp_path):
+        code = main(["scan", str(tmp_path / "absent.txt"), "ck.npz"])
+        assert code == 2
+        assert "not found" in capsys.readouterr().out
+
+    def test_bad_synth_spec(self, capsys):
+        assert main(["scan", "synth:not-a-size", "ck.npz"]) == 2
+        assert "bad synth spec" in capsys.readouterr().out
+
+    def test_missing_checkpoint(self, capsys, tmp_path):
+        code = main(["scan", "synth:2048", str(tmp_path / "absent.npz")])
+        assert code == 2
+        assert "checkpoint not found" in capsys.readouterr().out
+
+    def test_misaligned_geometry(self, capsys, checkpoint):
+        # window 100 is not a multiple of the checkpoint's 16px input
+        code = main(["scan", "synth:2048:3", str(checkpoint),
+                     "--window", "100"])
+        assert code == 2
+        assert "cannot scan" in capsys.readouterr().out
+
+    def test_clean_run(self, capsys, checkpoint):
+        code = main(["scan", "synth:2048:3", str(checkpoint)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro scan" in out and "2048nm layout" in out
+        assert "Windows" in out and "Peak tile (MiB)" in out
+        assert "DEGRADED" not in out
+
+    def test_out_npz_roundtrip(self, capsys, checkpoint, tmp_path):
+        from repro.chip import HotspotHeatmap
+
+        out = tmp_path / "heatmap.npz"
+        assert main(["scan", "synth:2048:3", str(checkpoint),
+                     "--out", str(out)]) == 0
+        heatmap = HotspotHeatmap.load_npz(out)
+        assert heatmap.scores.shape[0] == len(heatmap.steps)
+        assert not np.isnan(heatmap.scores).any()
+
+    def test_out_json_summary(self, capsys, checkpoint, tmp_path):
+        import json
+
+        out = tmp_path / "scan.json"
+        assert main(["scan", "synth:2048:3", str(checkpoint),
+                     "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["summary"]["windows"] > 0
+        assert payload["degraded"] is False
+        assert len(payload["hits"]) == payload["summary"]["hotspots"]
