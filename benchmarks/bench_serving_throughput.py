@@ -17,9 +17,11 @@ Asserted directions:
   into hits (hit rate > 0 on a layout with repeated cells).
 """
 
+from pathlib import Path
+
 import numpy as np
 
-from repro.bench import format_table
+from repro.bench import format_table, write_bench_json
 from repro.detect import BNNDetector
 from repro.litho.geometry import Clip, Rect
 from repro.serve import (
@@ -30,6 +32,8 @@ from repro.serve import (
 )
 
 from conftest import publish, subsample
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def _trained_model(benchmark, epochs):
@@ -60,6 +64,25 @@ def test_serving_throughput(iccad_benchmark, epochs, benchmark):
                f"@{bench.image_size}px (batched packed vs single float "
                f"{speedup:.1f}x)"),
     ))
+
+    write_bench_json(REPO_ROOT / "BENCH_serving.json", {
+        "clips": len(images),
+        "image_size": bench.image_size,
+        "max_batch": 64,
+        "max_wait_ms": 2.0,
+        "speedup_batched_packed_vs_single_float": round(speedup, 2),
+        "mean_batch_size": round(
+            results["batched-packed"].mean_batch_size, 2
+        ),
+        "configs": {
+            name: {
+                "clips_per_sec": round(result.clips_per_sec, 1),
+                "seconds": round(result.seconds, 4),
+                "mean_batch_size": round(result.mean_batch_size, 2),
+            }
+            for name, result in results.items()
+        },
+    })
 
     # the acceptance bar: batching + packed backend >= 3x the naive path
     assert speedup >= 3.0

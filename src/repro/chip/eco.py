@@ -20,6 +20,8 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from ..litho.fullchip import LayoutEdit
 from ..litho.geometry import Rect
 
@@ -64,6 +66,19 @@ class DirtyRegionTracker:
                 for i in range(x0, x1):
                     dirty.add((i, j))
         return sorted(dirty, key=lambda ij: (ij[1], ij[0]))
+
+    @staticmethod
+    def unscored_windows(scores: np.ndarray) -> list[tuple[int, int]]:
+        """Origin indices ``(i, j)`` of NaN (never-scored) heatmap
+        entries, sorted row-major like :meth:`dirty_windows`.
+
+        A degraded scan leaves failed tiles NaN; a re-scan folds these
+        into its dirty set so a recovered tile is scored instead of
+        propagating NaN forever.
+        """
+        return [
+            (int(i), int(j)) for j, i in np.argwhere(np.isnan(scores))
+        ]
 
     def dirty_fraction(self, edits: Iterable[LayoutEdit]) -> float:
         """Dirty windows as a fraction of the sweep (bench axis)."""

@@ -106,8 +106,19 @@ class ChipScanJob:
         return ((steps[i] - region.x0) // scale,
                 (steps[j] - region.y0) // scale)
 
+    def _fault_wrapped(self, fn):
+        """Thread a scoring call through the scanner's ``"engine"`` fault
+        site (chaos testing); identity when no injector is attached."""
+        faults = self.scanner.faults
+        if faults is None:
+            return fn
+        return faults.wrap("engine", fn)
+
     def score_tile(self, tile: TileSpec) -> np.ndarray:
         """Score every window of one tile; returns ``(ny, nx)`` scores."""
+        return self._fault_wrapped(self._score_tile)(tile)
+
+    def _score_tile(self, tile: TileSpec) -> np.ndarray:
         region = tile.region
         plane = self._region_plane(region)
         origins = [
@@ -134,6 +145,14 @@ class ChipScanJob:
         plan.  Both are bit-identical (the plan's contract), so the
         crossover is purely a cost choice.
         """
+        return self._fault_wrapped(self._score_origins)(
+            region, plane, indices
+        )
+
+    def _score_origins(
+        self, region: Rect, plane: np.ndarray,
+        indices: list[tuple[int, int]],
+    ) -> np.ndarray:
         origins = [self._local_origin(region, i, j) for i, j in indices]
         w = self.scanner.image_size
         plane_px = plane.shape[2] * plane.shape[3]
@@ -187,6 +206,8 @@ class ChipScanResult:
     #: windows re-scored by the incremental path (None for a full scan)
     rescored_windows: int | None = None
     token: str | None = None
+    #: tile indices whose scoring failed (tolerant paths leave them NaN)
+    failed_tiles: tuple[int, ...] = ()
     stats: dict[str, object] = field(default_factory=dict)
 
     def summary(self, bias: float = 0.0) -> dict[str, object]:
@@ -224,6 +245,11 @@ ProgramEngine` — packed or float; results are bit-identical across
     index_bucket:
         Spatial-index bucket side in nm (defaults to the tile scale of
         typical scans; any positive value is correct).
+    faults:
+        Optional :class:`repro.serve.faults.FaultInjector` (duck-typed:
+        anything with ``wrap(site, fn)``); every tile/origin scoring
+        call then passes through its ``"engine"`` site.  Chaos testing
+        only, never set in production.
     """
 
     def __init__(
@@ -233,6 +259,7 @@ ProgramEngine` — packed or float; results are bit-identical across
         batch_size: int = 256,
         plane_cache=None,
         index_bucket: int = 4096,
+        faults=None,
     ):
         if image_size <= 0:
             raise ValueError(f"image_size must be positive, got {image_size}")
@@ -243,6 +270,7 @@ ProgramEngine` — packed or float; results are bit-identical across
         self.batch_size = batch_size
         self.plane_cache = plane_cache
         self.index_bucket = index_bucket
+        self.faults = faults
 
     # -- full scan -------------------------------------------------------
 
@@ -306,6 +334,8 @@ ProgramEngine` — packed or float; results are bit-identical across
         self,
         previous: ChipScanResult,
         edits: list[LayoutEdit],
+        retries: int = 0,
+        tolerant: bool = False,
     ) -> ChipScanResult:
         """Re-score only the windows an edit list dirtied.
 
@@ -316,12 +346,25 @@ ProgramEngine` — packed or float; results are bit-identical across
         re-rasterized, and clean windows keep their previous scores
         (their rasters are untouched by construction, see
         :class:`~repro.chip.eco.DirtyRegionTracker`).
+
+        Windows the previous result never scored (NaN — a degraded
+        scan's failed tiles, quarantined windows) are folded into the
+        dirty set, so a re-scan *heals* a degraded heatmap wherever
+        scoring now succeeds instead of propagating NaN forever.
+
+        Failure handling mirrors the forward scan: a failing tile's
+        scoring is re-attempted ``retries`` times; with
+        ``tolerant=True`` a tile that still fails leaves its dirty
+        windows NaN (never a stale score of the pre-edit layout) and is
+        listed in the result's ``failed_tiles`` — otherwise the error
+        propagates.
         """
         started = time.perf_counter()
         job = previous.job
         grid = job.grid
         tracker = DirtyRegionTracker(grid.steps, grid.window)
-        dirty = tracker.dirty_windows(edits)
+        dirty = set(tracker.dirty_windows(edits))
+        dirty.update(tracker.unscored_windows(previous.heatmap.scores))
         cache = self.plane_cache
         if cache is not None and previous.token is not None:
             cache.invalidate_chip_regions(
@@ -333,8 +376,10 @@ ProgramEngine` — packed or float; results are bit-identical across
         job.layout = layout
         scores = previous.heatmap.scores.copy()
         by_tile: dict[int, list[tuple[int, int]]] = {}
-        for i, j in dirty:
+        for i, j in sorted(dirty, key=lambda ij: (ij[1], ij[0])):
             by_tile.setdefault(grid.tile_index_of(i, j), []).append((i, j))
+        failed_tiles: list[int] = []
+        failed_windows = 0
         for tile_index, indices in sorted(by_tile.items()):
             tile = grid.tiles[tile_index]
             if cache is not None and previous.token is not None:
@@ -351,8 +396,25 @@ ProgramEngine` — packed or float; results are bit-identical across
                     grid.steps[max(xs)] + grid.window,
                     grid.steps[max(ys)] + grid.window,
                 )
-            plane = job._region_plane(region)
-            fresh = job.score_origins(region, plane, indices)
+            fresh = None
+            for attempt in range(retries + 1):
+                try:
+                    plane = job._region_plane(region)
+                    fresh = job.score_origins(region, plane, indices)
+                    break
+                except Exception:
+                    if attempt < retries:
+                        continue
+                    if not tolerant:
+                        raise
+            if fresh is None:
+                # edited geometry: the stale pre-edit score would be
+                # silently wrong, so the windows go NaN until healed
+                for i, j in indices:
+                    scores[j, i] = np.nan
+                failed_tiles.append(tile_index)
+                failed_windows += len(indices)
+                continue
             for (i, j), score in zip(indices, fresh):
                 scores[j, i] = score
         return ChipScanResult(
@@ -361,5 +423,7 @@ ProgramEngine` — packed or float; results are bit-identical across
             windows=grid.n_windows,
             peak_tile_bytes=job.peak_tile_bytes,
             wall_s=time.perf_counter() - started,
-            rescored_windows=len(dirty), token=previous.token,
+            rescored_windows=len(dirty) - failed_windows,
+            token=previous.token,
+            failed_tiles=tuple(failed_tiles),
         )

@@ -25,7 +25,8 @@ from dataclasses import dataclass
 
 from ..litho.geometry import Rect
 
-__all__ = ["TileSpec", "TileGrid", "origin_steps", "plan_tiles"]
+__all__ = ["TileSpec", "TileGrid", "origin_steps", "plan_tiles",
+           "split_tile"]
 
 
 def origin_steps(size: int, window: int, stride: int) -> list[int]:
@@ -115,6 +116,37 @@ class TileGrid:
         """Bytes of one tile's float64 raster plane."""
         h, w = self.tile_pixels(tile)
         return h * w * 8
+
+
+def split_tile(grid: TileGrid, tile: TileSpec) -> tuple[TileSpec, TileSpec]:
+    """Halve a tile along its longer origin axis.
+
+    The spatial arm of batch bisection: a persistently-failing tile is
+    split until the failure is cornered in the smallest tile (one
+    window).  Sub-tile regions are rebuilt from the grid's origin steps
+    with the same first-origin-to-last-window-end formula
+    :func:`plan_tiles` uses, so they stay halo-correct — scoring a
+    sub-tile is bit-identical to the same windows of the parent tile.
+    """
+    nx = tile.ix1 - tile.ix0
+    ny = tile.iy1 - tile.iy0
+    if nx * ny < 2:
+        raise ValueError("cannot split a single-origin tile")
+
+    def make(ix0: int, ix1: int, iy0: int, iy1: int) -> TileSpec:
+        return TileSpec(ix0, ix1, iy0, iy1, Rect(
+            grid.steps[ix0], grid.steps[iy0],
+            grid.steps[ix1 - 1] + grid.window,
+            grid.steps[iy1 - 1] + grid.window,
+        ))
+
+    if nx >= ny:
+        mid = tile.ix0 + nx // 2
+        return (make(tile.ix0, mid, tile.iy0, tile.iy1),
+                make(mid, tile.ix1, tile.iy0, tile.iy1))
+    mid = tile.iy0 + ny // 2
+    return (make(tile.ix0, tile.ix1, tile.iy0, mid),
+            make(tile.ix0, tile.ix1, mid, tile.iy1))
 
 
 def _axis_runs(steps: list[int], window: int, scale: int,

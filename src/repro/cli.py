@@ -142,7 +142,20 @@ def build_parser() -> argparse.ArgumentParser:
                              "heatmap, anything else a JSON summary")
     p_scan.add_argument("--timeout-s", type=float, default=None,
                         help="scan deadline in seconds; failed/late tiles "
-                             "degrade the report instead of hanging")
+                             "degrade the report instead of hanging "
+                             "(ignored by the durable --journal path, "
+                             "which is bounded by its retry budget)")
+    p_scan.add_argument("--journal", metavar="PATH", default=None,
+                        help="durable scan: append each completed tile to "
+                             "this checksummed journal; a killed scan "
+                             "re-run with --resume continues bit-identically")
+    p_scan.add_argument("--resume", action="store_true",
+                        help="resume from --journal: replay completed "
+                             "tiles, score only the pending ones")
+    p_scan.add_argument("--max-retries", type=int, default=None,
+                        help="durable scan: per-tile transient-failure "
+                             "retries before bisection quarantine "
+                             "(default: the retry-policy default)")
 
     p_serve = sub.add_parser(
         "serve-bench",
@@ -425,6 +438,7 @@ def _load_scan_layout(source: str):
 
 def _cmd_scan(args) -> int:
     from .bench import format_table
+    from .chip import JournalError, ScanPreemptedError
     from .nn.serialization import CheckpointError, checkpoint_path
     from .serve import (
         ChipScanRequest,
@@ -433,6 +447,9 @@ def _cmd_scan(args) -> int:
         ModelRegistry,
     )
 
+    if args.resume and not args.journal:
+        print("--resume needs --journal PATH (nothing to resume from)")
+        return 2
     layout, error = _load_scan_layout(args.layout)
     if error:
         print(error)
@@ -455,7 +472,11 @@ def _cmd_scan(args) -> int:
     stride = args.stride or max(1, window // 2)
     budget = int(args.tile_budget_mib * 2**20)
     try:
-        request = ChipScanRequest(layout, window, stride, tile_budget=budget)
+        request = ChipScanRequest(
+            layout, window, stride, tile_budget=budget,
+            journal=args.journal or "", resume=args.resume,
+            max_retries=args.max_retries,
+        )
     except ValueError as exc:
         print(f"bad scan geometry: {exc}")
         return 2
@@ -464,10 +485,20 @@ def _cmd_scan(args) -> int:
         default_timeout_s=args.timeout_s,
     ) as service:
         try:
-            report = service.scan_chip(request)
+            report = service.scan_chip(
+                request, handle_signals=bool(args.journal)
+            )
         except DeadlineExceeded as exc:
             print(f"deadline exceeded: {exc}")
             return 3
+        except ScanPreemptedError as exc:
+            print(f"scan preempted: {exc}")
+            print(f"resume with: repro scan {args.layout} {args.checkpoint} "
+                  f"--journal {args.journal} --resume")
+            return 130
+        except JournalError as exc:
+            print(f"cannot use journal: {exc}")
+            return 2
         except ValueError as exc:
             # window/stride/scale misalignment and kindred geometry errors
             print(f"cannot scan: {exc}")
@@ -486,9 +517,15 @@ def _cmd_scan(args) -> int:
     }
     print(format_table([row], title=f"repro scan — {layout.size}nm layout, "
                                     f"window {window} / stride {stride}"))
+    if args.journal:
+        print(f"journal: {args.journal} "
+              f"(replayed {report.tiles_replayed} tiles, "
+              f"{report.tile_retries} retries"
+              + (", resumed" if report.resumed else "") + ")")
     if report.degraded:
-        print(f"DEGRADED: {len(report.failed_tiles)} tile(s) failed; "
-              f"{report.windows_failed} windows unscored")
+        print(f"DEGRADED: {len(report.failed_tiles)} tile(s) failed, "
+              f"{len(report.quarantined_windows)} window(s) quarantined; "
+              f"{report.windows_failed} windows unscored (exit code 4)")
     if args.out:
         from pathlib import Path
 
@@ -511,7 +548,9 @@ def _cmd_scan(args) -> int:
                 ],
             }, indent=2) + "\n")
         print(f"results written to {out}")
-    return 0
+    # degraded-but-usable: results (and --out) are delivered, but NaN
+    # windows remain — distinct exit code so pipelines can tell
+    return 4 if report.degraded else 0
 
 
 def _cmd_serve_bench(args) -> int:

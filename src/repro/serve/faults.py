@@ -46,6 +46,14 @@ class FaultRule:
     ``kind`` is ``"latency"`` (sleep ``latency_ms``), ``"error"``
     (raise ``error``), or ``"corrupt"`` (negate the wrapped call's
     array output — numerically loud, structurally intact).
+
+    ``match`` targets the rule by call *content* instead of call
+    *count*: a predicate over the wrapped call's positional-args tuple
+    (``match(args)``), so e.g. a chip-scan rule can poison exactly the
+    tiles covering one window no matter how scheduling orders the
+    calls.  A match rule only fires on calls that carry arguments
+    (``fire`` without args never matches), and the predicate runs
+    under the injector lock — keep it pure.
     """
 
     kind: str
@@ -54,12 +62,16 @@ class FaultRule:
     error: BaseException | None = None
     on_calls: frozenset[int] | None = None  #: 0-based call indices to hit
     times: int | None = None  #: remaining firing budget (None = unlimited)
+    match: object | None = None  #: predicate over the call's args tuple
     fired: int = field(default=0)  #: how often this rule has fired
 
-    def _applies(self, call_index: int, rng: np.random.Generator) -> bool:
+    def _applies(self, call_index: int, rng: np.random.Generator,
+                 args: tuple = ()) -> bool:
         if self.times is not None and self.fired >= self.times:
             return False
         if self.on_calls is not None and call_index not in self.on_calls:
+            return False
+        if self.match is not None and not (args and self.match(args)):
             return False
         if self.probability < 1.0 and rng.random() >= self.probability:
             return False
@@ -96,12 +108,13 @@ class FaultInjector:
         probability: float = 1.0,
         on_calls=None,
         times: int | None = None,
+        match=None,
     ) -> FaultRule:
         """Sleep ``latency_ms`` before the wrapped call."""
         return self._add(site, FaultRule(
             kind="latency", probability=probability, latency_ms=latency_ms,
             on_calls=None if on_calls is None else frozenset(on_calls),
-            times=times,
+            times=times, match=match,
         ))
 
     def add_error(
@@ -111,6 +124,7 @@ class FaultInjector:
         probability: float = 1.0,
         on_calls=None,
         times: int | None = None,
+        match=None,
     ) -> FaultRule:
         """Raise ``error`` (default :class:`InjectedFault`) at the site."""
         return self._add(site, FaultRule(
@@ -118,7 +132,7 @@ class FaultInjector:
             error=error if error is not None
             else InjectedFault(f"injected fault at site {site!r}"),
             on_calls=None if on_calls is None else frozenset(on_calls),
-            times=times,
+            times=times, match=match,
         ))
 
     def add_corruption(
@@ -127,12 +141,13 @@ class FaultInjector:
         probability: float = 1.0,
         on_calls=None,
         times: int | None = None,
+        match=None,
     ) -> FaultRule:
         """Negate the wrapped call's array output (shape-preserving)."""
         return self._add(site, FaultRule(
             kind="corrupt", probability=probability,
             on_calls=None if on_calls is None else frozenset(on_calls),
-            times=times,
+            times=times, match=match,
         ))
 
     def clear(self, site: str | None = None) -> None:
@@ -150,12 +165,14 @@ class FaultInjector:
         with self._lock:
             return self._calls.get(site, 0)
 
-    def fire(self, site: str) -> bool:
+    def fire(self, site: str, args: tuple = ()) -> bool:
         """Enter a site: apply latency/error rules; return corrupt flag.
 
         Returns ``True`` when a corruption rule fired for this call, so
         wrappers know to mangle the output.  Sleeps happen outside the
         lock; an error rule raises its exception out of this method.
+        ``args`` carries the wrapped call's positional arguments to
+        ``match`` rules (calls fired without args never match them).
         """
         sleep_ms = 0.0
         error: BaseException | None = None
@@ -164,7 +181,7 @@ class FaultInjector:
             index = self._calls.get(site, 0)
             self._calls[site] = index + 1
             for rule in self._rules.get(site, ()):
-                if not rule._applies(index, self._rng):
+                if not rule._applies(index, self._rng, args):
                     continue
                 if rule.kind == "latency":
                     sleep_ms += rule.latency_ms
@@ -182,7 +199,7 @@ class FaultInjector:
         """Wrap ``fn`` so every call passes through the site's rules."""
 
         def wrapped(*args, **kwargs):
-            corrupt = self.fire(site)
+            corrupt = self.fire(site, args)
             out = fn(*args, **kwargs)
             if corrupt and isinstance(out, np.ndarray):
                 out = np.negative(out)

@@ -113,6 +113,11 @@ class ServiceMetrics:
         self.chip_tiles_failed_total = 0
         self.chip_windows_rescored_total = 0
         self.chip_peak_tile_bytes = 0
+        self.chip_tiles_replayed_total = 0
+        self.chip_tile_retries_total = 0
+        self.chip_backoff_ms_total = 0.0
+        self.chip_windows_quarantined_total = 0
+        self.chip_resumed_scans_total = 0
         self.request_latency = LatencyHistogram()
         self.batch_latency = LatencyHistogram()
         self.scan_latency = LatencyHistogram()
@@ -197,6 +202,11 @@ class ServiceMetrics:
         peak_tile_bytes: int = 0,
         rescored_windows: int | None = None,
         retried_shards: int = 0,
+        replayed_tiles: int = 0,
+        tile_retries: int = 0,
+        backoff_ms: float = 0.0,
+        quarantined_windows: int = 0,
+        resumed: bool = False,
     ) -> None:
         """One full-chip streaming scan (or incremental re-scan).
 
@@ -205,19 +215,32 @@ class ServiceMetrics:
         windows actually re-scored.  ``peak_tile_bytes`` keeps a
         high-water mark across requests (the budget-compliance signal
         an operator watches).
+
+        The durable-scan arguments: ``replayed_tiles`` counts tiles
+        served from a resume journal instead of being re-scored,
+        ``tile_retries``/``backoff_ms`` the retry-policy work spent,
+        ``quarantined_windows`` the poison windows isolated by
+        bisection (these degrade the scan like failed tiles do), and
+        ``resumed`` marks a scan continued from a journal.
         """
         with self._lock:
             self.chip_scan_requests_total += 1
             if rescored_windows is not None:
                 self.chip_rescan_requests_total += 1
                 self.chip_windows_rescored_total += rescored_windows
-            if failed_tiles:
+            if failed_tiles or quarantined_windows:
                 self.degraded_scans_total += 1
             self.chip_tiles_scanned_total += tiles - failed_tiles
             self.chip_tiles_failed_total += failed_tiles
             self.windows_scanned_total += windows
             self.windows_failed_total += failed_windows
             self.shard_retries_total += retried_shards
+            self.chip_tiles_replayed_total += replayed_tiles
+            self.chip_tile_retries_total += tile_retries
+            self.chip_backoff_ms_total += backoff_ms
+            self.chip_windows_quarantined_total += quarantined_windows
+            if resumed:
+                self.chip_resumed_scans_total += 1
             if peak_tile_bytes > self.chip_peak_tile_bytes:
                 self.chip_peak_tile_bytes = peak_tile_bytes
             self.chip_scan_latency.observe(latency_ms)
@@ -265,6 +288,11 @@ class ServiceMetrics:
             self.chip_tiles_failed_total = 0
             self.chip_windows_rescored_total = 0
             self.chip_peak_tile_bytes = 0
+            self.chip_tiles_replayed_total = 0
+            self.chip_tile_retries_total = 0
+            self.chip_backoff_ms_total = 0.0
+            self.chip_windows_quarantined_total = 0
+            self.chip_resumed_scans_total = 0
             self.request_latency = LatencyHistogram()
             self.batch_latency = LatencyHistogram()
             self.scan_latency = LatencyHistogram()
@@ -317,6 +345,12 @@ class ServiceMetrics:
                 "chip_windows_rescored_total":
                     self.chip_windows_rescored_total,
                 "chip_peak_tile_bytes": self.chip_peak_tile_bytes,
+                "chip_tiles_replayed_total": self.chip_tiles_replayed_total,
+                "chip_tile_retries_total": self.chip_tile_retries_total,
+                "chip_backoff_ms_total": round(self.chip_backoff_ms_total, 3),
+                "chip_windows_quarantined_total":
+                    self.chip_windows_quarantined_total,
+                "chip_resumed_scans_total": self.chip_resumed_scans_total,
                 "request_latency": self.request_latency.snapshot(),
                 "batch_latency": self.batch_latency.snapshot(),
                 "scan_latency": self.scan_latency.snapshot(),

@@ -42,7 +42,16 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from ..chip import DEFAULT_TILE_BUDGET, ChipScanner, ChipScanResult
+from ..chip import (
+    DEFAULT_TILE_BUDGET,
+    ChipScanner,
+    ChipScanResult,
+    DurableChipScan,
+    RetryPolicy,
+    TileRecord,
+    journal_header,
+    snapshot_journal,
+)
 from ..features.downsample import downsample_binary, to_network_input
 from ..litho.geometry import Clip, Rect
 from ..nn.module import Module
@@ -521,9 +530,12 @@ class HotspotService:
     # -- full-chip streaming scan path -----------------------------------
 
     def _chip_scanner(self, entry: ModelEntry) -> ChipScanner:
+        # the scanner threads every tile/origin scoring call through the
+        # injector's "engine" site itself, so the forward scan, the ECO
+        # re-scan and the durable path all share one chaos surface
         return ChipScanner(
             entry.engine, entry.image_size, batch_size=self.max_batch,
-            plane_cache=self.plane_cache,
+            plane_cache=self.plane_cache, faults=self.faults,
         )
 
     def _chip_report(
@@ -536,6 +548,12 @@ class HotspotService:
         retried_shards: int = 0,
     ) -> ChipScanReport:
         latency_ms = (time.perf_counter() - started) * 1e3
+        failed_tiles = tuple(failed_tiles) or tuple(result.failed_tiles)
+        stats = result.stats
+        quarantined = tuple(stats.get("quarantined_windows", ()))
+        replayed = int(stats.get("tiles_replayed", 0))
+        tile_retries = int(stats.get("tile_retries", 0))
+        resumed = bool(stats.get("resumed", False))
         self.metrics.record_chip_scan(
             windows=result.windows,
             tiles=result.tiles,
@@ -545,6 +563,11 @@ class HotspotService:
             peak_tile_bytes=result.peak_tile_bytes,
             rescored_windows=result.rescored_windows,
             retried_shards=retried_shards,
+            replayed_tiles=replayed,
+            tile_retries=tile_retries,
+            backoff_ms=float(stats.get("backoff_s", 0.0)) * 1e3,
+            quarantined_windows=len(quarantined),
+            resumed=resumed,
         )
         return ChipScanReport(
             request_id=request_id,
@@ -556,9 +579,13 @@ class HotspotService:
             model=entry.name,
             backend=entry.backend,
             latency_ms=latency_ms,
-            degraded=bool(failed_tiles),
+            degraded=bool(failed_tiles or quarantined),
             failed_tiles=failed_tiles,
             rescored_windows=result.rescored_windows,
+            quarantined_windows=quarantined,
+            tiles_replayed=replayed,
+            tile_retries=tile_retries,
+            resumed=resumed,
         )
 
     def scan_chip(
@@ -566,6 +593,7 @@ class HotspotService:
         request: ChipScanRequest,
         model: str | None = None,
         timeout: float | None = None,
+        handle_signals: bool = False,
     ) -> ChipScanReport:
         """Stream-scan a full chip; peak plane memory stays tile-bounded.
 
@@ -586,8 +614,18 @@ class HotspotService:
         A ``request.token`` enrolls the scan in the region-keyed plane
         cache: pass the returned report to :meth:`rescan_chip` with an
         edit list, and only the dirtied tile planes are rebuilt.
+
+        A ``request.journal`` switches to the **durable** path (see
+        :meth:`_scan_chip_durable`): journaled tile completion,
+        kill-anywhere resume, retry waves with deterministic backoff,
+        and poison-window quarantine by spatial bisection.  The durable
+        path is governed by its retry budget rather than ``timeout``
+        (stop it with SIGINT/SIGTERM under ``handle_signals=True`` —
+        main thread only — and resume later).
         """
         entry = self._entry(model)
+        if request.journal:
+            return self._scan_chip_durable(request, entry, handle_signals)
         if timeout is None:
             timeout = self.default_timeout_s
         started = time.perf_counter()
@@ -598,8 +636,6 @@ class HotspotService:
             token=request.token or None,
         )
         score_tile = job.score_tile
-        if self.faults is not None:
-            score_tile = self.faults.wrap("engine", score_tile)
 
         def score_shard(tiles):
             return [score_tile(tile) for tile in tiles]
@@ -634,12 +670,55 @@ class HotspotService:
             retried_shards=retried_shards,
         )
 
+    def _scan_chip_durable(
+        self,
+        request: ChipScanRequest,
+        entry: ModelEntry,
+        handle_signals: bool,
+    ) -> ChipScanReport:
+        """Serve one journaled, resumable, retrying chip scan.
+
+        Tiles are scored wave by wave: each retry wave fans out
+        one-tile-per-shard over the worker pool (retries are the
+        durable layer's responsibility, so the pool runs each wave with
+        ``retries=0``), failures are classified and re-attempted with
+        backoff, and persistent failures are bisected down to
+        quarantined windows.  Completed tiles hit the journal before
+        the next wave starts, so a kill at any point resumes
+        bit-identically via ``request.resume``.
+        """
+        started = time.perf_counter()
+        scanner = self._chip_scanner(entry)
+        policy = RetryPolicy() if request.max_retries is None else \
+            RetryPolicy(max_retries=request.max_retries)
+
+        def parallel(tiles, score_fn):
+            outcomes = self.pool.map_shards_tolerant(
+                lambda shard: [score_fn(tile) for tile in shard],
+                tiles, shards=len(tiles), retries=0,
+            )
+            return [
+                outcome.results[0] if outcome.ok else outcome.error
+                for outcome in outcomes
+            ]
+
+        durable = DurableChipScan(
+            scanner, request.layout, request.window, request.stride,
+            request.tile_budget or DEFAULT_TILE_BUDGET,
+            journal=request.journal, resume=request.resume, policy=policy,
+            token=request.token or None, handle_signals=handle_signals,
+        )
+        result = durable.run(parallel=parallel)
+        return self._chip_report(request.request_id, result, entry, started)
+
     def rescan_chip(
         self,
         report: ChipScanReport,
         edits: Sequence,
         model: str | None = None,
         request_id: str = "",
+        max_retries: int | None = None,
+        journal: str = "",
     ) -> ChipScanReport:
         """Incrementally re-scan after layout edits (the ECO loop).
 
@@ -652,6 +731,19 @@ class HotspotService:
         request carried a ``token``, clean tile planes are reused from
         the region-keyed plane cache and only dirtied regions are
         re-rasterized.
+
+        Windows the previous report left NaN (failed tiles, quarantined
+        windows) are re-scored too, so a re-scan *heals* a degraded
+        heatmap wherever scoring now succeeds.  Conversely the re-scan
+        itself is tolerant: a dirty tile that keeps failing after
+        ``max_retries`` re-attempts (default: the service's
+        ``shard_retries``) goes NaN and the merged report is degraded —
+        never a stale pre-edit score.
+
+        Passing ``journal=`` checkpoints the merged heatmap as an
+        atomically-written scan journal of the *edited* layout: a later
+        ``scan_chip(..., journal=..., resume=True)`` of that layout
+        replays every fully-scored tile.
 
         The compiled state chains forward: re-scan against the
         *newest* report of a session (earlier reports' state reflects
@@ -666,10 +758,36 @@ class HotspotService:
             )
         started = time.perf_counter()
         scanner = self._chip_scanner(entry)
-        merged = scanner.rescan(result, list(edits))
-        # a degraded scan's NaN tiles stay NaN unless an edit dirtied
-        # them — reflected by the heatmap, not a new failed_tiles list
+        retries = self.shard_retries if max_retries is None else max_retries
+        merged = scanner.rescan(
+            result, list(edits), retries=retries, tolerant=True,
+        )
+        if journal:
+            self._snapshot_rescan(journal, merged)
         return self._chip_report(request_id, merged, entry, started)
+
+    @staticmethod
+    def _snapshot_rescan(path: str, merged: ChipScanResult) -> None:
+        """Checkpoint a merged re-scan as an atomic resume journal.
+
+        Only fully-scored tiles are recorded — a tile with any NaN
+        window is left out so a resume re-scores it whole instead of
+        trusting a partial block.
+        """
+        job = merged.job
+        scores = merged.heatmap.scores
+        records = []
+        for index, tile in enumerate(job.tiles):
+            block = scores[tile.iy0:tile.iy1, tile.ix0:tile.ix1]
+            if np.isnan(block).any():
+                continue
+            records.append(TileRecord(index=index, scores=block))
+        snapshot_journal(
+            path,
+            journal_header(merged.layout, job.grid,
+                           job.scanner.image_size),
+            records,
+        )
 
     # -- lifecycle / observability ---------------------------------------
 

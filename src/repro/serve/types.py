@@ -129,6 +129,14 @@ class ChipScanRequest:
     (0 picks the scanner default).  ``token``, when set, names this
     layout state in the service's region-keyed plane cache so follow-up
     ECO re-scans under the same token reuse clean tile planes.
+
+    Setting ``journal`` routes the request through the **durable** scan
+    path (:class:`repro.chip.DurableChipScan`): completed tiles are
+    checksummed to the journal file as the scan progresses, so a killed
+    scan re-run with ``resume=True`` replays them and re-scores only
+    the pending tiles — bit-identical to an uninterrupted run.
+    ``max_retries`` caps the per-tile transient-retry attempts of the
+    durable retry policy (``None`` keeps the policy default).
     """
 
     layout: Clip
@@ -137,6 +145,9 @@ class ChipScanRequest:
     tile_budget: int = 0
     token: str = ""
     request_id: str = ""
+    journal: str = ""
+    resume: bool = False
+    max_retries: int | None = None
 
     def __post_init__(self) -> None:
         if self.window <= 0 or self.window > self.layout.size:
@@ -148,6 +159,12 @@ class ChipScanRequest:
         if self.tile_budget < 0:
             raise ValueError(
                 f"tile_budget must be >= 0, got {self.tile_budget}"
+            )
+        if self.resume and not self.journal:
+            raise ValueError("resume=True needs a journal= path to resume")
+        if self.max_retries is not None and self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
             )
 
 
@@ -163,6 +180,14 @@ class ChipScanReport:
     into the scan's tile grid) — healthy tiles' scores are returned
     unchanged.  ``rescored_windows`` is ``None`` for a full scan and
     the dirty-window count for an ECO re-scan.
+
+    Durable scans add: ``quarantined_windows`` — origin-grid ``(i, j)``
+    indices the retry policy's bisection isolated as poison (NaN in the
+    heatmap, everything around them scored normally; these degrade the
+    report exactly like failed tiles); ``tiles_replayed`` — tiles
+    served from the resume journal instead of re-scored;
+    ``tile_retries`` — transient re-attempts spent; ``resumed`` —
+    whether the scan continued a journal.
 
     The report carries the scanner's compiled state (``result``) so the
     service can serve :meth:`~repro.serve.service.HotspotService.\
@@ -181,13 +206,21 @@ rescan_chip` against it without re-planning; treat it as opaque.
     degraded: bool = False
     failed_tiles: tuple[int, ...] = ()
     rescored_windows: int | None = None
+    quarantined_windows: tuple[tuple[int, int], ...] = ()
+    tiles_replayed: int = 0
+    tile_retries: int = 0
+    resumed: bool = False
 
     def __post_init__(self) -> None:
-        if self.degraded != bool(self.failed_tiles):
+        if self.degraded != bool(
+            self.failed_tiles or self.quarantined_windows
+        ):
             raise ValueError(
-                "degraded must be True exactly when failed_tiles is "
-                f"non-empty (degraded={self.degraded}, "
-                f"failed_tiles={self.failed_tiles})"
+                "degraded must be True exactly when failed_tiles or "
+                "quarantined_windows is non-empty "
+                f"(degraded={self.degraded}, "
+                f"failed_tiles={self.failed_tiles}, "
+                f"quarantined_windows={self.quarantined_windows})"
             )
 
     @property

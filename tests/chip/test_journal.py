@@ -1,0 +1,169 @@
+"""Framing, binding, and failure semantics of the scan journal.
+
+The contract: every record is checksummed, a torn tail is recoverable
+only when asked (``recover_tail=True``), a complete-but-corrupt record
+is *always* refused with a typed error, and a journal binds to exactly
+one (layout, grid, model-input) configuration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chip import (
+    ChipScanner,
+    JournalCorruptError,
+    JournalError,
+    JournalMismatchError,
+    JournalTruncatedError,
+    ScanJournal,
+    TileRecord,
+    journal_header,
+    layout_fingerprint,
+    read_journal,
+    snapshot_journal,
+)
+from repro.litho.fullchip import synthesize_chip
+from repro.litho.geometry import Clip, Rect
+
+SIZE = 4096
+WINDOW = 512
+STRIDE = 256
+IMAGE = 16
+BUDGET = (2 * IMAGE) ** 2 * 8
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return synthesize_chip(SIZE, seed=11)
+
+
+@pytest.fixture(scope="module")
+def header(layout):
+    class _NoEngine:
+        pass
+
+    job = ChipScanner(_NoEngine(), IMAGE).compile(
+        layout, WINDOW, STRIDE, BUDGET
+    )
+    return journal_header(layout, job.grid, IMAGE)
+
+
+def tile_scores(shape, seed=0):
+    return np.random.default_rng(seed).normal(size=shape)
+
+
+class TestRoundTrip:
+    def test_records_replay_bit_identical(self, tmp_path, header):
+        path = tmp_path / "scan.journal"
+        blocks = {0: tile_scores((2, 2), 1), 3: tile_scores((2, 1), 2)}
+        with ScanJournal.create(path, header) as journal:
+            journal.append_tile(0, blocks[0])
+            journal.append_tile(3, blocks[3], quarantined=[(4, 5)])
+        contents = read_journal(path)
+        assert contents.header == header
+        assert not contents.recovered_tail
+        assert set(contents.tiles) == {0, 3}
+        for index, scores in blocks.items():
+            np.testing.assert_array_equal(
+                contents.tiles[index].scores, scores
+            )
+        assert contents.tiles[3].quarantined == ((4, 5),)
+
+    def test_create_refuses_existing(self, tmp_path, header):
+        path = tmp_path / "scan.journal"
+        ScanJournal.create(path, header).close()
+        with pytest.raises(JournalError, match="exists"):
+            ScanJournal.create(path, header)
+
+    def test_resume_missing_creates(self, tmp_path, header):
+        path = tmp_path / "fresh.journal"
+        journal, contents = ScanJournal.resume(path, header)
+        journal.close()
+        assert path.exists()
+        assert contents.tiles == {}
+
+
+class TestBinding:
+    def test_resume_refuses_other_configuration(self, tmp_path, header):
+        path = tmp_path / "scan.journal"
+        ScanJournal.create(path, header).close()
+        other = dict(header, window=WINDOW * 2)
+        with pytest.raises(JournalMismatchError, match="window"):
+            ScanJournal.resume(path, other)
+
+    def test_fingerprint_tracks_geometry(self):
+        a = Clip(1024, (Rect(0, 0, 64, 64),))
+        moved = Clip(1024, (Rect(8, 0, 72, 64),))
+        resized = Clip(2048, (Rect(0, 0, 64, 64),))
+        assert layout_fingerprint(a) == layout_fingerprint(
+            Clip(1024, (Rect(0, 0, 64, 64),))
+        )
+        assert layout_fingerprint(a) != layout_fingerprint(moved)
+        assert layout_fingerprint(a) != layout_fingerprint(resized)
+
+
+class TestFailureSemantics:
+    def make_journal(self, tmp_path, header, n_tiles=3):
+        path = tmp_path / "scan.journal"
+        with ScanJournal.create(path, header) as journal:
+            for index in range(n_tiles):
+                journal.append_tile(index, tile_scores((2, 2), index))
+        return path
+
+    def test_torn_tail_strict_vs_recover(self, tmp_path, header):
+        path = self.make_journal(tmp_path, header)
+        whole = read_journal(path)
+        path.write_bytes(path.read_bytes()[:-9])
+        with pytest.raises(JournalTruncatedError):
+            read_journal(path)
+        recovered = read_journal(path, recover_tail=True)
+        assert recovered.recovered_tail
+        assert set(recovered.tiles) == {0, 1}
+        assert recovered.valid_bytes < whole.valid_bytes
+
+    def test_resume_truncates_torn_tail(self, tmp_path, header):
+        path = self.make_journal(tmp_path, header)
+        path.write_bytes(path.read_bytes()[:-9])
+        journal, contents = ScanJournal.resume(path, header)
+        with journal:
+            journal.append_tile(2, tile_scores((2, 2), 7))
+        # the torn bytes are gone: the file reads cleanly end to end
+        healed = read_journal(path)
+        assert set(healed.tiles) == {0, 1, 2}
+        assert contents.recovered_tail
+
+    def test_corrupt_record_always_refused(self, tmp_path, header):
+        path = self.make_journal(tmp_path, header)
+        data = bytearray(path.read_bytes())
+        data[-40] ^= 0xFF  # inside the final record's payload
+        path.write_bytes(bytes(data))
+        with pytest.raises(JournalCorruptError):
+            read_journal(path)
+        with pytest.raises(JournalCorruptError):
+            read_journal(path, recover_tail=True)
+        with pytest.raises(JournalCorruptError):
+            ScanJournal.resume(path, header)
+
+    def test_garbage_file_refused(self, tmp_path, header):
+        path = tmp_path / "garbage.journal"
+        path.write_bytes(b"not a journal at all")
+        with pytest.raises(JournalError):
+            read_journal(path, recover_tail=True)
+
+
+class TestSnapshot:
+    def test_snapshot_replaces_atomically(self, tmp_path, header):
+        path = tmp_path / "scan.journal"
+        with ScanJournal.create(path, header) as journal:
+            journal.append_tile(0, tile_scores((2, 2), 0))
+        records = [
+            TileRecord(index=0, scores=tile_scores((2, 2), 5)),
+            TileRecord(index=1, scores=tile_scores((2, 2), 6)),
+        ]
+        snapshot_journal(path, header, records)
+        contents = read_journal(path)
+        assert set(contents.tiles) == {0, 1}
+        np.testing.assert_array_equal(
+            contents.tiles[0].scores, records[0].scores
+        )
+        assert not list(tmp_path.glob("*.tmp-*"))

@@ -76,9 +76,16 @@ def test_auc_in_unit_interval_property(seed, n):
 @settings(max_examples=20, deadline=None)
 @given(seed=st.integers(0, 2000), shift=st.floats(0.5, 4.0))
 def test_auc_improves_with_separation_property(seed, shift):
-    """Property: shifting positives upward can only raise AUC vs chance."""
+    """Property: shifting positives upward never lowers AUC.
+
+    AUC is P(score+ > score-), so raising every positive score can only
+    flip pairwise comparisons in the positives' favour.  (The stronger
+    claim "AUC > 0.5" is false for small shifts — an unlucky noise draw
+    can leave the shifted sample below chance.)
+    """
     rng = np.random.default_rng(seed)
     labels = np.array([0] * 40 + [1] * 40)
     scores = rng.normal(size=80)
+    base = auc(roc_curve(scores, labels))
     scores[labels == 1] += shift
-    assert auc(roc_curve(scores, labels)) > 0.5
+    assert auc(roc_curve(scores, labels)) >= base - 1e-9

@@ -172,6 +172,153 @@ class TestDegradedChipScan:
         assert svc.metrics.stats()["shard_retries_total"] == 1
 
 
+class TestDurableScanChip:
+    def test_durable_path_matches_plain_scan(self, model, layout, tmp_path):
+        journal = tmp_path / "scan.journal"
+        with HotspotService.from_model(model, IMAGE) as svc:
+            plain = svc.scan_chip(chip_request(layout))
+            report = svc.scan_chip(
+                chip_request(layout, journal=str(journal))
+            )
+            stats = svc.metrics.stats()
+        assert not report.degraded and not report.resumed
+        assert report.tiles_replayed == 0
+        np.testing.assert_array_equal(
+            report.heatmap.scores, plain.heatmap.scores
+        )
+        assert journal.exists()
+        assert stats["chip_resumed_scans_total"] == 0
+        assert stats["chip_tile_retries_total"] == 0
+
+    def test_resume_replays_journal(self, model, layout, tmp_path):
+        journal = tmp_path / "scan.journal"
+        with HotspotService.from_model(model, IMAGE) as svc:
+            first = svc.scan_chip(
+                chip_request(layout, journal=str(journal))
+            )
+            again = svc.scan_chip(
+                chip_request(layout, journal=str(journal), resume=True)
+            )
+            stats = svc.metrics.stats()
+        assert again.resumed
+        assert again.tiles_replayed == first.tiles_total
+        np.testing.assert_array_equal(
+            again.heatmap.scores, first.heatmap.scores
+        )
+        assert stats["chip_resumed_scans_total"] == 1
+        assert stats["chip_tiles_replayed_total"] == first.tiles_total
+
+    def test_quarantined_poison_window_degrades_report(
+        self, model, layout, tmp_path
+    ):
+        from repro.chip.tiling import TileSpec
+
+        poison = (5, 6)
+        faults = FaultInjector(seed=0)
+        faults.add_error("engine", match=lambda args: (
+            isinstance(args[0], TileSpec)
+            and args[0].contains_index(*poison)
+        ))
+        with HotspotService.from_model(model, IMAGE, faults=faults) as svc:
+            report = svc.scan_chip(chip_request(
+                layout, journal=str(tmp_path / "scan.journal"),
+                max_retries=0,
+            ))
+            stats = svc.metrics.stats()
+        assert report.degraded
+        assert report.quarantined_windows == (poison,)
+        assert report.windows_failed == 1
+        assert np.isnan(report.heatmap.scores[poison[1], poison[0]])
+        assert stats["chip_windows_quarantined_total"] == 1
+        assert stats["degraded_scans_total"] == 1
+
+    def test_resume_requires_journal(self, layout):
+        with pytest.raises(ValueError, match="resume"):
+            chip_request(layout, resume=True)
+
+
+class TestRescanHealsNaN:
+    def test_rescan_rescores_failed_windows(self, model, layout):
+        """The NaN-recovery regression: a no-edit re-scan must heal a
+        degraded heatmap once the fault clears, not skip NaN windows as
+        'clean'."""
+        faults = FaultInjector(seed=0)
+        faults.add_error("engine", on_calls=[2, 5])
+        with HotspotService.from_model(
+            model, IMAGE, faults=faults, shard_retries=0
+        ) as svc:
+            degraded = svc.scan_chip(chip_request(layout))
+            assert degraded.degraded and degraded.windows_failed > 0
+            faults.clear()
+            healed = svc.rescan_chip(degraded, [])
+            healthy = HotspotService.from_model(model, IMAGE).scan_chip(
+                chip_request(layout)
+            )
+        assert not healed.degraded
+        assert healed.windows_failed == 0
+        assert healed.rescored_windows == degraded.windows_failed
+        np.testing.assert_array_equal(
+            healed.heatmap.scores, healthy.heatmap.scores
+        )
+
+    def test_degraded_rescan_chain_never_returns_stale_scores(
+        self, model, layout
+    ):
+        """A failing rescan tile goes NaN (degraded), and a follow-up
+        re-scan heals it — the chain never silently keeps pre-edit
+        scores for dirtied windows."""
+        edits = synthesize_edit_trace(
+            layout, 2, seed=42, region=Rect(0, 0, 1024, 1024)
+        )
+        faults = FaultInjector(seed=0)
+        with HotspotService.from_model(
+            model, IMAGE, faults=faults, shard_retries=0
+        ) as svc:
+            baseline = svc.scan_chip(chip_request(layout))
+            faults.add_error("engine")  # every rescan tile fails
+            broken = svc.rescan_chip(baseline, edits)
+            assert broken.degraded and len(broken.failed_tiles) > 0
+            assert broken.windows_failed > 0
+            scratch = HotspotService.from_model(model, IMAGE).scan_chip(
+                chip_request(apply_edits(layout, edits))
+            )
+            # dirtied windows are NaN, never the stale pre-edit score
+            scores = broken.heatmap.scores
+            stale = ~np.isnan(scores) & ~np.isclose(
+                scores, scratch.heatmap.scores
+            )
+            assert not stale.any()
+            faults.clear()
+            healed = svc.rescan_chip(broken, [])
+        assert not healed.degraded
+        np.testing.assert_array_equal(
+            healed.heatmap.scores, scratch.heatmap.scores
+        )
+
+    def test_rescan_journal_snapshot_resumes(self, model, layout, tmp_path):
+        from repro.chip import read_journal
+
+        journal = tmp_path / "rescan.journal"
+        edits = synthesize_edit_trace(
+            layout, 2, seed=42, region=Rect(0, 0, 1024, 1024)
+        )
+        with HotspotService.from_model(model, IMAGE) as svc:
+            baseline = svc.scan_chip(chip_request(layout))
+            merged = svc.rescan_chip(baseline, edits, journal=str(journal))
+            # the snapshot replays against the *edited* layout
+            resumed = svc.scan_chip(ChipScanRequest(
+                apply_edits(layout, edits), WINDOW, STRIDE,
+                tile_budget=BUDGET, journal=str(journal), resume=True,
+            ))
+        # the snapshot covers the whole grid, not just the dirty tiles
+        assert len(read_journal(journal).tiles) == baseline.tiles_total
+        assert resumed.resumed
+        assert resumed.tiles_replayed == baseline.tiles_total
+        np.testing.assert_array_equal(
+            resumed.heatmap.scores, merged.heatmap.scores
+        )
+
+
 class TestChipScanRequest:
     def test_validation(self):
         layout = Clip(1024)
@@ -181,6 +328,8 @@ class TestChipScanRequest:
             ChipScanRequest(layout, 512, 0)
         with pytest.raises(ValueError, match="tile_budget"):
             ChipScanRequest(layout, 512, 256, tile_budget=-1)
+        with pytest.raises(ValueError, match="max_retries"):
+            ChipScanRequest(layout, 512, 256, max_retries=-1)
 
     def test_report_invariant(self, model, layout):
         with HotspotService.from_model(model, IMAGE) as svc:

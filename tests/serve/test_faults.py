@@ -111,6 +111,29 @@ class TestFaultInjector:
         fn()  # budget spent: no sleep
         assert time.perf_counter() - started < 0.045
 
+    def test_match_predicate_targets_arguments(self):
+        """A ``match`` rule fires only on calls whose first positional
+        argument satisfies the predicate — the spatially-targeted
+        poison used by the durable chip scan's chaos tests."""
+        faults = FaultInjector(seed=0)
+        faults.add_error("site", match=lambda args: args[0] == "poison")
+        fn = faults.wrap("site", lambda tag: tag)
+        assert fn("healthy") == "healthy"
+        with pytest.raises(InjectedFault):
+            fn("poison")
+        assert fn("healthy") == "healthy"
+        with pytest.raises(InjectedFault):
+            fn("poison")  # no times= budget: fires every matching call
+
+    def test_match_rule_ignores_argless_fire(self):
+        """Bare ``fire(site)`` probes carry no args, so a match rule
+        must not trigger on them (matching nothing is never a fault)."""
+        faults = FaultInjector(seed=0)
+        faults.add_error("site", match=lambda args: True)
+        faults.fire("site")  # must not raise
+        with pytest.raises(InjectedFault):
+            faults.wrap("site", lambda x: x)(1)
+
     def test_custom_exception_and_clear(self):
         faults = FaultInjector(seed=0)
         faults.add_error("site", error=KeyError("kaboom"))

@@ -51,6 +51,18 @@ class TestParser:
         assert args.window is None and args.stride is None
         assert args.tile_budget_mib == 64.0
         assert args.out is None
+        assert args.journal is None
+        assert args.resume is False
+        assert args.max_retries is None
+
+    def test_scan_durable_flags(self):
+        args = build_parser().parse_args([
+            "scan", "synth:8192", "ck.npz", "--journal", "scan.journal",
+            "--resume", "--max-retries", "5",
+        ])
+        assert args.journal == "scan.journal"
+        assert args.resume is True
+        assert args.max_retries == 5
 
 
 class TestCommands:
@@ -208,3 +220,72 @@ class TestScanCommand:
         assert payload["summary"]["windows"] > 0
         assert payload["degraded"] is False
         assert len(payload["hits"]) == payload["summary"]["hotspots"]
+
+    def test_resume_without_journal(self, capsys):
+        assert main(["scan", "synth:2048:3", "ck.npz", "--resume"]) == 2
+        assert "--journal" in capsys.readouterr().out
+
+    def test_journal_clean_run(self, capsys, checkpoint, tmp_path):
+        journal = tmp_path / "scan.journal"
+        code = main(["scan", "synth:2048:3", str(checkpoint),
+                     "--journal", str(journal)])
+        assert code == 0
+        assert journal.exists()
+        out = capsys.readouterr().out
+        assert "journal:" in out and "replayed 0 tiles" in out
+
+    def test_journal_resume_replays(self, capsys, checkpoint, tmp_path):
+        journal = tmp_path / "scan.journal"
+        assert main(["scan", "synth:2048:3", str(checkpoint),
+                     "--journal", str(journal)]) == 0
+        capsys.readouterr()
+        code = main(["scan", "synth:2048:3", str(checkpoint),
+                     "--journal", str(journal), "--resume"])
+        assert code == 0
+        assert "resumed" in capsys.readouterr().out
+
+    def test_journal_exists_without_resume(self, capsys, checkpoint,
+                                           tmp_path):
+        journal = tmp_path / "scan.journal"
+        assert main(["scan", "synth:2048:3", str(checkpoint),
+                     "--journal", str(journal)]) == 0
+        capsys.readouterr()
+        # without --resume an existing journal is refused, not clobbered
+        code = main(["scan", "synth:2048:3", str(checkpoint),
+                     "--journal", str(journal)])
+        assert code == 2
+        assert "cannot use journal" in capsys.readouterr().out
+
+    def test_journal_geometry_mismatch(self, capsys, checkpoint, tmp_path):
+        journal = tmp_path / "scan.journal"
+        assert main(["scan", "synth:2048:3", str(checkpoint),
+                     "--journal", str(journal)]) == 0
+        capsys.readouterr()
+        code = main(["scan", "synth:2048:3", str(checkpoint),
+                     "--journal", str(journal), "--resume",
+                     "--stride", "128"])
+        assert code == 2
+        assert "cannot use journal" in capsys.readouterr().out
+
+    def test_degraded_scan_exits_4(self, capsys, checkpoint, tmp_path,
+                                    monkeypatch):
+        import dataclasses
+
+        from repro.serve import HotspotService
+
+        out = tmp_path / "scan.json"
+        real = HotspotService.scan_chip
+
+        def degrade(self, request, **kwargs):
+            report = real(self, request, **kwargs)
+            return dataclasses.replace(
+                report, degraded=True, failed_tiles=(0,)
+            )
+
+        monkeypatch.setattr(HotspotService, "scan_chip", degrade)
+        code = main(["scan", "synth:2048:3", str(checkpoint),
+                     "--out", str(out)])
+        assert code == 4
+        # degraded-but-usable: the results were still written
+        assert out.exists()
+        assert "DEGRADED" in capsys.readouterr().out
