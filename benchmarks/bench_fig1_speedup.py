@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.bench import Stopwatch, format_table
 from repro.binary import FloatEngine, PackedBNN, bitpack
-from repro.engine import BinaryConvOp, infer_shapes
+from repro.engine import BinaryConvOp, FusedBinaryConvOp, infer_shapes
 from repro.models import bnn_resnet12, resnet12, summarize
 from repro.nn.trainer import predict_logits
 
@@ -39,11 +39,17 @@ def _time(fn, repeats=5):
 def test_fig1_per_layer_speedup(benchmark):
     """Per-layer float-MAC vs XNOR/popcount timings from the executors.
 
-    Both engines run the *same* lowered program end-to-end (bit-identical
-    logits); the numbers come from the executor's per-op timing hooks
-    rather than ad-hoc kernel timers, so each row is the time that layer
-    actually took inside a full inference pass — im2col/packing, dot
-    products, and Eq. 14/15 scaling included on both sides.
+    Both engines run the *same* optimized program end-to-end
+    (bit-identical logits); the numbers come from the executor's per-op
+    timing hooks rather than ad-hoc kernel timers, so each row is the
+    time that layer actually took inside a full inference pass —
+    im2col/packing, dot products, and Eq. 14/15 scaling included on
+    both sides.  The pass pipeline fuses each batch-norm into the conv
+    that consumes it (``fold-bn``); the timing snapshot's ``sources``
+    attribute each fused op back to the source paper layers, so the
+    rows stay per-layer even though the executor runs fused nodes
+    (fused batch-norms are flagged ``+bn`` and their cost is included
+    in the row on both sides).
     """
     rng = np.random.default_rng(0)
     bnn = bnn_resnet12(seed=0, scaling="xnor")
@@ -62,14 +68,18 @@ def test_fig1_per_layer_speedup(benchmark):
             float_eng.predict_logits(images, batch_size=16)
         float_ms = {row["op"]: row["mean_ms"] for row in float_eng.op_timings()}
         binary_ms = {row["op"]: row["mean_ms"] for row in packed.op_timings()}
+        sources = {row["op"]: row["sources"] for row in packed.op_timings()}
         rows = []
         for node in packed.program.walk():
-            if not isinstance(node, BinaryConvOp):
+            if not isinstance(node, (BinaryConvOp, FusedBinaryConvOp)):
                 continue
             (n, c_in, h, _), (_, c_out, oh, ow) = shapes[node.name]
             positions = n * oh * ow
+            fused = [s for s in sources.get(node.name, [node.name])
+                     if s != node.name]
+            tag = " +bn" if fused else ""
             rows.append({
-                "Layer": f"{node.name} {c_in}->{c_out} @{h}px",
+                "Layer": f"{node.name}{tag} {c_in}->{c_out} @{h}px",
                 "Float (ms)": round(float_ms[node.name], 2),
                 "Binary (ms)": round(binary_ms[node.name], 2),
                 "Speedup": round(

@@ -1,0 +1,172 @@
+"""Fusion gate — compiled backend vs unfused packed plane throughput.
+
+The pass pipeline (``fold-bn`` → ``hoist-scales`` → ``liveness``) plus
+the ``compiled`` backend turn the batch-norm → binarize → XNOR-conv
+chain of every layer into one fused kernel: the batch-norm is applied
+as a per-channel threshold compare during bit-packing (exactly Eq. 8's
+sign test, shifted by the folded affine), the Eq. 14/15 weight scales
+are hoisted to compile time, and the binary dot products run through
+an exact float32 SGEMM (or a uint16 dot table at stem shapes) instead
+of per-window popcount loops.
+
+This benchmark holds the headline claim on the same workload
+``BENCH_scan.json`` records (dense synthetic metal layer, window 128 /
+stride 64, scale-1 rasters): the compiled backend's **plane**
+windows/sec must be at least ``REPRO_BENCH_FUSION_MIN_SPEEDUP`` x the
+*unfused* packed backend's — while staying **bit-identical**, the
+engine parity contract.
+
+The default bar is 1.0: a *regression* gate.  Pure-NumPy fusion on
+this workload measures ~1.05-1.15x — the fused threshold-compare saves
+the materialized batch-norm planes, but both engines are bound by the
+same f64 activation traffic (bit-identity forbids float32
+intermediates), and the fused gather loops are Python, so the big
+stage-1 wins are partly given back in interpreter overhead.  The
+multiple-x headline needs the Numba jit paths
+(``repro.engine.backends.compiled.HAVE_NUMBA``), which this container
+does not ship; the gate's job here is to guarantee the compiled
+backend never *loses* to the packed one.  Raise the bar via the env
+knob on hosts with Numba.
+
+Writes ``BENCH_fusion.json`` at the repo root with the headline
+numbers.
+"""
+
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench import format_table, write_bench_json
+from repro.binary.inference import engine_for_backend
+from repro.features.downsample import to_network_input
+from repro.litho.raster import rasterize
+from repro.models.bnn_resnet import build_bnn_resnet
+
+from bench_scan_plane import IMAGE_SIZE, STRIDE, WINDOW, dense_layout
+from conftest import publish
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def fusion_layout_size() -> int:
+    """Layout side in nm (shares the scan bench's quick-mode knob)."""
+    return int(os.environ.get("REPRO_BENCH_SCAN_SIZE", "2048"))
+
+
+def min_fusion_speedup() -> float:
+    """Acceptance bar for compiled/unfused-packed windows-per-second."""
+    return float(os.environ.get("REPRO_BENCH_FUSION_MIN_SPEEDUP", "1.0"))
+
+
+def _plane_and_origins(layout):
+    """Scale-1 network-input plane + snapped origin grid of the sweep."""
+    plane = to_network_input(
+        rasterize(layout, layout.size, "binary")[None]
+    )
+    steps = sorted(set(
+        list(range(0, layout.size - WINDOW + 1, STRIDE))
+        + [layout.size - WINDOW]
+    ))
+    origins = [(x, y) for y in steps for x in steps]
+    return plane, origins
+
+
+def _plane_scan(engine, plane, origins):
+    """One timed full-plane scan; returns (seconds, logits)."""
+    start = time.perf_counter()
+    logits = engine.plan_scan(plane, IMAGE_SIZE, origins).logits(
+        batch_size=256
+    )
+    return time.perf_counter() - start, logits
+
+
+def _interleaved_best(engines, plane, origins, repeats=4):
+    """Best-of-N per engine with alternating runs.
+
+    Alternating baseline/fused repeats decorrelates the slow drift of a
+    shared single-core box (page cache, thermal, sibling jobs) from the
+    engine under test — back-to-back blocks can skew the ratio by 10%.
+    """
+    times = [float("inf")] * len(engines)
+    logits = [None] * len(engines)
+    for _ in range(repeats):
+        for i, engine in enumerate(engines):
+            s, out = _plane_scan(engine, plane, origins)
+            times[i] = min(times[i], s)
+            logits[i] = out
+    return times, logits
+
+
+def test_fusion_plane_speedup():
+    """Compiled+fused plane scan vs the unfused packed plane scan."""
+    size = fusion_layout_size()
+    layout = dense_layout(size)
+    model = build_bnn_resnet(
+        (8, 16, 32, 64), scaling="xnor", seed=0, stem_stride=2
+    )
+    plane, origins = _plane_and_origins(layout)
+    windows = len(origins)
+
+    baseline_engine = engine_for_backend(model, "packed", passes="none")
+    fused_engine = engine_for_backend(model, "compiled", passes="default")
+
+    # full-size warm-up: compiles both plane plans and drives the
+    # compiled backend's autotuner through every candidate at the real
+    # chunk shapes, so no probe lands inside a timed run
+    _plane_scan(baseline_engine, plane, origins)
+    for _ in range(2):
+        _plane_scan(fused_engine, plane, origins)
+
+    (baseline_s, fused_s), (baseline_logits, fused_logits) = (
+        _interleaved_best([baseline_engine, fused_engine], plane, origins)
+    )
+
+    baseline_wps = windows / baseline_s
+    fused_wps = windows / fused_s
+    speedup = fused_wps / baseline_wps
+    identical = (
+        baseline_logits.tobytes() == fused_logits.tobytes()
+        and baseline_logits.shape == fused_logits.shape
+    )
+
+    publish("fusion", format_table(
+        [{
+            "Engine": "packed, passes=none (unfused)",
+            "Wall clock (s)": round(baseline_s, 2),
+            "Windows/sec": round(baseline_wps, 1),
+            "Speedup": "1.0x",
+        }, {
+            "Engine": "compiled, passes=default (fused)",
+            "Wall clock (s)": round(fused_s, 2),
+            "Windows/sec": round(fused_wps, 1),
+            "Speedup": f"{speedup:.2f}x",
+        }],
+        title=(f"Fusion gate — {size}nm plane, {windows} windows @ "
+               f"stride {STRIDE} (bit-identical: {identical})"),
+    ))
+
+    write_bench_json(REPO_ROOT / "BENCH_fusion.json", {
+        "layout_size_nm": size,
+        "rects": len(layout.rects),
+        "window": WINDOW,
+        "stride": STRIDE,
+        "image_size": IMAGE_SIZE,
+        "windows": windows,
+        "baseline_backend": "packed",
+        "baseline_pipeline": "none",
+        "fused_backend": "compiled",
+        "fused_pipeline": fused_engine.pipeline,
+        "baseline_s": round(baseline_s, 3),
+        "fused_s": round(fused_s, 3),
+        "baseline_wps": round(baseline_wps, 1),
+        "fused_wps": round(fused_wps, 1),
+        "speedup": round(speedup, 2),
+        "identical": identical,
+    })
+
+    # fusion must never change a logit: bit-identity is the contract
+    assert identical
+    # the acceptance bar (env-lowered in CI quick mode)
+    assert speedup >= min_fusion_speedup()

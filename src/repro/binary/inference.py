@@ -32,8 +32,14 @@ import numpy as np
 
 from ..engine.backends import get_backend
 from ..engine.executor import Executor, OpTimings
-from ..engine.ir import Program
-from ..engine.lower import LoweringError, find_plane_stem, lower
+from ..engine.ir import FusedBinaryConvOp, Program
+from ..engine.lower import (
+    LoweringError,
+    find_plane_stem,
+    lower,
+    pipeline_signature,
+    run_pipeline,
+)
 from ..nn import functional as F
 from ..nn.module import Module
 from . import bitpack, quantize
@@ -70,10 +76,31 @@ def _stem_plane_spec(
     if index is None:
         return None
     node = program[index]
-    w_binary, alpha_w = quantize.binarize_weights(node.weight)
+    pre = [kernel.fn for kernel in executor.kernels[:index]]
+    if isinstance(node, FusedBinaryConvOp):
+        # the stem's batch-norm lives inside the fused node now; the
+        # plane path still needs it as an element-wise prefix, with the
+        # exact out-of-place expressions of the shared batch-norm kernel
+        if node.bn_scale is not None:
+            scale, shift = node.bn_scale, node.bn_shift
+
+            def bn_plane(x: np.ndarray) -> np.ndarray:
+                shape = [1] * x.ndim
+                shape[1] = scale.size
+                out = x * scale.reshape(shape)
+                out += shift.reshape(shape)
+                return out
+
+            pre.append(bn_plane)
+        if node.w_binary is not None:
+            w_binary, alpha_w = node.w_binary, node.alpha_w
+        else:
+            w_binary, alpha_w = quantize.binarize_weights(node.weight)
+    else:
+        w_binary, alpha_w = quantize.binarize_weights(node.weight)
     rest_exec = Executor(executor.kernels[index + 1:], timings)
     return {
-        "pre": [kernel.fn for kernel in executor.kernels[:index]],
+        "pre": pre,
         "rest": [lambda out: rest_exec.run(out, owned=True)],
         "w_packed": bitpack.pack_filters(w_binary),
         "alpha_w": alpha_w,
@@ -122,7 +149,15 @@ class PlaneScanPlan:
         origins,
         stem: dict | None,
         fn: _Fn,
+        backend: str = "",
+        pipeline: str = "",
     ):
+        #: provenance: the backend name and pass-pipeline signature of
+        #: the engine that compiled this plan.  Scan reports and durable
+        #: journals record both, so a resume refuses to mix artifacts
+        #: produced under different compilation pipelines.
+        self.backend = backend
+        self.pipeline = pipeline
         plane = np.asarray(plane, dtype=np.float64)
         if plane.ndim == 2:
             plane = plane[None, None]
@@ -238,11 +273,15 @@ class PlaneScanPlan:
             if self._plane_abs is not None
             else None
         )
-        for b, (ox, oy) in enumerate(chunk):
-            phy, phx = (oy - p) % s, (ox - p) % s
-            plane_dots, plane_alpha = self._phase_grids(phy, phx)
-            qy, qx = (oy - p - phy) // s, (ox - p - phx) // s
-            if i1 > i0:
+        if i1 > i0:
+            # per-window slice copies: each assignment is a strided
+            # memcpy out of the shared phase grid, which beats any
+            # fancy-indexed batch gather (those materialise a
+            # (c_out, B, ni, ni) temporary plus a transposed copy)
+            for b, (ox, oy) in enumerate(chunk):
+                phy, phx = (oy - p) % s, (ox - p) % s
+                plane_dots, plane_alpha = self._phase_grids(phy, phx)
+                qy, qx = (oy - p - phy) // s, (ox - p - phx) // s
                 dots[b, :, i0:i1, i0:i1] = plane_dots[
                     :, qy + i0 : qy + i1, qx + i0 : qx + i1
                 ]
@@ -352,8 +391,17 @@ class ProgramEngine:
     :meth:`reset_op_timings`.
     """
 
-    def __init__(self, model: Module, backend: str):
-        self.program: Program | None = lower(model)
+    def __init__(
+        self,
+        model: Module,
+        backend: str,
+        passes: str | list[str] | tuple[str, ...] | None = "default",
+    ):
+        #: canonical signature of the pass pipeline the program was
+        #: compiled under (``"none"`` when run verbatim) — recorded on
+        #: scan plans, reports, and checkpoints as provenance
+        self.pipeline: str = pipeline_signature(passes)
+        self.program: Program | None = run_pipeline(lower(model), passes)
         self.backend_name = backend
         self.op_times = OpTimings()
         self._executor: Executor | None = get_backend(backend).compile(
@@ -388,7 +436,10 @@ class ProgramEngine:
         :class:`PlaneScanPlan` yields logits bit-identical to
         ``predict_logits`` on the stacked window slices.
         """
-        return PlaneScanPlan(plane, window, origins, self._stem_spec, self._fn)
+        return PlaneScanPlan(
+            plane, window, origins, self._stem_spec, self._fn,
+            backend=self.backend_name, pipeline=self.pipeline,
+        )
 
     def scan_plane(
         self, plane: np.ndarray, window: int, origins, batch_size: int = 256
@@ -425,8 +476,8 @@ class PackedBNN(ProgramEngine):
         compiled engine.
     """
 
-    def __init__(self, model: Module):
-        super().__init__(model, "packed")
+    def __init__(self, model: Module, passes="default"):
+        super().__init__(model, "packed", passes)
 
 
 class FloatEngine(ProgramEngine):
@@ -444,14 +495,15 @@ class FloatEngine(ProgramEngine):
     condition as a fallback reason.
     """
 
-    def __init__(self, model: Module):
+    def __init__(self, model: Module, passes="default"):
         self._model = model
         try:
-            super().__init__(model, "float")
+            super().__init__(model, "float", passes)
             self._live = False
         except LoweringError:
             self._live = True
             self.program = None
+            self.pipeline = "none"
             self.backend_name = "float"
             self.op_times = OpTimings()
             self._executor = None
@@ -464,16 +516,20 @@ class FloatEngine(ProgramEngine):
         return self._live
 
 
-def engine_for_backend(model: Module, backend: str) -> ProgramEngine:
+def engine_for_backend(
+    model: Module, backend: str, passes="default"
+) -> ProgramEngine:
     """Build the engine class serving a named backend.
 
     ``"packed"`` and ``"float"`` map to their dedicated classes (which
     the serving layer type-checks and documents); any other registered
     backend gets a generic :class:`ProgramEngine`.  Unknown names raise
-    ``ValueError`` listing the registered backends.
+    ``ValueError`` listing the registered backends.  ``passes`` selects
+    the optimization pipeline (``"default"``, ``"none"``, or a list of
+    pass names — see :mod:`repro.engine.passes`).
     """
     if backend == "packed":
-        return PackedBNN(model)
+        return PackedBNN(model, passes)
     if backend == "float":
-        return FloatEngine(model)
-    return ProgramEngine(model, backend)
+        return FloatEngine(model, passes)
+    return ProgramEngine(model, backend, passes)

@@ -251,8 +251,11 @@ class DurableChipScan:
             self.layout, self.window, self.stride, self.tile_budget,
             token=self.token,
         )
+        engine = self.scanner.engine
         header = journal_header(
-            self.layout, job.grid, self.scanner.image_size
+            self.layout, job.grid, self.scanner.image_size,
+            backend=getattr(engine, "backend_name", ""),
+            pipeline=getattr(engine, "pipeline", ""),
         )
         if self.resume:
             journal, contents = ScanJournal.resume(

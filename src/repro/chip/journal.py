@@ -69,7 +69,10 @@ __all__ = [
 ]
 
 #: Journal format version, bumped on any framing/payload change.
-JOURNAL_VERSION = 1
+#: v2 added the engine provenance binding (backend, pipeline) — a v1
+#: journal fails the version binding and must be rescanned, which is
+#: the safe direction (its provenance is unknowable).
+JOURNAL_VERSION = 2
 
 _KIND_HEADER = b"H"
 _KIND_TILE = b"T"
@@ -83,6 +86,7 @@ _DIGEST_BYTES = 32
 _BINDING_KEYS = (
     "version", "layout_sha256", "layout_size", "window", "stride",
     "image_size", "tile_budget", "n_steps", "n_tiles",
+    "backend", "pipeline",
 )
 
 
@@ -122,8 +126,22 @@ def layout_fingerprint(layout: Clip) -> str:
     return digest.hexdigest()
 
 
-def journal_header(layout: Clip, grid: TileGrid, image_size: int) -> dict:
-    """The header dict binding a journal to one scan configuration."""
+def journal_header(
+    layout: Clip,
+    grid: TileGrid,
+    image_size: int,
+    backend: str = "",
+    pipeline: str = "",
+) -> dict:
+    """The header dict binding a journal to one scan configuration.
+
+    ``backend`` and ``pipeline`` record the engine provenance (backend
+    name, pass-pipeline signature) the scores were produced under.
+    Although every backend/pipeline combination is bit-identical by the
+    parity contract, the binding still refuses to mix them silently —
+    if that contract were ever violated, a resume would otherwise blend
+    two numeric substrates into one heatmap with no trace.
+    """
     return {
         "version": JOURNAL_VERSION,
         "layout_sha256": layout_fingerprint(layout),
@@ -134,6 +152,8 @@ def journal_header(layout: Clip, grid: TileGrid, image_size: int) -> dict:
         "tile_budget": grid.tile_budget,
         "n_steps": len(grid.steps),
         "n_tiles": len(grid.tiles),
+        "backend": backend,
+        "pipeline": pipeline,
     }
 
 

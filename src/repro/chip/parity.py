@@ -244,7 +244,7 @@ def main(argv=None) -> int:
     parser.add_argument("--edits", type=int, default=6)
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--backends", nargs="+",
-                        default=["packed", "float"])
+                        default=["packed", "float", "compiled"])
     parser.add_argument("--chaos", action="store_true",
                         help="run the durability (kill/resume, retry, "
                              "quarantine) gate instead of the parity checks")

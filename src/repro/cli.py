@@ -157,6 +157,36 @@ def build_parser() -> argparse.ArgumentParser:
                              "retries before bisection quarantine "
                              "(default: the retry-policy default)")
 
+    p_engine = sub.add_parser(
+        "engine",
+        help="inspect the engine compiler (pass pipeline, backends)",
+    )
+    engine_sub = p_engine.add_subparsers(dest="engine_command", required=True)
+    p_describe = engine_sub.add_parser(
+        "describe",
+        help="dump the lowered program before/after each optimization "
+             "pass: op counts, buffer bytes, fused chains",
+    )
+    p_describe.add_argument(
+        "checkpoint", nargs="?", default=None,
+        help=".npz checkpoint from `repro train --save`; omitted: a "
+             "seeded reference model built from the flags below")
+    p_describe.add_argument("--image-size", type=int, default=32)
+    p_describe.add_argument("--base-width", type=int, default=8)
+    p_describe.add_argument("--scaling", default="xnor",
+                            choices=["xnor", "channelwise", "none"])
+    p_describe.add_argument("--stem-stride", type=int, default=None,
+                            help="default: 2 when image size >= 64, else 1")
+    p_describe.add_argument("--passes", default="default",
+                            help="pipeline spec: 'default', 'none', or "
+                                 "comma-separated pass names (see "
+                                 "repro.engine.passes)")
+    p_describe.add_argument("--batch", type=int, default=1,
+                            help="batch size for buffer-byte accounting")
+    p_describe.add_argument("--full", action="store_true",
+                            help="also print the per-node program listing "
+                                 "at every stage (default: first and last)")
+
     p_serve = sub.add_parser(
         "serve-bench",
         help="measure single-request vs micro-batched serving throughput",
@@ -553,6 +583,94 @@ def _cmd_scan(args) -> int:
     return 4 if report.degraded else 0
 
 
+def _cmd_engine(args) -> int:
+    # only `describe` exists today; the subparser enforces it
+    return _cmd_engine_describe(args)
+
+
+def _cmd_engine_describe(args) -> int:
+    from .engine import ir
+    from .engine.lower import (
+        LoweringError,
+        lower,
+        pipeline_signature,
+        run_pipeline_snapshots,
+    )
+
+    if args.checkpoint:
+        from .nn.serialization import (
+            CheckpointError,
+            checkpoint_path,
+            load_meta,
+            load_model,
+        )
+        from .serve.registry import model_from_meta
+
+        if not checkpoint_path(args.checkpoint).exists():
+            print(f"checkpoint not found: {checkpoint_path(args.checkpoint)}")
+            return 2
+        try:
+            meta = load_meta(args.checkpoint)
+            model = model_from_meta(meta)
+            load_model(model, args.checkpoint)
+        except (CheckpointError, KeyError) as exc:
+            print(f"cannot describe a bad checkpoint: {exc}")
+            return 2
+        image_size = int(meta["image_size"])
+        source = str(args.checkpoint)
+    else:
+        from .engine.parity import seeded_model
+
+        image_size = args.image_size
+        stem_stride = args.stem_stride or (2 if image_size >= 64 else 1)
+        model = seeded_model(
+            image_size=image_size, base_width=args.base_width,
+            scaling=args.scaling, stem_stride=stem_stride, seed=0,
+        )
+        source = (f"seeded model ({image_size}px, width {args.base_width}, "
+                  f"{args.scaling}, stem stride {stem_stride})")
+
+    spec = args.passes
+    if spec not in ("default", "none"):
+        spec = tuple(name for name in spec.split(",") if name)
+    input_shape = (args.batch, 1, image_size, image_size)
+    try:
+        program = lower(model)
+        snapshots = run_pipeline_snapshots(
+            program, spec, input_shape=input_shape
+        )
+    except (LoweringError, ValueError) as exc:
+        print(f"cannot describe: {exc}")
+        return 2
+
+    print(f"model:    {source}")
+    print(f"pipeline: {pipeline_signature(spec)}")
+    print(f"input:    {input_shape}")
+    baseline = None
+    for index, snap in enumerate(snapshots):
+        counts = ir.op_counts(snap.program)
+        total = sum(ir.buffer_bytes(snap.program, input_shape).values())
+        if baseline is None:
+            baseline = total
+        print(f"\n== {snap.name} ==")
+        if snap.notes:
+            notes = ", ".join(f"{k}={v}" for k, v in sorted(snap.notes.items()))
+            print(f"notes:   {notes}")
+        print("ops:     " + ", ".join(f"{k} x{v}" for k, v in counts.items()))
+        saved = baseline - total
+        pct = (100.0 * saved / baseline) if baseline else 0.0
+        print(f"buffers: {total} B activation traffic"
+              + (f" ({saved} B / {pct:.1f}% below lowered)" if saved else ""))
+        chains = ir.fused_chains(snap.program)
+        if chains:
+            print(f"fused:   {len(chains)} chain(s)")
+            for anchor, sources in chains:
+                print(f"  {anchor} <- {' + '.join(sources)}")
+        if args.full or index == 0 or index == len(snapshots) - 1:
+            print(ir.describe(snap.program, input_shape))
+    return 0
+
+
 def _cmd_serve_bench(args) -> int:
     from .bench import format_table
     from .serve import measure_serving, serving_table_rows
@@ -605,6 +723,7 @@ _COMMANDS = {
     "roc": _cmd_roc,
     "predict": _cmd_predict,
     "scan": _cmd_scan,
+    "engine": _cmd_engine,
     "serve-bench": _cmd_serve_bench,
 }
 

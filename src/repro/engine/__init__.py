@@ -7,10 +7,13 @@ The engine package splits inference into four stages:
 2. :mod:`~repro.engine.lower` — one walk of a trained module tree
    emitting the IR (``lower``), plus structural queries on it
    (``find_plane_stem``);
-3. :mod:`~repro.engine.backends` — named compilers from IR to kernels
-   (``float``, ``packed``; registry: ``get_backend`` /
+3. :mod:`~repro.engine.passes` — graph-rewrite passes over the IR
+   (``run_pipeline``): batch-norm folding into fused threshold convs,
+   compile-time scale hoisting, buffer-liveness marking;
+4. :mod:`~repro.engine.backends` — named compilers from IR to kernels
+   (``float``, ``packed``, ``compiled``; registry: ``get_backend`` /
    ``available_backends``);
-4. :mod:`~repro.engine.executor` — runs compiled kernels with
+5. :mod:`~repro.engine.executor` — runs compiled kernels with
    activation-buffer reuse and optional per-op timing hooks.
 
 :mod:`~repro.engine.parity` is the correctness gate: every registered
@@ -26,17 +29,29 @@ from .ir import (
     BinaryDenseOp,
     ConvOp,
     DenseOp,
+    FusedBinaryConvOp,
     OpNode,
     PoolOp,
     Program,
     ReshapeOp,
     ResidualOp,
+    VerifierError,
     describe,
     infer_shapes,
     is_pointwise,
     output_shape,
+    verify_program,
 )
-from .lower import LoweringError, find_plane_stem, freeze_batchnorm, lower
+from .lower import (
+    DEFAULT_PIPELINE,
+    LoweringError,
+    find_plane_stem,
+    freeze_batchnorm,
+    lower,
+    pipeline_signature,
+    run_pipeline,
+    run_pipeline_snapshots,
+)
 
 __all__ = [
     "ActivationOp",
@@ -45,8 +60,10 @@ __all__ = [
     "BinaryConvOp",
     "BinaryDenseOp",
     "ConvOp",
+    "DEFAULT_PIPELINE",
     "DenseOp",
     "Executor",
+    "FusedBinaryConvOp",
     "Kernel",
     "LoweringError",
     "OpNode",
@@ -55,6 +72,7 @@ __all__ = [
     "Program",
     "ReshapeOp",
     "ResidualOp",
+    "VerifierError",
     "available_backends",
     "describe",
     "find_plane_stem",
@@ -64,5 +82,9 @@ __all__ = [
     "is_pointwise",
     "lower",
     "output_shape",
+    "pipeline_signature",
     "register_backend",
+    "run_pipeline",
+    "run_pipeline_snapshots",
+    "verify_program",
 ]

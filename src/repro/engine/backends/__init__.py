@@ -86,6 +86,41 @@ class Backend:
             f"backend {self.name!r} cannot compile {type(node).__name__}"
         )
 
+    def compile_fused_conv(self, node: ir.FusedBinaryConvOp) -> Kernel:
+        """Reference lowering of a fused op: replay its source nodes.
+
+        Runs the folded batch-norm with the exact expressions of
+        :func:`_batchnorm_kernel`, then this backend's own binary-conv
+        kernel on the anchor convolution — so any backend is
+        automatically bit-identical across {passes on, passes off}.
+        Backends with a genuinely fused kernel (``compiled``) override
+        this.
+        """
+        conv = self.compile_binary_conv(_unfused_conv(node))
+        if node.bn_scale is None:
+            return Kernel(node, conv.fn)
+        scale, shift = node.bn_scale, node.bn_shift
+
+        def run(x: np.ndarray) -> np.ndarray:
+            shape = [1] * x.ndim
+            shape[1] = scale.size
+            out = x * scale.reshape(shape)
+            out += shift.reshape(shape)
+            return conv.fn(out)
+
+        def run_inplace(x: np.ndarray) -> np.ndarray:
+            shape = [1] * x.ndim
+            shape[1] = scale.size
+            x *= scale.reshape(shape)
+            x += shift.reshape(shape)
+            return conv.fn(x)
+
+        # the in-place variant is offered only under the liveness pass's
+        # license; the executor's ownership tracking guards it again
+        return Kernel(
+            node, run, inplace_fn=run_inplace if node.inplace_input else None
+        )
+
     # -- program compilation --------------------------------------------
 
     def compile(self, program: ir.Program,
@@ -100,13 +135,17 @@ class Backend:
         kernels = []
         for node in program:
             if timings is not None and not isinstance(node, ir.ResidualOp):
-                timings.register(node.name)
+                # fused ops register the source layers they absorbed so
+                # reports can attribute their time back to paper layers
+                timings.register(node.name, getattr(node, "sources", ()))
             kernels.append(self.compile_node(node, timings))
         return Executor(kernels, timings)
 
     def compile_node(self, node: ir.OpNode,
                      timings: OpTimings | None = None) -> Kernel:
         """Dispatch one IR node to its kernel builder."""
+        if isinstance(node, ir.FusedBinaryConvOp):
+            return self.compile_fused_conv(node)
         if isinstance(node, ir.BinaryConvOp):
             return self.compile_binary_conv(node)
         if isinstance(node, ir.BinaryDenseOp):
@@ -144,6 +183,20 @@ class Backend:
 
         # timed=False: time is attributed to the branch nodes, not the add
         return Kernel(node, run, timed=False)
+
+
+def _unfused_conv(node: ir.FusedBinaryConvOp) -> ir.BinaryConvOp:
+    """The anchor :class:`~repro.engine.ir.BinaryConvOp` of a fused op."""
+    return ir.BinaryConvOp(
+        name=node.name,
+        in_channels=node.in_channels,
+        out_channels=node.out_channels,
+        kernel_size=node.kernel_size,
+        stride=node.stride,
+        padding=node.padding,
+        scaling=node.scaling,
+        weight=node.weight,
+    )
 
 
 # -- shared structural/float kernels ------------------------------------
@@ -231,3 +284,4 @@ def _dense_kernel(node: ir.DenseOp) -> Kernel:
 # run on package import (each module is one self-contained backend).
 from . import float as float_backend  # noqa: E402,F401
 from . import packed as packed_backend  # noqa: E402,F401
+from . import compiled as compiled_backend  # noqa: E402,F401

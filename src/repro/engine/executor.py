@@ -68,14 +68,23 @@ class OpTimings:
         self._order: list[str] = []
         self._calls: dict[str, int] = {}
         self._seconds: dict[str, float] = {}
+        self._sources: dict[str, tuple[str, ...]] = {}
 
-    def register(self, name: str) -> None:
-        """Ensure ``name`` has a row (idempotent)."""
+    def register(self, name: str, sources: tuple[str, ...] = ()) -> None:
+        """Ensure ``name`` has a row (idempotent).
+
+        ``sources`` names the source-model layers the row accounts for —
+        more than one when the row is a fused op.  Reports use it to
+        attribute fused-op time back to paper layers; a plain op's row
+        defaults to covering just itself.
+        """
         with self._lock:
             if name not in self._calls:
                 self._order.append(name)
                 self._calls[name] = 0
                 self._seconds[name] = 0.0
+            if sources:
+                self._sources[name] = tuple(sources)
 
     def record(self, name: str, seconds: float) -> None:
         """Accumulate one timed call of ``name``."""
@@ -84,7 +93,8 @@ class OpTimings:
             self._seconds[name] = self._seconds.get(name, 0.0) + seconds
 
     def snapshot(self) -> list[dict[str, object]]:
-        """Per-op rows ``{op, calls, total_ms, mean_ms}`` in program order."""
+        """Per-op rows ``{op, calls, total_ms, mean_ms, sources}`` in
+        program order; ``sources`` is ``(op,)`` unless registered wider."""
         with self._lock:
             rows = []
             for name in self._order:
@@ -95,6 +105,7 @@ class OpTimings:
                     "calls": calls,
                     "total_ms": total_ms,
                     "mean_ms": total_ms / calls if calls else 0.0,
+                    "sources": list(self._sources.get(name, (name,))),
                 })
             return rows
 

@@ -39,6 +39,7 @@ __all__ = [
     "BatchNormAffine",
     "BinaryConvOp",
     "BinaryDenseOp",
+    "FusedBinaryConvOp",
     "ConvOp",
     "DenseOp",
     "PoolOp",
@@ -50,6 +51,11 @@ __all__ = [
     "output_shape",
     "infer_shapes",
     "describe",
+    "VerifierError",
+    "verify_program",
+    "fused_chains",
+    "op_counts",
+    "buffer_bytes",
 ]
 
 
@@ -107,6 +113,43 @@ class BinaryDenseOp(OpNode):
     out_features: int
     scaling: bool  #: apply the per-row ``mean|x|`` activation scale
     weight: np.ndarray  #: master weights ``(in_features, out_features)``
+
+
+@dataclass(frozen=True, eq=False)
+class FusedBinaryConvOp(OpNode):
+    """A fused BatchNormAffine→Binarize→BinaryConv→scale chain.
+
+    Produced by the pass pipeline (:mod:`repro.engine.passes`), never by
+    lowering.  Semantically equal — bit for bit — to running the source
+    nodes in sequence: the batch-norm affine is *folded into the
+    binarization* as a threshold compare (``x*scale + shift >= 0`` iff
+    ``x*scale >= -shift``; float addition near zero is exact and
+    rounding is monotone, so the fold changes no sign bit), and the
+    Eq. 8 weight-side constants may be hoisted to compile time.
+
+    ``name`` is the anchor convolution's name, so per-op timing rows
+    keep their historical keys; ``sources`` lists every source node
+    folded in (the batch-norm first, when present) for attribution.
+    """
+
+    in_channels: int
+    out_channels: int
+    kernel_size: int
+    stride: int
+    padding: int
+    scaling: str  #: ``"channelwise"`` (Eq. 14), ``"xnor"``, or ``"none"``
+    weight: np.ndarray  #: master filters ``(c_out, c_in, k, k)``
+    sources: tuple[str, ...]  #: names of the folded source nodes
+    #: folded batch-norm affine (both None when no batch-norm preceded)
+    bn_scale: np.ndarray | None = None  #: per-channel multiplier ``(c_in,)``
+    bn_shift: np.ndarray | None = None  #: per-channel offset ``(c_in,)``
+    #: Eq. 8 constants hoisted by the scale-hoisting pass (else None)
+    w_binary: np.ndarray | None = None  #: ``sign(weight)``, same shape
+    alpha_w: np.ndarray | None = None  #: per-filter ``mean|W|``, ``(c_out,)``
+    #: liveness annotation: the input buffer dies at this node (it is not
+    #: shared with a residual sibling), so a backend may offer an
+    #: in-place variant that treats the input as scratch
+    inplace_input: bool = False
 
 
 @dataclass(frozen=True, eq=False)
@@ -206,7 +249,7 @@ def output_shape(node: OpNode, shape: tuple[int, ...]) -> tuple[int, ...]:
     """Shape produced by ``node`` on an input of ``shape`` (batch-first)."""
     if isinstance(node, (BatchNormAffine, ActivationOp)):
         return shape
-    if isinstance(node, (BinaryConvOp, ConvOp)):
+    if isinstance(node, (BinaryConvOp, ConvOp, FusedBinaryConvOp)):
         n, _, h, w = shape
         k, s, p = node.kernel_size, node.stride, node.padding
         return (n, node.out_channels,
@@ -255,6 +298,17 @@ def infer_shapes(
 
 
 def _node_detail(node: OpNode) -> str:
+    if isinstance(node, FusedBinaryConvOp):
+        detail = (f"{node.in_channels}->{node.out_channels} "
+                  f"k{node.kernel_size} s{node.stride} p{node.padding} "
+                  f"{node.scaling}")
+        if node.bn_scale is not None:
+            detail += " +bn"
+        if node.alpha_w is not None:
+            detail += " hoisted"
+        if node.inplace_input:
+            detail += " inplace"
+        return detail
     if isinstance(node, (BinaryConvOp, ConvOp)):
         return (f"{node.in_channels}->{node.out_channels} "
                 f"k{node.kernel_size} s{node.stride} p{node.padding}"
@@ -272,6 +326,174 @@ def _node_detail(node: OpNode) -> str:
                 + ("" if node.shortcut is None
                    else f" shortcut[{len(node.shortcut)}]"))
     return ""
+
+
+class VerifierError(ValueError):
+    """A program violates the IR's structural invariants.
+
+    Raised by :func:`verify_program` — the pass pipeline runs it after
+    every rewrite, so a malformed fusion fails at compile time instead
+    of producing silently wrong kernels.
+    """
+
+
+def _verify_fused(node: FusedBinaryConvOp) -> None:
+    c_out, c_in, k = node.out_channels, node.in_channels, node.kernel_size
+    expected = (c_out, c_in, k, k)
+    if tuple(node.weight.shape) != expected:
+        raise VerifierError(
+            f"fused op {node.name!r}: weight shape {node.weight.shape} "
+            f"does not match geometry {expected}"
+        )
+    if node.kernel_size < 1 or node.stride < 1 or node.padding < 0:
+        raise VerifierError(
+            f"fused op {node.name!r}: bad geometry k={node.kernel_size} "
+            f"s={node.stride} p={node.padding}"
+        )
+    if node.scaling not in ("channelwise", "xnor", "none"):
+        raise VerifierError(
+            f"fused op {node.name!r}: unknown scaling {node.scaling!r}"
+        )
+    if not node.sources or node.name not in node.sources:
+        raise VerifierError(
+            f"fused op {node.name!r}: sources {node.sources!r} must "
+            f"include the anchor convolution's name"
+        )
+    if (node.bn_scale is None) != (node.bn_shift is None):
+        raise VerifierError(
+            f"fused op {node.name!r}: bn_scale and bn_shift must both be "
+            f"set or both be None"
+        )
+    if node.bn_scale is not None:
+        if node.bn_scale.shape != (c_in,) or node.bn_shift.shape != (c_in,):
+            raise VerifierError(
+                f"fused op {node.name!r}: folded batch-norm arrays must "
+                f"have shape ({c_in},), got {node.bn_scale.shape} and "
+                f"{node.bn_shift.shape}"
+            )
+    if (node.w_binary is None) != (node.alpha_w is None):
+        raise VerifierError(
+            f"fused op {node.name!r}: w_binary and alpha_w must both be "
+            f"hoisted or both be None"
+        )
+    if node.w_binary is not None:
+        if node.w_binary.shape != node.weight.shape:
+            raise VerifierError(
+                f"fused op {node.name!r}: hoisted w_binary shape "
+                f"{node.w_binary.shape} != weight shape {node.weight.shape}"
+            )
+        if node.alpha_w.shape != (c_out,):
+            raise VerifierError(
+                f"fused op {node.name!r}: hoisted alpha_w must have shape "
+                f"({c_out},), got {node.alpha_w.shape}"
+            )
+        # the hoisted constants must be *the* Eq. 8 values for this
+        # weight — a stale snapshot would silently change every logit
+        if not np.array_equal(
+            node.w_binary, np.where(node.weight >= 0, 1.0, -1.0)
+        ):
+            raise VerifierError(
+                f"fused op {node.name!r}: hoisted w_binary does not equal "
+                f"sign(weight)"
+            )
+
+
+def verify_program(
+    program: Program, input_shape: tuple[int, ...] | None = None
+) -> None:
+    """Check a program's structural invariants; raise :class:`VerifierError`.
+
+    Verified: node names are unique across the walk, batch-norm arrays
+    match their channel counts, and fused nodes are internally
+    consistent (weight geometry, folded batch-norm shapes, hoisted
+    Eq. 8 constants matching the master weights, source attribution).
+    With ``input_shape`` given, shapes are propagated and residual
+    branch outputs must agree.
+    """
+    seen: set[str] = set()
+    for node in program.walk():
+        if node.name in seen:
+            raise VerifierError(f"duplicate node name {node.name!r}")
+        seen.add(node.name)
+        if isinstance(node, FusedBinaryConvOp):
+            _verify_fused(node)
+        elif isinstance(node, BatchNormAffine):
+            if (node.scale.shape != (node.channels,)
+                    or node.shift.shape != (node.channels,)):
+                raise VerifierError(
+                    f"batch-norm {node.name!r}: affine arrays must have "
+                    f"shape ({node.channels},), got {node.scale.shape} "
+                    f"and {node.shift.shape}"
+                )
+        elif isinstance(node, ResidualOp):
+            if len(node.main) == 0:
+                raise VerifierError(
+                    f"residual {node.name!r}: empty main branch"
+                )
+    if input_shape is None:
+        return
+
+    def visit(prog: Program, shape: tuple[int, ...]) -> tuple[int, ...]:
+        for node in prog:
+            if isinstance(node, (BinaryConvOp, FusedBinaryConvOp)):
+                if shape[1] != node.in_channels:
+                    raise VerifierError(
+                        f"{node.name!r}: expects {node.in_channels} input "
+                        f"channels, dataflow provides {shape[1]}"
+                    )
+            if isinstance(node, ResidualOp):
+                main_out = visit(node.main, shape)
+                if node.shortcut is not None:
+                    short_out = visit(node.shortcut, shape)
+                    if main_out != short_out:
+                        raise VerifierError(
+                            f"residual {node.name!r}: branch shapes differ "
+                            f"(main {main_out} vs shortcut {short_out})"
+                        )
+                elif main_out != shape:
+                    raise VerifierError(
+                        f"residual {node.name!r}: identity shortcut needs "
+                        f"main to preserve shape ({shape} -> {main_out})"
+                    )
+                shape = main_out
+            else:
+                shape = output_shape(node, shape)
+        return shape
+
+    visit(program, tuple(input_shape))
+
+
+def fused_chains(program: Program) -> list[tuple[str, tuple[str, ...]]]:
+    """``(anchor_name, source_names)`` for every fused node in the walk."""
+    return [
+        (node.name, node.sources)
+        for node in program.walk()
+        if isinstance(node, FusedBinaryConvOp)
+    ]
+
+
+def op_counts(program: Program) -> dict[str, int]:
+    """Walked node counts by IR type name, insertion-ordered."""
+    counts: dict[str, int] = {}
+    for node in program.walk():
+        key = type(node).__name__
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def buffer_bytes(
+    program: Program, input_shape: tuple[int, ...]
+) -> dict[str, int]:
+    """Per-node output-buffer bytes (float64) keyed by node name.
+
+    The sum over a program is the activation traffic a verbatim
+    execution writes; comparing it before/after the pass pipeline is
+    how ``repro engine describe`` quantifies eliminated intermediates.
+    """
+    shapes = infer_shapes(program, input_shape)
+    return {
+        name: int(np.prod(out)) * 8 for name, (_, out) in shapes.items()
+    }
 
 
 def describe(program: Program, input_shape: tuple[int, ...] | None = None) -> str:

@@ -40,6 +40,7 @@ from .ir import (
     BinaryDenseOp,
     ConvOp,
     DenseOp,
+    FusedBinaryConvOp,
     OpNode,
     PoolOp,
     Program,
@@ -48,7 +49,26 @@ from .ir import (
     is_pointwise,
 )
 
-__all__ = ["LoweringError", "lower", "freeze_batchnorm", "find_plane_stem"]
+# Re-exported so callers can treat lowering + optimization as one
+# module: ``lower()`` emits the verbatim program, ``run_pipeline()``
+# rewrites it (see :mod:`repro.engine.passes` for the pass registry).
+from .passes import (  # noqa: F401
+    DEFAULT_PIPELINE,
+    pipeline_signature,
+    run_pipeline,
+    run_pipeline_snapshots,
+)
+
+__all__ = [
+    "LoweringError",
+    "lower",
+    "freeze_batchnorm",
+    "find_plane_stem",
+    "DEFAULT_PIPELINE",
+    "pipeline_signature",
+    "run_pipeline",
+    "run_pipeline_snapshots",
+]
 
 
 class LoweringError(TypeError):
@@ -201,9 +221,11 @@ def find_plane_stem(program: Program) -> int | None:
 
     The stem is the first non-pointwise node of the program; it
     qualifies when it is a single-input-channel :class:`BinaryConvOp`
-    (layout planes are single-channel) with ordinary
-    ``padding < kernel_size`` geometry.  Returns ``None`` otherwise —
-    the plane scan then falls back to whole-window slicing.
+    — or the :class:`~repro.engine.ir.FusedBinaryConvOp` the pass
+    pipeline folds it into, whose absorbed batch-norm is pointwise and
+    so still plane-commuting — with ordinary ``padding < kernel_size``
+    geometry.  Returns ``None`` otherwise — the plane scan then falls
+    back to whole-window slicing.
     """
     index = 0
     while index < len(program) and is_pointwise(program[index]):
@@ -211,7 +233,7 @@ def find_plane_stem(program: Program) -> int | None:
     if index >= len(program):
         return None
     node = program[index]
-    if not isinstance(node, BinaryConvOp):
+    if not isinstance(node, (BinaryConvOp, FusedBinaryConvOp)):
         return None
     if node.in_channels != 1 or node.padding >= node.kernel_size:
         return None

@@ -29,7 +29,7 @@ import numpy as np
 
 from .backends import available_backends, get_backend
 from .executor import Executor
-from .lower import lower
+from .lower import lower, pipeline_signature, run_pipeline
 
 __all__ = [
     "PairResult",
@@ -110,29 +110,41 @@ def compare_backends(
     image_size: int = 16,
     batch: int = 8,
     seed: int = 0,
+    pipelines: list | None = None,
 ) -> ParityResult:
-    """Lower ``model`` once, run every backend, compare all pairs.
+    """Lower ``model`` once, run every backend × pipeline, compare pairs.
 
-    Each backend executes the *same* :class:`~repro.engine.ir.Program`
-    through its own compiled kernels.  Inputs default to a seeded ±1
+    Each backend executes its compiled kernels over the program as
+    rewritten by each pass pipeline in ``pipelines`` (default: the raw
+    lowered program ``"none"`` and the full ``"default"`` pipeline), so
+    the optimization passes themselves are under the bit-identity gate,
+    not just the backends.  Variants are labelled
+    ``backend[pipeline-signature]``.  Inputs default to a seeded ±1
     batch (the layout-clip domain); pass ``images`` to use real clips.
     """
     names = tuple(backends if backends is not None else available_backends())
-    program = lower(model)
+    specs = tuple(pipelines if pipelines is not None else ("none", "default"))
+    lowered = lower(model)
     if images is None:
         rng = np.random.default_rng(seed)
         images = np.where(
             rng.random((batch, 1, image_size, image_size)) < 0.5, 1.0, -1.0
         )
-    result = ParityResult(backends=names)
+    variants: list[str] = []
     logits: dict[str, np.ndarray] = {}
-    for name in names:
-        executor: Executor = get_backend(name).compile(program)
-        # fresh copy per backend: a kernel mutating its input would
-        # otherwise corrupt the comparison instead of failing it
-        logits[name] = executor.run(images.copy())
-    for i, left in enumerate(names):
-        for right in names[i + 1:]:
+    for spec in specs:
+        program = run_pipeline(lowered, spec)
+        tag = pipeline_signature(spec)
+        for name in names:
+            executor: Executor = get_backend(name).compile(program)
+            variant = f"{name}[{tag}]"
+            variants.append(variant)
+            # fresh copy per variant: a kernel mutating its input would
+            # otherwise corrupt the comparison instead of failing it
+            logits[variant] = executor.run(images.copy())
+    result = ParityResult(backends=tuple(variants))
+    for i, left in enumerate(variants):
+        for right in variants[i + 1:]:
             identical, diff = _bit_identical(logits[left], logits[right])
             result.pairs.append(PairResult(left, right, identical, diff))
     return result
@@ -182,12 +194,18 @@ def main(argv: list[str] | None = None) -> int:
         "--stem-stride", type=int, action="append", default=None,
         help="stem stride(s) to test (default: 1 and 2)",
     )
+    parser.add_argument(
+        "--passes", action="append", default=None,
+        help="pass pipeline(s) to test (default: 'none' and 'default')",
+    )
     args = parser.parse_args(argv)
 
     scalings = args.scaling or ["channelwise", "xnor", "none"]
     strides = args.stem_stride or [1, 2]
+    pipelines = args.passes or ["none", "default"]
     names = available_backends()
-    print(f"backends: {', '.join(names)}")
+    print(f"backends:  {', '.join(names)}")
+    print(f"pipelines: {', '.join(pipeline_signature(p) for p in pipelines)}")
     failed = False
     for scaling in scalings:
         for stem_stride in strides:
@@ -197,7 +215,7 @@ def main(argv: list[str] | None = None) -> int:
             )
             result = compare_backends(
                 model, image_size=args.image_size,
-                batch=args.batch, seed=args.seed,
+                batch=args.batch, seed=args.seed, pipelines=pipelines,
             )
             status = "OK (bit-identical)" if result.ok else "MISMATCH"
             print(f"scaling={scaling:<12} stem_stride={stem_stride}  {status}")

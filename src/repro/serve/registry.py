@@ -43,7 +43,7 @@ from ..binary.inference import (
 )
 from ..detect.bnn_detector import stages_for_image_size
 from ..engine.backends import available_backends
-from ..engine.lower import LoweringError
+from ..engine.lower import LoweringError, pipeline_signature
 from ..models.bnn_resnet import build_bnn_resnet
 from ..nn.module import Module
 from ..nn.serialization import CheckpointError, load_meta, load_model
@@ -52,7 +52,10 @@ __all__ = ["ModelEntry", "ModelRegistry", "compile_engine", "model_from_meta"]
 
 
 def _compile_with_reason(
-    model: Module, prefer_packed: bool, backend: str | None
+    model: Module,
+    prefer_packed: bool,
+    backend: str | None,
+    passes="default",
 ) -> tuple[ProgramEngine, str, str | None]:
     """Compile ``model``; also report why a fallback happened (or None).
 
@@ -65,10 +68,10 @@ def _compile_with_reason(
                 f"unknown backend {backend!r} "
                 f"(available: {', '.join(available_backends())})"
             )
-        return engine_for_backend(model, backend), backend, None
+        return engine_for_backend(model, backend, passes), backend, None
     if prefer_packed:
         try:
-            return PackedBNN(model), "packed", None
+            return PackedBNN(model, passes), "packed", None
         except LoweringError as exc:
             reason = (
                 f"layer type {exc.layer_type!r} cannot be lowered to the "
@@ -79,12 +82,15 @@ def _compile_with_reason(
                 f"packed compilation failed ({type(exc).__name__}: {exc}); "
                 f"serving the float fallback"
             )
-        return FloatEngine(model), "float", reason
-    return FloatEngine(model), "float", None
+        return FloatEngine(model, passes), "float", reason
+    return FloatEngine(model, passes), "float", None
 
 
 def compile_engine(
-    model: Module, prefer_packed: bool = True, backend: str | None = None
+    model: Module,
+    prefer_packed: bool = True,
+    backend: str | None = None,
+    passes="default",
 ) -> tuple[ProgramEngine, str]:
     """Compile ``model`` to an inference engine.
 
@@ -94,9 +100,11 @@ def compile_engine(
     model view for unloweredable models) — so registration never fails
     for a forward-capable model.  An explicit ``backend`` resolves
     through the engine backend registry and is strict (unknown names
-    and unloweredable models raise).
+    and unloweredable models raise).  ``passes`` selects the pass
+    pipeline the program is optimized with before compilation
+    (``"default"``, ``"none"``, or explicit pass names).
     """
-    engine, name, _ = _compile_with_reason(model, prefer_packed, backend)
+    engine, name, _ = _compile_with_reason(model, prefer_packed, backend, passes)
     return engine, name
 
 
@@ -137,6 +145,9 @@ class ModelEntry:
     #: why the preferred backend was not used (None when none happened);
     #: surfaced by the service as a degraded-performance note
     fallback_reason: str | None = None
+    #: pass-pipeline signature the engine was compiled under
+    #: (e.g. ``"fold-bn>hoist-scales>liveness"`` or ``"none"``)
+    pipeline: str = ""
 
 
 class ModelRegistry:
@@ -155,16 +166,18 @@ class ModelRegistry:
         decision_bias: float = 0.0,
         meta: dict[str, object] | None = None,
         backend: str | None = None,
+        passes="default",
     ) -> ModelEntry:
         """Compile and register a live model under ``name``.
 
         ``backend`` selects a registered engine backend by name
         (strict); the default keeps the prefer-packed-with-fallback
-        policy.  Re-registering a name replaces the previous entry
-        (latest wins), which is how a rolling model update deploys.
+        policy.  ``passes`` selects the optimization pipeline.
+        Re-registering a name replaces the previous entry (latest
+        wins), which is how a rolling model update deploys.
         """
         engine, backend_name, reason = _compile_with_reason(
-            model, prefer_packed, backend
+            model, prefer_packed, backend, passes
         )
         entry = ModelEntry(
             name=name,
@@ -175,6 +188,7 @@ class ModelRegistry:
             decision_bias=float(decision_bias),
             meta=dict(meta or {}),
             fallback_reason=reason,
+            pipeline=getattr(engine, "pipeline", "none"),
         )
         with self._lock:
             self._entries[name] = entry
@@ -188,6 +202,7 @@ class ModelRegistry:
         image_size: int | None = None,
         prefer_packed: bool = True,
         backend: str | None = None,
+        passes="default",
     ) -> ModelEntry:
         """Load a ``.npz`` checkpoint and register it under ``name``.
 
@@ -236,6 +251,21 @@ class ModelRegistry:
                     UserWarning,
                     stacklevel=2,
                 )
+        recorded_pipeline = meta.get("pipeline")
+        if recorded_pipeline is not None:
+            requested_pipeline = pipeline_signature(passes)
+            if str(recorded_pipeline) != requested_pipeline:
+                warnings.warn(
+                    f"checkpoint {os.fspath(path)!r} records pass pipeline "
+                    f"{str(recorded_pipeline)!r} but "
+                    f"{requested_pipeline!r} was requested; serving with "
+                    f"{requested_pipeline!r} (logits are bit-identical "
+                    f"across pipelines, but durable-scan journals bind to "
+                    f"the pipeline and will refuse to resume across this "
+                    f"change)",
+                    UserWarning,
+                    stacklevel=2,
+                )
         if image_size is None:
             if "image_size" not in meta:
                 raise KeyError(
@@ -250,6 +280,7 @@ class ModelRegistry:
             decision_bias=float(meta.get("decision_bias", 0.0)),
             meta=meta,
             backend=backend,
+            passes=passes,
         )
 
     def get(self, name: str) -> ModelEntry:

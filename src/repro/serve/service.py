@@ -578,6 +578,7 @@ class HotspotService:
             result=result,
             model=entry.name,
             backend=entry.backend,
+            pipeline=entry.pipeline,
             latency_ms=latency_ms,
             degraded=bool(failed_tiles or quarantined),
             failed_tiles=failed_tiles,
@@ -782,10 +783,13 @@ class HotspotService:
             if np.isnan(block).any():
                 continue
             records.append(TileRecord(index=index, scores=block))
+        engine = job.scanner.engine
         snapshot_journal(
             path,
             journal_header(merged.layout, job.grid,
-                           job.scanner.image_size),
+                           job.scanner.image_size,
+                           backend=getattr(engine, "backend_name", ""),
+                           pipeline=getattr(engine, "pipeline", "")),
             records,
         )
 
@@ -854,6 +858,7 @@ class HotspotService:
         snapshot["models"] = {
             name: {
                 "backend": self.registry.get(name).backend,
+                "pipeline": self.registry.get(name).pipeline,
                 "image_size": self.registry.get(name).image_size,
                 "fallback_reason": self.registry.get(name).fallback_reason,
             }

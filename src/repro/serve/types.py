@@ -202,6 +202,10 @@ rescan_chip` against it without re-planning; treat it as opaque.
     result: object = field(repr=False, default=None)
     model: str = ""
     backend: str = ""
+    #: pass-pipeline signature the scanning engine was compiled under;
+    #: journal headers bind to it so resumes cannot mix artifacts
+    #: produced by different compilation pipelines
+    pipeline: str = ""
     latency_ms: float = 0.0
     degraded: bool = False
     failed_tiles: tuple[int, ...] = ()

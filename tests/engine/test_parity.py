@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.engine import available_backends
+from repro.engine import available_backends, pipeline_signature
 from repro.engine.parity import (
     PairResult,
     ParityResult,
@@ -38,10 +38,16 @@ class TestCompareBackends:
 
     def test_all_registered_backends_are_compared(self):
         result = compare_backends(seeded_model())
-        assert set(result.backends) == set(available_backends())
+        # variants are backend[pipeline-signature], covering every
+        # registered backend under both the raw lowered program and
+        # the default pass pipeline
+        backends = {v.split("[", 1)[0] for v in result.backends}
+        pipelines = {v.split("[", 1)[1].rstrip("]") for v in result.backends}
+        assert backends == set(available_backends())
+        assert pipelines == {"none", pipeline_signature("default")}
         names = {name for pair in result.pairs
                  for name in (pair.left, pair.right)}
-        assert names == set(available_backends())
+        assert names == set(result.backends)
 
     def test_reuses_caller_images(self):
         rng = np.random.default_rng(3)
