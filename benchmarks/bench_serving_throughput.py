@@ -17,6 +17,7 @@ Asserted directions:
   into hits (hit rate > 0 on a layout with repeated cells).
 """
 
+import os
 from pathlib import Path
 
 import numpy as np
@@ -27,6 +28,7 @@ from repro.litho.geometry import Clip, Rect
 from repro.serve import (
     HotspotService,
     ScanRequest,
+    measure_cluster_serving,
     measure_serving,
     serving_table_rows,
 )
@@ -93,6 +95,69 @@ def test_serving_throughput(iccad_benchmark, epochs, benchmark):
                                   results["single-packed"].scores)
     # the batcher actually coalesced (not a degenerate one-clip loop)
     assert results["batched-packed"].mean_batch_size > 4
+
+
+def test_serving_scaleout(iccad_benchmark, epochs, benchmark):
+    """Multi-process cluster vs single-process service, saturated load.
+
+    Records requests/sec for the best single-process configuration and
+    for a supervised worker fleet on the same request set.  The hard
+    assertion is the determinism invariant (cluster scores bit-identical
+    to single-process); the speedup assertion is gated by
+    ``REPRO_BENCH_MIN_SCALEOUT`` because a 1-CPU runner pays the fleet's
+    process/shared-memory overhead without gaining parallel compute.
+    """
+    bench = subsample(iccad_benchmark, n_train=160, n_test=128)
+    model = _trained_model(bench, epochs)
+    images = bench.test.images
+    if images.ndim == 4:
+        images = np.squeeze(images, axis=1)
+
+    cpus = os.cpu_count() or 1
+    processes = 2 if cpus < 4 else 4  # reduced fleet on small runners
+    results = benchmark.pedantic(
+        lambda: measure_cluster_serving(model, bench.image_size, images,
+                                        processes=processes, max_batch=64),
+        rounds=1, iterations=1,
+    )
+    solo = results["single-process"]
+    fleet = results[f"cluster-{processes}"]
+    scaleout = fleet.clips_per_sec / solo.clips_per_sec
+
+    publish("serving_scaleout", format_table(
+        [{
+            "Configuration": result.mode,
+            "Clips": result.clips,
+            "Time (s)": round(result.seconds, 3),
+            "Clips/s": round(result.clips_per_sec, 1),
+            "vs 1 process": round(
+                result.clips_per_sec / solo.clips_per_sec, 2
+            ),
+        } for result in (solo, fleet)],
+        title=(f"Scale-out — {processes} worker processes on "
+               f"{cpus} CPU(s): {scaleout:.2f}x"),
+    ))
+
+    write_bench_json(REPO_ROOT / "BENCH_serve_scaleout.json", {
+        "clips": len(images),
+        "image_size": bench.image_size,
+        "processes": processes,
+        "max_batch": 64,
+        "single_process_clips_per_sec": round(solo.clips_per_sec, 1),
+        "cluster_clips_per_sec": round(fleet.clips_per_sec, 1),
+        "scaleout_vs_single_process": round(scaleout, 3),
+        "predictions_bit_identical": bool(
+            np.array_equal(solo.scores, fleet.scores)
+        ),
+    })
+
+    # the invariant that makes scale-out safe: which process serves a
+    # clip never changes its score
+    np.testing.assert_array_equal(fleet.scores, solo.scores)
+    assert np.array_equal(fleet.labels, solo.labels)
+    # speedup bar is environment-gated: meaningless on a 1-CPU runner
+    min_scaleout = float(os.environ.get("REPRO_BENCH_MIN_SCALEOUT", "0"))
+    assert scaleout >= min_scaleout
 
 
 def test_scan_cache_effectiveness(iccad_benchmark, epochs):

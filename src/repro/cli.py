@@ -200,6 +200,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="clips in the measured request set")
     p_serve.add_argument("--max-batch", type=int, default=64)
     p_serve.add_argument("--max-wait-ms", type=float, default=2.0)
+    p_serve.add_argument("--processes", type=int, default=0,
+                         help="also measure a supervised multi-process "
+                              "cluster of N workers against the "
+                              "single-process service (0: skip)")
 
     return parser
 
@@ -712,6 +716,39 @@ def _cmd_serve_bench(args) -> int:
     speedup = (results["batched-packed"].clips_per_sec
                / results["single-float"].clips_per_sec)
     print(f"batched packed vs single-request float: {speedup:.1f}x")
+
+    if args.processes > 0:
+        import os
+
+        from .serve import measure_cluster_serving
+
+        scale = measure_cluster_serving(
+            model, image_size, images,
+            processes=args.processes, max_batch=args.max_batch,
+        )
+        solo = scale["single-process"]
+        fleet = scale[f"cluster-{args.processes}"]
+        print(format_table(
+            [{
+                "Configuration": result.mode,
+                "Clips": result.clips,
+                "Time (s)": round(result.seconds, 3),
+                "Clips/s": round(result.clips_per_sec, 1),
+                "vs 1 process": round(
+                    result.clips_per_sec / solo.clips_per_sec, 2
+                ),
+            } for result in (solo, fleet)],
+            title=(f"Scale-out — {args.processes} worker processes "
+                   f"on {os.cpu_count()} CPU(s)"),
+        ))
+        fleet_identical = bool(
+            np.array_equal(solo.scores, fleet.scores)
+            and np.array_equal(solo.labels, fleet.labels)
+        )
+        print(f"cluster vs single-process predictions identical: "
+              f"{fleet_identical}")
+        identical = identical and fleet_identical
+
     return 0 if identical else 1
 
 

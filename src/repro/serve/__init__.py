@@ -14,7 +14,12 @@ synchronous-API service with production plumbing:
 * :class:`RasterCache` — LRU geometry-keyed raster reuse;
 * :class:`ServiceMetrics` — counters, latency histograms, batch and
   cache statistics via ``HotspotService.stats()``;
-* :class:`HotspotService` — the front door tying the above together.
+* :class:`HotspotService` — the front door tying the above together;
+* :class:`ClusterService` (:mod:`repro.serve.cluster`) — the same API
+  served by a supervised fleet of crash-isolated worker *processes*:
+  shared-memory frames with SHA-256 integrity digests, heartbeats,
+  failover, respawn with backoff, crash-loop quarantine, and rolling
+  checkpoint rollout with a canary parity probe.
 
 Fault tolerance rides on top (``docs/serving.md`` → "Failure modes &
 guarantees"): per-request **deadlines** (typed
@@ -35,20 +40,34 @@ Quickstart::
 """
 
 from .batcher import MicroBatcher
-from .benchmark import ModeResult, measure_serving, serving_table_rows
+from .benchmark import (
+    ModeResult,
+    measure_cluster_serving,
+    measure_serving,
+    serving_table_rows,
+)
 from .cache import PlaneCache, RasterCache, geometry_key
+from .cluster import ClusterService, ReplicaState
 from .errors import (
     CheckpointError,
     DeadlineExceeded,
+    FrameIntegrityError,
+    RolloutError,
     ServeError,
     ServiceOverloaded,
     ShardError,
+    WorkerCrashError,
 )
-from .faults import FaultInjector, FaultRule, InjectedFault
+from .faults import FaultInjector, FaultRule, FrameFaults, InjectedFault
 from .metrics import LatencyHistogram, ServiceMetrics
 from .pool import ShardOutcome, WorkerPool, shard_slices
 from .registry import ModelEntry, ModelRegistry, compile_engine, model_from_meta
-from .service import HotspotService, extract_window, window_origins
+from .service import (
+    HotspotService,
+    extract_window,
+    plane_scan_scale,
+    window_origins,
+)
 from .types import (
     ChipScanReport,
     ChipScanRequest,
@@ -68,13 +87,20 @@ __all__ = [
     "ServiceOverloaded",
     "ShardError",
     "CheckpointError",
+    "FrameIntegrityError",
+    "WorkerCrashError",
+    "RolloutError",
+    "ClusterService",
+    "ReplicaState",
     "FaultInjector",
     "FaultRule",
+    "FrameFaults",
     "InjectedFault",
     "HealthReport",
     "HealthState",
     "ShardOutcome",
     "ModeResult",
+    "measure_cluster_serving",
     "measure_serving",
     "serving_table_rows",
     "RasterCache",
@@ -91,6 +117,7 @@ __all__ = [
     "HotspotService",
     "extract_window",
     "window_origins",
+    "plane_scan_scale",
     "ClipRequest",
     "Prediction",
     "ScanHit",

@@ -26,7 +26,12 @@ import numpy as np
 from ..nn.module import Module
 from .service import HotspotService
 
-__all__ = ["ModeResult", "measure_serving", "serving_table_rows"]
+__all__ = [
+    "ModeResult",
+    "measure_cluster_serving",
+    "measure_serving",
+    "serving_table_rows",
+]
 
 
 @dataclass
@@ -107,6 +112,66 @@ def measure_serving(
                 max_batch, max_wait_ms,
             )
             results[f"{result.mode}-{result.backend}"] = result
+    return results
+
+
+def measure_cluster_serving(
+    model: Module,
+    image_size: int,
+    images: np.ndarray,
+    processes: int = 2,
+    max_batch: int = 64,
+) -> dict[str, ModeResult]:
+    """Measure scale-out: one process vs a supervised worker fleet.
+
+    The same saturated request set (all clips submitted at once, so
+    admission can batch and fan out freely) is served twice:
+
+    * ``"single-process"`` — the in-process :class:`HotspotService`
+      with the packed engine, the best one-process configuration;
+    * ``"cluster-<n>"`` — a :class:`ClusterService` fleet of
+      ``processes`` worker processes behind the same API.
+
+    Both results carry labels and scores so callers can assert the
+    fleet invariant: scale-out changes requests/sec, never a
+    prediction.  On a single-CPU host the cluster pays process and
+    shared-memory overhead without gaining parallel compute — callers
+    should gate speedup assertions on ``os.cpu_count()``.
+    """
+    from .cluster import ClusterService
+
+    results: dict[str, ModeResult] = {}
+    request_set = list(images)
+    with HotspotService.from_model(
+        model, image_size, prefer_packed=True,
+        max_batch=max_batch, max_wait_ms=2.0,
+    ) as service:
+        service.classify_many(request_set[:2])  # warm-up
+        started = time.perf_counter()
+        predictions = service.classify_many(request_set)
+        seconds = time.perf_counter() - started
+    results["single-process"] = ModeResult(
+        mode="single-process", backend=predictions[0].backend,
+        clips=len(predictions), seconds=seconds,
+        mean_batch_size=float(min(max_batch, len(request_set))),
+        labels=np.array([p.label for p in predictions], dtype=np.int64),
+        scores=np.array([p.score for p in predictions]),
+    )
+
+    with ClusterService.from_model(
+        model, image_size, processes=processes, max_batch=max_batch,
+    ) as service:
+        service.classify_many(request_set[:2])  # warm-up (compiles fleet)
+        started = time.perf_counter()
+        predictions = service.classify_many(request_set)
+        seconds = time.perf_counter() - started
+    results[f"cluster-{processes}"] = ModeResult(
+        mode=f"cluster-{processes}", backend=predictions[0].backend,
+        clips=len(predictions), seconds=seconds,
+        mean_batch_size=float(min(max_batch, len(request_set))),
+        labels=np.array([p.label for p in predictions], dtype=np.int64),
+        scores=np.array([p.score for p in predictions]),
+    )
     return results
 
 

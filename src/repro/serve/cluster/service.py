@@ -1,0 +1,1445 @@
+"""Supervised multi-process serving: router, worker fleet, failover.
+
+:class:`ClusterService` serves the :class:`~repro.serve.service.\
+HotspotService` request surface (classify / classify_many / scan,
+plus health / stats / close) from a fleet of **crash-isolated worker
+processes**.  The router owns admission and batching; workers own
+scoring.  Division of labour:
+
+* The **router** (this class, in the caller's process) prepares inputs
+  through the shared raster/plane caches, writes them into
+  shared-memory frames (:mod:`.shm`, SHA-256 verified), shards scans
+  into contiguous origin-band tasks, load-balances tasks over READY
+  replicas, and reassembles results in task order — so worker count
+  and scheduling never change a report.
+* Each **worker** (:mod:`.worker`) compiles its own engines from
+  shipped weights and scores frames.  A crash takes down one process
+  and its in-flight tasks, nothing else.
+* The **supervisor thread** heartbeats every worker; a missed
+  heartbeat past the timeout, a nonzero exit, or a kill signal gets
+  the worker reaped, its in-flight tasks **failed over** to sibling
+  replicas (bit-identical results — replicas compile identical
+  engines), and the slot respawned under capped exponential backoff.
+  A slot that crash-loops is **quarantined** so a poisoned replica
+  cannot burn CPU forever while its siblings serve.
+
+**Rolling rollout** (:meth:`rollout`) reuses the transactional
+registry: the new checkpoint registers (and compiles) in the router
+first — a corrupt file aborts before any replica is touched — then
+replicas are swapped one at a time: drain (DRAINING visible in
+:meth:`replica_states` / health reasons), load, **canary parity
+probe** (one batch compared bit-for-bit against the router's reference
+engine), readmit.  The fleet keeps serving throughout; a canary
+mismatch rolls the replica and the registry back and raises
+:class:`~repro.serve.errors.RolloutError`.
+
+Failure-mode guarantees are tabulated in ``docs/serving.md``
+("Scale-out, supervision & failover"); the seeded chaos gate
+(``python -m repro.serve.cluster.parity``) holds the headline line:
+random worker SIGKILLs mid-scan leave the report bit-identical to an
+unfaulted run, and a rolling swap under sustained load drops zero
+requests.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+import queue as queue_mod
+import threading
+import time
+from collections import deque
+from dataclasses import replace
+
+import numpy as np
+
+from ...features.downsample import downsample_binary, to_network_input
+from ...litho.geometry import Clip
+from ..cache import PlaneCache, RasterCache
+from ..errors import (
+    DeadlineExceeded,
+    FrameIntegrityError,
+    RolloutError,
+    ServiceOverloaded,
+    WorkerCrashError,
+)
+from ..faults import FaultInjector
+from ..metrics import ServiceMetrics
+from ..pool import shard_slices
+from ..registry import ModelEntry, ModelRegistry
+from ..service import plane_scan_scale, window_origins
+from ..types import (
+    ClipRequest,
+    HealthReport,
+    HealthState,
+    Prediction,
+    ScanHit,
+    ScanReport,
+    ScanRequest,
+)
+from .fleet import ReplicaState, WorkerHandle
+from .messages import (
+    ClassifyTask,
+    LoadModelMsg,
+    ModelSpec,
+    PingMsg,
+    ReleaseFrameMsg,
+    ScanShardTask,
+    ShutdownMsg,
+    WorkerConfig,
+)
+from .shm import put_frame
+from .worker import worker_main
+
+__all__ = ["ClusterService"]
+
+
+class _FrameHolder:
+    """Router-side owner of one shared-memory frame, with retry refresh.
+
+    Holds the source array so a frame a worker rejected as torn can be
+    re-created (``refresh``), and reference-counts readers (one per
+    task sharing the frame — scan shards all share the plane frame) so
+    the segment is unlinked exactly once, when the last task finishes.
+    """
+
+    def __init__(self, array: np.ndarray, faults: FaultInjector | None,
+                 site: str = "frame", refs: int = 1):
+        self._array = array
+        self._faults = faults
+        self._site = site
+        self._lock = threading.Lock()
+        self._refs = refs
+        # Every frame generation stays linked until the holder is fully
+        # released: sibling tasks still carry refs to a superseded
+        # (torn) segment, and unlinking it under them would turn their
+        # digest-mismatch retry into a hard attach failure.
+        self._frames = [put_frame(array, faults, site)]
+        self.names = [self._frames[-1].ref.name]  #: every segment name used
+
+    @property
+    def ref(self):
+        with self._lock:
+            if not self._frames:
+                raise RuntimeError("frame already released")
+            return self._frames[-1].ref
+
+    def refresh(self, bad_name: str):
+        """Re-create the frame iff ``bad_name`` is the current segment.
+
+        Generation-guarded: when many tasks share one torn frame, the
+        first corrupt report rebuilds it and the rest just pick up the
+        already-fresh ref — the frame is written once per tear, not
+        once per shard.
+        """
+        with self._lock:
+            if not self._frames:
+                return None
+            if self._frames[-1].ref.name == bad_name:
+                self._frames.append(
+                    put_frame(self._array, self._faults, self._site)
+                )
+                self.names.append(self._frames[-1].ref.name)
+            return self._frames[-1].ref
+
+    def release(self, n: int = 1) -> None:
+        with self._lock:
+            self._refs -= n
+            if self._refs <= 0:
+                for frame in self._frames:
+                    frame.close()
+                self._frames = []
+
+
+class _Task:
+    """Router-side record of one dispatched unit of work."""
+
+    __slots__ = (
+        "task_id", "msg", "holder", "pin_slot", "logits", "error",
+        "event", "crashes", "errors", "frame_retries", "slot",
+    )
+
+    def __init__(self, task_id: int, msg, holder: _FrameHolder,
+                 pin_slot: int | None = None):
+        self.task_id = task_id
+        self.msg = msg
+        self.holder = holder
+        self.pin_slot = pin_slot
+        self.logits: np.ndarray | None = None
+        self.error: BaseException | None = None
+        self.event = threading.Event()
+        self.crashes = 0  #: times a worker died holding this task
+        self.errors = 0  #: times a worker reported a scoring error
+        self.frame_retries = 0  #: times the frame failed its digest
+        self.slot: int | None = None  #: current owner
+
+
+class ClusterService:
+    """Crash-isolated multi-process hotspot serving behind one router.
+
+    Parameters mirror :class:`~repro.serve.service.HotspotService`
+    where the concepts coincide; the cluster-specific knobs:
+
+    processes:
+        Fleet size (slots).  Two is the useful minimum — failover and
+        rolling rollout both need a sibling to carry traffic.
+    heartbeat_s / heartbeat_timeout_s:
+        Supervisor ping period, and how long a silent worker lives
+        before being declared hung and killed.  A worker wedged inside
+        a native kernel cannot answer pings, which is exactly the
+        failure this catches.
+    startup_timeout_s:
+        Grace for a fresh worker to compile its engines and report
+        ready before the supervisor gives up on it.
+    task_retries:
+        Failover budget per task: how many worker losses (crashes) or
+        reported scoring errors a single task may survive by
+        resubmission before it fails with
+        :class:`~repro.serve.errors.WorkerCrashError` (a poison task
+        must not crash-loop the fleet).
+    frame_retries:
+        How often a digest-rejected (torn) frame is rebuilt and the
+        task resubmitted before failing with ``FrameIntegrityError``.
+    respawn_backoff_s / respawn_backoff_max_s:
+        Capped exponential backoff between a slot's death and its
+        respawn (doubles per consecutive crash).
+    quarantine_after:
+        Consecutive crashes (no completed task in between) after which
+        a slot is quarantined instead of respawned.
+    scan_shards:
+        Scan fan-out (default: two bands per READY replica).
+    faults / faults_in_respawn:
+        Chaos injector.  It is deep-copied into every worker of the
+        *initial* fleet (sites ``"worker"`` and ``"worker:<slot>"``
+        fire per task; ``"frame"`` fires router-side per frame write);
+        respawned workers get a clean injector unless
+        ``faults_in_respawn=True`` — otherwise a deterministic
+        kill-on-first-task rule would quarantine every slot instead of
+        proving failover.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry | None = None,
+        default_model: str | None = None,
+        processes: int = 2,
+        max_batch: int = 64,
+        queue_depth: int | None = 256,
+        overflow: str = "block",
+        default_timeout_s: float | None = None,
+        heartbeat_s: float = 0.5,
+        heartbeat_timeout_s: float = 5.0,
+        startup_timeout_s: float = 60.0,
+        task_retries: int = 2,
+        frame_retries: int = 2,
+        respawn_backoff_s: float = 0.25,
+        respawn_backoff_max_s: float = 5.0,
+        quarantine_after: int = 3,
+        cache_capacity: int = 2048,
+        plane_cache_capacity: int = 8,
+        scan_shards: int | None = None,
+        faults: FaultInjector | None = None,
+        faults_in_respawn: bool = False,
+    ):
+        if processes < 1:
+            raise ValueError(f"processes must be >= 1, got {processes}")
+        if queue_depth is not None and queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        if overflow not in ("block", "shed"):
+            raise ValueError(
+                f"overflow must be 'block' or 'shed', got {overflow!r}"
+            )
+        if task_retries < 0 or frame_retries < 0:
+            raise ValueError("task_retries/frame_retries must be >= 0")
+        if quarantine_after < 1:
+            raise ValueError(
+                f"quarantine_after must be >= 1, got {quarantine_after}"
+            )
+        self.registry = registry if registry is not None else ModelRegistry()
+        self.default_model = default_model
+        self.processes = processes
+        self.max_batch = max_batch
+        self.queue_depth = queue_depth
+        self.overflow = overflow
+        self.default_timeout_s = default_timeout_s
+        self.heartbeat_s = heartbeat_s
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.startup_timeout_s = startup_timeout_s
+        self.task_retries = task_retries
+        self.frame_retries = frame_retries
+        self.respawn_backoff_s = respawn_backoff_s
+        self.respawn_backoff_max_s = respawn_backoff_max_s
+        self.quarantine_after = quarantine_after
+        self.scan_shards = scan_shards
+        self.faults = faults
+        self.faults_in_respawn = faults_in_respawn
+        self.metrics = ServiceMetrics()
+        self.cache = RasterCache(capacity=cache_capacity)
+        self.plane_cache = PlaneCache(capacity=plane_cache_capacity)
+        # fork shares the parent's imported modules and model weights
+        # copy-on-write, so workers start in well under a second; spawn
+        # is the fallback where fork does not exist
+        try:
+            self._ctx = mp.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            self._ctx = mp.get_context("spawn")
+        self._cond = threading.Condition()
+        self._handles = [WorkerHandle(slot=i) for i in range(processes)]
+        self._tasks: dict[int, _Task] = {}
+        self._pending: deque[_Task] = deque()
+        self._next_task_id = 0
+        self._versions: dict[str, int] = {}
+        self._knobs: dict[str, dict[str, object]] = {}
+        self._load_results: dict[tuple, object] = {}
+        self._started = False
+        self._closed = False
+        self._stop = threading.Event()
+        self._supervisor: threading.Thread | None = None
+
+    # -- model management ------------------------------------------------
+
+    @classmethod
+    def from_model(cls, model, image_size: int, name: str = "default",
+                   prefer_packed: bool = True, decision_bias: float = 0.0,
+                   backend: str | None = None, **kwargs) -> "ClusterService":
+        """Convenience: one live model, ready-to-serve cluster."""
+        service = cls(default_model=name, **kwargs)
+        service.register(
+            name, model, image_size=image_size, prefer_packed=prefer_packed,
+            decision_bias=decision_bias, backend=backend,
+        )
+        return service
+
+    def register(self, name: str, model, image_size: int,
+                 prefer_packed: bool = True, decision_bias: float = 0.0,
+                 meta: dict | None = None, backend: str | None = None,
+                 passes="default") -> ModelEntry:
+        """Compile + register a model; live workers load it in place.
+
+        Before the fleet starts this is pure registry bookkeeping —
+        workers pick the model up at spawn.  On a running fleet the
+        spec is broadcast to every live replica *without* draining;
+        use :meth:`rollout` for the guarded one-replica-at-a-time swap.
+        """
+        entry = self.registry.register(
+            name, model, image_size=image_size, prefer_packed=prefer_packed,
+            decision_bias=decision_bias, meta=meta, backend=backend,
+            passes=passes,
+        )
+        with self._cond:
+            self._versions.setdefault(name, 1)
+            self._knobs[name] = {
+                "prefer_packed": prefer_packed, "backend": backend,
+                "passes": passes,
+            }
+            live = [h for h in self._handles if h.alive] if self._started \
+                else []
+            spec = self._spec(name) if live else None
+        for handle in live:
+            try:
+                handle.task_queue.put(LoadModelMsg(spec))
+            except Exception:  # a dying worker respawns with the spec
+                pass
+        return entry
+
+    def _spec(self, name: str) -> ModelSpec:
+        """Build the worker-bound spec of a registered model (locked)."""
+        entry = self.registry.get(name)
+        knobs = self._knobs.get(name, {})
+        return ModelSpec(
+            name=name,
+            model=entry.model,
+            image_size=entry.image_size,
+            decision_bias=entry.decision_bias,
+            prefer_packed=bool(knobs.get("prefer_packed", True)),
+            backend=knobs.get("backend"),
+            passes=knobs.get("passes", "default"),
+            version=self._versions.get(name, 1),
+        )
+
+    def _specs(self) -> tuple[ModelSpec, ...]:
+        return tuple(self._spec(name) for name in self.registry.names())
+
+    def _entry(self, model: str | None) -> ModelEntry:
+        if self._closed:
+            raise RuntimeError("service is closed")
+        name = model or self.default_model
+        if name is None:
+            names = self.registry.names()
+            if len(names) == 1:
+                name = names[0]
+            else:
+                raise ValueError(
+                    "no model selected: pass model= or set default_model "
+                    f"(registered: {names or 'none'})"
+                )
+        return self.registry.get(name)
+
+    # -- fleet lifecycle -------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the fleet now (otherwise it starts on first request)."""
+        with self._cond:
+            self._ensure_fleet_locked()
+
+    def _ensure_fleet_locked(self) -> None:
+        if self._started or self._closed:
+            return
+        self._started = True
+        # start the shared-memory resource tracker BEFORE forking, so
+        # every worker inherits the router's tracker instead of
+        # starting its own — a private per-worker tracker would unlink
+        # still-shared frames when that worker dies (see .shm)
+        try:
+            from multiprocessing import resource_tracker
+            resource_tracker.ensure_running()
+        except Exception:  # pragma: no cover - tracker internals vary
+            pass
+        for handle in self._handles:
+            self._spawn_locked(handle)
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="cluster-supervisor", daemon=True
+        )
+        self._supervisor.start()
+
+    def _worker_faults(self, generation: int) -> FaultInjector | None:
+        if self.faults is None:
+            return None
+        if generation > 1 and not self.faults_in_respawn:
+            return None
+        # a pickled deep copy: fresh lock, counters and rule budgets
+        # independent of the router's and of every sibling's
+        return pickle.loads(pickle.dumps(self.faults))
+
+    def _spawn_locked(self, handle: WorkerHandle) -> None:
+        handle.generation += 1
+        generation = handle.generation
+        handle.task_queue = self._ctx.Queue()
+        handle.result_queue = self._ctx.Queue()
+        handle.state = ReplicaState.STARTING
+        handle.shutdown_requested = False
+        handle.timed_out = False
+        handle.inflight.clear()
+        handle.provenance = {}
+        now = time.monotonic()
+        handle.spawned_at = now
+        handle.last_seen = now
+        handle.last_ping_at = now
+        config = WorkerConfig(
+            slot=handle.slot,
+            generation=generation,
+            models=self._specs(),
+            faults=self._worker_faults(generation),
+        )
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(config, handle.task_queue, handle.result_queue),
+            daemon=True,
+            name=f"cluster-worker-{handle.slot}.{generation}",
+        )
+        proc.start()
+        handle.proc = proc
+        self.metrics.record_worker_spawn()
+        collector = threading.Thread(
+            target=self._collect,
+            args=(handle, generation, handle.result_queue, proc),
+            name=f"cluster-collector-{handle.slot}.{generation}",
+            daemon=True,
+        )
+        collector.start()
+
+    # -- collector (one thread per worker generation) --------------------
+
+    def _collect(self, handle: WorkerHandle, generation: int,
+                 result_queue, proc) -> None:
+        while True:
+            try:
+                msg = result_queue.get(timeout=0.2)
+            except queue_mod.Empty:
+                if proc.exitcode is not None:
+                    # the process is gone; drain what it flushed first
+                    while True:
+                        try:
+                            msg = result_queue.get_nowait()
+                        except Exception:
+                            break
+                        self._on_message(handle, generation, msg)
+                    break
+                continue
+            except (EOFError, OSError):
+                break
+            except Exception:
+                # a SIGKILL mid-write can leave a truncated pickle in
+                # the pipe; the stream is unusable, reap and fail over
+                break
+            self._on_message(handle, generation, msg)
+        self._reap(handle, generation)
+
+    def _on_message(self, handle: WorkerHandle, generation: int, msg) -> None:
+        with self._cond:
+            if handle.generation != generation:
+                return  # a past life of this slot
+            handle.touch()
+            kind = type(msg).__name__
+            if kind == "ReadyMsg":
+                handle.provenance = dict(msg.provenance)
+                if handle.state is ReplicaState.STARTING:
+                    handle.state = ReplicaState.READY
+                self._dispatch_locked()
+            elif kind == "PongMsg":
+                handle.tasks_done = msg.tasks_done
+            elif kind == "ModelLoadedMsg":
+                if msg.error is None:
+                    handle.provenance[msg.name] = dict(msg.provenance)
+                self._load_results[
+                    (handle.slot, generation, msg.name, msg.version)
+                ] = msg
+            elif kind == "TaskDoneMsg":
+                self._on_task_done(handle, msg)
+            self._cond.notify_all()
+
+    def _on_task_done(self, handle: WorkerHandle, msg) -> None:
+        handle.inflight.pop(msg.task_id, None)
+        task = self._tasks.get(msg.task_id)
+        if task is None:
+            return  # abandoned (deadline) or completed by a sibling
+        if msg.frame_corrupt:
+            self.metrics.record_frame_retry()
+            task.frame_retries += 1
+            if task.frame_retries > self.frame_retries:
+                self._fail_locked(task, FrameIntegrityError(
+                    f"frame for task {task.task_id} failed its digest "
+                    f"check {task.frame_retries} times: {msg.error}",
+                    frame=task.msg.frame.name,
+                ))
+                return
+            ref = task.holder.refresh(task.msg.frame.name)
+            if ref is None:
+                self._fail_locked(task, FrameIntegrityError(
+                    f"frame for task {task.task_id} was torn and its "
+                    f"source is no longer available", frame=task.msg.frame.name,
+                ))
+                return
+            task.msg = replace(task.msg, frame=ref)
+            self._requeue_locked(task)
+            return
+        if msg.error is not None:
+            task.errors += 1
+            if task.errors > self.task_retries:
+                self._fail_locked(
+                    task, RuntimeError(f"worker task failed: {msg.error}")
+                )
+            else:
+                self._requeue_locked(task)
+            return
+        handle.crashes = 0  # completed work: this is not a crash loop
+        task.logits = msg.logits
+        self._finish_locked(task)
+
+    def _finish_locked(self, task: _Task) -> None:
+        self._tasks.pop(task.task_id, None)
+        task.holder.release()
+        task.event.set()
+
+    def _fail_locked(self, task: _Task, error: BaseException) -> None:
+        self.metrics.record_error()
+        task.error = error
+        self._finish_locked(task)
+
+    def _requeue_locked(self, task: _Task) -> None:
+        task.slot = None
+        self._pending.appendleft(task)
+        self._dispatch_locked()
+
+    # -- reap / failover / respawn ---------------------------------------
+
+    def _reap(self, handle: WorkerHandle, generation: int) -> None:
+        with self._cond:
+            if handle.generation != generation:
+                return
+            if handle.proc is not None:
+                handle.proc.join(timeout=0.5)
+            expected = handle.shutdown_requested or self._closed
+            lost = list(handle.inflight)
+            handle.inflight.clear()
+            for task_id in lost:
+                task = self._tasks.get(task_id)
+                if task is None:
+                    continue
+                task.crashes += 1
+                if task.crashes > self.task_retries:
+                    self._fail_locked(task, WorkerCrashError(
+                        f"task {task_id} lost to {task.crashes} worker "
+                        f"crashes (failover budget {self.task_retries}); "
+                        f"refusing to keep crash-looping the fleet",
+                        crashes=task.crashes,
+                    ))
+                else:
+                    self.metrics.record_failover()
+                    self._requeue_locked(task)
+            if expected:
+                handle.state = ReplicaState.DEAD
+                self._cond.notify_all()
+                return
+            self.metrics.record_worker_reap(timed_out=handle.timed_out)
+            handle.timed_out = False
+            handle.crashes += 1
+            if handle.crashes >= self.quarantine_after:
+                handle.state = ReplicaState.QUARANTINED
+                self.metrics.record_slot_quarantine()
+                self._fail_pending_if_fleet_lost_locked()
+            else:
+                handle.state = ReplicaState.DEAD
+                backoff = min(
+                    self.respawn_backoff_max_s,
+                    self.respawn_backoff_s * (2 ** (handle.crashes - 1)),
+                )
+                handle.next_spawn_at = time.monotonic() + backoff
+            self._cond.notify_all()
+
+    def _fail_pending_if_fleet_lost_locked(self) -> None:
+        """The whole fleet quarantined: pending work can never run."""
+        if any(
+            h.state is not ReplicaState.QUARANTINED for h in self._handles
+        ):
+            return
+        while self._pending:
+            task = self._pending.popleft()
+            self._fail_locked(task, WorkerCrashError(
+                "entire fleet is quarantined after repeated crash loops",
+                crashes=task.crashes,
+            ))
+
+    def reset_quarantine(self, slot: int | None = None) -> None:
+        """Operator override: clear crash history and respawn slot(s)."""
+        with self._cond:
+            for handle in self._handles:
+                if slot is not None and handle.slot != slot:
+                    continue
+                if handle.state is ReplicaState.QUARANTINED:
+                    handle.crashes = 0
+                    handle.state = ReplicaState.DEAD
+                    handle.next_spawn_at = 0.0
+            self._cond.notify_all()
+
+    # -- supervisor ------------------------------------------------------
+
+    def _supervise(self) -> None:
+        tick = max(0.02, min(0.25, self.heartbeat_s / 2.0))
+        while not self._stop.wait(tick):
+            with self._cond:
+                if self._closed:
+                    return
+                now = time.monotonic()
+                for handle in self._handles:
+                    state = handle.state
+                    if state is ReplicaState.DEAD:
+                        if now >= handle.next_spawn_at:
+                            self._spawn_locked(handle)
+                        continue
+                    if state is ReplicaState.QUARANTINED:
+                        continue
+                    if handle.proc is None or not handle.alive:
+                        continue  # the collector is about to reap it
+                    if now - handle.last_ping_at >= self.heartbeat_s:
+                        handle.ping_seq += 1
+                        handle.last_ping_at = now
+                        try:
+                            handle.task_queue.put(PingMsg(handle.ping_seq))
+                        except Exception:
+                            pass
+                    limit = (
+                        self.startup_timeout_s
+                        if state is ReplicaState.STARTING
+                        else self.heartbeat_timeout_s
+                    )
+                    if now - handle.last_seen > limit:
+                        # hung (or wedged in a native kernel): it cannot
+                        # answer pings, so it cannot be trusted with its
+                        # in-flight tasks either — kill and fail over
+                        handle.timed_out = True
+                        try:
+                            handle.proc.kill()
+                        except Exception:
+                            pass
+                self._dispatch_locked()
+
+    # -- dispatch --------------------------------------------------------
+
+    def _pick_worker_locked(self, task: _Task) -> WorkerHandle | None:
+        if task.pin_slot is not None:
+            handle = self._handles[task.pin_slot]
+            # a pinned task (the rollout canary) may target a DRAINING
+            # replica — that is the point of the probe
+            if handle.alive and handle.state in (
+                ReplicaState.READY, ReplicaState.DRAINING
+            ):
+                return handle
+            return None
+        best = None
+        for handle in self._handles:
+            if not (handle.accepts_work and handle.alive):
+                continue
+            if best is None or len(handle.inflight) < len(best.inflight):
+                best = handle
+        return best
+
+    def _dispatch_locked(self) -> None:
+        stuck: list[_Task] = []
+        while self._pending:
+            task = self._pending.popleft()
+            handle = self._pick_worker_locked(task)
+            if handle is None:
+                stuck.append(task)
+                if task.pin_slot is None:
+                    break  # no capacity for anyone right now
+                continue  # pinned tasks must not block the others
+            task.slot = handle.slot
+            handle.inflight[task.task_id] = time.monotonic()
+            try:
+                handle.task_queue.put(task.msg)
+            except Exception:
+                handle.inflight.pop(task.task_id, None)
+                stuck.append(task)
+        self._pending.extendleft(reversed(stuck))
+        if self._started:
+            self._fail_pending_if_fleet_lost_locked()
+
+    def _submit_locked(self, msg, holder: _FrameHolder,
+                       pin_slot: int | None = None,
+                       deadline: float | None = None) -> _Task:
+        if self._closed:
+            raise RuntimeError("service is closed")
+        self._ensure_fleet_locked()
+        while (
+            self.queue_depth is not None
+            and len(self._tasks) >= self.queue_depth
+        ):
+            if self.overflow == "shed":
+                self.metrics.record_shed()
+                raise ServiceOverloaded(
+                    f"admission queue full ({self.queue_depth} tasks "
+                    f"outstanding) and overflow policy is 'shed'"
+                )
+            remaining = (
+                None if deadline is None
+                else deadline - time.monotonic()
+            )
+            if remaining is not None and remaining <= 0:
+                self.metrics.record_timeout()
+                raise DeadlineExceeded(
+                    "admission queue stayed full past the deadline",
+                    stage="queue",
+                )
+            if not self._cond.wait(timeout=remaining):
+                self.metrics.record_timeout()
+                raise DeadlineExceeded(
+                    "admission queue stayed full past the deadline",
+                    stage="queue",
+                )
+            if self._closed:
+                raise RuntimeError("service is closed")
+        task_id = self._next_task_id
+        self._next_task_id += 1
+        task = _Task(task_id, replace(msg, task_id=task_id), holder,
+                     pin_slot=pin_slot)
+        self._tasks[task_id] = task
+        self._pending.append(task)
+        self._dispatch_locked()
+        self._cond.notify_all()
+        return task
+
+    def _abandon_locked(self, tasks: list[_Task]) -> None:
+        """Tombstone unfinished tasks: late results will be ignored."""
+        for task in tasks:
+            if task.task_id in self._tasks:
+                del self._tasks[task.task_id]
+                task.holder.release()
+                try:
+                    self._pending.remove(task)
+                except ValueError:
+                    pass
+
+    def _await(self, tasks: list[_Task], deadline: float | None,
+               stage: str) -> None:
+        for task in tasks:
+            remaining = (
+                None if deadline is None
+                else max(0.0, deadline - time.monotonic())
+            )
+            if not task.event.wait(timeout=remaining):
+                with self._cond:
+                    self._abandon_locked(tasks)
+                self.metrics.record_timeout()
+                raise DeadlineExceeded(
+                    f"{stage} did not complete within the deadline",
+                    stage=stage,
+                )
+
+    # -- classify path ---------------------------------------------------
+
+    def _as_request(self, item) -> ClipRequest:
+        if isinstance(item, ClipRequest):
+            return item
+        if isinstance(item, Clip):
+            return ClipRequest(clip=item)
+        return ClipRequest(image=np.asarray(item))
+
+    def _prepare(self, request: ClipRequest, entry: ModelEntry) -> np.ndarray:
+        if request.clip is not None:
+            image = self.cache.get(request.clip, entry.image_size, "binary")
+        else:
+            image = np.asarray(request.image, dtype=np.float64)
+            if image.shape[-1] != entry.image_size:
+                image = downsample_binary(image, entry.image_size)
+        return to_network_input(image[None])
+
+    def classify(self, request, model: str | None = None,
+                 timeout: float | None = None) -> Prediction:
+        """Classify one clip on some replica (bit-identical on any)."""
+        return self.classify_many([request], model=model, timeout=timeout)[0]
+
+    def classify_many(self, requests, model: str | None = None,
+                      timeout: float | None = None) -> list[Prediction]:
+        """Classify clips: batch into frames, fan out across replicas.
+
+        Requests are prepared router-side (raster cache, downsampling,
+        the {-1,+1} mapping), packed into shared-memory frames in
+        ``max_batch``-sized chunks, and the chunks dispatched to the
+        least-loaded READY replicas.  Results reassemble in request
+        order; which replica served a chunk never changes a score.
+        """
+        entry = self._entry(model)
+        if timeout is None:
+            timeout = self.default_timeout_s
+        started = time.perf_counter()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        reqs = [self._as_request(item) for item in requests]
+        prepared = [self._prepare(request, entry) for request in reqs]
+        if not prepared:
+            return []
+        version = self._versions.get(entry.name, 1)
+        tasks: list[_Task] = []
+        try:
+            with self._cond:
+                for start in range(0, len(prepared), self.max_batch):
+                    batch = np.concatenate(
+                        prepared[start : start + self.max_batch]
+                    )
+                    holder = _FrameHolder(batch, self.faults)
+                    msg = ClassifyTask(
+                        task_id=-1, model=entry.name, version=version,
+                        frame=holder.ref,
+                    )
+                    tasks.append(
+                        self._submit_locked(msg, holder, deadline=deadline)
+                    )
+        except Exception:
+            with self._cond:
+                self._abandon_locked(tasks)
+            raise
+        self._await(tasks, deadline, stage="classify")
+        for task in tasks:
+            if task.error is not None:
+                raise task.error
+        logits = np.concatenate([task.logits for task in tasks])
+        scores = logits[:, 1] - logits[:, 0]
+        latency_ms = (time.perf_counter() - started) * 1e3
+        predictions = []
+        for request, score in zip(reqs, scores):
+            self.metrics.record_request(latency_ms)
+            predictions.append(Prediction(
+                request_id=request.request_id,
+                label=int(score > entry.decision_bias),
+                score=float(score),
+                model=entry.name,
+                backend=entry.backend,
+                latency_ms=latency_ms,
+            ))
+        return predictions
+
+    # -- scan path -------------------------------------------------------
+
+    def _scan_fanout_locked(self) -> int:
+        if self.scan_shards is not None:
+            return max(1, self.scan_shards)
+        ready = sum(1 for h in self._handles if h.accepts_work)
+        return max(2, 2 * max(1, ready))
+
+    def scan(self, request: ScanRequest, model: str | None = None,
+             timeout: float | None = None) -> ScanReport:
+        """Sweep a layout across the fleet; one plane, many band shards.
+
+        The layout is rasterized **once** (plane cache) and shipped to
+        the fleet as a single shared-memory frame; each shard is a
+        contiguous run of window origins plus the ``[y0, y1)`` pixel
+        band containing them, and workers ``plan_scan`` only their band
+        slice of the shared plane — zero-copy, stem convolution paid
+        once per band.  Window independence (the plane-scan contract)
+        makes the result bit-identical to a single-process sweep, no
+        matter how shards land on replicas or how often they fail over.
+
+        Failure semantics match the in-process scan: a shard that
+        exhausts its failover/ retry budget degrades the report
+        (``failed_ranges``) instead of discarding healthy shards; the
+        deadline abandons unfinished shards the same way.
+        """
+        entry = self._entry(model)
+        if timeout is None:
+            timeout = self.default_timeout_s
+        started = time.perf_counter()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        origins = window_origins(
+            request.layout.size, request.window, request.stride
+        )
+        scale = plane_scan_scale(
+            request.layout.size, request.window, request.stride,
+            entry.image_size,
+        )
+        if scale is None:
+            raise ValueError(
+                "cluster scan requires pixel-aligned geometry (window a "
+                f"multiple of image_size={entry.image_size}, and the scale "
+                "dividing layout size and stride); got window="
+                f"{request.window}, stride={request.stride}, "
+                f"size={request.layout.size}"
+            )
+        plane = self.plane_cache.get(request.layout, scale, "binary")
+        scaled = [(x // scale, y // scale) for x, y in origins]
+        version = self._versions.get(entry.name, 1)
+        tasks: list[_Task] = []
+        slices: list[slice] = []
+        holder: _FrameHolder | None = None
+        try:
+            with self._cond:
+                self._ensure_fleet_locked()
+                slices = shard_slices(
+                    len(origins), self._scan_fanout_locked()
+                )
+                holder = _FrameHolder(
+                    plane, self.faults, refs=len(slices)
+                )
+                for shard in slices:
+                    chunk = scaled[shard]
+                    y0 = min(y for _, y in chunk)
+                    y1 = max(y for _, y in chunk) + entry.image_size
+                    msg = ScanShardTask(
+                        task_id=-1, model=entry.name, version=version,
+                        frame=holder.ref, band=(y0, y1),
+                        origins=tuple((x, y - y0) for x, y in chunk),
+                        window_px=entry.image_size,
+                        batch_size=self.max_batch,
+                    )
+                    tasks.append(
+                        self._submit_locked(msg, holder, deadline=deadline)
+                    )
+        except Exception:
+            with self._cond:
+                self._abandon_locked(tasks)
+            if holder is not None:
+                holder.release(len(slices) - len(tasks))
+            raise
+        timed_out = False
+        for task in tasks:
+            remaining = (
+                None if deadline is None
+                else max(0.0, deadline - time.monotonic())
+            )
+            if not task.event.wait(timeout=remaining):
+                timed_out = True
+                break
+        if timed_out:
+            with self._cond:
+                self._abandon_locked(tasks)
+            self.metrics.record_timeout()
+        hits: list[ScanHit] = []
+        failed_ranges: list[tuple[int, int]] = []
+        retried = 0
+        for shard, task in zip(slices, tasks):
+            retried += task.crashes + task.errors + task.frame_retries
+            if task.logits is None:
+                failed_ranges.append((shard.start, shard.stop))
+                continue
+            scores = task.logits[:, 1] - task.logits[:, 0]
+            for (x, y), score in zip(origins[shard], scores):
+                if score > entry.decision_bias:
+                    hits.append(ScanHit(
+                        x, y, x + request.window, y + request.window,
+                        float(score),
+                    ))
+        self._broadcast_release(holder)
+        latency_ms = (time.perf_counter() - started) * 1e3
+        failed_windows = sum(stop - start for start, stop in failed_ranges)
+        self.metrics.record_scan(
+            len(origins), latency_ms, plane=True,
+            failed_windows=failed_windows, retried_shards=retried,
+        )
+        return ScanReport(
+            request_id=request.request_id,
+            windows_scanned=len(origins),
+            hits=tuple(hits),
+            model=entry.name,
+            backend=entry.backend,
+            latency_ms=latency_ms,
+            degraded=bool(failed_ranges),
+            failed_ranges=tuple(failed_ranges),
+        )
+
+    def _broadcast_release(self, holder: _FrameHolder | None) -> None:
+        """Tell live workers to drop their cached plane attachments."""
+        if holder is None:
+            return
+        with self._cond:
+            handles = [h for h in self._handles if h.alive]
+            names = list(holder.names)
+        for handle in handles:
+            for name in names:
+                try:
+                    handle.task_queue.put(ReleaseFrameMsg(name))
+                except Exception:
+                    pass
+
+    # -- rolling rollout -------------------------------------------------
+
+    def _canary_batch(self, entry: ModelEntry) -> np.ndarray:
+        rng = np.random.default_rng(0)
+        images = rng.integers(
+            0, 2, size=(4, entry.image_size, entry.image_size)
+        ).astype(np.float64)
+        return to_network_input(images)
+
+    def _wait_load_locked(self, slot: int, generation: int, name: str,
+                          version: int, deadline: float):
+        key = (slot, generation, name, version)
+        while key not in self._load_results:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not self._cond.wait(timeout=remaining):
+                return None
+            if self._handles[slot].generation != generation:
+                return None  # the replica died mid-load
+        return self._load_results.pop(key)
+
+    def rollout(self, name: str, model=None, path: str | None = None,
+                image_size: int | None = None, prefer_packed: bool = True,
+                decision_bias: float = 0.0, backend: str | None = None,
+                passes="default", canary_batch: np.ndarray | None = None,
+                drain_timeout_s: float = 30.0) -> ModelEntry:
+        """Roll a new checkpoint across the fleet without dropping traffic.
+
+        Transaction order:
+
+        1. **Register** the new model (from a live ``model`` or a
+           checkpoint ``path``) in the router's registry.  This
+           compiles the reference engine; a corrupt checkpoint or
+           compile failure raises here, before any replica is touched.
+        2. Per replica, in slot order: **drain** (state DRAINING —
+           visible in :meth:`replica_states` and health reasons; no
+           new tasks, in-flight ones finish), **swap** via
+           ``LoadModelMsg``, **canary-probe** one batch pinned to the
+           swapped replica and compare bit-for-bit against the
+           reference engine, **readmit** (READY).  Siblings carry
+           traffic the whole time.
+        3. A failed load or canary mismatch **rolls back**: the
+           replica reloads the previous weights, the registry restores
+           the previous entry, and :class:`RolloutError` is raised.
+           Replicas swapped before the failure are rolled back too, so
+           an aborted rollout never leaves a mixed-version fleet.
+
+        Dead/quarantined slots are skipped — their next respawn
+        compiles the new version from the registry.
+        """
+        with self._cond:
+            self._ensure_fleet_locked()
+            old_entry = (
+                self.registry.get(name) if name in self.registry else None
+            )
+            old_version = self._versions.get(name, 1)
+            old_knobs = self._knobs.get(name)
+        if model is None and path is None:
+            raise ValueError("rollout needs model= or path=")
+        try:
+            if path is not None:
+                entry = self.registry.load_checkpoint(
+                    name, path, model=model, image_size=image_size,
+                    prefer_packed=prefer_packed, backend=backend,
+                    passes=passes,
+                )
+            else:
+                if image_size is None:
+                    image_size = (
+                        old_entry.image_size if old_entry is not None
+                        else None
+                    )
+                if image_size is None:
+                    raise ValueError("rollout of a new name needs image_size=")
+                entry = self.registry.register(
+                    name, model, image_size=image_size,
+                    prefer_packed=prefer_packed,
+                    decision_bias=decision_bias, backend=backend,
+                    passes=passes,
+                )
+        except Exception:
+            self.metrics.record_rollout(ok=False)
+            raise
+        new_version = old_version + 1
+        with self._cond:
+            self._versions[name] = new_version
+            self._knobs[name] = {
+                "prefer_packed": prefer_packed, "backend": backend,
+                "passes": passes,
+            }
+            spec = self._spec(name)
+            old_spec = None
+            if old_entry is not None:
+                old_spec = ModelSpec(
+                    name=name, model=old_entry.model,
+                    image_size=old_entry.image_size,
+                    decision_bias=old_entry.decision_bias,
+                    prefer_packed=bool(
+                        (old_knobs or {}).get("prefer_packed", True)
+                    ),
+                    backend=(old_knobs or {}).get("backend"),
+                    passes=(old_knobs or {}).get("passes", "default"),
+                    version=old_version,
+                )
+        swapped: list[int] = []
+        try:
+            canary = (
+                canary_batch if canary_batch is not None
+                else self._canary_batch(entry)
+            )
+            canary = np.ascontiguousarray(canary, dtype=np.float64)
+            # a model that registered via fallback but cannot actually
+            # score fails here — inside the rollback scope, so the
+            # version bump above is undone and no replica is touched
+            reference = entry.engine.predict_logits(canary)
+            for handle in self._handles:
+                with self._cond:
+                    if handle.state is not ReplicaState.READY:
+                        continue  # dead/quarantined slots catch up at respawn
+                    slot, generation = handle.slot, handle.generation
+                    handle.state = ReplicaState.DRAINING
+                    self._cond.notify_all()
+                try:
+                    self._swap_replica(
+                        handle, slot, generation, spec, canary, reference,
+                        drain_timeout_s,
+                    )
+                except Exception:
+                    with self._cond:
+                        if handle.generation == generation:
+                            handle.state = ReplicaState.READY
+                            self._cond.notify_all()
+                    raise
+                swapped.append(slot)
+            self.metrics.record_rollout(ok=True)
+            return entry
+        except Exception:
+            self.metrics.record_rollout(ok=False)
+            self._roll_back(name, old_entry, old_version, old_knobs,
+                            old_spec, swapped, drain_timeout_s)
+            raise
+
+    def _swap_replica(self, handle: WorkerHandle, slot: int,
+                      generation: int, spec: ModelSpec,
+                      canary: np.ndarray, reference: np.ndarray,
+                      drain_timeout_s: float) -> None:
+        deadline = time.monotonic() + drain_timeout_s
+        with self._cond:
+            while handle.inflight:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._cond.wait(timeout=remaining):
+                    raise RolloutError(
+                        f"replica {slot} did not drain within "
+                        f"{drain_timeout_s}s ({len(handle.inflight)} tasks "
+                        f"in flight)"
+                    )
+                if handle.generation != generation:
+                    raise RolloutError(f"replica {slot} died while draining")
+            try:
+                handle.task_queue.put(LoadModelMsg(spec))
+            except Exception as exc:
+                raise RolloutError(
+                    f"replica {slot} rejected the load: {exc}"
+                ) from exc
+            loaded = self._wait_load_locked(
+                slot, generation, spec.name, spec.version, deadline
+            )
+        if loaded is None:
+            raise RolloutError(
+                f"replica {slot} did not confirm loading "
+                f"{spec.name!r} v{spec.version} in time"
+            )
+        if loaded.error is not None:
+            raise RolloutError(
+                f"replica {slot} failed to load {spec.name!r} "
+                f"v{spec.version}: {loaded.error}"
+            )
+        # canary parity probe, pinned to the (still draining) replica
+        holder = _FrameHolder(canary, None)
+        with self._cond:
+            msg = ClassifyTask(
+                task_id=-1, model=spec.name, version=spec.version,
+                frame=holder.ref,
+            )
+            task = self._submit_locked(msg, holder, pin_slot=slot)
+        remaining = max(0.0, deadline - time.monotonic())
+        if not task.event.wait(timeout=remaining):
+            with self._cond:
+                self._abandon_locked([task])
+            raise RolloutError(
+                f"replica {slot} canary probe timed out"
+            )
+        if task.error is not None:
+            raise RolloutError(
+                f"replica {slot} canary probe failed: {task.error}"
+            )
+        if not np.array_equal(task.logits, reference):
+            raise RolloutError(
+                f"replica {slot} canary batch is not bit-identical to the "
+                f"reference engine for {spec.name!r} v{spec.version}; "
+                f"aborting the rollout"
+            )
+        with self._cond:
+            if handle.generation == generation:
+                handle.state = ReplicaState.READY
+                self._dispatch_locked()
+                self._cond.notify_all()
+
+    def _roll_back(self, name, old_entry, old_version, old_knobs,
+                   old_spec, swapped, drain_timeout_s) -> None:
+        """Best-effort restore of the pre-rollout fleet and registry."""
+        with self._cond:
+            self._versions[name] = old_version
+            if old_knobs is not None:
+                self._knobs[name] = old_knobs
+        if old_entry is not None:
+            self.registry.register(
+                name, old_entry.model, image_size=old_entry.image_size,
+                prefer_packed=bool((old_knobs or {}).get(
+                    "prefer_packed", True
+                )),
+                decision_bias=old_entry.decision_bias,
+                meta=old_entry.meta,
+                backend=(old_knobs or {}).get("backend"),
+                passes=(old_knobs or {}).get("passes", "default"),
+            )
+        if old_spec is None:
+            return
+        for slot in swapped:
+            handle = self._handles[slot]
+            with self._cond:
+                if not handle.alive:
+                    continue
+                try:
+                    handle.task_queue.put(LoadModelMsg(old_spec))
+                except Exception:
+                    continue
+                self._wait_load_locked(
+                    slot, handle.generation, old_spec.name,
+                    old_spec.version,
+                    time.monotonic() + drain_timeout_s,
+                )
+
+    # -- lifecycle / observability ---------------------------------------
+
+    def replica_states(self) -> dict[int, ReplicaState]:
+        """Current lifecycle state of every fleet slot."""
+        with self._cond:
+            return {h.slot: h.state for h in self._handles}
+
+    def _fleet_provenance_locked(self) -> dict[str, dict[str, set]]:
+        """model -> {"backends": set, "versions": set} over live replicas."""
+        agg: dict[str, dict[str, set]] = {}
+        for handle in self._handles:
+            if handle.state not in (
+                ReplicaState.READY, ReplicaState.DRAINING
+            ):
+                continue
+            for model, prov in handle.provenance.items():
+                rec = agg.setdefault(
+                    model, {"backends": set(), "versions": set()}
+                )
+                rec["backends"].add(str(prov.get("backend", "?")))
+                rec["versions"].add(prov.get("version"))
+        return agg
+
+    def health(self) -> HealthReport:
+        """Fleet health: DRAINING when closed, DEGRADED on any fault.
+
+        Reasons enumerate fault counters (as in the single-process
+        service) plus the cluster conditions: down or quarantined
+        slots, replicas draining for a rollout, and — the fleet
+        integrity check — models served with **mixed backends or mixed
+        versions** across replicas (a half-finished or half-rolled
+        fleet must announce itself; predictions are bit-identical
+        across built-in backends, but performance and reproducibility
+        metadata are not).
+        """
+        with self._cond:
+            if self._closed:
+                return HealthReport(
+                    HealthState.DRAINING, ("service is closed/draining",)
+                )
+            m = self.metrics
+            reasons = tuple(
+                f"{count} {what}"
+                for count, what in (
+                    (m.errors_total, "request errors"),
+                    (m.shed_total, "requests shed (queue full)"),
+                    (m.timeouts_total, "deadline timeouts"),
+                    (m.workers_reaped_total, "workers reaped"),
+                    (m.worker_timeouts_total, "worker heartbeat timeouts"),
+                    (m.tasks_failed_over_total, "tasks failed over"),
+                    (m.frame_retries_total, "frame integrity retries"),
+                    (m.degraded_scans_total, "degraded scans"),
+                    (m.rollout_failures_total, "rollout failures"),
+                )
+                if count
+            )
+            if self._started:
+                for handle in self._handles:
+                    if handle.state is ReplicaState.QUARANTINED:
+                        reasons += (
+                            f"slot {handle.slot} quarantined after "
+                            f"{handle.crashes} consecutive crashes",
+                        )
+                    elif handle.state is ReplicaState.DEAD:
+                        reasons += (
+                            f"slot {handle.slot} down, respawn pending",
+                        )
+                    elif handle.state is ReplicaState.DRAINING:
+                        reasons += (
+                            f"replica {handle.slot} draining (rollout)",
+                        )
+            for model, rec in self._fleet_provenance_locked().items():
+                if len(rec["backends"]) > 1:
+                    reasons += (
+                        f"model {model!r}: mixed-backend fleet "
+                        f"({', '.join(sorted(rec['backends']))})",
+                    )
+                if len(rec["versions"]) > 1:
+                    versions = ", ".join(
+                        str(v) for v in sorted(
+                            rec["versions"], key=lambda v: (v is None, v)
+                        )
+                    )
+                    reasons += (
+                        f"model {model!r}: mixed versions across replicas "
+                        f"({versions})",
+                    )
+            reasons += tuple(
+                f"model {name!r}: {entry.fallback_reason}"
+                for name in self.registry.names()
+                for entry in (self.registry.get(name),)
+                if entry.fallback_reason
+            )
+            if reasons:
+                return HealthReport(HealthState.DEGRADED, reasons)
+            return HealthReport(HealthState.READY)
+
+    def stats(self) -> dict[str, object]:
+        """Metrics snapshot plus per-replica fleet state and provenance."""
+        snapshot = self.metrics.stats()
+        snapshot["health"] = self.health().state.value
+        snapshot["cache"] = {
+            "entries": len(self.cache),
+            "capacity": self.cache.capacity,
+            "hits": self.cache.hits,
+            "misses": self.cache.misses,
+            "hit_rate": round(self.cache.hit_rate, 4),
+        }
+        snapshot["plane_cache"] = {
+            "entries": len(self.plane_cache),
+            "capacity": self.plane_cache.capacity,
+            "hits": self.plane_cache.hits,
+            "misses": self.plane_cache.misses,
+            "hit_rate": round(self.plane_cache.hit_rate, 4),
+        }
+        snapshot["models"] = {
+            name: {
+                "backend": self.registry.get(name).backend,
+                "pipeline": self.registry.get(name).pipeline,
+                "image_size": self.registry.get(name).image_size,
+                "fallback_reason": self.registry.get(name).fallback_reason,
+                "version": self._versions.get(name, 1),
+            }
+            for name in self.registry.names()
+        }
+        with self._cond:
+            agg = self._fleet_provenance_locked()
+            snapshot["cluster"] = {
+                "processes": self.processes,
+                "started": self._started,
+                "pending_tasks": len(self._pending),
+                "outstanding_tasks": len(self._tasks),
+                "replicas": {
+                    handle.slot: {
+                        "state": handle.state.value,
+                        "pid": (
+                            handle.proc.pid if handle.proc is not None
+                            else None
+                        ),
+                        "generation": handle.generation,
+                        "crashes": handle.crashes,
+                        "inflight": len(handle.inflight),
+                        "tasks_done": handle.tasks_done,
+                        "provenance": {
+                            model: dict(prov)
+                            for model, prov in handle.provenance.items()
+                        },
+                    }
+                    for handle in self._handles
+                },
+                "fleet": {
+                    model: {
+                        "backends": sorted(rec["backends"]),
+                        "versions": sorted(
+                            str(v) for v in rec["versions"]
+                        ),
+                        "mixed_backend": len(rec["backends"]) > 1,
+                    }
+                    for model, rec in agg.items()
+                },
+            }
+        return snapshot
+
+    def close(self, timeout: float | None = 10.0) -> None:
+        """Stop the fleet: orderly shutdown, then force-kill stragglers."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._stop.set()
+            handles = list(self._handles)
+            for handle in handles:
+                handle.shutdown_requested = True
+                if handle.alive:
+                    try:
+                        handle.task_queue.put(ShutdownMsg())
+                    except Exception:
+                        pass
+            # unblock every waiter; their tasks will never complete
+            while self._pending:
+                task = self._pending.popleft()
+                self._fail_locked(task, RuntimeError("service is closed"))
+            for task in list(self._tasks.values()):
+                self._fail_locked(task, RuntimeError("service is closed"))
+            self._cond.notify_all()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=2.0)
+        budget = time.monotonic() + (timeout if timeout is not None else 10.0)
+        for handle in handles:
+            proc = handle.proc
+            if proc is None:
+                continue
+            proc.join(timeout=max(0.0, budget - time.monotonic()))
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=1.0)
+
+    def __enter__(self) -> "ClusterService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -15,6 +15,13 @@ string-matching messages:
 * :class:`CheckpointError` — a checkpoint file is corrupt, truncated,
   or fails its content checksum (defined next to the serialization code
   in :mod:`repro.nn.serialization`, re-exported here).
+* :class:`FrameIntegrityError` — a shared-memory frame failed its
+  SHA-256 digest check (torn write or corruption in transit between
+  router and worker processes); the frame is retried, never scored.
+* :class:`WorkerCrashError` — work was lost to worker-process crashes
+  more times than the failover budget allows; carries the crash count.
+* :class:`RolloutError` — a rolling checkpoint rollout failed (drain
+  timeout, load failure, or a canary parity mismatch) and was aborted.
 
 All serving errors derive from :class:`ServeError` so ``except
 ServeError`` catches the whole family without also swallowing
@@ -31,6 +38,9 @@ __all__ = [
     "ServiceOverloaded",
     "ShardError",
     "CheckpointError",
+    "FrameIntegrityError",
+    "WorkerCrashError",
+    "RolloutError",
 ]
 
 
@@ -77,3 +87,45 @@ class ShardError(ServeError):
         self.start = start
         self.stop = stop
         self.__cause__ = cause
+
+
+class FrameIntegrityError(ServeError):
+    """A shared-memory frame failed its SHA-256 digest verification.
+
+    Raised by the frame reader (worker side) when the payload bytes do
+    not hash to the digest the writer recorded — a torn write, a
+    partially-initialized segment, or corruption in transit.  The
+    router treats it as retryable: the frame is re-created from the
+    source array and the task resubmitted; a torn frame is **never**
+    silently scored.
+    """
+
+    def __init__(self, message: str, frame: str = ""):
+        super().__init__(message)
+        self.frame = frame  #: shared-memory segment name
+
+
+class WorkerCrashError(ServeError):
+    """Work was lost to worker crashes beyond the failover budget.
+
+    A task whose worker dies is failed over to a sibling; a task that
+    keeps killing workers (a poison batch) must not crash-loop the
+    whole fleet, so after ``crashes`` losses it fails with this error
+    instead of being re-queued again.
+    """
+
+    def __init__(self, message: str, crashes: int = 0):
+        super().__init__(message)
+        self.crashes = crashes
+
+
+class RolloutError(ServeError):
+    """A rolling checkpoint rollout was aborted.
+
+    Raised when a replica fails to drain within the rollout deadline,
+    fails to load the new checkpoint, or — the integrity case — its
+    canary batch is not bit-identical to the router's reference engine
+    for the new weights.  The fleet is left serving: replicas not yet
+    swapped keep the old model, and the failing replica is rolled back
+    when possible.
+    """

@@ -22,21 +22,53 @@ works, so tests can also wrap bare engine functions without a service::
     faults = FaultInjector(seed=0)
     faults.add_error("engine", on_calls=[1])     # second call blows up
     flaky = faults.wrap("engine", engine.forward)
+
+**Process-level faults** (the cluster chaos surface, see
+:mod:`repro.serve.cluster`): three rule kinds target the process
+boundary itself.  ``add_kill`` sends the *current process* a signal
+(default ``SIGKILL``) when it fires — placed at a worker's task site it
+is a crash mid-batch; ``add_hang`` sleeps far past any heartbeat
+deadline, simulating a wedged native kernel; ``add_tear`` flags a
+shared-memory frame write for corruption *after* its integrity digest
+is computed, producing exactly the torn-frame condition the reader's
+digest check must catch.  The injector is picklable (the lock is
+recreated on unpickle) so a cluster router can ship it to worker
+processes at spawn; each worker gets an independent copy with fresh
+call counters, making per-worker fault schedules deterministic.  Rule
+``match`` predicates and ``error`` instances must themselves be
+picklable (module-level functions, not lambdas) for that to work.
 """
 
 from __future__ import annotations
 
+import os
+import signal
 import threading
 import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["FaultInjector", "InjectedFault", "FaultRule"]
+__all__ = ["FaultInjector", "InjectedFault", "FaultRule", "FrameFaults"]
 
 
 class InjectedFault(RuntimeError):
     """The default exception raised by an error-injection rule."""
+
+
+@dataclass(frozen=True)
+class FrameFaults:
+    """Flags a frame writer consumes from :meth:`FaultInjector.fire_frame`.
+
+    ``corrupt`` asks the wrapper to mangle the call's *output* (the
+    classic in-process corruption); ``tear`` asks a shared-memory frame
+    writer to flip payload bytes *after* the integrity digest was
+    computed, so the reader's digest verification must reject the
+    frame.
+    """
+
+    corrupt: bool = False
+    tear: bool = False
 
 
 @dataclass
@@ -44,8 +76,12 @@ class FaultRule:
     """One injection rule at one site.
 
     ``kind`` is ``"latency"`` (sleep ``latency_ms``), ``"error"``
-    (raise ``error``), or ``"corrupt"`` (negate the wrapped call's
-    array output — numerically loud, structurally intact).
+    (raise ``error``), ``"corrupt"`` (negate the wrapped call's array
+    output — numerically loud, structurally intact), ``"kill"`` (send
+    ``kill_sig`` to the current process — a worker crash mid-task),
+    ``"hang"`` (sleep ``hang_s``, far past any heartbeat deadline), or
+    ``"tear"`` (corrupt a shared-memory frame after its digest — only
+    observed through :meth:`FaultInjector.fire_frame`).
 
     ``match`` targets the rule by call *content* instead of call
     *count*: a predicate over the wrapped call's positional-args tuple
@@ -63,6 +99,8 @@ class FaultRule:
     on_calls: frozenset[int] | None = None  #: 0-based call indices to hit
     times: int | None = None  #: remaining firing budget (None = unlimited)
     match: object | None = None  #: predicate over the call's args tuple
+    kill_sig: int = signal.SIGKILL  #: signal a ``"kill"`` rule delivers
+    hang_s: float = 3600.0  #: how long a ``"hang"`` rule sleeps
     fired: int = field(default=0)  #: how often this rule has fired
 
     def _applies(self, call_index: int, rng: np.random.Generator,
@@ -80,12 +118,16 @@ class FaultRule:
 
 
 class FaultInjector:
-    """Seeded, thread-safe chaos hook: latency, errors, corruption.
+    """Seeded, thread-safe chaos hook: latency, errors, corruption,
+    process kills, hangs, and torn shared-memory frames.
 
     Sites are plain strings; the service uses ``"engine"`` for every
     inference invocation (batched classify, scan chunks, plane scoring)
-    and ``"raster"`` for rasterization/cache fills.  Tests may invent
-    their own sites for bare-callable wrapping.
+    and ``"raster"`` for rasterization/cache fills.  The cluster layer
+    adds ``"worker"`` (fired in every worker process before each task),
+    ``"worker:<slot>"`` (slot-targeted), and ``"frame"`` (shared-memory
+    frame writes).  Tests may invent their own sites for bare-callable
+    wrapping.
     """
 
     def __init__(self, seed: int = 0):
@@ -93,6 +135,17 @@ class FaultInjector:
         self._lock = threading.Lock()
         self._rules: dict[str, list[FaultRule]] = {}
         self._calls: dict[str, int] = {}
+
+    # -- pickling (ship the injector to worker processes) ----------------
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]  # locks do not pickle; recreated on load
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     # -- configuring rules -----------------------------------------------
 
@@ -150,6 +203,73 @@ class FaultInjector:
             times=times, match=match,
         ))
 
+    def add_kill(
+        self,
+        site: str,
+        sig: int = signal.SIGKILL,
+        probability: float = 1.0,
+        on_calls=None,
+        times: int | None = None,
+        match=None,
+    ) -> FaultRule:
+        """Send the current process ``sig`` when the rule fires.
+
+        Fired at a cluster worker's ``"worker"``/``"worker:<slot>"``
+        site this is a crash mid-batch: the task was dequeued and is
+        in-flight when the process dies, so the supervisor must detect
+        the death, fail the shard over to a sibling, and respawn the
+        slot.  ``SIGKILL`` (the default) cannot be caught — the worker
+        gets no chance to reply or clean up, which is the point.
+        """
+        return self._add(site, FaultRule(
+            kind="kill", probability=probability, kill_sig=sig,
+            on_calls=None if on_calls is None else frozenset(on_calls),
+            times=times, match=match,
+        ))
+
+    def add_hang(
+        self,
+        site: str,
+        hang_s: float = 3600.0,
+        probability: float = 1.0,
+        on_calls=None,
+        times: int | None = None,
+        match=None,
+    ) -> FaultRule:
+        """Sleep ``hang_s`` seconds at the site — a wedged worker.
+
+        Unlike :meth:`add_latency` this models a *hang past the
+        deadline*: the sleep is expected to outlive the supervisor's
+        heartbeat timeout, so the worker is declared dead and killed
+        while still inside the sleep.
+        """
+        return self._add(site, FaultRule(
+            kind="hang", probability=probability, hang_s=hang_s,
+            on_calls=None if on_calls is None else frozenset(on_calls),
+            times=times, match=match,
+        ))
+
+    def add_tear(
+        self,
+        site: str,
+        probability: float = 1.0,
+        on_calls=None,
+        times: int | None = None,
+        match=None,
+    ) -> FaultRule:
+        """Corrupt a shared-memory frame *after* its digest is computed.
+
+        Only frame writers observe this (via :meth:`fire_frame`); the
+        reader's digest verification must then reject the frame as
+        torn, triggering the retry path — the frame is never silently
+        scored.
+        """
+        return self._add(site, FaultRule(
+            kind="tear", probability=probability,
+            on_calls=None if on_calls is None else frozenset(on_calls),
+            times=times, match=match,
+        ))
+
     def clear(self, site: str | None = None) -> None:
         """Drop every rule (of one site, or all); counters survive."""
         with self._lock:
@@ -165,18 +285,13 @@ class FaultInjector:
         with self._lock:
             return self._calls.get(site, 0)
 
-    def fire(self, site: str, args: tuple = ()) -> bool:
-        """Enter a site: apply latency/error rules; return corrupt flag.
-
-        Returns ``True`` when a corruption rule fired for this call, so
-        wrappers know to mangle the output.  Sleeps happen outside the
-        lock; an error rule raises its exception out of this method.
-        ``args`` carries the wrapped call's positional arguments to
-        ``match`` rules (calls fired without args never match them).
-        """
-        sleep_ms = 0.0
+    def _collect(self, site: str, args: tuple):
+        """Advance the site counter and gather the rules that fire."""
+        sleep_s = 0.0
         error: BaseException | None = None
         corrupt = False
+        tear = False
+        kill_sig: int | None = None
         with self._lock:
             index = self._calls.get(site, 0)
             self._calls[site] = index + 1
@@ -184,16 +299,57 @@ class FaultInjector:
                 if not rule._applies(index, self._rng, args):
                     continue
                 if rule.kind == "latency":
-                    sleep_ms += rule.latency_ms
+                    sleep_s += rule.latency_ms / 1000.0
+                elif rule.kind == "hang":
+                    sleep_s += rule.hang_s
                 elif rule.kind == "error" and error is None:
                     error = rule.error
                 elif rule.kind == "corrupt":
                     corrupt = True
-        if sleep_ms > 0.0:
-            time.sleep(sleep_ms / 1000.0)
+                elif rule.kind == "tear":
+                    tear = True
+                elif rule.kind == "kill" and kill_sig is None:
+                    kill_sig = rule.kill_sig
+        return sleep_s, error, corrupt, tear, kill_sig
+
+    def fire(self, site: str, args: tuple = ()) -> bool:
+        """Enter a site: apply latency/hang/kill/error rules; return
+        the corrupt flag.
+
+        Returns ``True`` when a corruption rule fired for this call, so
+        wrappers know to mangle the output.  Sleeps (latency and hangs)
+        happen outside the lock; a kill rule signals the current
+        process before an error rule could raise; an error rule raises
+        its exception out of this method.  ``args`` carries the wrapped
+        call's positional arguments to ``match`` rules (calls fired
+        without args never match them).  Tear rules are not observable
+        here — frame writers use :meth:`fire_frame`.
+        """
+        sleep_s, error, corrupt, _tear, kill_sig = self._collect(site, args)
+        if sleep_s > 0.0:
+            time.sleep(sleep_s)
+        if kill_sig is not None:
+            os.kill(os.getpid(), kill_sig)
         if error is not None:
             raise error
         return corrupt
+
+    def fire_frame(self, site: str, args: tuple = ()) -> FrameFaults:
+        """Enter a frame-writer site; returns corrupt *and* tear flags.
+
+        Latency/hang/kill/error rules behave as in :meth:`fire`; the
+        returned :class:`FrameFaults` additionally reports ``tear`` so
+        the shared-memory writer can flip payload bytes after the
+        digest.
+        """
+        sleep_s, error, corrupt, tear, kill_sig = self._collect(site, args)
+        if sleep_s > 0.0:
+            time.sleep(sleep_s)
+        if kill_sig is not None:
+            os.kill(os.getpid(), kill_sig)
+        if error is not None:
+            raise error
+        return FrameFaults(corrupt=corrupt, tear=tear)
 
     def wrap(self, site: str, fn):
         """Wrap ``fn`` so every call passes through the site's rules."""

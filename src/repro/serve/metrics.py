@@ -118,6 +118,14 @@ class ServiceMetrics:
         self.chip_backoff_ms_total = 0.0
         self.chip_windows_quarantined_total = 0
         self.chip_resumed_scans_total = 0
+        self.workers_spawned_total = 0
+        self.workers_reaped_total = 0
+        self.worker_timeouts_total = 0
+        self.tasks_failed_over_total = 0
+        self.frame_retries_total = 0
+        self.slots_quarantined_total = 0
+        self.rollouts_total = 0
+        self.rollout_failures_total = 0
         self.request_latency = LatencyHistogram()
         self.batch_latency = LatencyHistogram()
         self.scan_latency = LatencyHistogram()
@@ -245,6 +253,46 @@ class ServiceMetrics:
                 self.chip_peak_tile_bytes = peak_tile_bytes
             self.chip_scan_latency.observe(latency_ms)
 
+    # -- cluster (worker-process fleet) hooks ----------------------------
+
+    def record_worker_spawn(self) -> None:
+        """One worker process spawned (initial fleet or a respawn)."""
+        with self._lock:
+            self.workers_spawned_total += 1
+
+    def record_worker_reap(self, timed_out: bool = False) -> None:
+        """One worker process reaped (crash, kill, or heartbeat timeout).
+
+        ``timed_out`` marks a reap forced by a missed heartbeat (the
+        supervisor killed a hung worker) rather than an observed death.
+        """
+        with self._lock:
+            self.workers_reaped_total += 1
+            if timed_out:
+                self.worker_timeouts_total += 1
+
+    def record_failover(self, n: int = 1) -> None:
+        """``n`` in-flight tasks re-queued to sibling workers."""
+        with self._lock:
+            self.tasks_failed_over_total += n
+
+    def record_frame_retry(self) -> None:
+        """One shared-memory frame rejected by digest check and rebuilt."""
+        with self._lock:
+            self.frame_retries_total += 1
+
+    def record_slot_quarantine(self) -> None:
+        """One fleet slot quarantined after a crash loop."""
+        with self._lock:
+            self.slots_quarantined_total += 1
+
+    def record_rollout(self, ok: bool = True) -> None:
+        """One rolling checkpoint rollout finished (or aborted)."""
+        with self._lock:
+            self.rollouts_total += 1
+            if not ok:
+                self.rollout_failures_total += 1
+
     def register_op_table(self, model: str, table: object) -> None:
         """Attach a per-op timing table for ``model`` (idempotent).
 
@@ -293,6 +341,14 @@ class ServiceMetrics:
             self.chip_backoff_ms_total = 0.0
             self.chip_windows_quarantined_total = 0
             self.chip_resumed_scans_total = 0
+            self.workers_spawned_total = 0
+            self.workers_reaped_total = 0
+            self.worker_timeouts_total = 0
+            self.tasks_failed_over_total = 0
+            self.frame_retries_total = 0
+            self.slots_quarantined_total = 0
+            self.rollouts_total = 0
+            self.rollout_failures_total = 0
             self.request_latency = LatencyHistogram()
             self.batch_latency = LatencyHistogram()
             self.scan_latency = LatencyHistogram()
@@ -351,6 +407,14 @@ class ServiceMetrics:
                 "chip_windows_quarantined_total":
                     self.chip_windows_quarantined_total,
                 "chip_resumed_scans_total": self.chip_resumed_scans_total,
+                "workers_spawned_total": self.workers_spawned_total,
+                "workers_reaped_total": self.workers_reaped_total,
+                "worker_timeouts_total": self.worker_timeouts_total,
+                "tasks_failed_over_total": self.tasks_failed_over_total,
+                "frame_retries_total": self.frame_retries_total,
+                "slots_quarantined_total": self.slots_quarantined_total,
+                "rollouts_total": self.rollouts_total,
+                "rollout_failures_total": self.rollout_failures_total,
                 "request_latency": self.request_latency.snapshot(),
                 "batch_latency": self.batch_latency.snapshot(),
                 "scan_latency": self.scan_latency.snapshot(),

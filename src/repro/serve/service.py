@@ -74,7 +74,12 @@ from .types import (
     ScanRequest,
 )
 
-__all__ = ["HotspotService", "window_origins", "extract_window"]
+__all__ = [
+    "HotspotService",
+    "window_origins",
+    "extract_window",
+    "plane_scan_scale",
+]
 
 
 def window_origins(size: int, window: int, stride: int) -> list[tuple[int, int]]:
@@ -93,6 +98,30 @@ def window_origins(size: int, window: int, stride: int) -> list[tuple[int, int]]
     if steps[-1] != last:
         steps.append(last)
     return [(x, y) for y in steps for x in steps]
+
+
+def plane_scan_scale(
+    layout_size: int, window: int, stride: int, pixels: int
+) -> int | None:
+    """Integer nm-per-pixel scale of a plane-compatible scan, or None.
+
+    The plane path requires window slices of the full-layout raster to
+    be bit-identical to per-window rasterization (see
+    :func:`repro.litho.raster.rasterize_plane`): the window must be a
+    whole number of pixels per raster cell, and both the layout and
+    every window origin must land on pixel boundaries.  Origins are
+    multiples of the stride plus the snapped last column
+    ``size - window``, so ``scale | size`` and ``scale | stride`` cover
+    them all.  Shared by the in-process scan path and the cluster
+    router (:mod:`repro.serve.cluster`), which ships the plane to
+    worker processes under the same alignment contract.
+    """
+    if pixels <= 0 or window % pixels:
+        return None
+    scale = window // pixels
+    if layout_size % scale or stride % scale:
+        return None
+    return scale
 
 
 def extract_window(layout: Clip, x0: int, y0: int, window: int) -> Clip:
@@ -400,24 +429,11 @@ class HotspotService:
         return scores
 
     def _plane_scale(self, request: ScanRequest, entry: ModelEntry) -> int | None:
-        """Integer nm-per-pixel scale of a plane-compatible scan, or None.
-
-        The plane path requires window slices of the full-layout raster
-        to be bit-identical to per-window rasterization (see
-        :func:`repro.litho.raster.rasterize_plane`): the window must be
-        a whole number of pixels per raster cell, and both the layout
-        and every window origin must land on pixel boundaries.  Origins
-        are multiples of the stride plus the snapped last column
-        ``size - window``, so ``scale | size`` and ``scale | stride``
-        cover them all.
-        """
-        window, pixels = request.window, entry.image_size
-        if pixels <= 0 or window % pixels:
-            return None
-        scale = window // pixels
-        if request.layout.size % scale or request.stride % scale:
-            return None
-        return scale
+        """See :func:`plane_scan_scale` (the shared alignment contract)."""
+        return plane_scan_scale(
+            request.layout.size, request.window, request.stride,
+            entry.image_size,
+        )
 
     def scan(
         self,

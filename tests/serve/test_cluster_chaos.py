@@ -1,0 +1,205 @@
+"""Chaos tests for the cluster: crashes, hangs, torn frames, rollouts.
+
+Every scenario asserts the same bottom line the paper-scale deployment
+needs: process-level faults may cost latency, never correctness — the
+served scores stay bit-identical to an unfaulted in-process reference,
+and the typed fault counters prove the failure actually happened (a
+chaos test that passes without its fault firing is testing nothing).
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.litho.geometry import Clip, Rect
+from repro.models.bnn_resnet import build_bnn_resnet
+from repro.serve import (
+    ClipRequest,
+    ClusterService,
+    FaultInjector,
+    HealthState,
+    HotspotService,
+    ReplicaState,
+    RolloutError,
+    ScanRequest,
+)
+
+pytestmark = [pytest.mark.slow, pytest.mark.timeout(300)]
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_bnn_resnet((4, 8), scaling="xnor", seed=0)
+
+
+@pytest.fixture(scope="module")
+def scan_req():
+    rng = np.random.default_rng(3)
+    layout = Clip(256)
+    for _ in range(40):
+        x0 = int(rng.integers(0, 216))
+        y0 = int(rng.integers(0, 216))
+        layout.add(Rect(x0, y0, x0 + int(rng.integers(8, 40)),
+                        y0 + int(rng.integers(8, 40))))
+    return ScanRequest(layout=layout, window=64, stride=32)
+
+
+@pytest.fixture(scope="module")
+def reference_hits(model, scan_req):
+    with HotspotService.from_model(model, image_size=16) as ref:
+        return [(h.x0, h.y0, h.score) for h in ref.scan(scan_req).hits]
+
+
+def make_cluster(model, faults=None, **overrides):
+    knobs = dict(processes=2, heartbeat_s=0.2, heartbeat_timeout_s=5.0,
+                 respawn_backoff_s=0.1, faults=faults)
+    knobs.update(overrides)
+    return ClusterService.from_model(model, image_size=16, **knobs)
+
+
+def hit_key(report):
+    return [(h.x0, h.y0, h.score) for h in report.hits]
+
+
+class TestCrashFailover:
+    def test_sigkill_mid_batch_fails_over_bit_identically(
+        self, model, scan_req, reference_hits
+    ):
+        faults = FaultInjector(seed=0)
+        faults.add_kill("worker:0", on_calls=[1])  # slot 0 dies in-flight
+        with make_cluster(model, faults) as svc:
+            report = svc.scan(scan_req, timeout=120)
+            stats = svc.stats()
+        assert not report.degraded
+        assert hit_key(report) == reference_hits
+        assert stats["workers_reaped_total"] >= 1
+        assert stats["tasks_failed_over_total"] >= 1
+
+    def test_killed_slot_respawns_ready(self, model):
+        faults = FaultInjector(seed=0)
+        faults.add_kill("worker:0", on_calls=[0])
+        with make_cluster(model, faults) as svc:
+            image = np.zeros((16, 16))
+            svc.classify(ClipRequest(image=image), timeout=120)
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                states = svc.replica_states()
+                if all(s is ReplicaState.READY for s in states.values()):
+                    break
+                time.sleep(0.1)
+            assert all(s is ReplicaState.READY
+                       for s in svc.replica_states().values())
+            assert svc.stats()["workers_spawned_total"] >= 3  # 2 + respawn
+
+
+class TestHangDetection:
+    def test_hung_worker_is_killed_and_work_fails_over(
+        self, model, scan_req, reference_hits
+    ):
+        faults = FaultInjector(seed=0)
+        faults.add_hang("worker", hang_s=60.0, times=1)
+        with make_cluster(model, faults, heartbeat_timeout_s=1.0) as svc:
+            report = svc.scan(scan_req, timeout=120)
+            stats = svc.stats()
+        assert not report.degraded
+        assert hit_key(report) == reference_hits
+        assert stats["worker_timeouts_total"] >= 1
+        assert stats["tasks_failed_over_total"] >= 1
+
+
+class TestFrameIntegrity:
+    def test_torn_frame_retried_never_scored(
+        self, model, scan_req, reference_hits
+    ):
+        faults = FaultInjector(seed=0)
+        faults.add_tear("frame", times=1)  # one torn write, then clean
+        with make_cluster(model, faults) as svc:
+            report = svc.scan(scan_req, timeout=120)
+            stats = svc.stats()
+        assert not report.degraded
+        assert hit_key(report) == reference_hits  # torn bytes never scored
+        assert stats["frame_retries_total"] >= 1
+
+
+class TestQuarantine:
+    def test_crash_loop_quarantines_slot_and_degrades_health(self, model):
+        faults = FaultInjector(seed=0)
+        faults.add_kill("worker:0")  # every task on slot 0 is fatal
+        with make_cluster(
+            model, faults, faults_in_respawn=True,
+            respawn_backoff_s=0.05, quarantine_after=2,
+        ) as svc:
+            image = np.zeros((16, 16))
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                svc.classify(ClipRequest(image=image), timeout=120)
+                if svc.stats()["slots_quarantined_total"] >= 1:
+                    break
+            states = svc.replica_states()
+            assert states[0] is ReplicaState.QUARANTINED
+            assert states[1] is ReplicaState.READY  # sibling still serves
+            report = svc.health()
+            assert report.state is HealthState.DEGRADED
+            assert any("quarantined" in r for r in report.reasons)
+
+
+class TestRollingRollout:
+    def test_rollout_under_load_drops_nothing(self, model):
+        new_model = build_bnn_resnet((4, 8), scaling="xnor", seed=7)
+        rng = np.random.default_rng(0)
+        rasters = [(rng.random((16, 16)) > 0.5).astype(float)
+                   for _ in range(8)]
+        reqs = lambda: [ClipRequest(image=r) for r in rasters]  # noqa: E731
+        with HotspotService.from_model(new_model, image_size=16) as ref:
+            want = [ref.classify(r).score for r in reqs()]
+
+        with make_cluster(model, heartbeat_timeout_s=10.0) as svc:
+            stop = threading.Event()
+            errors, states_seen = [], set()
+
+            def pound():
+                while not stop.is_set():
+                    try:
+                        svc.classify_many(reqs(), timeout=120)
+                    except BaseException as exc:
+                        errors.append(exc)
+                        return
+                    states_seen.update(svc.replica_states().values())
+
+            thread = threading.Thread(target=pound, daemon=True)
+            thread.start()
+            time.sleep(0.3)
+            svc.rollout("default", model=new_model)
+            time.sleep(0.3)
+            stop.set()
+            thread.join(timeout=120)
+
+            assert not errors  # zero dropped requests through the swap
+            assert ReplicaState.DRAINING in states_seen
+            got = [p.score for p in svc.classify_many(reqs(), timeout=120)]
+            stats = svc.stats()
+
+        assert got == want  # bit-identical to the new weights
+        assert stats["rollouts_total"] == 1
+        assert stats["rollout_failures_total"] == 0
+        versions = stats["cluster"]["fleet"]["default"]["versions"]
+        assert versions == ["2"]
+
+    def test_failed_canary_rolls_back(self, model):
+        class NotAModel:
+            """Fails router-side compilation: the rollout must abort in
+            step 1 (register), before any replica is drained."""
+
+        with make_cluster(model) as svc:
+            image = np.zeros((16, 16))
+            before = svc.classify(ClipRequest(image=image), timeout=120)
+            with pytest.raises(Exception):
+                svc.rollout("default", model=NotAModel())
+            assert svc.stats()["rollout_failures_total"] == 1
+            # fleet still serves the old model, bit-identically
+            after = svc.classify(ClipRequest(image=image), timeout=120)
+            assert after.score == before.score
+            states = svc.replica_states()
+            assert all(s is ReplicaState.READY for s in states.values())
