@@ -187,6 +187,11 @@ class TaskDoneMsg:
     Exactly one of ``logits`` / ``error`` is set.  ``frame_corrupt``
     marks a failed SHA-256 digest check — the router re-creates the
     frame and resubmits instead of counting it as a scoring failure.
+    ``version_mismatch`` marks a task the worker *refused* to score
+    because it was admitted under a different checkpoint version than
+    the replica serves (a failover race during a rollout) — the router
+    requeues it to a version-matching replica instead of accepting a
+    silently mixed-version response.
     """
 
     task_id: int
@@ -195,3 +200,4 @@ class TaskDoneMsg:
     logits: np.ndarray | None = None
     error: str | None = None
     frame_corrupt: bool = False
+    version_mismatch: bool = False

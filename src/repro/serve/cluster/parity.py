@@ -145,13 +145,15 @@ def chaos_gate(args) -> int:
         counter="frame_retries_total",
     )
 
-    # 4. hang past the heartbeat deadline (skipped in --quick: the
-    #    supervisor must wait out the stall, which costs wall time)
+    # 4. hang past the per-task deadline (skipped in --quick: the
+    #    supervisor must wait out the stall, which costs wall time).
+    #    task_timeout_s is the knob that condemns a worker holding
+    #    in-flight work; heartbeat_timeout_s only covers idle silence.
     if not args.quick:
         faults = FaultInjector(seed=args.seed)
         faults.add_hang("worker", hang_s=30.0, times=1)
         with _cluster(model, args, faults=faults,
-                      heartbeat_timeout_s=1.0) as svc:
+                      heartbeat_timeout_s=1.0, task_timeout_s=1.0) as svc:
             report = svc.scan(req, timeout=args.timeout)
             stats = svc.stats()
         hang_ok = (not report.degraded

@@ -184,10 +184,19 @@ class ClusterService:
         Fleet size (slots).  Two is the useful minimum — failover and
         rolling rollout both need a sibling to carry traffic.
     heartbeat_s / heartbeat_timeout_s:
-        Supervisor ping period, and how long a silent worker lives
-        before being declared hung and killed.  A worker wedged inside
-        a native kernel cannot answer pings, which is exactly the
-        failure this catches.
+        Supervisor ping period, and how long a silent *idle* worker
+        lives before being declared hung and killed.  Workers are
+        single-threaded and cannot answer pings while scoring, so
+        heartbeat silence alone never condemns a worker that holds
+        in-flight work — busy is not hung.
+    task_timeout_s:
+        The separate, larger deadline for a *busy* worker: how long a
+        worker may hold in-flight work without producing any message
+        (result or pong) before it is declared wedged (e.g. hung
+        inside a native kernel mid-task) and killed.  ``None`` trusts
+        in-flight workers indefinitely; keep it comfortably above the
+        slowest legitimate shard so a big scan band is never killed
+        mid-score.
     startup_timeout_s:
         Grace for a fresh worker to compile its engines and report
         ready before the supervisor gives up on it.
@@ -229,6 +238,7 @@ class ClusterService:
         default_timeout_s: float | None = None,
         heartbeat_s: float = 0.5,
         heartbeat_timeout_s: float = 5.0,
+        task_timeout_s: float | None = 300.0,
         startup_timeout_s: float = 60.0,
         task_retries: int = 2,
         frame_retries: int = 2,
@@ -251,6 +261,10 @@ class ClusterService:
             )
         if task_retries < 0 or frame_retries < 0:
             raise ValueError("task_retries/frame_retries must be >= 0")
+        if task_timeout_s is not None and task_timeout_s <= 0:
+            raise ValueError(
+                f"task_timeout_s must be > 0 or None, got {task_timeout_s}"
+            )
         if quarantine_after < 1:
             raise ValueError(
                 f"quarantine_after must be >= 1, got {quarantine_after}"
@@ -264,6 +278,7 @@ class ClusterService:
         self.default_timeout_s = default_timeout_s
         self.heartbeat_s = heartbeat_s
         self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.task_timeout_s = task_timeout_s
         self.startup_timeout_s = startup_timeout_s
         self.task_retries = task_retries
         self.frame_retries = frame_retries
@@ -491,6 +506,9 @@ class ClusterService:
             elif kind == "ModelLoadedMsg":
                 if msg.error is None:
                     handle.provenance[msg.name] = dict(msg.provenance)
+                    # the replica's served version changed: pending
+                    # tasks stamped with it may be dispatchable now
+                    self._dispatch_locked()
                 self._load_results[
                     (handle.slot, generation, msg.name, msg.version)
                 ] = msg
@@ -648,23 +666,45 @@ class ClusterService:
                             handle.task_queue.put(PingMsg(handle.ping_seq))
                         except Exception:
                             pass
-                    limit = (
-                        self.startup_timeout_s
-                        if state is ReplicaState.STARTING
-                        else self.heartbeat_timeout_s
-                    )
-                    if now - handle.last_seen > limit:
-                        # hung (or wedged in a native kernel): it cannot
-                        # answer pings, so it cannot be trusted with its
-                        # in-flight tasks either — kill and fail over
-                        handle.timed_out = True
-                        try:
-                            handle.proc.kill()
-                        except Exception:
-                            pass
+                    if handle.inflight and state is not ReplicaState.STARTING:
+                        # workers are single-threaded: one cannot answer
+                        # pings while it scores, so in-flight work is
+                        # presumed proof of life.  Only the separate,
+                        # larger per-task deadline — silence since the
+                        # later of the last message and the oldest
+                        # still-unanswered dispatch — condemns it as
+                        # genuinely wedged.
+                        if self.task_timeout_s is None:
+                            continue
+                        busy_since = max(
+                            handle.last_seen, min(handle.inflight.values())
+                        )
+                        if now - busy_since <= self.task_timeout_s:
+                            continue
+                    else:
+                        limit = (
+                            self.startup_timeout_s
+                            if state is ReplicaState.STARTING
+                            else self.heartbeat_timeout_s
+                        )
+                        if now - handle.last_seen <= limit:
+                            continue
+                    # hung (or wedged in a native kernel): it cannot
+                    # answer pings or finish its task, so it cannot be
+                    # trusted with its in-flight work — kill, fail over
+                    handle.timed_out = True
+                    try:
+                        handle.proc.kill()
+                    except Exception:
+                        pass
                 self._dispatch_locked()
 
     # -- dispatch --------------------------------------------------------
+
+    def _serves_version_locked(self, handle: WorkerHandle, model: str,
+                               version: int) -> bool:
+        prov = handle.provenance.get(model)
+        return prov is not None and prov.get("version") == version
 
     def _pick_worker_locked(self, task: _Task) -> WorkerHandle | None:
         if task.pin_slot is not None:
@@ -680,9 +720,37 @@ class ClusterService:
         for handle in self._handles:
             if not (handle.accepts_work and handle.alive):
                 continue
+            # version-matched routing: a task is only ever scored by a
+            # replica serving the checkpoint version it was admitted
+            # under — mid-rollout, old and new versions coexist and
+            # each request sticks to its own
+            if not self._serves_version_locked(
+                handle, task.msg.model, task.msg.version
+            ):
+                continue
             if best is None or len(handle.inflight) < len(best.inflight):
                 best = handle
         return best
+
+    def _version_unservable_locked(self, task: _Task) -> bool:
+        """No replica serves this task's version and none ever will.
+
+        Respawns and rollbacks always compile the registry's *current*
+        version, so a task stamped with a superseded version (admitted
+        just before a rollout committed, then failed over after the
+        last old replica swapped) can never be scored again — it must
+        fail loudly rather than wait forever or be silently scored by
+        different weights.
+        """
+        name, version = task.msg.model, task.msg.version
+        if version == self._versions.get(name, 1):
+            return False  # the current version: some replica will serve it
+        return not any(
+            handle.alive
+            and handle.state is ReplicaState.READY
+            and self._serves_version_locked(handle, name, version)
+            for handle in self._handles
+        )
 
     def _dispatch_locked(self) -> None:
         stuck: list[_Task] = []
@@ -690,10 +758,20 @@ class ClusterService:
             task = self._pending.popleft()
             handle = self._pick_worker_locked(task)
             if handle is None:
+                if task.pin_slot is None and \
+                        self._version_unservable_locked(task):
+                    self._fail_locked(task, RuntimeError(
+                        f"task {task.task_id} was admitted under "
+                        f"{task.msg.model!r} v{task.msg.version} but the "
+                        f"fleet has rolled on and no replica serves that "
+                        f"version anymore"
+                    ))
+                    continue
+                # tasks wait for different replicas (their version, or a
+                # pinned slot) — one undispatchable task must not block
+                # the rest of the queue
                 stuck.append(task)
-                if task.pin_slot is None:
-                    break  # no capacity for anyone right now
-                continue  # pinned tasks must not block the others
+                continue
             task.slot = handle.slot
             handle.inflight[task.task_id] = time.monotonic()
             try:
@@ -1042,8 +1120,12 @@ class ClusterService:
         3. A failed load or canary mismatch **rolls back**: the
            replica reloads the previous weights, the registry restores
            the previous entry, and :class:`RolloutError` is raised.
-           Replicas swapped before the failure are rolled back too, so
-           an aborted rollout never leaves a mixed-version fleet.
+           Replicas swapped before the failure are rolled back too —
+           and so is the failing replica itself when its load had
+           already committed (a canary mismatch): it stays DRAINING
+           until the old checkpoint is restored, so it never serves
+           the parity-failing weights and an aborted rollout never
+           leaves a mixed-version fleet.
 
         Dead/quarantined slots are skipped — their next respawn
         compiles the new version from the registry.
@@ -1123,15 +1205,23 @@ class ClusterService:
                 try:
                     self._swap_replica(
                         handle, slot, generation, spec, canary, reference,
-                        drain_timeout_s,
+                        drain_timeout_s, swapped,
                     )
                 except Exception:
                     with self._cond:
-                        if handle.generation == generation:
+                        if handle.generation == generation \
+                                and slot not in swapped:
+                            # the load never committed: the replica
+                            # still serves the old weights and is safe
+                            # to readmit as-is.  A replica that DID
+                            # load the new (canary-failing) weights is
+                            # in ``swapped`` and stays DRAINING until
+                            # _roll_back restores the old checkpoint —
+                            # it must never serve a version that failed
+                            # its parity probe.
                             handle.state = ReplicaState.READY
                             self._cond.notify_all()
                     raise
-                swapped.append(slot)
             self.metrics.record_rollout(ok=True)
             return entry
         except Exception:
@@ -1143,7 +1233,8 @@ class ClusterService:
     def _swap_replica(self, handle: WorkerHandle, slot: int,
                       generation: int, spec: ModelSpec,
                       canary: np.ndarray, reference: np.ndarray,
-                      drain_timeout_s: float) -> None:
+                      drain_timeout_s: float,
+                      swapped: list[int]) -> None:
         deadline = time.monotonic() + drain_timeout_s
         with self._cond:
             while handle.inflight:
@@ -1175,6 +1266,10 @@ class ClusterService:
                 f"replica {slot} failed to load {spec.name!r} "
                 f"v{spec.version}: {loaded.error}"
             )
+        # the load committed: the replica now serves the new weights,
+        # so from here on an abort must roll THIS slot back too, not
+        # just its predecessors — even if the canary probe below fails
+        swapped.append(slot)
         # canary parity probe, pinned to the (still draining) replica
         holder = _FrameHolder(canary, None)
         with self._cond:
@@ -1224,22 +1319,28 @@ class ClusterService:
                 backend=(old_knobs or {}).get("backend"),
                 passes=(old_knobs or {}).get("passes", "default"),
             )
-        if old_spec is None:
-            return
         for slot in swapped:
             handle = self._handles[slot]
             with self._cond:
-                if not handle.alive:
-                    continue
-                try:
-                    handle.task_queue.put(LoadModelMsg(old_spec))
-                except Exception:
-                    continue
-                self._wait_load_locked(
-                    slot, handle.generation, old_spec.name,
-                    old_spec.version,
-                    time.monotonic() + drain_timeout_s,
-                )
+                if handle.alive and old_spec is not None:
+                    try:
+                        handle.task_queue.put(LoadModelMsg(old_spec))
+                    except Exception:
+                        pass
+                    else:
+                        self._wait_load_locked(
+                            slot, handle.generation, old_spec.name,
+                            old_spec.version,
+                            time.monotonic() + drain_timeout_s,
+                        )
+                # the slot whose canary failed was left DRAINING so it
+                # could not serve the parity-failing weights; readmit
+                # it now that the old checkpoint is (best-effort) back.
+                # A dead slot respawns from the restored registry.
+                if handle.state is ReplicaState.DRAINING:
+                    handle.state = ReplicaState.READY
+                    self._dispatch_locked()
+                    self._cond.notify_all()
 
     # -- lifecycle / observability ---------------------------------------
 

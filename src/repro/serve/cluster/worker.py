@@ -9,8 +9,11 @@ serves tasks until told to stop or killed.  Everything interesting —
 retries, failover, respawn — lives in the router/supervisor; the
 worker's only fault-tolerance duty is to *fail loudly and typed*:
 a digest-failing frame is reported as ``frame_corrupt`` (never scored),
-a scoring exception is reported as an error string, and a crash is
-simply a dead process for the supervisor to notice.
+a task admitted under a different checkpoint version than the one this
+replica serves is reported as ``version_mismatch`` (never scored by
+the wrong weights), a scoring exception is reported as an error
+string, and a crash is simply a dead process for the supervisor to
+notice.
 
 Determinism contract: engines compiled from the same ``ModelSpec`` are
 bit-identical across processes (weights are snapshotted at lowering,
@@ -114,7 +117,7 @@ class _Worker:
             return cached
         attachment = FrameAttachment(ref)  # digest verified here
         while len(self.attachments) >= _ATTACH_CACHE:
-            _, old = self.attachments.popitem()
+            old = self.attachments.pop(next(iter(self.attachments)))
             self._drop_plans(old.ref.name)
             old.close()
         self.attachments[ref.name] = attachment
@@ -132,15 +135,13 @@ class _Worker:
 
     # -- scoring --------------------------------------------------------
 
-    def _score_classify(self, task: ClassifyTask) -> np.ndarray:
+    def _score_classify(self, task: ClassifyTask, served: _Served) -> np.ndarray:
         from .shm import read_frame
 
-        served = self.models[task.model]
         batch = read_frame(task.frame)  # verified private copy
         return served.engine.predict_logits(batch)
 
-    def _score_scan(self, task: ScanShardTask) -> np.ndarray:
-        served = self.models[task.model]
+    def _score_scan(self, task: ScanShardTask, served: _Served) -> np.ndarray:
         engine = served.engine
         attachment = self._attachment(task.frame)
         y0, y1 = task.band
@@ -172,12 +173,37 @@ class _Worker:
             raise SystemExit(0)
 
     def _handle_task(self, task) -> None:
+        # resolve the model and pin the version BEFORE scoring: a task
+        # carries the checkpoint version the router admitted it under,
+        # and scoring it with different weights would silently mix
+        # versions inside one response — refuse, typed, so the router
+        # requeues it to a matching replica or fails loudly
+        served = self.models.get(task.model)
+        if served is None:
+            self._put(TaskDoneMsg(
+                task_id=task.task_id, slot=self.slot,
+                generation=self.generation,
+                error=f"worker {self.slot} has no model {task.model!r}",
+            ))
+            return
+        if task.version != served.spec.version:
+            self._put(TaskDoneMsg(
+                task_id=task.task_id, slot=self.slot,
+                generation=self.generation,
+                error=(
+                    f"worker {self.slot} serves {task.model!r} "
+                    f"v{served.spec.version} but the task was admitted "
+                    f"under v{task.version}"
+                ),
+                version_mismatch=True,
+            ))
+            return
         try:
             self._fire_task_faults(task)
             logits = (
-                self._score_classify(task)
+                self._score_classify(task, served)
                 if isinstance(task, ClassifyTask)
-                else self._score_scan(task)
+                else self._score_scan(task, served)
             )
         except FrameIntegrityError as exc:
             self._put(TaskDoneMsg(
@@ -194,13 +220,6 @@ class _Worker:
                 task_id=task.task_id, slot=self.slot,
                 generation=self.generation,
                 error=f"frame vanished: {exc}", frame_corrupt=True,
-            ))
-            return
-        except KeyError:
-            self._put(TaskDoneMsg(
-                task_id=task.task_id, slot=self.slot,
-                generation=self.generation,
-                error=f"worker {self.slot} has no model {task.model!r}",
             ))
             return
         except Exception as exc:

@@ -6,6 +6,9 @@ contract: bit-identical serving vs. the in-process reference, frame
 transport integrity, provenance aggregation, and health semantics.
 """
 
+import queue as queue_mod
+from types import SimpleNamespace
+
 import numpy as np
 import pytest
 
@@ -22,7 +25,9 @@ from repro.serve import (
     plane_scan_scale,
 )
 from repro.serve.cluster import FrameRef, put_frame, read_frame
+from repro.serve.cluster.messages import ClassifyTask, WorkerConfig
 from repro.serve.cluster.shm import FrameAttachment
+from repro.serve.cluster.worker import _Served, _Worker
 
 pytestmark = pytest.mark.timeout(240)
 
@@ -198,3 +203,99 @@ class TestPlaneScanScale:
         entry = reference.registry.get("default")
         assert reference._plane_scale(req, entry) == \
             plane_scan_scale(256, 64, 32, pixels=16)
+
+
+def make_worker():
+    """An in-process _Worker with plain queues (no process, no model)."""
+    config = WorkerConfig(slot=0, generation=1, models=())
+    return _Worker(config, queue_mod.Queue(), queue_mod.Queue())
+
+
+def worker_with_engine(engine, version=1):
+    worker = make_worker()
+    worker.models["default"] = _Served(
+        spec=SimpleNamespace(version=version), engine=engine, provenance={}
+    )
+    return worker
+
+
+class TestWorkerTaskGuards:
+    """The worker refuses, typed, everything it must not score."""
+
+    def test_version_mismatch_is_refused_typed(self):
+        scored = []
+        engine = SimpleNamespace(
+            predict_logits=lambda batch, **kw: scored.append(batch)
+        )
+        worker = worker_with_engine(engine, version=1)
+        worker._handle_task(ClassifyTask(
+            task_id=7, model="default", version=2, frame=None,
+        ))
+        msg = worker.results.get_nowait()
+        assert msg.version_mismatch
+        assert msg.logits is None
+        assert "v1" in msg.error and "v2" in msg.error
+        assert not scored  # the wrong weights never scored anything
+
+    def test_missing_model_is_a_typed_error(self):
+        worker = make_worker()
+        worker._handle_task(ClassifyTask(
+            task_id=1, model="nope", version=1, frame=None,
+        ))
+        msg = worker.results.get_nowait()
+        assert "has no model" in msg.error
+        assert not msg.version_mismatch
+
+    def test_scoring_keyerror_is_not_misreported_as_missing_model(self):
+        def predict_logits(batch, **kw):
+            raise KeyError("bn_stats")
+
+        worker = worker_with_engine(
+            SimpleNamespace(predict_logits=predict_logits)
+        )
+        frame = put_frame(np.zeros((1, 1, 16, 16)))
+        try:
+            worker._handle_task(ClassifyTask(
+                task_id=2, model="default", version=1, frame=frame.ref,
+            ))
+        finally:
+            frame.close()
+        msg = worker.results.get_nowait()
+        assert "KeyError" in msg.error
+        assert "has no model" not in msg.error
+
+
+class TestAttachmentCache:
+    def test_eviction_drops_the_oldest_attachment(self):
+        worker = make_worker()  # _ATTACH_CACHE == 2
+        frames = [put_frame(np.full((2, 2), float(i))) for i in range(3)]
+        try:
+            for frame in frames:
+                worker._attachment(frame.ref)
+            # LRU, not MRU: the first-attached frame is the one evicted
+            assert set(worker.attachments) == {
+                frames[1].ref.name, frames[2].ref.name,
+            }
+        finally:
+            for attachment in worker.attachments.values():
+                attachment.close()
+            for frame in frames:
+                frame.close()
+
+
+class TestVersionedRouting:
+    def test_task_admitted_under_rolled_version_fails_loudly(self, cluster):
+        """A task stamped with a version no replica serves (and none
+        ever will) must fail with a clear error, never be silently
+        scored by different weights or wait forever."""
+        from repro.serve.cluster.service import _FrameHolder
+
+        holder = _FrameHolder(np.zeros((1, 1, 16, 16)), None)
+        msg = ClassifyTask(
+            task_id=-1, model="default", version=99, frame=holder.ref,
+        )
+        with cluster._cond:
+            task = cluster._submit_locked(msg, holder)
+        assert task.event.wait(timeout=60)
+        assert task.error is not None
+        assert "v99" in str(task.error)

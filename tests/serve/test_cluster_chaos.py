@@ -100,13 +100,32 @@ class TestHangDetection:
     ):
         faults = FaultInjector(seed=0)
         faults.add_hang("worker", hang_s=60.0, times=1)
-        with make_cluster(model, faults, heartbeat_timeout_s=1.0) as svc:
+        with make_cluster(model, faults, heartbeat_timeout_s=1.0,
+                          task_timeout_s=1.0) as svc:
             report = svc.scan(scan_req, timeout=120)
             stats = svc.stats()
         assert not report.degraded
         assert hit_key(report) == reference_hits
         assert stats["worker_timeouts_total"] >= 1
         assert stats["tasks_failed_over_total"] >= 1
+
+    def test_busy_worker_is_not_mistaken_for_hung(
+        self, model, scan_req, reference_hits
+    ):
+        # a legitimately slow task blocks the single-threaded worker's
+        # ping loop for far longer than heartbeat_timeout_s; the
+        # supervisor must treat in-flight work as proof of life and
+        # never kill it (busy != hung)
+        faults = FaultInjector(seed=0)
+        faults.add_hang("worker", hang_s=2.0, times=1)
+        with make_cluster(model, faults, heartbeat_s=0.1,
+                          heartbeat_timeout_s=0.5) as svc:
+            report = svc.scan(scan_req, timeout=120)
+            stats = svc.stats()
+        assert not report.degraded
+        assert hit_key(report) == reference_hits
+        assert stats["worker_timeouts_total"] == 0
+        assert stats["workers_reaped_total"] == 0
 
 
 class TestFrameIntegrity:
@@ -203,3 +222,59 @@ class TestRollingRollout:
             assert after.score == before.score
             states = svc.replica_states()
             assert all(s is ReplicaState.READY for s in states.values())
+
+    def test_canary_mismatch_after_load_rolls_back_failing_replica(
+        self, model, monkeypatch
+    ):
+        """The hard rollback path: the swap *loads* fine, then the
+        canary probe fails.  The failing replica itself must be rolled
+        back to the old checkpoint before it is readmitted — an aborted
+        rollout must never leave a replica serving parity-failing
+        weights (nor a mixed-version fleet)."""
+        import repro.serve.cluster.worker as worker_mod
+
+        real_compile = worker_mod._compile
+
+        def skewed_compile(spec):
+            served = real_compile(spec)
+            if spec.version < 2:
+                return served
+            engine = served.engine
+
+            class SkewedEngine:
+                """Scores v2 differently from the router's reference."""
+
+                def __getattr__(self, attr):
+                    return getattr(engine, attr)
+
+                def predict_logits(self, batch, **kwargs):
+                    return engine.predict_logits(batch, **kwargs) + 1.0
+
+            return worker_mod._Served(
+                spec=served.spec, engine=SkewedEngine(),
+                provenance=served.provenance,
+            )
+
+        # patched before the fleet forks, so every worker inherits it;
+        # only v2 engines are skewed — v1 (and the rollback reload)
+        # stay bit-identical to the router's reference
+        monkeypatch.setattr(worker_mod, "_compile", skewed_compile)
+
+        new_model = build_bnn_resnet((4, 8), scaling="xnor", seed=7)
+        with make_cluster(model) as svc:
+            image = np.zeros((16, 16))
+            before = svc.classify(ClipRequest(image=image), timeout=120)
+            with pytest.raises(RolloutError):
+                svc.rollout("default", model=new_model)
+            stats = svc.stats()
+            assert stats["rollout_failures_total"] == 1
+            # every replica — including the one whose canary failed —
+            # is READY again and back on the old checkpoint
+            states = svc.replica_states()
+            assert all(s is ReplicaState.READY for s in states.values())
+            fleet = stats["cluster"]["fleet"]["default"]
+            assert fleet["versions"] == ["1"]
+            report = svc.health()
+            assert not any("mixed versions" in r for r in report.reasons)
+            after = svc.classify(ClipRequest(image=image), timeout=120)
+            assert after.score == before.score
